@@ -1,0 +1,315 @@
+//! Hedwig-style topic-based publish/subscribe on ElasticRMI (paper §5.2).
+//!
+//! "Hedwig is a topic-based publish-subscribe system designed for reliable
+//! and guaranteed at-most once delivery of messages from publishers to
+//! subscribers. Clients are associated with a Hedwig instance (region),
+//! which consists of a number of servers called hubs. The hubs partition the
+//! topic ownership among themselves, and all publishes and subscribes to a
+//! topic must be done to its owning hub."
+//!
+//! Remote methods:
+//!
+//! * `subscribe(topic, subscriber)` / `unsubscribe(topic, subscriber)`,
+//! * `publish(topic, payload)` — claims topic ownership for the handling hub
+//!   on first publish, appends the message to each subscriber's inbox,
+//! * `fetch(subscriber)` — drains the subscriber's inbox (**at-most-once**:
+//!   messages are removed before they are returned; a crashed fetch loses
+//!   them rather than redelivering),
+//! * `topic_owner(topic)` — which hub uid owns the topic.
+//!
+//! Topic ownership, subscription sets and inboxes all live in the shared
+//! store, so any hub can serve any call while ownership bookkeeping stays
+//! consistent.
+
+use elasticrmi::{
+    decode_args, encode_result, ElasticService, MethodCallStats, RemoteError, ServiceContext,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::model::{demand_vote, AppKind};
+
+/// A published message as delivered to subscribers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// The topic the message was published to.
+    pub topic: String,
+    /// Publisher-supplied payload.
+    pub payload: Vec<u8>,
+    /// Per-topic sequence number (1-based, gap-free per topic).
+    pub seq: u64,
+}
+
+/// The elastic pub/sub hub service.
+#[derive(Debug, Default)]
+pub struct Hub {
+    published_here: u64,
+}
+
+impl Hub {
+    /// Creates a hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The elastic class name.
+    pub const CLASS: &'static str = "HedwigHub";
+
+    fn validate_topic(topic: &str) -> Result<(), RemoteError> {
+        if topic.is_empty() || topic.len() > 128 {
+            return Err(RemoteError::new("InvalidTopic", format!("{topic:?}")));
+        }
+        Ok(())
+    }
+
+    fn subs_field(ctx: &ServiceContext, topic: &str) -> elasticrmi::SharedField<Vec<String>> {
+        ctx.shared(&format!("subs/{topic}"))
+    }
+
+    fn inbox_field(ctx: &ServiceContext, subscriber: &str) -> elasticrmi::SharedField<Vec<Delivery>> {
+        ctx.shared(&format!("inbox/{subscriber}"))
+    }
+
+    fn owner_field(ctx: &ServiceContext, topic: &str) -> elasticrmi::SharedField<u64> {
+        ctx.shared(&format!("owner/{topic}"))
+    }
+
+    fn seq_field(ctx: &ServiceContext, topic: &str) -> elasticrmi::SharedField<u64> {
+        ctx.shared(&format!("seq/{topic}"))
+    }
+}
+
+impl ElasticService for Hub {
+    fn dispatch(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError> {
+        match method {
+            "subscribe" => {
+                let (topic, subscriber): (String, String) = decode_args(method, args)?;
+                Self::validate_topic(&topic)?;
+                let added = Self::subs_field(ctx, &topic).update(Vec::new, |subs| {
+                    if subs.contains(&subscriber) {
+                        false
+                    } else {
+                        subs.push(subscriber.clone());
+                        true
+                    }
+                });
+                encode_result(&added)
+            }
+            "unsubscribe" => {
+                let (topic, subscriber): (String, String) = decode_args(method, args)?;
+                let removed = Self::subs_field(ctx, &topic).update(Vec::new, |subs| {
+                    let before = subs.len();
+                    subs.retain(|s| s != &subscriber);
+                    before != subs.len()
+                });
+                encode_result(&removed)
+            }
+            "publish" => {
+                let (topic, payload): (String, Vec<u8>) = decode_args(method, args)?;
+                Self::validate_topic(&topic)?;
+                // Hubs partition topic ownership: first publish claims it.
+                let me = ctx.uid();
+                Self::owner_field(ctx, &topic).update(|| me, |_| ());
+                let seq = Self::seq_field(ctx, &topic).update(|| 0, |s| {
+                    *s += 1;
+                    *s
+                });
+                let delivery = Delivery {
+                    topic: topic.clone(),
+                    payload,
+                    seq,
+                };
+                let subscribers = Self::subs_field(ctx, &topic).get().unwrap_or_default();
+                for sub in &subscribers {
+                    Self::inbox_field(ctx, sub).update(Vec::new, |inbox| {
+                        inbox.push(delivery.clone());
+                    });
+                }
+                self.published_here += 1;
+                encode_result(&(seq, subscribers.len() as u32))
+            }
+            "fetch" => {
+                let subscriber: String = decode_args(method, args)?;
+                // At-most-once: take the messages out atomically; they are
+                // never redelivered even if this response is lost.
+                let drained = Self::inbox_field(ctx, &subscriber)
+                    .update(Vec::new, std::mem::take);
+                encode_result(&drained)
+            }
+            "topic_owner" => {
+                let topic: String = decode_args(method, args)?;
+                encode_result(&Self::owner_field(ctx, &topic).get())
+            }
+            other => Err(RemoteError::no_such_method(other)),
+        }
+    }
+
+    fn change_pool_size(&mut self, stats: &MethodCallStats, ctx: &mut ServiceContext) -> i32 {
+        let model = AppKind::Hedwig.model();
+        let pool_rate = (stats.rate("publish") + stats.rate("fetch"))
+            * f64::from(ctx.pool_size().max(1));
+        demand_vote(pool_rate, model.per_object_capacity, ctx.pool_size(), 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erm_kvstore::{Store, StoreConfig};
+    use erm_sim::VirtualClock;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    struct Pool {
+        store: Arc<Store>,
+        clock: Arc<VirtualClock>,
+        size: Arc<AtomicU32>,
+    }
+
+    impl Pool {
+        fn new(size: u32) -> Self {
+            Pool {
+                store: Arc::new(Store::new(StoreConfig::default())),
+                clock: Arc::new(VirtualClock::new()),
+                size: Arc::new(AtomicU32::new(size)),
+            }
+        }
+
+        fn member(&self, uid: u64) -> (Hub, ServiceContext) {
+            (
+                Hub::new(),
+                ServiceContext::new(
+                    Arc::clone(&self.store),
+                    Hub::CLASS,
+                    uid,
+                    self.clock.clone(),
+                    Arc::clone(&self.size),
+                ),
+            )
+        }
+    }
+
+    fn call<A: serde::Serialize, R: serde::de::DeserializeOwned>(
+        hub: &mut Hub,
+        ctx: &mut ServiceContext,
+        method: &str,
+        args: &A,
+    ) -> Result<R, RemoteError> {
+        let bytes = hub.dispatch(method, &erm_transport::to_bytes(args).unwrap(), ctx)?;
+        Ok(erm_transport::from_bytes(&bytes).unwrap())
+    }
+
+    #[test]
+    fn publish_delivers_to_subscribers() {
+        let pool = Pool::new(2);
+        let (mut hub, mut ctx) = pool.member(0);
+        let _: bool = call(&mut hub, &mut ctx, "subscribe", &("news", "alice")).unwrap();
+        let _: (u64, u32) =
+            call(&mut hub, &mut ctx, "publish", &("news", b"hello".to_vec())).unwrap();
+        let got: Vec<Delivery> = call(&mut hub, &mut ctx, "fetch", &"alice").unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, b"hello");
+        assert_eq!(got[0].seq, 1);
+    }
+
+    #[test]
+    fn at_most_once_delivery() {
+        let pool = Pool::new(2);
+        let (mut hub, mut ctx) = pool.member(0);
+        let _: bool = call(&mut hub, &mut ctx, "subscribe", &("t", "bob")).unwrap();
+        let _: (u64, u32) = call(&mut hub, &mut ctx, "publish", &("t", vec![1u8])).unwrap();
+        let first: Vec<Delivery> = call(&mut hub, &mut ctx, "fetch", &"bob").unwrap();
+        assert_eq!(first.len(), 1);
+        // Fetching again returns nothing: the message is gone forever.
+        let second: Vec<Delivery> = call(&mut hub, &mut ctx, "fetch", &"bob").unwrap();
+        assert!(second.is_empty());
+    }
+
+    #[test]
+    fn sequence_numbers_are_gap_free_per_topic() {
+        let pool = Pool::new(2);
+        let (mut hub, mut ctx) = pool.member(0);
+        let _: bool = call(&mut hub, &mut ctx, "subscribe", &("t", "sub")).unwrap();
+        for expect in 1..=5u64 {
+            let (seq, _): (u64, u32) =
+                call(&mut hub, &mut ctx, "publish", &("t", Vec::<u8>::new())).unwrap();
+            assert_eq!(seq, expect);
+        }
+        let msgs: Vec<Delivery> = call(&mut hub, &mut ctx, "fetch", &"sub").unwrap();
+        let seqs: Vec<u64> = msgs.iter().map(|m| m.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn first_publisher_hub_owns_the_topic() {
+        let pool = Pool::new(2);
+        let (mut hub0, mut ctx0) = pool.member(0);
+        let (mut hub1, mut ctx1) = pool.member(1);
+        let _: (u64, u32) = call(&mut hub1, &mut ctx1, "publish", &("t", Vec::<u8>::new())).unwrap();
+        // Ownership claimed by hub 1; a later publish through hub 0 does not
+        // steal it.
+        let _: (u64, u32) = call(&mut hub0, &mut ctx0, "publish", &("t", Vec::<u8>::new())).unwrap();
+        let owner: Option<u64> = call(&mut hub0, &mut ctx0, "topic_owner", &"t").unwrap();
+        assert_eq!(owner, Some(1));
+    }
+
+    #[test]
+    fn cross_hub_delivery() {
+        // Subscribe through one hub, publish through another: the shared
+        // store makes the pool act as one system.
+        let pool = Pool::new(2);
+        let (mut hub0, mut ctx0) = pool.member(0);
+        let (mut hub1, mut ctx1) = pool.member(1);
+        let _: bool = call(&mut hub0, &mut ctx0, "subscribe", &("t", "carol")).unwrap();
+        let _: (u64, u32) = call(&mut hub1, &mut ctx1, "publish", &("t", vec![9u8])).unwrap();
+        let got: Vec<Delivery> = call(&mut hub0, &mut ctx0, "fetch", &"carol").unwrap();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_subscribe_is_idempotent() {
+        let pool = Pool::new(2);
+        let (mut hub, mut ctx) = pool.member(0);
+        let added: bool = call(&mut hub, &mut ctx, "subscribe", &("t", "dave")).unwrap();
+        assert!(added);
+        let again: bool = call(&mut hub, &mut ctx, "subscribe", &("t", "dave")).unwrap();
+        assert!(!again);
+        let _: (u64, u32) = call(&mut hub, &mut ctx, "publish", &("t", Vec::<u8>::new())).unwrap();
+        let got: Vec<Delivery> = call(&mut hub, &mut ctx, "fetch", &"dave").unwrap();
+        assert_eq!(got.len(), 1, "no duplicate delivery");
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let pool = Pool::new(2);
+        let (mut hub, mut ctx) = pool.member(0);
+        let _: bool = call(&mut hub, &mut ctx, "subscribe", &("t", "erin")).unwrap();
+        let removed: bool = call(&mut hub, &mut ctx, "unsubscribe", &("t", "erin")).unwrap();
+        assert!(removed);
+        let _: (u64, u32) = call(&mut hub, &mut ctx, "publish", &("t", Vec::<u8>::new())).unwrap();
+        let got: Vec<Delivery> = call(&mut hub, &mut ctx, "fetch", &"erin").unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn invalid_topic_rejected() {
+        let pool = Pool::new(2);
+        let (mut hub, mut ctx) = pool.member(0);
+        let err = call::<_, (u64, u32)>(&mut hub, &mut ctx, "publish", &("", vec![1u8]))
+            .unwrap_err();
+        assert_eq!(err.kind, "InvalidTopic");
+    }
+
+    #[test]
+    fn publish_without_subscribers_succeeds() {
+        let pool = Pool::new(2);
+        let (mut hub, mut ctx) = pool.member(0);
+        let (seq, fanout): (u64, u32) =
+            call(&mut hub, &mut ctx, "publish", &("lonely", Vec::<u8>::new())).unwrap();
+        assert_eq!((seq, fanout), (1, 0));
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! The four evaluation applications of the ElasticRMI paper (§5.2),
+//! re-implemented on the public `elasticrmi` API:
+//!
+//! * [`marketcetera`] — financial order routing with two-node persistence,
+//! * [`hedwig`] — topic-based publish/subscribe with hub topic ownership and
+//!   at-most-once delivery,
+//! * [`paxos`] — multi-instance Paxos consensus (after Kirsch & Amir's
+//!   "Paxos for Systems Builders"),
+//! * [`dcs`] — a distributed coordination service with a hierarchical
+//!   namespace and totally ordered updates (Chubby/ZooKeeper-like).
+//!
+//! Each module provides the [`elasticrmi::ElasticService`] implementation
+//! used by examples and integration tests, and an [`AppModel`] giving the
+//! experiment harness the application's capacity characteristics (per-object
+//! throughput at QoS, minimum viable pool, `Req_min` shape) — the knowledge
+//! the paper's authors used to define each app's fine-grained elasticity
+//! metrics.
+
+pub mod dcs;
+pub mod hedwig;
+pub mod marketcetera;
+pub mod model;
+pub mod paxos;
+
+pub use model::{demand_vote, AppKind, AppModel};

@@ -1,0 +1,397 @@
+//! Marketcetera-style order routing on ElasticRMI (paper §5.2).
+//!
+//! "The order routing system is the component that accepts orders from
+//! traders/automated strategy engines and routes them to various markets,
+//! brokers and other financial intermediaries. For fault-tolerance, the
+//! order is persisted (stored) on two nodes."
+//!
+//! Remote methods:
+//!
+//! * `route` — validate an [`Order`], persist it on **two** replica cells of
+//!   the shared store, pick the destination venue, return a [`RouteAck`].
+//! * `order_status` — look an order up by id (reads replica 0, falls back to
+//!   replica 1 — the fault-tolerance path).
+//! * `routed_count` — pool-wide count of routed orders.
+//!
+//! The elasticity management component (`change_pool_size`) votes
+//! proportionally to the measured `route` rate — the application-specific
+//! metric ElasticRMI lets it use instead of CPU.
+
+use elasticrmi::{
+    decode_args, encode_result, ElasticService, MethodCallStats, RemoteError, ServiceContext,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::model::{demand_vote, AppKind};
+
+/// Buy or sell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Side {
+    /// Buy order.
+    Buy,
+    /// Sell order.
+    Sell,
+}
+
+/// A trading order submitted for routing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Order {
+    /// Client-assigned order id (unique per trading session).
+    pub id: u64,
+    /// Ticker symbol, e.g. `"HPQ"`.
+    pub symbol: String,
+    /// Buy or sell.
+    pub side: Side,
+    /// Quantity of shares; must be positive.
+    pub quantity: u32,
+    /// Limit price in cents; `None` = market order.
+    pub limit_cents: Option<u64>,
+}
+
+/// Acknowledgement returned by `route`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteAck {
+    /// The order id.
+    pub order_id: u64,
+    /// The venue the order was routed to.
+    pub venue: String,
+    /// Which pool member routed it.
+    pub routed_by: u64,
+}
+
+/// The venues orders are routed to, selected by symbol hash (a stand-in for
+/// Marketcetera's routing tables).
+const VENUES: [&str; 4] = ["NYSE", "NASDAQ", "BATS", "ARCA"];
+
+/// A deterministic stream of plausible orders — the stand-in for the
+/// "simulator included in the community edition of Marketcetera" the paper
+/// uses as its workload source (§5.2).
+#[derive(Debug, Clone)]
+pub struct OrderStream {
+    rng: rand::rngs::StdRng,
+    next_id: u64,
+}
+
+impl OrderStream {
+    /// Symbols traded, with hotter names earlier (picked zipf-ishly).
+    pub const SYMBOLS: [&'static str; 8] =
+        ["HPQ", "AAPL", "MSFT", "IBM", "ORCL", "INTC", "CSCO", "DELL"];
+
+    /// Creates a stream seeded by `seed`; ids start at `id_base` so multiple
+    /// traders produce disjoint id ranges.
+    pub fn new(seed: u64, id_base: u64) -> Self {
+        OrderStream {
+            rng: erm_sim::seeded_rng(erm_sim::derive_seed(seed, "orders")),
+            next_id: id_base,
+        }
+    }
+
+    /// The next order.
+    pub fn next_order(&mut self) -> Order {
+        use rand::Rng;
+        let id = self.next_id;
+        self.next_id += 1;
+        // Zipf-ish symbol choice: square the uniform draw so low indices
+        // (hot symbols) dominate.
+        let u: f64 = self.rng.gen();
+        let idx = ((u * u) * Self::SYMBOLS.len() as f64) as usize;
+        Order {
+            id,
+            symbol: Self::SYMBOLS[idx.min(Self::SYMBOLS.len() - 1)].to_string(),
+            side: if self.rng.gen() { Side::Buy } else { Side::Sell },
+            quantity: self.rng.gen_range(1..=1_000),
+            limit_cents: if self.rng.gen_range(0..4) == 0 {
+                None // market order
+            } else {
+                Some(self.rng.gen_range(100..=100_000))
+            },
+        }
+    }
+}
+
+impl Iterator for OrderStream {
+    type Item = Order;
+
+    fn next(&mut self) -> Option<Order> {
+        Some(self.next_order())
+    }
+}
+
+/// The elastic order-routing service.
+#[derive(Debug, Default)]
+pub struct OrderRouter {
+    /// Orders this member routed (member-local; the pool-wide count lives in
+    /// the shared store).
+    routed_here: u64,
+}
+
+impl OrderRouter {
+    /// Creates a router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The elastic class name (shared-state key prefix).
+    pub const CLASS: &'static str = "OrderRouter";
+
+    fn validate(order: &Order) -> Result<(), RemoteError> {
+        if order.symbol.is_empty() || order.symbol.len() > 8 {
+            return Err(RemoteError::new(
+                "InvalidOrder",
+                format!("bad symbol {:?}", order.symbol),
+            ));
+        }
+        if order.quantity == 0 {
+            return Err(RemoteError::new("InvalidOrder", "zero quantity"));
+        }
+        if order.limit_cents == Some(0) {
+            return Err(RemoteError::new("InvalidOrder", "zero limit price"));
+        }
+        Ok(())
+    }
+
+    fn venue_for(symbol: &str) -> &'static str {
+        let h: u64 = symbol.bytes().fold(5381u64, |h, b| h.wrapping_mul(33) ^ u64::from(b));
+        VENUES[(h % VENUES.len() as u64) as usize]
+    }
+
+    fn replica_key(order_id: u64, replica: u8) -> String {
+        format!("order/{order_id}/r{replica}")
+    }
+}
+
+impl ElasticService for OrderRouter {
+    fn dispatch(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError> {
+        match method {
+            "route" => {
+                let order: Order = decode_args(method, args)?;
+                Self::validate(&order)?;
+                let encoded = erm_transport::to_bytes(&order)
+                    .map_err(|e| RemoteError::new("MarshalFailure", e.to_string()))?;
+                // Persist on two nodes (paper: "the order is persisted on
+                // two nodes") before acknowledging.
+                for replica in 0..2u8 {
+                    ctx.store()
+                        .put(&Self::replica_key(order.id, replica), encoded.clone());
+                }
+                ctx.shared::<u64>("routed_total").update(|| 0, |n| *n += 1);
+                self.routed_here += 1;
+                encode_result(&RouteAck {
+                    order_id: order.id,
+                    venue: Self::venue_for(&order.symbol).to_string(),
+                    routed_by: ctx.uid(),
+                })
+            }
+            "order_status" => {
+                let order_id: u64 = decode_args(method, args)?;
+                // Primary replica, then the fault-tolerance copy.
+                let found = ctx
+                    .store()
+                    .get(&Self::replica_key(order_id, 0))
+                    .or_else(|| ctx.store().get(&Self::replica_key(order_id, 1)));
+                let order: Option<Order> = match found {
+                    Some(v) => Some(
+                        erm_transport::from_bytes(&v.value)
+                            .map_err(|e| RemoteError::new("CorruptOrder", e.to_string()))?,
+                    ),
+                    None => None,
+                };
+                encode_result(&order)
+            }
+            "routed_count" => {
+                let n = ctx.shared::<u64>("routed_total").get().unwrap_or(0);
+                encode_result(&n)
+            }
+            other => Err(RemoteError::no_such_method(other)),
+        }
+    }
+
+    fn change_pool_size(&mut self, stats: &MethodCallStats, ctx: &mut ServiceContext) -> i32 {
+        let model = AppKind::Marketcetera.model();
+        // The member sees its own share of the workload; scale to the pool.
+        let pool_rate = stats.rate("route") * f64::from(ctx.pool_size().max(1));
+        demand_vote(pool_rate, model.per_object_capacity, ctx.pool_size(), 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erm_kvstore::{Store, StoreConfig};
+    use erm_sim::{SimDuration, VirtualClock};
+    use std::collections::HashMap;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    fn ctx(pool_size: u32) -> ServiceContext {
+        ServiceContext::new(
+            Arc::new(Store::new(StoreConfig::default())),
+            OrderRouter::CLASS,
+            0,
+            Arc::new(VirtualClock::new()),
+            Arc::new(AtomicU32::new(pool_size)),
+        )
+    }
+
+    fn order(id: u64) -> Order {
+        Order {
+            id,
+            symbol: "HPQ".into(),
+            side: Side::Buy,
+            quantity: 100,
+            limit_cents: Some(2_350),
+        }
+    }
+
+    fn call<A: serde::Serialize, R: serde::de::DeserializeOwned>(
+        svc: &mut OrderRouter,
+        ctx: &mut ServiceContext,
+        method: &str,
+        args: &A,
+    ) -> Result<R, RemoteError> {
+        let bytes = svc.dispatch(method, &erm_transport::to_bytes(args).unwrap(), ctx)?;
+        Ok(erm_transport::from_bytes(&bytes).unwrap())
+    }
+
+    #[test]
+    fn routes_valid_orders() {
+        let mut svc = OrderRouter::new();
+        let mut c = ctx(3);
+        let ack: RouteAck = call(&mut svc, &mut c, "route", &order(1)).unwrap();
+        assert_eq!(ack.order_id, 1);
+        assert!(VENUES.contains(&ack.venue.as_str()));
+    }
+
+    #[test]
+    fn persists_on_two_nodes() {
+        let mut svc = OrderRouter::new();
+        let mut c = ctx(3);
+        let _: RouteAck = call(&mut svc, &mut c, "route", &order(7)).unwrap();
+        assert!(c.store().get("order/7/r0").is_some());
+        assert!(c.store().get("order/7/r1").is_some());
+    }
+
+    #[test]
+    fn status_survives_primary_replica_loss() {
+        let mut svc = OrderRouter::new();
+        let mut c = ctx(3);
+        let _: RouteAck = call(&mut svc, &mut c, "route", &order(9)).unwrap();
+        // Simulate losing the primary replica's node.
+        assert!(c.store().delete("order/9/r0"));
+        let found: Option<Order> = call(&mut svc, &mut c, "order_status", &9u64).unwrap();
+        assert_eq!(found.unwrap().id, 9);
+    }
+
+    #[test]
+    fn unknown_order_status_is_none() {
+        let mut svc = OrderRouter::new();
+        let mut c = ctx(3);
+        let found: Option<Order> = call(&mut svc, &mut c, "order_status", &404u64).unwrap();
+        assert!(found.is_none());
+    }
+
+    #[test]
+    fn rejects_invalid_orders() {
+        let mut svc = OrderRouter::new();
+        let mut c = ctx(3);
+        let mut bad = order(1);
+        bad.quantity = 0;
+        let err = call::<_, RouteAck>(&mut svc, &mut c, "route", &bad).unwrap_err();
+        assert_eq!(err.kind, "InvalidOrder");
+        let mut bad = order(2);
+        bad.symbol = String::new();
+        assert!(call::<_, RouteAck>(&mut svc, &mut c, "route", &bad).is_err());
+        let mut bad = order(3);
+        bad.limit_cents = Some(0);
+        assert!(call::<_, RouteAck>(&mut svc, &mut c, "route", &bad).is_err());
+    }
+
+    #[test]
+    fn routed_count_is_pool_wide() {
+        let store = Arc::new(Store::new(StoreConfig::default()));
+        let clock = Arc::new(VirtualClock::new());
+        let size = Arc::new(AtomicU32::new(2));
+        let mut c1 = ServiceContext::new(
+            Arc::clone(&store), OrderRouter::CLASS, 0, clock.clone(), Arc::clone(&size),
+        );
+        let mut c2 = ServiceContext::new(store, OrderRouter::CLASS, 1, clock, size);
+        let mut a = OrderRouter::new();
+        let mut b = OrderRouter::new();
+        let _: RouteAck = call(&mut a, &mut c1, "route", &order(1)).unwrap();
+        let _: RouteAck = call(&mut b, &mut c2, "route", &order(2)).unwrap();
+        let n: u64 = call(&mut a, &mut c1, "routed_count", &()).unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn venue_choice_is_stable_per_symbol() {
+        assert_eq!(OrderRouter::venue_for("HPQ"), OrderRouter::venue_for("HPQ"));
+    }
+
+    #[test]
+    fn fine_vote_tracks_demand() {
+        let mut svc = OrderRouter::new();
+        let mut c = ctx(5);
+        // 36,000 route calls over 60 s = 600/s per member; at pool size 5
+        // the pool rate is 3,000/s; at 2,000/object that
+        // needs ceil(1.5) = 2 objects -> vote -3.
+        let mut methods = HashMap::new();
+        methods.insert(
+            "route".to_string(),
+            elasticrmi::MethodStat { calls: 36_000, mean_latency_us: 100 },
+        );
+        let stats = MethodCallStats::new(SimDuration::from_secs(60), methods);
+        assert_eq!(svc.change_pool_size(&stats, &mut c), -3);
+        // A hot pool votes to grow by several at once.
+        let mut methods = HashMap::new();
+        methods.insert(
+            "route".to_string(),
+            elasticrmi::MethodStat { calls: 600_000, mean_latency_us: 100 },
+        );
+        let stats = MethodCallStats::new(SimDuration::from_secs(60), methods);
+        assert!(svc.change_pool_size(&stats, &mut c) > 1);
+    }
+
+    #[test]
+    fn order_stream_is_deterministic_and_valid() {
+        let a: Vec<Order> = OrderStream::new(7, 0).take(100).collect();
+        let b: Vec<Order> = OrderStream::new(7, 0).take(100).collect();
+        assert_eq!(a, b);
+        let mut svc = OrderRouter::new();
+        let mut c = ctx(3);
+        for order in &a {
+            // Every generated order passes validation and routes.
+            let ack: RouteAck = call(&mut svc, &mut c, "route", order).unwrap();
+            assert_eq!(ack.order_id, order.id);
+        }
+    }
+
+    #[test]
+    fn order_stream_ids_are_disjoint_per_trader() {
+        let a: Vec<u64> = OrderStream::new(1, 0).take(50).map(|o| o.id).collect();
+        let b: Vec<u64> = OrderStream::new(1, 1_000).take(50).map(|o| o.id).collect();
+        assert!(a.iter().all(|id| *id < 1_000));
+        assert!(b.iter().all(|id| *id >= 1_000));
+    }
+
+    #[test]
+    fn order_stream_prefers_hot_symbols() {
+        let orders: Vec<Order> = OrderStream::new(3, 0).take(2_000).collect();
+        let hot = orders.iter().filter(|o| o.symbol == "HPQ").count();
+        let cold = orders.iter().filter(|o| o.symbol == "DELL").count();
+        assert!(hot > cold * 2, "zipf-ish skew expected: hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    fn unknown_method_errors() {
+        let mut svc = OrderRouter::new();
+        let mut c = ctx(2);
+        let err = svc.dispatch("frobnicate", &[], &mut c).unwrap_err();
+        assert_eq!(err.kind, "NoSuchMethod");
+    }
+}

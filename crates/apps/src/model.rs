@@ -1,0 +1,235 @@
+//! Capacity models connecting the applications to the experiment harness.
+//!
+//! The SPEC agility metric needs `Req_min(i)` — "the minimum capacity needed
+//! to meet an application's QoS at a given workload level" (§5.1). That is a
+//! property of each *application*: how many orders/messages/rounds/updates
+//! one pool member sustains while meeting its QoS, and any floor the
+//! application's own protocol imposes (quorums, replication). [`AppModel`]
+//! captures exactly that, for the four §5.2 applications.
+
+use erm_sim::{derive_seed, seeded_rng};
+use erm_workloads::paper;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+
+/// The four applications of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Marketcetera order routing.
+    Marketcetera,
+    /// Hedwig topic-based publish/subscribe.
+    Hedwig,
+    /// Paxos consensus (Kirsch & Amir specification).
+    Paxos,
+    /// DCS — distributed coordination service.
+    Dcs,
+}
+
+impl AppKind {
+    /// All four applications, in the paper's presentation order.
+    pub const ALL: [AppKind; 4] = [
+        AppKind::Marketcetera,
+        AppKind::Hedwig,
+        AppKind::Paxos,
+        AppKind::Dcs,
+    ];
+
+    /// The capacity model for this application.
+    pub fn model(self) -> AppModel {
+        match self {
+            // Point A = 50,000 orders/s (§5.3). 2,000 orders/s per router
+            // object at QoS (routing plus two-node persistence) -> 25
+            // objects at peak. Orders persist on two nodes, so the pool
+            // can never drop below 2.
+            AppKind::Marketcetera => AppModel {
+                kind: self,
+                name: "Marketcetera",
+                point_a: paper::MARKETCETERA_POINT_A,
+                per_object_capacity: 2_000.0,
+                min_objects: 2,
+                req_jitter: 0.0,
+            },
+            // Point A = 30,000 msgs/s; 1,000 msgs/s per hub at QoS
+            // (fan-out + at-most-once bookkeeping) -> 30 hubs at peak.
+            // Req_min "changes more erratically ... due to the replication
+            // and at-most once guarantees" (§5.5): ±12% jitter.
+            AppKind::Hedwig => AppModel {
+                kind: self,
+                name: "Hedwig",
+                point_a: paper::HEDWIG_POINT_A,
+                per_object_capacity: 1_000.0,
+                min_objects: 2,
+                req_jitter: 0.12,
+            },
+            // Point A = 24,000 rounds/s; 800 rounds/s per replica at QoS
+            // (two protocol phases per round). Majority quorum needs >= 3.
+            AppKind::Paxos => AppModel {
+                kind: self,
+                name: "Paxos",
+                point_a: paper::PAXOS_POINT_A,
+                per_object_capacity: 800.0,
+                min_objects: 3,
+                req_jitter: 0.0,
+            },
+            // Point A = 75,000 updates/s; 2,500 updates/s per server at QoS
+            // (total ordering of updates costs a shared sequencer access).
+            AppKind::Dcs => AppModel {
+                kind: self,
+                name: "DCS",
+                point_a: paper::DCS_POINT_A,
+                per_object_capacity: 2_500.0,
+                min_objects: 3,
+                req_jitter: 0.0,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.model().name)
+    }
+}
+
+/// An application's capacity characteristics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AppModel {
+    /// Which application this models.
+    pub kind: AppKind,
+    /// Display name.
+    pub name: &'static str,
+    /// The paper's point-A peak rate (events/second).
+    pub point_a: f64,
+    /// Events/second one pool member sustains while meeting QoS.
+    pub per_object_capacity: f64,
+    /// Protocol floor on the pool size (quorum, replication).
+    pub min_objects: u32,
+    /// Relative jitter of `Req_min` (Hedwig's erratic requirement).
+    pub req_jitter: f64,
+}
+
+impl AppModel {
+    /// `Req_min` at the given arrival rate: the minimum number of objects
+    /// needed to meet QoS (§5.1). Deterministic per (model, minute) when
+    /// jitter applies.
+    pub fn req_min(&self, rate: f64, minute: u64) -> f64 {
+        let jitter = if self.req_jitter > 0.0 {
+            let mut rng = seeded_rng(derive_seed(
+                u64::from(self.kind as u8),
+                &format!("req-jitter-{minute}"),
+            ));
+            1.0 + rng.gen_range(-self.req_jitter..=self.req_jitter)
+        } else {
+            1.0
+        };
+        let needed = (rate * jitter / self.per_object_capacity).ceil();
+        needed.max(f64::from(self.min_objects))
+    }
+
+    /// The number of objects needed at the pattern peak — what the
+    /// overprovisioning oracle provisions.
+    pub fn peak_objects(&self, peak_rate: f64) -> u32 {
+        ((peak_rate * (1.0 + self.req_jitter) / self.per_object_capacity).ceil() as u32)
+            .max(self.min_objects)
+    }
+}
+
+/// The demand-proportional fine-grained vote the applications use in their
+/// `changePoolSize()` overrides: how many objects the measured rate calls
+/// for (with `headroom` as the target utilization, e.g. 0.85), relative to
+/// the current size.
+///
+/// This is what distinguishes fine-grained elasticity in the paper: the
+/// application can see *actual demand* (queue lengths, call rates) instead
+/// of a saturating CPU proxy, so it can vote a multi-object change in one
+/// burst interval where threshold policies step by one.
+pub fn demand_vote(
+    measured_rate: f64,
+    per_object_capacity: f64,
+    pool_size: u32,
+    headroom: f64,
+) -> i32 {
+    assert!(per_object_capacity > 0.0 && headroom > 0.0);
+    let needed = (measured_rate / (per_object_capacity * headroom)).ceil() as i64;
+    let delta = needed.max(1) - i64::from(pool_size);
+    delta.clamp(-4, 16) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_a_values_match_paper() {
+        assert_eq!(AppKind::Marketcetera.model().point_a, 50_000.0);
+        assert_eq!(AppKind::Dcs.model().point_a, 75_000.0);
+        assert_eq!(AppKind::Paxos.model().point_a, 24_000.0);
+        assert_eq!(AppKind::Hedwig.model().point_a, 30_000.0);
+    }
+
+    #[test]
+    fn req_min_scales_with_rate() {
+        let m = AppKind::Marketcetera.model();
+        assert_eq!(m.req_min(50_000.0, 0), 25.0);
+        assert_eq!(m.req_min(2_001.0, 0), 2.0);
+        // Floor: even near-zero load keeps the two persistence nodes.
+        assert_eq!(m.req_min(1.0, 0), 2.0);
+    }
+
+    #[test]
+    fn paxos_floor_is_a_quorum() {
+        let m = AppKind::Paxos.model();
+        assert_eq!(m.req_min(0.0, 0), 3.0);
+    }
+
+    #[test]
+    fn hedwig_req_min_is_erratic_but_deterministic() {
+        let m = AppKind::Hedwig.model();
+        let a = m.req_min(20_000.0, 5);
+        let b = m.req_min(20_000.0, 6);
+        assert_eq!(a, m.req_min(20_000.0, 5), "same minute -> same value");
+        // Different minutes usually differ (jitter).
+        let distinct = (0..20)
+            .map(|min| m.req_min(20_000.0, min).to_bits())
+            .collect::<std::collections::HashSet<_>>();
+        let _ = (a, b);
+        assert!(distinct.len() > 1, "jitter should vary Req_min across minutes");
+    }
+
+    #[test]
+    fn peak_objects_covers_jittered_requirement() {
+        let m = AppKind::Hedwig.model();
+        let peak = m.peak_objects(36_000.0);
+        for minute in 0..500 {
+            assert!(
+                f64::from(peak) >= m.req_min(36_000.0, minute),
+                "oracle must never be short at peak"
+            );
+        }
+    }
+
+    #[test]
+    fn demand_vote_is_proportional() {
+        // 10,000 ev/s at 1,000/object and 0.8 headroom -> needs 13; at size
+        // 5 the vote is +8.
+        assert_eq!(demand_vote(10_000.0, 1_000.0, 5, 0.8), 8);
+        // Overprovisioned pool votes negative.
+        assert_eq!(demand_vote(1_000.0, 1_000.0, 8, 0.8), -4);
+        // Balanced pool votes ~0.
+        assert_eq!(demand_vote(4_000.0, 1_000.0, 5, 0.8), 0);
+    }
+
+    #[test]
+    fn demand_vote_clamps_extremes() {
+        assert_eq!(demand_vote(1_000_000.0, 100.0, 2, 0.8), 16);
+        assert_eq!(demand_vote(0.0, 100.0, 50, 0.8), -4);
+    }
+
+    #[test]
+    fn models_are_serializable() {
+        let m = AppKind::Dcs.model();
+        let bytes = erm_transport::to_bytes(&m).unwrap();
+        let _ = bytes;
+    }
+}

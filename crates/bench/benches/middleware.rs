@@ -1,0 +1,183 @@
+//! Middleware-path benchmarks: the scaling engine, the bin-packing load
+//! balancer, shared-field access, and the full RMI invocation path through a
+//! live elastic pool (stub → skeleton → service → response).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use elasticrmi::balance::{plan_redirects, MemberLoad};
+use elasticrmi::{
+    encode_result, ClientLb, ElasticPool, ElasticService, PoolConfig, PoolDeps, PoolSample,
+    RemoteError, ScalingEngine, ScalingPolicy, ServiceContext,
+};
+use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_kvstore::{Store, StoreConfig};
+use erm_sim::{SimTime, SystemClock};
+use erm_transport::{EndpointId, InProcNetwork};
+use parking_lot::Mutex;
+
+fn bench_scaling_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_engine");
+    let config = PoolConfig::builder("Bench")
+        .min_pool_size(2)
+        .max_pool_size(64)
+        .policy(ScalingPolicy::FineGrained)
+        .build()
+        .unwrap();
+    let engine = ScalingEngine::new(config, SimTime::ZERO);
+    let sample = PoolSample {
+        pool_size: 20,
+        avg_cpu: 74.0,
+        avg_ram: 51.0,
+        fine_votes: (0..20).map(|i| (i % 5) - 2).collect(),
+        desired_size: None,
+    };
+    group.bench_function("fine_grained_decide_20_votes", |b| {
+        b.iter(|| engine.decide(black_box(&sample)))
+    });
+    group.finish();
+}
+
+fn bench_bin_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bin_packing");
+    for n in [8usize, 64, 512] {
+        let loads: Vec<MemberLoad> = (0..n)
+            .map(|i| MemberLoad {
+                endpoint: EndpointId(i as u64),
+                pending: ((i * 37) % 23) as u32,
+            })
+            .collect();
+        group.bench_function(format!("plan_redirects_{n}_members"), |b| {
+            b.iter(|| plan_redirects(black_box(&loads), 10).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_field(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_field");
+    let store = Arc::new(Store::new(StoreConfig::default()));
+    let ctx = ServiceContext::new(
+        Arc::clone(&store),
+        "Bench",
+        0,
+        Arc::new(SystemClock::new()),
+        Arc::new(std::sync::atomic::AtomicU32::new(1)),
+    );
+    let field = ctx.shared::<u64>("counter");
+    field.set(&0);
+    group.bench_function("update_increment", |b| {
+        b.iter(|| field.update(|| 0, |n| *n += 1))
+    });
+    group.bench_function("get", |b| b.iter(|| field.get()));
+    group.finish();
+}
+
+/// Echo service for the end-to-end path.
+struct Echo;
+impl ElasticService for Echo {
+    fn dispatch(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        _ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError> {
+        match method {
+            "echo" => Ok(args.to_vec()),
+            "sum" => {
+                let v: Vec<u64> = elasticrmi::decode_args(method, args)?;
+                encode_result(&v.iter().sum::<u64>())
+            }
+            other => Err(RemoteError::no_such_method(other)),
+        }
+    }
+}
+
+fn bench_full_rmi_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rmi_invocation");
+    group.sample_size(30);
+    let deps = PoolDeps {
+        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+            provisioning: LatencyModel::instant(),
+            ..ClusterConfig::default()
+        }))),
+        net: Arc::new(InProcNetwork::new()),
+        store: Arc::new(Store::new(StoreConfig::default())),
+        clock: Arc::new(SystemClock::new()),
+    };
+    let config = PoolConfig::builder("Echo")
+        .min_pool_size(3)
+        .max_pool_size(3)
+        .build()
+        .unwrap();
+    let mut pool =
+        ElasticPool::instantiate(config, Arc::new(|| Box::new(Echo)), deps, None).unwrap();
+    let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
+    let payload: Vec<u64> = (0..64).collect();
+    group.bench_function("stub_invoke_sum_64_u64", |b| {
+        b.iter(|| {
+            let total: u64 = stub.invoke("sum", &payload).unwrap();
+            total
+        })
+    });
+    group.finish();
+    pool.shutdown();
+}
+
+fn bench_lb_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client_lb_policy");
+    group.sample_size(30);
+    let deps = PoolDeps {
+        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+            provisioning: LatencyModel::instant(),
+            ..ClusterConfig::default()
+        }))),
+        net: Arc::new(InProcNetwork::new()),
+        store: Arc::new(Store::new(StoreConfig::default())),
+        clock: Arc::new(SystemClock::new()),
+    };
+    let config = PoolConfig::builder("Echo")
+        .min_pool_size(4)
+        .max_pool_size(4)
+        .build()
+        .unwrap();
+    let mut pool =
+        ElasticPool::instantiate(config, Arc::new(|| Box::new(Echo)), deps, None).unwrap();
+    for (name, lb) in [
+        ("round_robin", ClientLb::RoundRobin),
+        ("random", ClientLb::Random { seed: 1 }),
+    ] {
+        let mut stub = pool.stub(lb).unwrap();
+        let payload: Vec<u8> = vec![1, 2, 3];
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let echoed: Vec<u8> = stub.invoke("echo", &payload).unwrap();
+                echoed
+            })
+        });
+    }
+    group.finish();
+    pool.shutdown();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry");
+    let net = InProcNetwork::new();
+    let server = elasticrmi::RegistryServer::spawn(Arc::new(net.clone()));
+    let mut client = elasticrmi::RegistryClient::connect(Arc::new(net.clone()), server.endpoint());
+    client.bind("svc", EndpointId(1)).unwrap();
+    group.bench_function("lookup", |b| b.iter(|| client.lookup("svc").unwrap()));
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(
+    middleware,
+    bench_scaling_engine,
+    bench_bin_packing,
+    bench_shared_field,
+    bench_full_rmi_path,
+    bench_lb_policies,
+    bench_registry
+);
+criterion_main!(middleware);

@@ -1,0 +1,98 @@
+//! One benchmark per paper figure/table: measures the cost of regenerating
+//! each evaluation artifact end-to-end (workload generation, the real
+//! scaling engine, cluster provisioning, agility metering). The *data* the
+//! figures show is produced by the `figures` binary; these benches prove the
+//! regeneration is cheap and track regressions in the experiment pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use erm_apps::AppKind;
+use erm_harness::{run_experiment, Deployment, ExperimentConfig, FigureId};
+use erm_workloads::{PatternKind, Workload};
+
+fn bench_workload_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7ab_workload_patterns");
+    group.sample_size(20);
+    group.bench_function("fig7a_abrupt", |b| {
+        b.iter(|| {
+            let w = Workload::paper_pattern(PatternKind::Abrupt, 50_000.0);
+            w.sample(erm_sim::SimDuration::from_minutes(1)).len()
+        })
+    });
+    group.bench_function("fig7b_cyclic", |b| {
+        b.iter(|| {
+            let w = Workload::paper_pattern(PatternKind::Cyclic, 50_000.0);
+            w.sample(erm_sim::SimDuration::from_minutes(1)).len()
+        })
+    });
+    group.finish();
+}
+
+fn agility_bench(c: &mut Criterion, figure: &str, app: AppKind, pattern: PatternKind) {
+    let mut group = c.benchmark_group(format!("fig{figure}_agility_{app}_{pattern}"));
+    group.sample_size(10);
+    for deployment in Deployment::ALL {
+        group.bench_function(deployment.name(), |b| {
+            b.iter_batched(
+                || ExperimentConfig::paper(app, pattern, deployment),
+                |config| run_experiment(&config).agility.mean_agility(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig7c_7d(c: &mut Criterion) {
+    agility_bench(c, "7c", AppKind::Marketcetera, PatternKind::Abrupt);
+    agility_bench(c, "7d", AppKind::Marketcetera, PatternKind::Cyclic);
+}
+
+fn bench_fig7e_7f(c: &mut Criterion) {
+    agility_bench(c, "7e", AppKind::Hedwig, PatternKind::Abrupt);
+    agility_bench(c, "7f", AppKind::Hedwig, PatternKind::Cyclic);
+}
+
+fn bench_fig7g_7h(c: &mut Criterion) {
+    agility_bench(c, "7g", AppKind::Paxos, PatternKind::Abrupt);
+    agility_bench(c, "7h", AppKind::Paxos, PatternKind::Cyclic);
+}
+
+fn bench_fig7i_7j(c: &mut Criterion) {
+    agility_bench(c, "7i", AppKind::Dcs, PatternKind::Abrupt);
+    agility_bench(c, "7j", AppKind::Dcs, PatternKind::Cyclic);
+}
+
+fn bench_fig8_provisioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_provisioning_latency");
+    group.sample_size(10);
+    for (name, pattern) in [("8a_abrupt", PatternKind::Abrupt), ("8b_cyclic", PatternKind::Cyclic)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let figure = FigureId::Provisioning(pattern);
+                figure.render(7).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_summary_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_summary");
+    group.sample_size(10);
+    group.bench_function("full_32_run_grid", |b| {
+        b.iter(|| erm_harness::summary_table(7).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_workload_patterns,
+    bench_fig7c_7d,
+    bench_fig7e_7f,
+    bench_fig7g_7h,
+    bench_fig7i_7j,
+    bench_fig8_provisioning,
+    bench_summary_table
+);
+criterion_main!(figures);

@@ -1,0 +1,149 @@
+//! Microbenchmarks of the substrate crates: the wire codec, the key-value
+//! store, the lock manager, the cluster manager, and the event queue.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_kvstore::{LockOwner, Store, StoreConfig};
+use erm_sim::{EventQueue, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct SampleOrder {
+    id: u64,
+    symbol: String,
+    quantity: i32,
+    limit: Option<f64>,
+    tags: Vec<String>,
+}
+
+fn sample_order() -> SampleOrder {
+    SampleOrder {
+        id: 424242,
+        symbol: "HPQ".into(),
+        quantity: -500,
+        limit: Some(23.5),
+        tags: vec!["algo".into(), "ioc".into()],
+    }
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    let order = sample_order();
+    let bytes = erm_transport::to_bytes(&order).unwrap();
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_struct", |b| {
+        b.iter(|| erm_transport::to_bytes(black_box(&order)).unwrap())
+    });
+    group.bench_function("decode_struct", |b| {
+        b.iter(|| erm_transport::from_bytes::<SampleOrder>(black_box(&bytes)).unwrap())
+    });
+    let big: Vec<u64> = (0..1024).collect();
+    let big_bytes = erm_transport::to_bytes(&big).unwrap();
+    group.bench_function("encode_vec_1k_u64", |b| {
+        b.iter(|| erm_transport::to_bytes(black_box(&big)).unwrap())
+    });
+    group.bench_function("decode_vec_1k_u64", |b| {
+        b.iter(|| erm_transport::from_bytes::<Vec<u64>>(black_box(&big_bytes)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_kvstore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvstore");
+    let store = Store::new(StoreConfig::default());
+    for i in 0..10_000u32 {
+        store.put(&format!("key-{i}"), vec![0u8; 64]);
+    }
+    group.bench_function("get_hit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            store.get(&format!("key-{i}"))
+        })
+    });
+    group.bench_function("put_overwrite", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            store.put(&format!("key-{i}"), vec![1u8; 64])
+        })
+    });
+    group.bench_function("cas_success", |b| {
+        let mut version = store.put("cas-key", vec![0]);
+        b.iter(|| {
+            version = store
+                .compare_and_put("cas-key", Some(version), vec![1])
+                .unwrap();
+        })
+    });
+    group.bench_function("prefix_scan_100", |b| {
+        b.iter(|| store.keys_with_prefix("key-42").len())
+    });
+    group.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locks");
+    let store = Store::new(StoreConfig::default());
+    let owner = LockOwner::new(1);
+    let ttl = SimDuration::from_secs(30);
+    group.bench_function("uncontended_lock_unlock", |b| {
+        b.iter(|| {
+            assert!(store.try_lock("C1", owner, SimTime::ZERO, ttl));
+            store.unlock("C1", owner).unwrap();
+        })
+    });
+    group.bench_function("contended_try_lock_failure", |b| {
+        let holder = LockOwner::new(2);
+        assert!(store.try_lock("C2", holder, SimTime::ZERO, ttl));
+        b.iter(|| assert!(!store.try_lock("C2", owner, SimTime::ZERO, ttl)))
+    });
+    group.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    group.bench_function("request_poll_release_cycle", |b| {
+        let mut cluster = ResourceManager::new(ClusterConfig {
+            nodes: 128,
+            slices_per_node: 2,
+            provisioning: LatencyModel::instant(),
+            ..ClusterConfig::default()
+        });
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimDuration::from_secs(1);
+            cluster.request_slices(8, now).unwrap();
+            let grants = cluster.poll_ready(now);
+            for g in &grants {
+                cluster.release(g.slice, now).unwrap();
+            }
+            grants.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_micros(i * 37 % 1_000), i);
+            }
+            q.pop_due(SimTime::from_secs(1)).count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_wire_codec,
+    bench_kvstore,
+    bench_locks,
+    bench_cluster,
+    bench_event_queue
+);
+criterion_main!(substrates);

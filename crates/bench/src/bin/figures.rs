@@ -1,0 +1,152 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! figures                    # everything: Fig. 7a–7j, Fig. 8a/8b, summary
+//! figures --fig 7c           # one figure
+//! figures --table            # the §5.5 summary grid (T1)
+//! figures --ablation         # design-choice ablations (burst interval,
+//!                            # policy, provisioning latency)
+//! figures --seed 42          # change the experiment seed
+//! ```
+
+use erm_apps::AppKind;
+use erm_harness::{run_experiment, Deployment, ExperimentConfig, FigureId};
+use erm_sim::SimDuration;
+use erm_workloads::PatternKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 7u64;
+    let mut fig: Option<String> = None;
+    let mut table = false;
+    let mut ablation = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--fig" => {
+                i += 1;
+                fig = Some(args.get(i).cloned().unwrap_or_else(|| usage("--fig needs an id")));
+            }
+            "--table" => table = true,
+            "--ablation" => ablation = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    if let Some(id) = fig {
+        let Some(figure) = FigureId::parse(&id) else {
+            usage(&format!("unknown figure id {id} (7a-7j, 8a, 8b)"));
+        };
+        print!("{}", figure.render(seed));
+        return;
+    }
+    if table {
+        print_summary(seed);
+        return;
+    }
+    if ablation {
+        print_ablations(seed);
+        return;
+    }
+    // Default: everything.
+    for (name, figure) in FigureId::all() {
+        println!("================ Figure {name} ================");
+        print!("{}", figure.render(seed));
+        println!();
+    }
+    println!("================ Summary (§5.5 prose statistics) ================");
+    print_summary(seed);
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: figures [--fig 7a..7j|8a|8b] [--table] [--ablation] [--seed N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn print_summary(seed: u64) {
+    let rows = erm_harness::summary_table(seed);
+    print!("{}", erm_harness::format_summary(&rows));
+    println!(
+        "\nCloudWatch / ElasticRMI mean-agility ratios \
+         (paper: Mkt 3.4x/-, Hedwig 4.5x/3.0x, Paxos 6.6x/2.2x, DCS 7.2x/3.2x):"
+    );
+    for app in AppKind::ALL {
+        for pattern in [PatternKind::Abrupt, PatternKind::Cyclic] {
+            let get = |d: Deployment| {
+                rows.iter()
+                    .find(|r| r.app == app && r.pattern == pattern && r.deployment == d)
+                    .expect("full grid")
+                    .mean_agility
+            };
+            println!(
+                "  {:<13} {:<7} {:.1}x",
+                app.to_string(),
+                pattern.to_string(),
+                get(Deployment::CloudWatch) / get(Deployment::ElasticRmi).max(1e-9)
+            );
+        }
+    }
+}
+
+/// Ablations for the design choices DESIGN.md calls out: burst interval,
+/// decision policy, and provisioning latency.
+fn print_ablations(seed: u64) {
+    let app = AppKind::Marketcetera;
+    println!("# Ablation 1: ElasticRMI burst interval (abrupt workload, mean agility)");
+    for secs in [15u64, 30, 60, 120, 300, 600] {
+        let mut config = ExperimentConfig::paper(app, PatternKind::Abrupt, Deployment::ElasticRmi);
+        config.seed = seed;
+        let agility = erm_bench::run_with_burst(&config, SimDuration::from_secs(secs));
+        println!("  burst={secs:>4}s  agility={agility:.2}");
+    }
+    println!("\n# Ablation 2: decision policy at equal provisioning latency (abrupt)");
+    for dep in [Deployment::ElasticRmi, Deployment::ElasticRmiCpuMem] {
+        let mut config = ExperimentConfig::paper(app, PatternKind::Abrupt, dep);
+        config.seed = seed;
+        let r = run_experiment(&config);
+        println!("  {:<18} agility={:.2}", dep.to_string(), r.agility.mean_agility());
+    }
+    println!("\n# Ablation 3: provisioning latency at equal policy (threshold policy)");
+    for dep in [Deployment::ElasticRmiCpuMem, Deployment::CloudWatch] {
+        let mut config = ExperimentConfig::paper(app, PatternKind::Abrupt, dep);
+        config.seed = seed;
+        let r = run_experiment(&config);
+        println!(
+            "  {:<18} agility={:.2} prov={:.0}s",
+            dep.to_string(),
+            r.agility.mean_agility(),
+            r.provisioning.mean_latency().map_or(0.0, |d| d.as_secs_f64())
+        );
+    }
+    println!("\n# Ablation 4: cluster-master outage during the abrupt ramp (par. 4.4)");
+    for outage in [None, Some((140u64, 200u64))] {
+        let mut config = ExperimentConfig::paper(app, PatternKind::Abrupt, Deployment::ElasticRmi);
+        config.seed = seed;
+        config.master_outage = outage.map(|(a, b)| {
+            (erm_sim::SimTime::from_minutes(a), erm_sim::SimTime::from_minutes(b))
+        });
+        let r = run_experiment(&config);
+        println!(
+            "  outage={:<14} agility={:.2} (shortage component {:.2})",
+            outage.map_or("none".to_string(), |(a, b)| format!("{a}..{b} min")),
+            r.agility.mean_agility(),
+            r.agility.mean_shortage(),
+        );
+    }
+    println!("\n# Ablation 5: scalability limits from shared state (par. 4.1)");
+    print!("{}", erm_harness::render_scalability());
+    println!("\n# Ablation 6: two tiers on a scarce shared cluster (par. 3.3 Decider)");
+    print!("{}", erm_harness::render_tiered(seed));
+}

@@ -1,0 +1,4 @@
+fn main() {
+    let rows = erm_harness::summary_table(7);
+    print!("{}", erm_harness::format_summary(&rows));
+}

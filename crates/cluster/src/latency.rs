@@ -1,0 +1,194 @@
+//! Provisioning-latency models.
+
+use erm_sim::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How long a granted slice takes to become usable.
+///
+/// The paper contrasts ElasticRMI's sub-30-second provisioning (Mesos slices
+/// are lightweight Linux containers) with CloudWatch/AutoScaling's
+/// minutes-scale VM boot times, and observes provisioning latency *growing
+/// with workload* (Fig. 8). Each of those regimes is expressible here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Always exactly this long (e.g. 0 for the overprovisioning oracle).
+    Fixed(SimDuration),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Smallest possible latency.
+        min: SimDuration,
+        /// Largest possible latency.
+        max: SimDuration,
+    },
+    /// `base + slope_per_load · load + jitter`, where `load` is a caller
+    /// supplied 0..1 load factor (cluster utilization or pool pressure) and
+    /// jitter is uniform in `[0, jitter]`. Reproduces the Fig. 8 observation
+    /// that provisioning slows down as the workload grows.
+    LoadDependent {
+        /// Latency at zero load.
+        base: SimDuration,
+        /// Additional latency at full load.
+        slope_per_load: SimDuration,
+        /// Upper bound of the uniform jitter term.
+        jitter: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// Mesos-container-like latency used for ElasticRMI deployments: a few
+    /// seconds at idle, growing toward ~30 s under full load (Fig. 8 caps
+    /// below 30 s).
+    pub fn elastic_rmi_default() -> Self {
+        LatencyModel::LoadDependent {
+            base: SimDuration::from_secs(4),
+            slope_per_load: SimDuration::from_secs(22),
+            jitter: SimDuration::from_secs(3),
+        }
+    }
+
+    /// VM-provisioning latency used for the CloudWatch baseline: "in the
+    /// order of several minutes" (paper §5.6).
+    pub fn cloudwatch_default() -> Self {
+        LatencyModel::Uniform {
+            min: SimDuration::from_minutes(3),
+            max: SimDuration::from_minutes(6),
+        }
+    }
+
+    /// Zero latency (the overprovisioning oracle's resources are always up).
+    pub fn instant() -> Self {
+        LatencyModel::Fixed(SimDuration::ZERO)
+    }
+
+    /// Samples a latency given the current 0..1 `load` factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is not within `[0, 1]` or the model has
+    /// `min > max`.
+    pub fn sample(&self, rng: &mut StdRng, load: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&load), "load must be in [0,1], got {load}");
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                assert!(min <= max, "uniform latency model has min > max");
+                if min == max {
+                    min
+                } else {
+                    SimDuration::from_micros(rng.gen_range(min.as_micros()..=max.as_micros()))
+                }
+            }
+            LatencyModel::LoadDependent {
+                base,
+                slope_per_load,
+                jitter,
+            } => {
+                let slope =
+                    SimDuration::from_micros((slope_per_load.as_micros() as f64 * load) as u64);
+                let j = if jitter.is_zero() {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_micros(rng.gen_range(0..=jitter.as_micros()))
+                };
+                base + slope + j
+            }
+        }
+    }
+
+    /// The largest latency this model can produce at the given load.
+    pub fn upper_bound(&self, load: f64) -> SimDuration {
+        match *self {
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { max, .. } => max,
+            LatencyModel::LoadDependent {
+                base,
+                slope_per_load,
+                jitter,
+            } => {
+                base + SimDuration::from_micros((slope_per_load.as_micros() as f64 * load) as u64)
+                    + jitter
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erm_sim::seeded_rng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let m = LatencyModel::Fixed(SimDuration::from_secs(5));
+        let mut rng = seeded_rng(0);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng, 0.5), SimDuration::from_secs(5));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_secs(10),
+            max: SimDuration::from_secs(20),
+        };
+        let mut rng = seeded_rng(1);
+        for _ in 0..100 {
+            let d = m.sample(&mut rng, 0.0);
+            assert!(d >= SimDuration::from_secs(10) && d <= SimDuration::from_secs(20));
+        }
+    }
+
+    #[test]
+    fn load_dependent_grows_with_load() {
+        let m = LatencyModel::LoadDependent {
+            base: SimDuration::from_secs(4),
+            slope_per_load: SimDuration::from_secs(20),
+            jitter: SimDuration::ZERO,
+        };
+        let mut rng = seeded_rng(2);
+        let idle = m.sample(&mut rng, 0.0);
+        let busy = m.sample(&mut rng, 1.0);
+        assert_eq!(idle, SimDuration::from_secs(4));
+        assert_eq!(busy, SimDuration::from_secs(24));
+    }
+
+    #[test]
+    fn elastic_rmi_default_stays_under_thirty_seconds() {
+        let m = LatencyModel::elastic_rmi_default();
+        let mut rng = seeded_rng(3);
+        for load in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let d = m.sample(&mut rng, load);
+            assert!(
+                d < SimDuration::from_secs(30),
+                "ElasticRMI provisioning should stay < 30s (paper Fig. 8), got {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn cloudwatch_default_takes_minutes() {
+        let m = LatencyModel::cloudwatch_default();
+        let mut rng = seeded_rng(4);
+        let d = m.sample(&mut rng, 0.5);
+        assert!(d >= SimDuration::from_minutes(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in [0,1]")]
+    fn rejects_out_of_range_load() {
+        let mut rng = seeded_rng(5);
+        let _ = LatencyModel::instant().sample(&mut rng, 1.5);
+    }
+
+    #[test]
+    fn upper_bound_dominates_samples() {
+        let m = LatencyModel::elastic_rmi_default();
+        let mut rng = seeded_rng(6);
+        for _ in 0..50 {
+            assert!(m.sample(&mut rng, 0.7) <= m.upper_bound(0.7));
+        }
+    }
+}

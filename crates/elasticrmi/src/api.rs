@@ -1,0 +1,364 @@
+//! The programming model: elastic services and their execution context.
+//!
+//! This is the Rust rendering of the paper's `java.elasticrmi` API
+//! (Fig. 3). Java's preprocessor rewrites an elastic *class*; Rust has no
+//! preprocessor, so an elastic class is a type implementing
+//! [`ElasticService`]:
+//!
+//! * remote methods are dispatched by name with wire-encoded arguments
+//!   (what the generated skeleton would do),
+//! * shared instance/static fields become [`crate::state::SharedField`]s
+//!   obtained from the [`ServiceContext`] (what the preprocessor's
+//!   `Store.get("C1$x")` translation does),
+//! * `synchronized` methods wrap their bodies in
+//!   [`ServiceContext::synchronized`] (the `ERMI.lock("C1")` translation of
+//!   Fig. 6), and
+//! * the `changePoolSize()` fine-grained scaling hook is
+//!   [`ElasticService::change_pool_size`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use erm_kvstore::{LockOwner, LockStats, Store};
+use erm_sim::{SharedClock, SimDuration, SimTime};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::error::RemoteError;
+use crate::message::MethodStat;
+use crate::state::{synchronized, SharedField};
+
+/// Statistics over one burst interval, handed to
+/// [`ElasticService::change_pool_size`] — the paper's
+/// `getMethodCallStats()`.
+#[derive(Debug, Clone, Default)]
+pub struct MethodCallStats {
+    interval: SimDuration,
+    methods: HashMap<String, MethodStat>,
+}
+
+impl MethodCallStats {
+    /// Builds stats from per-method entries covering `interval`.
+    pub fn new(interval: SimDuration, methods: HashMap<String, MethodStat>) -> Self {
+        MethodCallStats { interval, methods }
+    }
+
+    /// The burst interval the stats cover.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Invocations of `method` during the interval (0 if never called).
+    pub fn calls(&self, method: &str) -> u64 {
+        self.methods.get(method).map_or(0, |m| m.calls)
+    }
+
+    /// Mean invocation rate of `method` in calls/second.
+    pub fn rate(&self, method: &str) -> f64 {
+        let secs = self.interval.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.calls(method) as f64 / secs
+        }
+    }
+
+    /// Mean execution latency of `method`, `None` if never called.
+    pub fn mean_latency(&self, method: &str) -> Option<SimDuration> {
+        self.methods
+            .get(method)
+            .filter(|m| m.calls > 0)
+            .map(|m| SimDuration::from_micros(m.mean_latency_us))
+    }
+
+    /// Iterates over `(method, stat)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MethodStat)> {
+        self.methods.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// Everything a service method may touch besides its own arguments: shared
+/// state, distributed locks, the clock, and pool facts.
+#[derive(Clone)]
+pub struct ServiceContext {
+    store: Arc<Store>,
+    class: String,
+    uid: u64,
+    owner: LockOwner,
+    clock: SharedClock,
+    pool_size: Arc<AtomicU32>,
+    lock_ttl: SimDuration,
+}
+
+impl std::fmt::Debug for ServiceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceContext")
+            .field("class", &self.class)
+            .field("uid", &self.uid)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceContext {
+    /// Creates a context for the member `uid` of the pool for `class`.
+    pub fn new(
+        store: Arc<Store>,
+        class: impl Into<String>,
+        uid: u64,
+        clock: SharedClock,
+        pool_size: Arc<AtomicU32>,
+    ) -> Self {
+        ServiceContext {
+            store,
+            class: class.into(),
+            uid,
+            owner: LockOwner::new(uid),
+            clock,
+            pool_size,
+            lock_ttl: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Handle to shared field `name` of this elastic class. Reads and writes
+    /// go through the external store, so every member of the pool observes
+    /// the same value (paper §2.2).
+    pub fn shared<T: Serialize + DeserializeOwned>(&self, name: &str) -> SharedField<T> {
+        SharedField::new(Arc::clone(&self.store), &self.class, name)
+    }
+
+    /// Runs `body` while holding the class-wide lock — the translation of a
+    /// `synchronized` elastic method (Fig. 6). Blocks (with backoff) until
+    /// the lock is acquired.
+    pub fn synchronized<R>(&self, body: impl FnOnce() -> R) -> R {
+        synchronized(
+            &self.store,
+            &self.class,
+            self.owner,
+            self.clock.as_ref(),
+            self.lock_ttl,
+            body,
+        )
+    }
+
+    /// Current time from the pool's clock.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// This member's pool-unique id.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// This member's lock owner identity.
+    pub fn lock_owner(&self) -> LockOwner {
+        self.owner
+    }
+
+    /// Current pool size — the paper's `getPoolSize()`.
+    pub fn pool_size(&self) -> u32 {
+        self.pool_size.load(Ordering::SeqCst)
+    }
+
+    /// Store lock-contention statistics; the raw material for fine-grained
+    /// metrics like the paper's `avgLockAcqFailure`.
+    pub fn lock_stats(&self) -> LockStats {
+        self.store.lock_stats()
+    }
+
+    /// The underlying shared store (for application-level structures such as
+    /// the DCS namespace).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+}
+
+/// An elastic class: the application logic hosted by every member of an
+/// elastic object pool.
+///
+/// Implementations are instantiated once per pool member (per slice), each
+/// on its own thread; per-instance fields are therefore member-local, and
+/// anything that must be pool-wide goes through
+/// [`ServiceContext::shared`].
+///
+/// # Example
+///
+/// ```
+/// use elasticrmi::{ElasticService, MethodCallStats, RemoteError, ServiceContext};
+///
+/// /// A distributed counter: one shared field, one remote method.
+/// struct Counter;
+///
+/// impl ElasticService for Counter {
+///     fn dispatch(
+///         &mut self,
+///         method: &str,
+///         _args: &[u8],
+///         ctx: &mut ServiceContext,
+///     ) -> Result<Vec<u8>, RemoteError> {
+///         match method {
+///             "increment" => {
+///                 let n = ctx.shared::<u64>("count").update(|| 0, |n| { *n += 1; *n });
+///                 Ok(erm_transport::to_bytes(&n).expect("u64 encodes"))
+///             }
+///             other => Err(RemoteError::no_such_method(other)),
+///         }
+///     }
+/// }
+/// ```
+pub trait ElasticService: Send + 'static {
+    /// Executes the remote method `method` with wire-encoded `args`,
+    /// returning the wire-encoded result.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`RemoteError`] for unknown methods, argument
+    /// decode failures, and application-level exceptions; the error is
+    /// marshalled back to the invoking stub.
+    fn dispatch(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError>;
+
+    /// The fine-grained scaling hook — the paper's `changePoolSize()`
+    /// (§3.3). Called once per burst interval on every member when the pool
+    /// uses [`crate::ScalingPolicy::FineGrained`]; votes are averaged across
+    /// the pool. Positive means "add this many objects", negative "remove".
+    /// The default (no override) abstains.
+    fn change_pool_size(&mut self, stats: &MethodCallStats, ctx: &mut ServiceContext) -> i32 {
+        let (_, _) = (stats, ctx);
+        0
+    }
+
+    /// Memory utilization of this member in percent (0–100), consulted by
+    /// the coarse-grained RAM thresholds. Defaults to 0 (RAM scaling
+    /// effectively disabled unless the service reports it).
+    fn ram_utilization(&self) -> f32 {
+        0.0
+    }
+
+    /// Called once when the member starts, before any dispatch.
+    fn on_start(&mut self, ctx: &mut ServiceContext) {
+        let _ = ctx;
+    }
+
+    /// Called after the member drained, before its thread exits.
+    fn on_shutdown(&mut self, ctx: &mut ServiceContext) {
+        let _ = ctx;
+    }
+}
+
+/// Convenience for implementing `dispatch`: decodes the argument tuple or
+/// produces the paper-appropriate remote error.
+///
+/// # Errors
+///
+/// Returns [`RemoteError::bad_arguments`] when `args` does not decode as
+/// `T`.
+pub fn decode_args<T: DeserializeOwned>(method: &str, args: &[u8]) -> Result<T, RemoteError> {
+    erm_transport::from_bytes(args).map_err(|e| RemoteError::bad_arguments(method, e))
+}
+
+/// Convenience for implementing `dispatch`: encodes a return value.
+pub fn encode_result<T: Serialize>(value: &T) -> Result<Vec<u8>, RemoteError> {
+    erm_transport::to_bytes(value)
+        .map_err(|e| RemoteError::new("MarshalFailure", format!("return value: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erm_kvstore::StoreConfig;
+    use erm_sim::VirtualClock;
+
+    fn context() -> ServiceContext {
+        ServiceContext::new(
+            Arc::new(Store::new(StoreConfig::default())),
+            "C1",
+            1,
+            Arc::new(VirtualClock::new()),
+            Arc::new(AtomicU32::new(5)),
+        )
+    }
+
+    #[test]
+    fn method_call_stats_expose_rates_and_latency() {
+        let mut methods = HashMap::new();
+        methods.insert(
+            "put".to_string(),
+            MethodStat {
+                calls: 600,
+                mean_latency_us: 2_000,
+            },
+        );
+        let stats = MethodCallStats::new(SimDuration::from_secs(60), methods);
+        assert_eq!(stats.calls("put"), 600);
+        assert_eq!(stats.rate("put"), 10.0);
+        assert_eq!(stats.mean_latency("put"), Some(SimDuration::from_millis(2)));
+        assert_eq!(stats.calls("get"), 0);
+        assert_eq!(stats.mean_latency("get"), None);
+    }
+
+    #[test]
+    fn context_reports_pool_facts() {
+        let ctx = context();
+        assert_eq!(ctx.pool_size(), 5);
+        assert_eq!(ctx.uid(), 1);
+        assert_eq!(ctx.lock_owner(), LockOwner::new(1));
+    }
+
+    #[test]
+    fn shared_fields_are_pool_wide() {
+        let ctx = context();
+        let other = ctx.clone();
+        ctx.shared::<u32>("x").set(&7);
+        assert_eq!(other.shared::<u32>("x").get(), Some(7));
+    }
+
+    #[test]
+    fn synchronized_runs_body_and_releases() {
+        let ctx = context();
+        let out = ctx.synchronized(|| 42);
+        assert_eq!(out, 42);
+        // Lock released: a different member can take it immediately.
+        let other = ServiceContext::new(
+            Arc::clone(ctx.store()),
+            "C1",
+            2,
+            Arc::new(VirtualClock::new()),
+            Arc::new(AtomicU32::new(5)),
+        );
+        assert_eq!(other.synchronized(|| 1), 1);
+    }
+
+    #[test]
+    fn default_change_pool_size_abstains() {
+        struct Nop;
+        impl ElasticService for Nop {
+            fn dispatch(
+                &mut self,
+                m: &str,
+                _a: &[u8],
+                _c: &mut ServiceContext,
+            ) -> Result<Vec<u8>, RemoteError> {
+                Err(RemoteError::no_such_method(m))
+            }
+        }
+        let mut ctx = context();
+        let vote = Nop.change_pool_size(&MethodCallStats::default(), &mut ctx);
+        assert_eq!(vote, 0);
+        assert_eq!(Nop.ram_utilization(), 0.0);
+    }
+
+    #[test]
+    fn decode_args_maps_wire_errors() {
+        let err = decode_args::<(u32, u32)>("put", &[1]).unwrap_err();
+        assert_eq!(err.kind, "IllegalArgument");
+        let ok: (u32, u32) =
+            decode_args("put", &erm_transport::to_bytes(&(1u32, 2u32)).unwrap()).unwrap();
+        assert_eq!(ok, (1, 2));
+    }
+}

@@ -1,0 +1,206 @@
+//! Server-side load balancing: the sentinel's first-fit bin-packing
+//! redirection planner (paper §4.3).
+//!
+//! "If the sentinel notices that any skeleton is overloaded with respect to
+//! others, it instructs the skeleton to redirect a portion of invocations to
+//! a set of other skeletons. To decide the number of invocations that have
+//! to be redirected from each overloaded skeleton, our implementation of the
+//! sentinel uses the first-fit greedy bin-packing approximation algorithm."
+
+use erm_transport::EndpointId;
+use serde::{Deserialize, Serialize};
+
+/// One member's queue depth as seen by the sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberLoad {
+    /// The member's invocation endpoint.
+    pub endpoint: EndpointId,
+    /// Pending invocations queued at the member.
+    pub pending: u32,
+}
+
+/// An instruction to move `count` queued invocations from `from` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedirectPlanEntry {
+    /// The overloaded member shedding work.
+    pub from: EndpointId,
+    /// The member receiving it.
+    pub to: EndpointId,
+    /// How many invocations to move.
+    pub count: u32,
+}
+
+/// Plans redirections that bring every member at or under `capacity` pending
+/// invocations, where possible, without pushing any receiver above it.
+///
+/// Members above `capacity` are *items* (their excess, taken largest first —
+/// first-fit-decreasing); members below it are *bins* with slack
+/// `capacity - pending`, visited in endpoint order (first fit). Excess that
+/// fits nowhere stays put: the pool is simply saturated, and growth is the
+/// scaling engine's job, not the balancer's.
+///
+/// The plan is deterministic for a given input ordering-insensitively:
+/// inputs are sorted internally.
+///
+/// # Example
+///
+/// ```
+/// use elasticrmi::balance::{plan_redirects, MemberLoad};
+/// use erm_transport::EndpointId;
+///
+/// let loads = [
+///     MemberLoad { endpoint: EndpointId(1), pending: 10 },
+///     MemberLoad { endpoint: EndpointId(2), pending: 0 },
+/// ];
+/// let plan = plan_redirects(&loads, 5);
+/// assert_eq!(plan.len(), 1);
+/// assert_eq!(plan[0].count, 5); // 1 sheds its excess of 5 onto 2
+/// ```
+pub fn plan_redirects(loads: &[MemberLoad], capacity: u32) -> Vec<RedirectPlanEntry> {
+    // Items: overloaded members, largest excess first (FFD).
+    let mut overloaded: Vec<(EndpointId, u32)> = loads
+        .iter()
+        .filter(|m| m.pending > capacity)
+        .map(|m| (m.endpoint, m.pending - capacity))
+        .collect();
+    overloaded.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    // Bins: underloaded members with their slack, in endpoint order.
+    let mut bins: Vec<(EndpointId, u32)> = loads
+        .iter()
+        .filter(|m| m.pending < capacity)
+        .map(|m| (m.endpoint, capacity - m.pending))
+        .collect();
+    bins.sort_by_key(|&(id, _)| id);
+
+    let mut plan = Vec::new();
+    for (from, mut excess) in overloaded {
+        for (to, slack) in bins.iter_mut() {
+            if excess == 0 {
+                break;
+            }
+            if *slack == 0 {
+                continue;
+            }
+            let moved = excess.min(*slack);
+            *slack -= moved;
+            excess -= moved;
+            plan.push(RedirectPlanEntry {
+                from,
+                to: *to,
+                count: moved,
+            });
+        }
+        // Leftover excess is dropped from the plan intentionally: nowhere to
+        // put it.
+    }
+    plan
+}
+
+/// Total invocations a plan moves.
+pub fn planned_total(plan: &[RedirectPlanEntry]) -> u64 {
+    plan.iter().map(|e| u64::from(e.count)).sum()
+}
+
+/// Applies a plan to a load snapshot, returning post-redirect loads. Used by
+/// tests and the simulation harness to verify/realize plans.
+pub fn apply_plan(loads: &[MemberLoad], plan: &[RedirectPlanEntry]) -> Vec<MemberLoad> {
+    let mut out: Vec<MemberLoad> = loads.to_vec();
+    for entry in plan {
+        for m in out.iter_mut() {
+            if m.endpoint == entry.from {
+                m.pending -= entry.count;
+            } else if m.endpoint == entry.to {
+                m.pending += entry.count;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(pairs: &[(u64, u32)]) -> Vec<MemberLoad> {
+        pairs
+            .iter()
+            .map(|&(id, pending)| MemberLoad {
+                endpoint: EndpointId(id),
+                pending,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn balanced_pool_needs_no_plan() {
+        assert!(plan_redirects(&loads(&[(1, 3), (2, 4), (3, 5)]), 5).is_empty());
+    }
+
+    #[test]
+    fn single_overload_spreads_to_first_fit() {
+        let plan = plan_redirects(&loads(&[(1, 12), (2, 2), (3, 2)]), 5);
+        // Excess 7; member 2 takes 3, member 3 takes 3, 1 keeps the rest.
+        assert_eq!(planned_total(&plan), 6);
+        let after = apply_plan(&loads(&[(1, 12), (2, 2), (3, 2)]), &plan);
+        assert_eq!(after, loads(&[(1, 6), (2, 5), (3, 5)]));
+    }
+
+    #[test]
+    fn no_receiver_exceeds_capacity() {
+        let input = loads(&[(1, 30), (2, 0), (3, 4), (4, 1)]);
+        let plan = plan_redirects(&input, 5);
+        let after = apply_plan(&input, &plan);
+        for m in after.iter().filter(|m| m.endpoint != EndpointId(1)) {
+            assert!(m.pending <= 5, "receiver overloaded: {m:?}");
+        }
+    }
+
+    #[test]
+    fn largest_excess_is_served_first() {
+        // Slack is 4 total; the member with excess 4 should claim it all.
+        let input = loads(&[(1, 7), (2, 9), (3, 1)]);
+        let plan = plan_redirects(&input, 5);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].from, EndpointId(2), "FFD: biggest item first");
+        assert_eq!(plan[0].count, 4);
+        // Remaining slack is 0, so member 1's excess stays.
+        assert_eq!(planned_total(&plan), 4);
+    }
+
+    #[test]
+    fn saturated_pool_produces_empty_plan() {
+        let plan = plan_redirects(&loads(&[(1, 9), (2, 9), (3, 9)]), 5);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn plan_is_input_order_insensitive() {
+        let a = plan_redirects(&loads(&[(1, 12), (2, 2), (3, 2)]), 5);
+        let b = plan_redirects(&loads(&[(3, 2), (1, 12), (2, 2)]), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_capacity_moves_nothing_anywhere() {
+        // Everyone is an item, nobody is a bin.
+        let plan = plan_redirects(&loads(&[(1, 3), (2, 4)]), 0);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn exact_capacity_member_is_neither_item_nor_bin() {
+        let plan = plan_redirects(&loads(&[(1, 5), (2, 10)]), 5);
+        assert!(plan.is_empty(), "member at capacity must not receive work");
+    }
+
+    #[test]
+    fn conservation_of_work() {
+        let input = loads(&[(1, 20), (2, 1), (3, 0), (4, 7)]);
+        let before: u32 = input.iter().map(|m| m.pending).sum();
+        let plan = plan_redirects(&input, 6);
+        let after = apply_plan(&input, &plan);
+        let after_total: u32 = after.iter().map(|m| m.pending).sum();
+        assert_eq!(before, after_total, "redirection must not create or lose work");
+    }
+}

@@ -1,0 +1,403 @@
+//! Pool configuration: the Rust rendering of `ElasticObject`'s setters
+//! (paper Fig. 3).
+//!
+//! The paper configures elasticity imperatively in the elastic class's
+//! constructor (`setMinPoolSize(5); setCPUIncrThreshold(85); ...`); here the
+//! same knobs form a validated builder. One rule from §3.3 is enforced by
+//! construction: an elastic class uses exactly *one* decision mechanism —
+//! choosing [`ScalingPolicy::FineGrained`] disables the CPU/RAM thresholds,
+//! because the thresholds only exist inside the coarse-grained variants.
+
+use erm_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// CPU/RAM threshold set for coarse-grained explicit elasticity (the
+/// `CacheExplicit1` style of Fig. 4b). Values are utilization percentages.
+///
+/// Semantics (paper §3.3): thresholds that are set combine with logical OR
+/// for growth; the pool grows by one object when average CPU exceeds
+/// `cpu_incr` *or* average RAM exceeds `ram_incr`. It shrinks by one when
+/// every configured decrease threshold is satisfied (shrinking on OR would
+/// let a hot-RAM pool shed capacity because CPU is idle).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Thresholds {
+    /// Grow when average CPU utilization exceeds this (percent).
+    pub cpu_incr: Option<f32>,
+    /// Shrink-eligible when average CPU utilization is below this (percent).
+    pub cpu_decr: Option<f32>,
+    /// Grow when average RAM utilization exceeds this (percent).
+    pub ram_incr: Option<f32>,
+    /// Shrink-eligible when average RAM utilization is below this (percent).
+    pub ram_decr: Option<f32>,
+}
+
+impl Thresholds {
+    fn validate(&self) -> Result<(), ConfigError> {
+        for (name, v) in [
+            ("cpu_incr", self.cpu_incr),
+            ("cpu_decr", self.cpu_decr),
+            ("ram_incr", self.ram_incr),
+            ("ram_decr", self.ram_decr),
+        ] {
+            if let Some(v) = v {
+                if !(0.0..=100.0).contains(&v) {
+                    return Err(ConfigError::ThresholdOutOfRange { name, value: v });
+                }
+            }
+        }
+        if let (Some(incr), Some(decr)) = (self.cpu_incr, self.cpu_decr) {
+            if decr >= incr {
+                return Err(ConfigError::InvertedThresholds { resource: "cpu" });
+            }
+        }
+        if let (Some(incr), Some(decr)) = (self.ram_incr, self.ram_decr) {
+            if decr >= incr {
+                return Err(ConfigError::InvertedThresholds { resource: "ram" });
+            }
+        }
+        if self.cpu_incr.is_none()
+            && self.cpu_decr.is_none()
+            && self.ram_incr.is_none()
+            && self.ram_decr.is_none()
+        {
+            return Err(ConfigError::EmptyThresholds);
+        }
+        Ok(())
+    }
+}
+
+/// Which of the paper's four decision mechanisms drives elastic scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScalingPolicy {
+    /// Implicit elasticity (§3.2): default CPU thresholds of 90%/60%,
+    /// stepping by one object per burst interval.
+    Implicit,
+    /// Explicit coarse-grained elasticity (§3.3): programmer-chosen CPU/RAM
+    /// thresholds.
+    Coarse(Thresholds),
+    /// Explicit fine-grained elasticity (§3.3): members' `changePoolSize()`
+    /// votes are averaged. CPU/RAM threshold scaling is disabled.
+    FineGrained,
+    /// Application-level decisions (§3.3, `Decider`): an external component
+    /// dictates the desired pool size.
+    AppLevel,
+}
+
+impl ScalingPolicy {
+    /// The implicit-elasticity defaults the paper specifies: grow above 90%
+    /// average CPU, shrink below 60%.
+    pub const IMPLICIT_CPU_INCR: f32 = 90.0;
+    /// See [`ScalingPolicy::IMPLICIT_CPU_INCR`].
+    pub const IMPLICIT_CPU_DECR: f32 = 60.0;
+}
+
+/// Errors from pool-configuration validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `min_pool_size` below the paper's minimum of 2 (§4.2).
+    MinTooSmall(u32),
+    /// `min_pool_size` exceeds `max_pool_size`.
+    MinAboveMax {
+        /// Configured minimum.
+        min: u32,
+        /// Configured maximum.
+        max: u32,
+    },
+    /// A burst interval of zero would make the control loop spin.
+    ZeroBurstInterval,
+    /// A threshold percentage outside 0–100.
+    ThresholdOutOfRange {
+        /// Which threshold.
+        name: &'static str,
+        /// Its value.
+        value: f32,
+    },
+    /// A decrease threshold at or above its increase counterpart.
+    InvertedThresholds {
+        /// `"cpu"` or `"ram"`.
+        resource: &'static str,
+    },
+    /// Coarse policy with no thresholds set at all.
+    EmptyThresholds,
+    /// The class name is empty (it keys shared state and locks).
+    EmptyClassName,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::MinTooSmall(n) => {
+                write!(f, "min pool size must be at least 2, got {n}")
+            }
+            ConfigError::MinAboveMax { min, max } => {
+                write!(f, "min pool size {min} exceeds max {max}")
+            }
+            ConfigError::ZeroBurstInterval => write!(f, "burst interval must be positive"),
+            ConfigError::ThresholdOutOfRange { name, value } => {
+                write!(f, "threshold {name} = {value} outside 0..=100")
+            }
+            ConfigError::InvertedThresholds { resource } => {
+                write!(f, "{resource} decrease threshold must be below its increase threshold")
+            }
+            ConfigError::EmptyThresholds => {
+                write!(f, "coarse-grained policy requires at least one threshold")
+            }
+            ConfigError::EmptyClassName => write!(f, "class name must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validated configuration of one elastic object pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    class_name: String,
+    min_pool_size: u32,
+    max_pool_size: u32,
+    burst_interval: SimDuration,
+    policy: ScalingPolicy,
+}
+
+impl PoolConfig {
+    /// Starts a builder for the elastic class `class_name`.
+    pub fn builder(class_name: impl Into<String>) -> PoolConfigBuilder {
+        PoolConfigBuilder {
+            class_name: class_name.into(),
+            min_pool_size: 2,
+            max_pool_size: 8,
+            burst_interval: SimDuration::from_secs(60),
+            policy: ScalingPolicy::Implicit,
+        }
+    }
+
+    /// The elastic class name (keys shared fields and the class lock).
+    pub fn class_name(&self) -> &str {
+        &self.class_name
+    }
+
+    /// Minimum pool size (≥ 2).
+    pub fn min_pool_size(&self) -> u32 {
+        self.min_pool_size
+    }
+
+    /// Maximum pool size.
+    pub fn max_pool_size(&self) -> u32 {
+        self.max_pool_size
+    }
+
+    /// How often scaling decisions are made (default 60 s, the paper's
+    /// default burst interval).
+    pub fn burst_interval(&self) -> SimDuration {
+        self.burst_interval
+    }
+
+    /// The scaling policy.
+    pub fn policy(&self) -> ScalingPolicy {
+        self.policy
+    }
+
+    /// Clamps a desired size into `[min, max]`.
+    pub fn clamp_size(&self, desired: i64) -> u32 {
+        desired
+            .clamp(i64::from(self.min_pool_size), i64::from(self.max_pool_size))
+            .try_into()
+            .expect("clamped into u32 range")
+    }
+}
+
+/// Builder for [`PoolConfig`]; mirrors `ElasticObject`'s setters.
+///
+/// # Example
+///
+/// ```
+/// use elasticrmi::{PoolConfig, ScalingPolicy, Thresholds};
+/// use erm_sim::SimDuration;
+///
+/// // The paper's CacheExplicit1 (Fig. 4b): pool of 5..50, 5-minute burst
+/// // interval, CPU 85/50 and RAM 70/40 thresholds.
+/// let config = PoolConfig::builder("CacheExplicit1")
+///     .min_pool_size(5)
+///     .max_pool_size(50)
+///     .burst_interval(SimDuration::from_minutes(5))
+///     .policy(ScalingPolicy::Coarse(Thresholds {
+///         cpu_incr: Some(85.0),
+///         cpu_decr: Some(50.0),
+///         ram_incr: Some(70.0),
+///         ram_decr: Some(40.0),
+///     }))
+///     .build()?;
+/// assert_eq!(config.clamp_size(100), 50);
+/// # Ok::<(), elasticrmi::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoolConfigBuilder {
+    class_name: String,
+    min_pool_size: u32,
+    max_pool_size: u32,
+    burst_interval: SimDuration,
+    policy: ScalingPolicy,
+}
+
+impl PoolConfigBuilder {
+    /// Sets the minimum pool size — `setMinPoolSize`.
+    pub fn min_pool_size(mut self, n: u32) -> Self {
+        self.min_pool_size = n;
+        self
+    }
+
+    /// Sets the maximum pool size — `setMaxPoolSize`.
+    pub fn max_pool_size(mut self, n: u32) -> Self {
+        self.max_pool_size = n;
+        self
+    }
+
+    /// Sets the burst interval — `setBurstInterval`.
+    pub fn burst_interval(mut self, interval: SimDuration) -> Self {
+        self.burst_interval = interval;
+        self
+    }
+
+    /// Sets the scaling policy (implicit, coarse thresholds, fine-grained,
+    /// or application-level).
+    pub fn policy(mut self, policy: ScalingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] describing the first violated rule; see the
+    /// variants for the full list (minimum pool size of 2, ordered
+    /// thresholds, non-zero burst interval, …).
+    pub fn build(self) -> Result<PoolConfig, ConfigError> {
+        if self.class_name.is_empty() {
+            return Err(ConfigError::EmptyClassName);
+        }
+        if self.min_pool_size < 2 {
+            return Err(ConfigError::MinTooSmall(self.min_pool_size));
+        }
+        if self.min_pool_size > self.max_pool_size {
+            return Err(ConfigError::MinAboveMax {
+                min: self.min_pool_size,
+                max: self.max_pool_size,
+            });
+        }
+        if self.burst_interval.is_zero() {
+            return Err(ConfigError::ZeroBurstInterval);
+        }
+        if let ScalingPolicy::Coarse(t) = &self.policy {
+            t.validate()?;
+        }
+        Ok(PoolConfig {
+            class_name: self.class_name,
+            min_pool_size: self.min_pool_size,
+            max_pool_size: self.max_pool_size,
+            burst_interval: self.burst_interval,
+            policy: self.policy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PoolConfig::builder("C1").build().unwrap();
+        assert_eq!(c.min_pool_size(), 2);
+        assert_eq!(c.burst_interval(), SimDuration::from_secs(60));
+        assert_eq!(c.policy(), ScalingPolicy::Implicit);
+    }
+
+    #[test]
+    fn min_pool_size_of_one_is_rejected() {
+        // Paper §4.2: "a minimum (≥ 2)".
+        let err = PoolConfig::builder("C1").min_pool_size(1).build().unwrap_err();
+        assert_eq!(err, ConfigError::MinTooSmall(1));
+    }
+
+    #[test]
+    fn min_above_max_is_rejected() {
+        let err = PoolConfig::builder("C1")
+            .min_pool_size(10)
+            .max_pool_size(5)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::MinAboveMax { min: 10, max: 5 });
+    }
+
+    #[test]
+    fn zero_burst_interval_is_rejected() {
+        let err = PoolConfig::builder("C1")
+            .burst_interval(SimDuration::ZERO)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroBurstInterval);
+    }
+
+    #[test]
+    fn inverted_thresholds_are_rejected() {
+        let err = PoolConfig::builder("C1")
+            .policy(ScalingPolicy::Coarse(Thresholds {
+                cpu_incr: Some(50.0),
+                cpu_decr: Some(85.0),
+                ..Thresholds::default()
+            }))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::InvertedThresholds { resource: "cpu" });
+    }
+
+    #[test]
+    fn out_of_range_threshold_is_rejected() {
+        let err = PoolConfig::builder("C1")
+            .policy(ScalingPolicy::Coarse(Thresholds {
+                cpu_incr: Some(150.0),
+                ..Thresholds::default()
+            }))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::ThresholdOutOfRange { name: "cpu_incr", .. }));
+    }
+
+    #[test]
+    fn empty_coarse_thresholds_rejected() {
+        let err = PoolConfig::builder("C1")
+            .policy(ScalingPolicy::Coarse(Thresholds::default()))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::EmptyThresholds);
+    }
+
+    #[test]
+    fn empty_class_name_rejected() {
+        assert_eq!(
+            PoolConfig::builder("").build().unwrap_err(),
+            ConfigError::EmptyClassName
+        );
+    }
+
+    #[test]
+    fn clamp_size_respects_bounds() {
+        let c = PoolConfig::builder("C1")
+            .min_pool_size(5)
+            .max_pool_size(50)
+            .build()
+            .unwrap();
+        assert_eq!(c.clamp_size(-3), 5);
+        assert_eq!(c.clamp_size(7), 7);
+        assert_eq!(c.clamp_size(1_000), 50);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = PoolConfig::builder("C1").build().unwrap();
+        let bytes = erm_transport::to_bytes(&c).unwrap();
+        let back: PoolConfig = erm_transport::from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,153 @@
+//! Error types for remote invocation and pool management.
+
+use std::fmt;
+
+use erm_transport::EndpointId;
+use serde::{Deserialize, Serialize};
+
+/// An application-level exception raised by a remote method and propagated
+/// back to the invoking stub, mirroring how Java RMI carries remote
+/// exceptions. Travels on the wire, so it is serializable and contains only
+/// data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemoteError {
+    /// Machine-readable error class (e.g. `"NoSuchMethod"`,
+    /// `"IllegalArgument"`, or an application-defined kind).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl RemoteError {
+    /// Creates an error of the given kind.
+    pub fn new(kind: impl Into<String>, detail: impl Into<String>) -> Self {
+        RemoteError {
+            kind: kind.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The error every skeleton raises for an unknown method name.
+    pub fn no_such_method(method: &str) -> Self {
+        RemoteError::new("NoSuchMethod", format!("no remote method named {method}"))
+    }
+
+    /// The error raised when arguments fail to decode — the remote analogue
+    /// of `IllegalArgumentException`.
+    pub fn bad_arguments(method: &str, why: impl fmt::Display) -> Self {
+        RemoteError::new(
+            "IllegalArgument",
+            format!("arguments of {method} failed to decode: {why}"),
+        )
+    }
+
+    /// Raised by a draining skeleton for an invocation it refuses to start;
+    /// paper §2.5: pending invocations "finish execution or throw exceptions
+    /// indicating abnormal termination".
+    pub fn aborted_by_shutdown() -> Self {
+        RemoteError::new("AbnormalTermination", "object shut down before execution")
+    }
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// Errors observed by clients invoking through a stub.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RmiError {
+    /// The remote method executed and raised an application exception.
+    Remote(RemoteError),
+    /// Every member of the elastic pool (including the sentinel) was tried
+    /// and none answered; paper §4.3: "if all attempts to communicate with
+    /// the elastic object pool fail, the exception is propagated to the
+    /// client application."
+    PoolUnreachable {
+        /// How many member endpoints were attempted.
+        attempts: u32,
+    },
+    /// The response did not decode as the expected return type.
+    Decode(String),
+    /// Arguments could not be encoded.
+    Encode(String),
+    /// The stub has not discovered pool membership yet and the sentinel is
+    /// unreachable.
+    SentinelUnreachable(EndpointId),
+}
+
+impl fmt::Display for RmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmiError::Remote(e) => write!(f, "remote exception: {e}"),
+            RmiError::PoolUnreachable { attempts } => {
+                write!(f, "elastic pool unreachable after {attempts} attempts")
+            }
+            RmiError::Decode(why) => write!(f, "failed to decode return value: {why}"),
+            RmiError::Encode(why) => write!(f, "failed to encode arguments: {why}"),
+            RmiError::SentinelUnreachable(id) => write!(f, "sentinel {id} unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for RmiError {}
+
+impl From<RemoteError> for RmiError {
+    fn from(e: RemoteError) -> Self {
+        RmiError::Remote(e)
+    }
+}
+
+/// Errors from pool lifecycle operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolError {
+    /// The cluster could not provide even one slice for the pool.
+    NoCapacity,
+    /// Cluster (Mesos) interaction failed.
+    Cluster(String),
+    /// The pool is already shut down.
+    ShutDown,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::NoCapacity => write!(f, "cluster granted no slices for the pool"),
+            PoolError::Cluster(why) => write!(f, "cluster error: {why}"),
+            PoolError::ShutDown => write!(f, "elastic pool is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_error_roundtrips_on_wire() {
+        let e = RemoteError::no_such_method("put");
+        let bytes = erm_transport::to_bytes(&e).unwrap();
+        let back: RemoteError = erm_transport::from_bytes(&bytes).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(RemoteError::aborted_by_shutdown().to_string().contains("shut down"));
+        assert!(RmiError::PoolUnreachable { attempts: 4 }
+            .to_string()
+            .contains("4 attempts"));
+        assert!(PoolError::NoCapacity.to_string().contains("no slices"));
+    }
+
+    #[test]
+    fn remote_error_converts_into_rmi_error() {
+        let rmi: RmiError = RemoteError::new("X", "y").into();
+        assert!(matches!(rmi, RmiError::Remote(_)));
+    }
+}

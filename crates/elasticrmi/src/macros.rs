@@ -1,0 +1,329 @@
+//! The `elastic_class!` macro: the preprocessor, as a macro.
+//!
+//! The paper's ElasticRMI ships a preprocessor ("similar to rmic", §3) that
+//! turns an annotated Java class into stubs, skeletons and dispatch glue. In
+//! Rust the same boilerplate — match on the method name, decode the argument
+//! tuple, encode the result — is mechanical enough for `macro_rules!`:
+//!
+//! ```
+//! use elasticrmi::elastic_class;
+//!
+//! elastic_class! {
+//!     /// A distributed counter (the doc comment lands on the struct).
+//!     pub class Counter(me, ctx) {
+//!         /// Adds `n` and returns the new total.
+//!         method add(n: u64) -> u64 {
+//!             Ok(ctx.shared::<u64>("total").update(|| 0, |t| { *t += n; *t }))
+//!         }
+//!         /// Reads the total.
+//!         method total() -> u64 {
+//!             Ok(ctx.shared::<u64>("total").get().unwrap_or(0))
+//!         }
+//!     }
+//! }
+//!
+//! # use elasticrmi::{ElasticService, ServiceContext};
+//! # use erm_kvstore::{Store, StoreConfig};
+//! # use std::sync::{Arc, atomic::AtomicU32};
+//! let mut counter = Counter::default();
+//! let mut ctx = ServiceContext::new(
+//!     Arc::new(Store::new(StoreConfig::default())),
+//!     "Counter", 0,
+//!     Arc::new(erm_sim::SystemClock::new()),
+//!     Arc::new(AtomicU32::new(1)),
+//! );
+//! let out = counter
+//!     .dispatch("add", &erm_transport::to_bytes(&7u64).unwrap(), &mut ctx)
+//!     .unwrap();
+//! let total: u64 = erm_transport::from_bytes(&out).unwrap();
+//! assert_eq!(total, 7);
+//! ```
+//!
+//! Each `method` body receives the service instance (`&mut`) and the
+//! context (`&mut ServiceContext`) under the names given in the class header
+//! (any identifiers except the keyword `self`, e.g. `(me, ctx)`),
+//! and must evaluate to `Result<RetType, RemoteError>`. Unknown method names
+//! produce [`crate::RemoteError::no_such_method`] automatically; argument
+//! decode failures produce `IllegalArgument`, exactly like hand-written
+//! services.
+
+/// Declares a unit-struct elastic class with name-dispatched methods. See
+/// the [module documentation](crate::macros) for the shape and an example.
+#[macro_export]
+macro_rules! elastic_class {
+    (
+        $(#[$meta:meta])*
+        $vis:vis class $name:ident ($self_:ident, $ctx:ident) {
+            $(
+                $(#[$mmeta:meta])*
+                method $method:ident($($arg:ident : $ty:ty),* $(,)?) -> $ret:ty $body:block
+            )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        $vis struct $name;
+
+        impl $crate::ElasticService for $name {
+            fn dispatch(
+                &mut self,
+                method: &str,
+                args: &[u8],
+                ctx: &mut $crate::ServiceContext,
+            ) -> ::std::result::Result<::std::vec::Vec<u8>, $crate::RemoteError> {
+                match method {
+                    $(
+                        stringify!($method) => {
+                            #[allow(unused_variables, unused_parens)]
+                            let ($($arg),*): ($($ty),*) =
+                                $crate::decode_args(method, args)?;
+                            #[allow(unused_variables)]
+                            let $self_ = &mut *self;
+                            #[allow(unused_variables)]
+                            let $ctx = &mut *ctx;
+                            let result: ::std::result::Result<$ret, $crate::RemoteError> =
+                                (|| $body)();
+                            $crate::encode_result(&result?)
+                        }
+                    )*
+                    other => ::std::result::Result::Err(
+                        $crate::RemoteError::no_such_method(other),
+                    ),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ElasticService, RemoteError, ServiceContext};
+    use erm_kvstore::{Store, StoreConfig};
+    use erm_sim::SystemClock;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    elastic_class! {
+        /// Test class exercising zero, one and many arguments.
+        pub class Calculator(me, ctx) {
+            method zero() -> u32 {
+                let _ = (me, ctx);
+                Ok(0)
+            }
+            method double(x: i64) -> i64 {
+                Ok(x * 2)
+            }
+            method weighted_sum(values: Vec<i64>, weight: i64) -> i64 {
+                Ok(values.iter().sum::<i64>() * weight)
+            }
+            method stateful_add(n: u64) -> u64 {
+                Ok(ctx.shared::<u64>("acc").update(|| 0, |a| { *a += n; *a }))
+            }
+            method fail_on_negative(x: i64) -> i64 {
+                if x < 0 {
+                    return Err(RemoteError::new("Negative", format!("{x}")));
+                }
+                Ok(x)
+            }
+        }
+    }
+
+    fn ctx() -> ServiceContext {
+        ServiceContext::new(
+            Arc::new(Store::new(StoreConfig::default())),
+            "Calculator",
+            0,
+            Arc::new(SystemClock::new()),
+            Arc::new(AtomicU32::new(1)),
+        )
+    }
+
+    fn call<A: serde::Serialize, R: serde::de::DeserializeOwned>(
+        svc: &mut Calculator,
+        c: &mut ServiceContext,
+        method: &str,
+        args: &A,
+    ) -> Result<R, RemoteError> {
+        let bytes = svc.dispatch(method, &erm_transport::to_bytes(args).unwrap(), c)?;
+        Ok(erm_transport::from_bytes(&bytes).unwrap())
+    }
+
+    #[test]
+    fn zero_arg_method() {
+        let mut svc = Calculator;
+        let out: u32 = call(&mut svc, &mut ctx(), "zero", &()).unwrap();
+        assert_eq!(out, 0);
+    }
+
+    #[test]
+    fn single_arg_method() {
+        let mut svc = Calculator;
+        let out: i64 = call(&mut svc, &mut ctx(), "double", &21i64).unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn multi_arg_method() {
+        let mut svc = Calculator;
+        let out: i64 =
+            call(&mut svc, &mut ctx(), "weighted_sum", &(vec![1i64, 2, 3], 10i64)).unwrap();
+        assert_eq!(out, 60);
+    }
+
+    #[test]
+    fn context_is_available_in_bodies() {
+        let mut svc = Calculator;
+        let mut c = ctx();
+        let a: u64 = call(&mut svc, &mut c, "stateful_add", &5u64).unwrap();
+        let b: u64 = call(&mut svc, &mut c, "stateful_add", &5u64).unwrap();
+        assert_eq!((a, b), (5, 10));
+    }
+
+    #[test]
+    fn bodies_can_raise_remote_errors() {
+        let mut svc = Calculator;
+        let err = call::<_, i64>(&mut svc, &mut ctx(), "fail_on_negative", &-3i64).unwrap_err();
+        assert_eq!(err.kind, "Negative");
+        let ok: i64 = call(&mut svc, &mut ctx(), "fail_on_negative", &3i64).unwrap();
+        assert_eq!(ok, 3);
+    }
+
+    #[test]
+    fn unknown_method_is_generated_automatically() {
+        let mut svc = Calculator;
+        let err = svc.dispatch("nope", &[], &mut ctx()).unwrap_err();
+        assert_eq!(err.kind, "NoSuchMethod");
+    }
+
+    #[test]
+    fn bad_arguments_are_illegal_argument() {
+        let mut svc = Calculator;
+        let err = svc.dispatch("double", &[1, 2], &mut ctx()).unwrap_err();
+        assert_eq!(err.kind, "IllegalArgument");
+    }
+}
+
+/// Declares a typed client wrapper around a [`crate::Stub`] — the
+/// client-side half of the preprocessor's output. Each declared method
+/// encodes its arguments, invokes the remote method of the same name, and
+/// decodes the result.
+///
+/// ```
+/// use elasticrmi::elastic_stub;
+///
+/// elastic_stub! {
+///     /// Typed client for the Leaderboard elastic class.
+///     pub stub LeaderboardClient {
+///         fn record(player: &str, points: u64) -> u64;
+///         fn score_of(player: &str) -> u64;
+///     }
+/// }
+/// // LeaderboardClient::new(stub) then client.record("ada", 30)?.
+/// ```
+///
+/// Argument types must be `serde::Serialize`; the return type must be
+/// `serde::de::DeserializeOwned`. All methods return
+/// `Result<Ret, elasticrmi::RmiError>`.
+#[macro_export]
+macro_rules! elastic_stub {
+    (
+        $(#[$meta:meta])*
+        $vis:vis stub $name:ident {
+            $(
+                $(#[$mmeta:meta])*
+                fn $method:ident($($arg:ident : $ty:ty),* $(,)?) -> $ret:ty;
+            )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug)]
+        $vis struct $name {
+            stub: $crate::Stub,
+        }
+
+        impl $name {
+            /// Wraps a connected [`Stub`]($crate::Stub).
+            $vis fn new(stub: $crate::Stub) -> Self {
+                Self { stub }
+            }
+
+            /// The underlying untyped stub (e.g. for `stats()`).
+            $vis fn stub(&self) -> &$crate::Stub {
+                &self.stub
+            }
+
+            /// Mutable access to the underlying stub (e.g. timeouts).
+            $vis fn stub_mut(&mut self) -> &mut $crate::Stub {
+                &mut self.stub
+            }
+
+            $(
+                $(#[$mmeta])*
+                $vis fn $method(&mut self, $($arg: $ty),*)
+                    -> ::std::result::Result<$ret, $crate::RmiError>
+                {
+                    self.stub.invoke(stringify!($method), &($($arg),*))
+                }
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod stub_macro_tests {
+    use crate::{ClientLb, ElasticPool, PoolConfig, PoolDeps};
+    use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+    use erm_kvstore::{Store, StoreConfig};
+    use erm_sim::SystemClock;
+    use erm_transport::InProcNetwork;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    elastic_class! {
+        /// Server half.
+        pub class Greeter(me, ctx) {
+            method greet(name: String) -> String {
+                let _ = (me, ctx);
+                Ok(format!("hello, {name}"))
+            }
+            method add(a: i64, b: i64) -> i64 {
+                Ok(a + b)
+            }
+            method nothing() -> () {
+                Ok(())
+            }
+        }
+    }
+
+    elastic_stub! {
+        /// Client half: same method names, typed signatures.
+        pub stub GreeterClient {
+            fn greet(name: &str) -> String;
+            fn add(a: i64, b: i64) -> i64;
+            fn nothing() -> ();
+        }
+    }
+
+    #[test]
+    fn typed_stub_round_trips_through_a_real_pool() {
+        let deps = PoolDeps {
+            cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+                provisioning: LatencyModel::instant(),
+                ..ClusterConfig::default()
+            }))),
+            net: Arc::new(InProcNetwork::new()),
+            store: Arc::new(Store::new(StoreConfig::default())),
+            clock: Arc::new(SystemClock::new()),
+        };
+        let config = PoolConfig::builder("Greeter").build().unwrap();
+        let mut pool =
+            ElasticPool::instantiate(config, Arc::new(|| Box::new(Greeter)), deps, None)
+                .unwrap();
+        let mut client = GreeterClient::new(pool.stub(ClientLb::RoundRobin).unwrap());
+        assert_eq!(client.greet("ada").unwrap(), "hello, ada");
+        assert_eq!(client.add(40, 2).unwrap(), 42);
+        client.nothing().unwrap();
+        assert_eq!(client.stub().stats().invocations, 3);
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,244 @@
+//! The RMI protocol: every message that crosses endpoint boundaries.
+//!
+//! Serialized with the `erm-transport` wire codec. Three planes share one
+//! enum so a skeleton's single mailbox serves them all:
+//!
+//! * **invocation plane** — [`RmiMessage::Request`]/[`RmiMessage::Response`]
+//!   (and [`RmiMessage::Redirected`] from draining skeletons),
+//! * **discovery plane** — stubs asking the sentinel for pool membership,
+//! * **control plane** — the runtime/sentinel exchanging load reports,
+//!   membership broadcasts (the JGroups substitute), rebalance directives
+//!   and the two-phase shutdown handshake of §2.5.
+
+use erm_transport::EndpointId;
+use serde::{Deserialize, Serialize};
+
+use crate::error::RemoteError;
+
+/// Correlates a response with its request.
+pub type CallId = u64;
+
+/// Per-method statistics reported by a skeleton for one burst interval;
+/// the wire form of the paper's `getMethodCallStats()` entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodStat {
+    /// Invocations of this method during the burst interval.
+    pub calls: u64,
+    /// Mean execution latency in microseconds.
+    pub mean_latency_us: u64,
+}
+
+/// One member's load, as included in sentinel state broadcasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberState {
+    /// The member's invocation endpoint.
+    pub endpoint: EndpointId,
+    /// The member's pool-unique id (monotonically assigned at join).
+    pub uid: u64,
+    /// Remote method invocations pending at the member.
+    pub pending: u32,
+}
+
+/// A load report from a skeleton to the runtime/sentinel, covering one burst
+/// interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// The member's uid.
+    pub uid: u64,
+    /// Pending (queued + executing) invocations at report time.
+    pub pending: u32,
+    /// Percentage of the interval the object spent executing methods
+    /// (0–100), the threaded runtime's CPU-utilization analogue.
+    pub busy: f32,
+    /// Memory utilization percentage (0–100) as reported by the service.
+    pub ram: f32,
+    /// The member's `changePoolSize()` vote, if the service overrides it.
+    pub fine_vote: Option<i32>,
+    /// Per-method call statistics for the interval.
+    pub method_stats: Vec<(String, MethodStat)>,
+}
+
+/// All messages of the ElasticRMI protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RmiMessage {
+    /// Stub → skeleton: invoke `method` with encoded `args`.
+    Request {
+        /// Correlation id chosen by the stub.
+        call: CallId,
+        /// Remote method name.
+        method: String,
+        /// Arguments encoded with the wire codec.
+        args: Vec<u8>,
+    },
+    /// Skeleton → stub: the invocation outcome.
+    Response {
+        /// Correlation id of the request.
+        call: CallId,
+        /// Encoded return value, or the propagated remote exception.
+        outcome: Result<Vec<u8>, RemoteError>,
+    },
+    /// Draining skeleton → stub: this member is leaving; retry one of
+    /// `members` (paper §2.5: skeletons "redirect all further method
+    /// invocations to other objects in the pool").
+    Redirected {
+        /// Correlation id of the refused request.
+        call: CallId,
+        /// Current live members to retry against.
+        members: Vec<EndpointId>,
+    },
+
+    /// Stub → sentinel: request pool membership ("while contacting the
+    /// sentinel for the first time, the stub requests the identities of the
+    /// other skeletons in the pool", §4.3).
+    PoolInfoRequest,
+    /// Sentinel → stub: current membership.
+    PoolInfo {
+        /// Monotonic membership epoch.
+        epoch: u64,
+        /// The sentinel's invocation endpoint.
+        sentinel: EndpointId,
+        /// All member invocation endpoints (sentinel included).
+        members: Vec<EndpointId>,
+    },
+
+    /// Runtime → skeleton: solicit a [`LoadReport`] for the closing burst
+    /// interval.
+    PollLoad,
+    /// Skeleton → runtime: the report.
+    Load(LoadReport),
+    /// Sentinel/runtime → all skeletons: periodic membership + load
+    /// broadcast (the JGroups group-communication substitute, §4.3).
+    StateBroadcast {
+        /// Monotonic membership epoch.
+        epoch: u64,
+        /// Uid of the current sentinel.
+        sentinel_uid: u64,
+        /// All members with their last known load.
+        members: Vec<MemberState>,
+    },
+    /// Sentinel → overloaded skeleton: redirect `count` of your queued
+    /// invocations to `to` (output of the first-fit bin-packing planner).
+    Rebalance {
+        /// Member to offload onto.
+        to: EndpointId,
+        /// Number of queued invocations to hand over.
+        count: u32,
+    },
+
+    /// Runtime → skeleton: begin the shutdown drain (§2.5).
+    Shutdown,
+    /// Skeleton → runtime: drained; safe to terminate and release my slice.
+    ShutdownReady {
+        /// Uid of the acknowledging member.
+        uid: u64,
+    },
+
+    /// Liveness probe.
+    Ping,
+    /// Liveness reply.
+    Pong,
+}
+
+impl RmiMessage {
+    /// Encodes for transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the wire codec rejects the message, which would be a
+    /// protocol-definition bug (all variants are encodable by construction).
+    pub fn encode(&self) -> Vec<u8> {
+        erm_transport::to_bytes(self).expect("protocol messages are always encodable")
+    }
+
+    /// Decodes a received payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the wire error for truncated or malformed payloads.
+    pub fn decode(bytes: &[u8]) -> Result<Self, erm_transport::WireError> {
+        erm_transport::from_bytes(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: RmiMessage) {
+        let bytes = msg.encode();
+        assert_eq!(RmiMessage::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn invocation_plane_roundtrips() {
+        roundtrip(RmiMessage::Request {
+            call: 7,
+            method: "put".into(),
+            args: vec![1, 2, 3],
+        });
+        roundtrip(RmiMessage::Response {
+            call: 7,
+            outcome: Ok(vec![4, 5]),
+        });
+        roundtrip(RmiMessage::Response {
+            call: 8,
+            outcome: Err(RemoteError::no_such_method("frob")),
+        });
+        roundtrip(RmiMessage::Redirected {
+            call: 9,
+            members: vec![EndpointId(1), EndpointId(2)],
+        });
+    }
+
+    #[test]
+    fn discovery_plane_roundtrips() {
+        roundtrip(RmiMessage::PoolInfoRequest);
+        roundtrip(RmiMessage::PoolInfo {
+            epoch: 3,
+            sentinel: EndpointId(0),
+            members: vec![EndpointId(0), EndpointId(1)],
+        });
+    }
+
+    #[test]
+    fn control_plane_roundtrips() {
+        roundtrip(RmiMessage::PollLoad);
+        roundtrip(RmiMessage::Load(LoadReport {
+            uid: 2,
+            pending: 14,
+            busy: 0.83,
+            ram: 0.5,
+            fine_vote: Some(-1),
+            method_stats: vec![(
+                "get".into(),
+                MethodStat {
+                    calls: 1000,
+                    mean_latency_us: 350,
+                },
+            )],
+        }));
+        roundtrip(RmiMessage::StateBroadcast {
+            epoch: 5,
+            sentinel_uid: 0,
+            members: vec![MemberState {
+                endpoint: EndpointId(3),
+                uid: 0,
+                pending: 2,
+            }],
+        });
+        roundtrip(RmiMessage::Rebalance {
+            to: EndpointId(4),
+            count: 10,
+        });
+        roundtrip(RmiMessage::Shutdown);
+        roundtrip(RmiMessage::ShutdownReady { uid: 6 });
+        roundtrip(RmiMessage::Ping);
+        roundtrip(RmiMessage::Pong);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(RmiMessage::decode(&[0xff, 0xff, 0xff, 0xff, 1]).is_err());
+        assert!(RmiMessage::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,687 @@
+//! The elastic object pool runtime (paper §2.4–§2.5, §4).
+//!
+//! `ElasticPool::instantiate` plays the role of constructing an elastic
+//! class in ElasticRMI: it asks the cluster manager for `min_pool_size`
+//! slices (accepting `l < k` under scarcity), starts one skeleton-hosted
+//! service instance per granted slice, elects the lowest-uid member
+//! sentinel, and then runs the control loop that the paper's runtime system
+//! performs:
+//!
+//! * polls every member for load each burst interval,
+//! * feeds the aggregated [`PoolSample`] to the [`ScalingEngine`],
+//! * grows by requesting new slices (members join as provisioning
+//!   completes) and shrinks via the two-phase drain handshake,
+//! * broadcasts membership (epoch, sentinel, loads) to all skeletons,
+//! * plans server-side rebalancing with first-fit bin packing, and
+//! * detects member crashes, re-electing the sentinel by lowest uid.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use erm_cluster::{ResourceManager, SliceGrant, SliceId};
+use erm_kvstore::Store;
+use erm_sim::{SharedClock, SimDuration, SimTime};
+use erm_transport::{EndpointId, Host, Mailbox, Network};
+use parking_lot::{Mutex, RwLock};
+
+use crate::api::{ElasticService, ServiceContext};
+use crate::balance::{plan_redirects, MemberLoad};
+use crate::config::{PoolConfig, ScalingPolicy};
+use crate::error::PoolError;
+use crate::message::{LoadReport, MemberState, RmiMessage};
+use crate::scaling::{PoolSample, ScalingDecision, ScalingEngine};
+use crate::stub::{ClientLb, Stub};
+
+/// Creates one service instance per pool member.
+pub type ServiceFactory = Arc<dyn Fn() -> Box<dyn ElasticService> + Send + Sync>;
+
+/// Application-level scaling decisions (the paper's `Decider`, §3.3): an
+/// external component with a global view dictates each pool's desired size.
+pub trait Decider: Send + 'static {
+    /// Returns the desired pool size given the latest aggregated sample.
+    fn desired_pool_size(&mut self, sample: &PoolSample) -> u32;
+}
+
+impl<F: FnMut(&PoolSample) -> u32 + Send + 'static> Decider for F {
+    fn desired_pool_size(&mut self, sample: &PoolSample) -> u32 {
+        self(sample)
+    }
+}
+
+/// External dependencies of a pool: the cluster, the network host, the
+/// shared store, and the clock.
+#[derive(Clone)]
+pub struct PoolDeps {
+    /// The Mesos-like resource manager granting slices.
+    pub cluster: Arc<Mutex<ResourceManager>>,
+    /// The network to host skeleton endpoints on.
+    pub net: Arc<dyn Host>,
+    /// The HyperDex-like store for shared state.
+    pub store: Arc<Store>,
+    /// Time source (system clock in production, virtual in tests).
+    pub clock: SharedClock,
+}
+
+impl std::fmt::Debug for PoolDeps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolDeps").finish_non_exhaustive()
+    }
+}
+
+/// Lifetime counters for one pool.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolStats {
+    /// Members added after initial instantiation.
+    pub grown: u32,
+    /// Members removed by scale-in.
+    pub shrunk: u32,
+    /// Members lost to crashes.
+    pub crashed: u32,
+    /// Sentinel re-elections.
+    pub elections: u32,
+    /// Current membership epoch.
+    pub epoch: u64,
+    /// Provisioning latencies (request → member serving) observed.
+    pub provisioning_latencies: Vec<SimDuration>,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    sentinel: RwLock<EndpointId>,
+    members: RwLock<Vec<EndpointId>>,
+    size: Arc<AtomicU32>,
+    stats: Mutex<PoolStats>,
+    last_reports: Mutex<Vec<LoadReport>>,
+}
+
+enum Command {
+    Shutdown,
+}
+
+/// Handle to a running elastic object pool.
+///
+/// Dropping the handle shuts the pool down (draining members and releasing
+/// their slices).
+pub struct ElasticPool {
+    shared: Arc<PoolShared>,
+    net: Arc<dyn Host>,
+    cmd_tx: Sender<Command>,
+    runtime: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ElasticPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticPool")
+            .field("size", &self.size())
+            .field("sentinel", &self.sentinel())
+            .finish()
+    }
+}
+
+impl ElasticPool {
+    /// Instantiates the pool: requests `min_pool_size` slices, starts one
+    /// member per granted slice (fewer than requested is accepted, §4.2),
+    /// and launches the control loop.
+    ///
+    /// `decider` supplies application-level decisions and is required
+    /// exactly when the policy is [`ScalingPolicy::AppLevel`].
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::NoCapacity`] when the cluster grants no slices at all;
+    /// [`PoolError::Cluster`] when the cluster master is down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decider` presence does not match the policy.
+    pub fn instantiate(
+        config: PoolConfig,
+        factory: ServiceFactory,
+        deps: PoolDeps,
+        decider: Option<Box<dyn Decider>>,
+    ) -> Result<ElasticPool, PoolError> {
+        assert_eq!(
+            matches!(config.policy(), ScalingPolicy::AppLevel),
+            decider.is_some(),
+            "a Decider must be supplied iff the policy is AppLevel"
+        );
+        let now = deps.clock.now();
+        let outcome = deps
+            .cluster
+            .lock()
+            .request_slices(config.min_pool_size(), now)
+            .map_err(|e| PoolError::Cluster(e.to_string()))?;
+        if outcome.granted == 0 {
+            return Err(PoolError::NoCapacity);
+        }
+
+        let shared = Arc::new(PoolShared {
+            sentinel: RwLock::new(EndpointId(u64::MAX)),
+            members: RwLock::new(Vec::new()),
+            size: Arc::new(AtomicU32::new(0)),
+            stats: Mutex::new(PoolStats::default()),
+            last_reports: Mutex::new(Vec::new()),
+        });
+        let (cmd_tx, cmd_rx) = unbounded();
+        let (ctl, ctl_mailbox) = deps.net.open();
+        let mut runtime = Runtime {
+            config,
+            deps: deps.clone(),
+            factory,
+            decider,
+            shared: Arc::clone(&shared),
+            ctl,
+            cmd_rx,
+            members: BTreeMap::new(),
+            next_uid: 0,
+            epoch: 0,
+            reports: BTreeMap::new(),
+            engine: None,
+            collect_until: None,
+            grant_times: BTreeMap::new(),
+            last_broadcast: SimTime::ZERO,
+        };
+        runtime
+            .grant_times
+            .insert(outcome.request_id, now);
+        let handle = std::thread::Builder::new()
+            .name("elasticrmi-pool".to_string())
+            .spawn(move || runtime.run(ctl_mailbox))
+            .expect("spawn pool runtime");
+
+        let pool = ElasticPool {
+            shared,
+            net: deps.net,
+            cmd_tx,
+            runtime: Some(handle),
+        };
+        // Wait for the initial members to come up (bounded).
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while pool.size() == 0 {
+            if std::time::Instant::now() > deadline {
+                return Err(PoolError::Cluster(
+                    "initial members failed to provision in time".to_string(),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        Ok(pool)
+    }
+
+    /// Current number of live members — the paper's `getPoolSize()`.
+    pub fn size(&self) -> u32 {
+        self.shared.size.load(Ordering::SeqCst)
+    }
+
+    /// The sentinel's invocation endpoint: what a client needs to connect.
+    pub fn sentinel(&self) -> EndpointId {
+        *self.shared.sentinel.read()
+    }
+
+    /// Current member endpoints.
+    pub fn members(&self) -> Vec<EndpointId> {
+        self.shared.members.read().clone()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// The load reports collected at the most recent burst interval — what
+    /// the sentinel saw when it last made a scaling decision (per-member
+    /// pending counts, busy/RAM utilization, fine votes, method stats).
+    pub fn last_reports(&self) -> Vec<LoadReport> {
+        self.shared.last_reports.lock().clone()
+    }
+
+    /// Opens a client stub against this pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::RmiError::SentinelUnreachable`] if discovery
+    /// fails.
+    pub fn stub(&self, lb: ClientLb) -> Result<Stub, crate::RmiError> {
+        let (ep, mailbox) = self.net.open();
+        let net: Arc<dyn Network> = Arc::clone(&self.net) as Arc<dyn Network>;
+        Stub::connect(net, ep, mailbox, self.sentinel(), lb)
+    }
+
+    /// Shuts the pool down: drains every member and releases all slices.
+    /// Idempotent; also performed on drop.
+    pub fn shutdown(&mut self) {
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(handle) = self.runtime.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ElasticPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Member {
+    endpoint: EndpointId,
+    slice: SliceId,
+    join: JoinHandle<()>,
+    draining: bool,
+    requested_at: Option<SimTime>,
+    first_served: bool,
+}
+
+struct Runtime {
+    config: PoolConfig,
+    deps: PoolDeps,
+    factory: ServiceFactory,
+    decider: Option<Box<dyn Decider>>,
+    shared: Arc<PoolShared>,
+    ctl: EndpointId,
+    cmd_rx: Receiver<Command>,
+    members: BTreeMap<u64, Member>,
+    next_uid: u64,
+    epoch: u64,
+    reports: BTreeMap<u64, LoadReport>,
+    engine: Option<ScalingEngine>,
+    collect_until: Option<std::time::Instant>,
+    grant_times: BTreeMap<u64, SimTime>,
+    last_broadcast: SimTime,
+}
+
+const TICK: Duration = Duration::from_millis(2);
+const COLLECT_GRACE: Duration = Duration::from_millis(100);
+const BROADCAST_EVERY: SimDuration = SimDuration::from_millis(500);
+
+impl Runtime {
+    fn run(&mut self, ctl_mailbox: Mailbox) {
+        self.engine = Some(ScalingEngine::new(self.config.clone(), self.deps.clock.now()));
+        loop {
+            // 1. Commands from the handle.
+            if let Ok(Command::Shutdown) = self.cmd_rx.try_recv() {
+                self.shutdown_all(&ctl_mailbox);
+                return;
+            }
+            // 2. Control messages from members.
+            while let Ok(d) = ctl_mailbox.try_recv() {
+                if let Ok(msg) = RmiMessage::decode(&d.payload) {
+                    self.on_ctl(msg);
+                }
+            }
+            // 3. Newly provisioned slices become members.
+            let grants = self.deps.cluster.lock().poll_ready(self.deps.clock.now());
+            let grew = !grants.is_empty();
+            for grant in grants {
+                self.spawn_member(grant);
+            }
+            // 4. Crash detection + sentinel re-election. Slice revocations
+            // (node failures) kill their members too.
+            let revoked = self.deps.cluster.lock().drain_revocations();
+            if !revoked.is_empty() {
+                let victims: Vec<u64> = self
+                    .members
+                    .iter()
+                    .filter(|(_, m)| revoked.contains(&m.slice))
+                    .map(|(&uid, _)| uid)
+                    .collect();
+                for uid in victims {
+                    if let Some(m) = self.members.get(&uid) {
+                        // Take the endpoint down; the skeleton thread exits
+                        // on its closed mailbox and reaping does the rest.
+                        self.deps.net.close(m.endpoint);
+                    }
+                }
+            }
+            let crashed = self.reap_crashed();
+            if grew || crashed {
+                self.publish();
+                self.broadcast();
+            }
+            // 5. Periodic broadcast (the JGroups substitute).
+            let now = self.deps.clock.now();
+            if now.saturating_since(self.last_broadcast) >= BROADCAST_EVERY {
+                self.broadcast();
+            }
+            // 6. Burst-interval scaling.
+            self.scaling_step(now);
+
+            std::thread::sleep(TICK);
+        }
+    }
+
+    fn on_ctl(&mut self, msg: RmiMessage) {
+        match msg {
+            RmiMessage::Load(report) => {
+                if let Some(m) = self.members.get_mut(&report.uid) {
+                    // First evidence of the member serving: completes the
+                    // provisioning-interval measurement.
+                    if !m.first_served && !report.method_stats.is_empty() {
+                        m.first_served = true;
+                        if let Some(t0) = m.requested_at {
+                            let latency = self.deps.clock.now().saturating_since(t0);
+                            self.shared.stats.lock().provisioning_latencies.push(latency);
+                        }
+                    }
+                }
+                self.reports.insert(report.uid, report);
+            }
+            RmiMessage::ShutdownReady { uid } => {
+                self.finalize_member(uid, false);
+                self.publish();
+                self.broadcast();
+            }
+            _ => {}
+        }
+    }
+
+    fn spawn_member(&mut self, grant: SliceGrant) {
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        let (endpoint, mailbox) = self.deps.net.open();
+        let ctx = ServiceContext::new(
+            Arc::clone(&self.deps.store),
+            self.config.class_name(),
+            uid,
+            Arc::clone(&self.deps.clock),
+            Arc::clone(&self.shared.size),
+        );
+        let net: Arc<dyn Network> = Arc::clone(&self.deps.net) as Arc<dyn Network>;
+        let skeleton = crate::skeleton::Skeleton::new(
+            uid,
+            endpoint,
+            self.ctl,
+            net,
+            Arc::clone(&self.deps.clock),
+            (self.factory)(),
+            ctx,
+        );
+        let join = std::thread::Builder::new()
+            .name(format!("erm-member-{uid}"))
+            .spawn(move || skeleton.run(mailbox))
+            .expect("spawn member thread");
+        let requested_at = self.grant_times.get(&grant.request_id).copied();
+        self.members.insert(
+            uid,
+            Member {
+                endpoint,
+                slice: grant.slice,
+                join,
+                draining: false,
+                requested_at,
+                first_served: false,
+            },
+        );
+        self.publish();
+    }
+
+    /// Removes a member from all books; `crashed` distinguishes failure from
+    /// orderly drain.
+    fn finalize_member(&mut self, uid: u64, crashed: bool) {
+        let Some(member) = self.members.remove(&uid) else {
+            return;
+        };
+        self.deps.net.close(member.endpoint);
+        let _ = self
+            .deps
+            .cluster
+            .lock()
+            .release(member.slice, self.deps.clock.now());
+        if !crashed {
+            let _ = member.join.join();
+        }
+        self.reports.remove(&uid);
+        let mut stats = self.shared.stats.lock();
+        if crashed {
+            stats.crashed += 1;
+        } else if member.draining {
+            stats.shrunk += 1;
+        }
+    }
+
+    fn reap_crashed(&mut self) -> bool {
+        let dead: Vec<u64> = self
+            .members
+            .iter()
+            .filter(|(_, m)| m.join.is_finished() && !m.draining)
+            .map(|(&uid, _)| uid)
+            .collect();
+        if dead.is_empty() {
+            return false;
+        }
+        let old_sentinel = self.sentinel_uid();
+        for uid in dead {
+            self.finalize_member(uid, true);
+        }
+        if self.sentinel_uid() != old_sentinel {
+            // §4.4: sentinel failure triggers leader election; lowest uid
+            // (the royal hierarchy) wins, which BTreeMap order gives us.
+            self.shared.stats.lock().elections += 1;
+        }
+        self.epoch += 1;
+        true
+    }
+
+    fn sentinel_uid(&self) -> Option<u64> {
+        self.members
+            .iter()
+            .find(|(_, m)| !m.draining)
+            .map(|(&uid, _)| uid)
+    }
+
+    /// §4.2: "ElasticRMI instantiates the HyperDex on one additional Mesos
+    /// slice, and continues to monitor the performance ... ElasticRMI may
+    /// add additional nodes to HyperDex as necessary." One store node per
+    /// eight pool members keeps the modelled store capacity ahead of the
+    /// pool's shared-state traffic.
+    fn scale_store(&self) {
+        let live = self.members.values().filter(|m| !m.draining).count() as u32;
+        let target = 1 + live / 8;
+        let current = self.deps.store.nodes();
+        if current < target {
+            self.deps.store.add_nodes(target - current);
+        }
+    }
+
+    /// Refreshes the shared snapshot read by handles and stubs.
+    fn publish(&self) {
+        let live: Vec<EndpointId> = self
+            .members
+            .values()
+            .filter(|m| !m.draining)
+            .map(|m| m.endpoint)
+            .collect();
+        let sentinel = self
+            .members
+            .iter()
+            .find(|(_, m)| !m.draining)
+            .map_or(EndpointId(u64::MAX), |(_, m)| m.endpoint);
+        self.shared.size.store(live.len() as u32, Ordering::SeqCst);
+        *self.shared.members.write() = live;
+        *self.shared.sentinel.write() = sentinel;
+        self.shared.stats.lock().epoch = self.epoch;
+        self.scale_store();
+    }
+
+    fn broadcast(&mut self) {
+        self.last_broadcast = self.deps.clock.now();
+        let sentinel_uid = self.sentinel_uid().unwrap_or(0);
+        let states: Vec<MemberState> = self
+            .members
+            .iter()
+            .filter(|(_, m)| !m.draining)
+            .map(|(&uid, m)| MemberState {
+                endpoint: m.endpoint,
+                uid,
+                pending: self.reports.get(&uid).map_or(0, |r| r.pending),
+            })
+            .collect();
+        let msg = RmiMessage::StateBroadcast {
+            epoch: self.epoch,
+            sentinel_uid,
+            members: states,
+        };
+        let encoded = msg.encode();
+        for member in self.members.values() {
+            let _ = self
+                .deps
+                .net
+                .send(self.ctl, member.endpoint, encoded.clone());
+        }
+    }
+
+    fn scaling_step(&mut self, now: SimTime) {
+        let engine = self.engine.as_mut().expect("engine initialized in run()");
+        match self.collect_until {
+            None => {
+                if engine.is_due(now) && !self.members.is_empty() {
+                    // Burst boundary: poll all members, then decide once the
+                    // reports are in (or the grace period lapses).
+                    self.reports.clear();
+                    let poll = RmiMessage::PollLoad.encode();
+                    for m in self.members.values().filter(|m| !m.draining) {
+                        let _ = self.deps.net.send(self.ctl, m.endpoint, poll.clone());
+                    }
+                    self.collect_until = Some(std::time::Instant::now() + COLLECT_GRACE);
+                }
+            }
+            Some(deadline) => {
+                let live = self.members.values().filter(|m| !m.draining).count();
+                if self.reports.len() >= live || std::time::Instant::now() >= deadline {
+                    self.collect_until = None;
+                    self.decide_and_act(now);
+                }
+            }
+        }
+    }
+
+    fn decide_and_act(&mut self, now: SimTime) {
+        let live: Vec<&LoadReport> = self.reports.values().collect();
+        let pool_size = self.members.values().filter(|m| !m.draining).count() as u32;
+        let n = live.len().max(1) as f32;
+        let mut sample = PoolSample {
+            pool_size,
+            avg_cpu: live.iter().map(|r| r.busy).sum::<f32>() / n,
+            avg_ram: live.iter().map(|r| r.ram).sum::<f32>() / n,
+            fine_votes: live.iter().filter_map(|r| r.fine_vote).collect(),
+            desired_size: None,
+        };
+        if let Some(decider) = self.decider.as_mut() {
+            sample.desired_size = Some(decider.desired_pool_size(&sample));
+        }
+        *self.shared.last_reports.lock() =
+            self.reports.values().cloned().collect();
+        let decision = self
+            .engine
+            .as_mut()
+            .expect("engine initialized")
+            .poll(now, &sample);
+        match decision {
+            ScalingDecision::Grow(k) => {
+                if let Ok(outcome) = self.deps.cluster.lock().request_slices(k, now) {
+                    if outcome.granted > 0 {
+                        self.grant_times.insert(outcome.request_id, now);
+                        self.shared.stats.lock().grown += outcome.granted;
+                    }
+                }
+            }
+            ScalingDecision::Shrink(k) => {
+                // Remove the youngest members first and never the sentinel.
+                let sentinel = self.sentinel_uid();
+                let victims: Vec<u64> = self
+                    .members
+                    .iter()
+                    .rev()
+                    .filter(|(uid, m)| !m.draining && Some(**uid) != sentinel)
+                    .take(k as usize)
+                    .map(|(&uid, _)| uid)
+                    .collect();
+                for uid in victims {
+                    if let Some(m) = self.members.get_mut(&uid) {
+                        m.draining = true;
+                        let _ = self
+                            .deps
+                            .net
+                            .send(self.ctl, m.endpoint, RmiMessage::Shutdown.encode());
+                    }
+                }
+                self.publish();
+                self.broadcast();
+            }
+            ScalingDecision::Hold => {}
+        }
+        // Server-side load balancing from the same reports (§4.3).
+        self.rebalance();
+    }
+
+    fn rebalance(&mut self) {
+        let loads: Vec<MemberLoad> = self
+            .members
+            .iter()
+            .filter(|(_, m)| !m.draining)
+            .filter_map(|(uid, m)| {
+                self.reports.get(uid).map(|r| MemberLoad {
+                    endpoint: m.endpoint,
+                    pending: r.pending,
+                })
+            })
+            .collect();
+        if loads.len() < 2 {
+            return;
+        }
+        let total: u32 = loads.iter().map(|l| l.pending).sum();
+        let capacity = (total + loads.len() as u32 - 1) / loads.len() as u32;
+        for entry in plan_redirects(&loads, capacity.max(1)) {
+            let _ = self.deps.net.send(
+                self.ctl,
+                entry.from,
+                RmiMessage::Rebalance {
+                    to: entry.to,
+                    count: entry.count,
+                }
+                .encode(),
+            );
+        }
+    }
+
+    fn shutdown_all(&mut self, ctl_mailbox: &Mailbox) {
+        for m in self.members.values_mut() {
+            m.draining = true;
+            let _ = self
+                .deps
+                .net
+                .send(self.ctl, m.endpoint, RmiMessage::Shutdown.encode());
+        }
+        self.publish();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !self.members.is_empty() && std::time::Instant::now() < deadline {
+            while let Ok(d) = ctl_mailbox.try_recv() {
+                if let Ok(RmiMessage::ShutdownReady { uid }) = RmiMessage::decode(&d.payload) {
+                    self.finalize_member(uid, false);
+                }
+            }
+            // Also reap members whose threads exited without a ready ack.
+            let finished: Vec<u64> = self
+                .members
+                .iter()
+                .filter(|(_, m)| m.join.is_finished())
+                .map(|(&uid, _)| uid)
+                .collect();
+            for uid in finished {
+                self.finalize_member(uid, false);
+            }
+            std::thread::sleep(TICK);
+        }
+        // Force-release anything left.
+        let leftovers: Vec<u64> = self.members.keys().copied().collect();
+        for uid in leftovers {
+            self.finalize_member(uid, true);
+        }
+        self.deps.net.close(self.ctl);
+        self.publish();
+    }
+}

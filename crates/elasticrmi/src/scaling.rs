@@ -1,0 +1,307 @@
+//! The scaling decision engine (paper §2.5, §3).
+//!
+//! Deliberately pure: the engine consumes a [`PoolSample`] and emits a
+//! [`ScalingDecision`], with no I/O of its own. The threaded pool runtime
+//! and the discrete-event experiment harness both drive *this same code*,
+//! which is what makes the reproduced agility figures evidence about the
+//! middleware rather than about a reimplementation of it.
+
+use erm_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{PoolConfig, ScalingPolicy, Thresholds};
+
+/// One burst interval's aggregated view of the pool, assembled by whoever
+/// runs the engine (the runtime polls every member and averages, §3.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PoolSample {
+    /// Current number of pool members.
+    pub pool_size: u32,
+    /// Average CPU utilization across members, percent (the paper's
+    /// `getAvgCPUUsage()`).
+    pub avg_cpu: f32,
+    /// Average RAM utilization across members, percent.
+    pub avg_ram: f32,
+    /// Each member's `changePoolSize()` vote (fine-grained policy only).
+    pub fine_votes: Vec<i32>,
+    /// Desired absolute size from an application-level `Decider`.
+    pub desired_size: Option<u32>,
+}
+
+/// What the pool should do this burst interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingDecision {
+    /// Add this many objects (already clamped to `max_pool_size`).
+    Grow(u32),
+    /// Remove this many objects (already clamped to `min_pool_size`).
+    Shrink(u32),
+    /// Leave the pool as is.
+    Hold,
+}
+
+impl ScalingDecision {
+    /// The signed size delta this decision represents.
+    pub fn delta(self) -> i64 {
+        match self {
+            ScalingDecision::Grow(n) => i64::from(n),
+            ScalingDecision::Shrink(n) => -i64::from(n),
+            ScalingDecision::Hold => 0,
+        }
+    }
+}
+
+/// The per-pool scaling engine: burst-interval pacing plus the four decision
+/// mechanisms.
+#[derive(Debug, Clone)]
+pub struct ScalingEngine {
+    config: PoolConfig,
+    next_due: SimTime,
+}
+
+impl ScalingEngine {
+    /// Creates an engine; the first decision is due one burst interval after
+    /// `start`.
+    pub fn new(config: PoolConfig, start: SimTime) -> Self {
+        let next_due = start + config.burst_interval();
+        ScalingEngine { config, next_due }
+    }
+
+    /// The configuration the engine enforces.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Whether a burst interval has elapsed and a decision is due.
+    pub fn is_due(&self, now: SimTime) -> bool {
+        now >= self.next_due
+    }
+
+    /// When the next decision will be due.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
+    /// Makes a decision if one is due, otherwise returns `Hold` without
+    /// consuming the interval. This is the method the runtime calls every
+    /// tick.
+    pub fn poll(&mut self, now: SimTime, sample: &PoolSample) -> ScalingDecision {
+        if !self.is_due(now) {
+            return ScalingDecision::Hold;
+        }
+        self.next_due = now + self.config.burst_interval();
+        self.decide(sample)
+    }
+
+    /// The pure decision function, ignoring pacing. Exposed for tests and
+    /// for harnesses that do their own scheduling.
+    pub fn decide(&self, sample: &PoolSample) -> ScalingDecision {
+        let raw_delta: i64 = match self.config.policy() {
+            ScalingPolicy::Implicit => threshold_step(
+                sample,
+                &Thresholds {
+                    cpu_incr: Some(ScalingPolicy::IMPLICIT_CPU_INCR),
+                    cpu_decr: Some(ScalingPolicy::IMPLICIT_CPU_DECR),
+                    ram_incr: None,
+                    ram_decr: None,
+                },
+            ),
+            ScalingPolicy::Coarse(t) => threshold_step(sample, &t),
+            ScalingPolicy::FineGrained => average_vote(&sample.fine_votes),
+            ScalingPolicy::AppLevel => match sample.desired_size {
+                Some(desired) => i64::from(desired) - i64::from(sample.pool_size),
+                None => 0,
+            },
+        };
+        let target = self
+            .config
+            .clamp_size(i64::from(sample.pool_size) + raw_delta);
+        match i64::from(target) - i64::from(sample.pool_size) {
+            0 => ScalingDecision::Hold,
+            d if d > 0 => ScalingDecision::Grow(d as u32),
+            d => ScalingDecision::Shrink((-d) as u32),
+        }
+    }
+}
+
+/// Coarse-grained step: +1 when any configured increase threshold is
+/// exceeded (logical OR, §3.3), −1 when every configured decrease threshold
+/// is satisfied; growth wins conflicts.
+fn threshold_step(sample: &PoolSample, t: &Thresholds) -> i64 {
+    let cpu_hot = t.cpu_incr.is_some_and(|th| sample.avg_cpu > th);
+    let ram_hot = t.ram_incr.is_some_and(|th| sample.avg_ram > th);
+    if cpu_hot || ram_hot {
+        return 1;
+    }
+    let decr_configured = t.cpu_decr.is_some() || t.ram_decr.is_some();
+    let cpu_cold = t.cpu_decr.map_or(true, |th| sample.avg_cpu < th);
+    let ram_cold = t.ram_decr.map_or(true, |th| sample.avg_ram < th);
+    if decr_configured && cpu_cold && ram_cold {
+        return -1;
+    }
+    0
+}
+
+/// Fine-grained aggregation: "the values returned by the various objects in
+/// the pool are averaged to determine the number of objects that have to be
+/// added/removed" (§3.3). Rounds half away from zero.
+fn average_vote(votes: &[i32]) -> i64 {
+    if votes.is_empty() {
+        return 0;
+    }
+    let sum: i64 = votes.iter().map(|&v| i64::from(v)).sum();
+    let avg = sum as f64 / votes.len() as f64;
+    avg.abs().round() as i64 * avg.signum() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erm_sim::SimDuration;
+
+    fn engine(policy: ScalingPolicy, min: u32, max: u32) -> ScalingEngine {
+        let config = PoolConfig::builder("C1")
+            .min_pool_size(min)
+            .max_pool_size(max)
+            .policy(policy)
+            .build()
+            .unwrap();
+        ScalingEngine::new(config, SimTime::ZERO)
+    }
+
+    fn sample(pool_size: u32, cpu: f32, ram: f32) -> PoolSample {
+        PoolSample {
+            pool_size,
+            avg_cpu: cpu,
+            avg_ram: ram,
+            ..PoolSample::default()
+        }
+    }
+
+    #[test]
+    fn implicit_grows_above_ninety() {
+        let e = engine(ScalingPolicy::Implicit, 2, 10);
+        assert_eq!(e.decide(&sample(5, 95.0, 0.0)), ScalingDecision::Grow(1));
+        assert_eq!(e.decide(&sample(5, 90.0, 0.0)), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn implicit_shrinks_below_sixty() {
+        let e = engine(ScalingPolicy::Implicit, 2, 10);
+        assert_eq!(e.decide(&sample(5, 40.0, 0.0)), ScalingDecision::Shrink(1));
+        assert_eq!(e.decide(&sample(5, 75.0, 0.0)), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn implicit_respects_bounds() {
+        let e = engine(ScalingPolicy::Implicit, 2, 10);
+        assert_eq!(e.decide(&sample(10, 99.0, 0.0)), ScalingDecision::Hold);
+        assert_eq!(e.decide(&sample(2, 10.0, 0.0)), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn coarse_or_semantics_for_growth() {
+        // Fig. 4b: cpu 85 / ram 70 increase thresholds, OR-combined.
+        let t = Thresholds {
+            cpu_incr: Some(85.0),
+            cpu_decr: Some(50.0),
+            ram_incr: Some(70.0),
+            ram_decr: Some(40.0),
+        };
+        let e = engine(ScalingPolicy::Coarse(t), 2, 50);
+        // RAM alone above its threshold triggers growth.
+        assert_eq!(e.decide(&sample(5, 30.0, 75.0)), ScalingDecision::Grow(1));
+        // CPU alone too.
+        assert_eq!(e.decide(&sample(5, 90.0, 10.0)), ScalingDecision::Grow(1));
+    }
+
+    #[test]
+    fn coarse_shrink_requires_all_cold() {
+        let t = Thresholds {
+            cpu_incr: Some(85.0),
+            cpu_decr: Some(50.0),
+            ram_incr: Some(70.0),
+            ram_decr: Some(40.0),
+        };
+        let e = engine(ScalingPolicy::Coarse(t), 2, 50);
+        assert_eq!(e.decide(&sample(5, 30.0, 30.0)), ScalingDecision::Shrink(1));
+        // RAM still warm: no shrink.
+        assert_eq!(e.decide(&sample(5, 30.0, 60.0)), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn fine_grained_averages_votes() {
+        let e = engine(ScalingPolicy::FineGrained, 2, 50);
+        let mut s = sample(5, 0.0, 0.0);
+        // Votes 2, 2, 2 -> +2 (the CacheExplicit2 "return 2" case).
+        s.fine_votes = vec![2, 2, 2];
+        assert_eq!(e.decide(&s), ScalingDecision::Grow(2));
+        // Votes 1, 0, -1 -> average 0 -> hold.
+        s.fine_votes = vec![1, 0, -1];
+        assert_eq!(e.decide(&s), ScalingDecision::Hold);
+        // Votes -2, -4 -> -3.
+        s.fine_votes = vec![-2, -4];
+        assert_eq!(e.decide(&s), ScalingDecision::Shrink(3));
+    }
+
+    #[test]
+    fn fine_grained_ignores_cpu() {
+        // §3.3: "if changePoolSize is overridden, then scaling based on
+        // CPU/Memory utilization is disabled."
+        let e = engine(ScalingPolicy::FineGrained, 2, 50);
+        let mut s = sample(5, 99.0, 99.0);
+        s.fine_votes = vec![0, 0];
+        assert_eq!(e.decide(&s), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn fine_grained_with_no_votes_holds() {
+        let e = engine(ScalingPolicy::FineGrained, 2, 50);
+        assert_eq!(e.decide(&sample(5, 0.0, 0.0)), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn app_level_tracks_desired_size() {
+        let e = engine(ScalingPolicy::AppLevel, 2, 50);
+        let mut s = sample(5, 0.0, 0.0);
+        s.desired_size = Some(12);
+        assert_eq!(e.decide(&s), ScalingDecision::Grow(7));
+        s.desired_size = Some(3);
+        assert_eq!(e.decide(&s), ScalingDecision::Shrink(2));
+        s.desired_size = None;
+        assert_eq!(e.decide(&s), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn fine_votes_are_clamped_to_bounds() {
+        let e = engine(ScalingPolicy::FineGrained, 2, 8);
+        let mut s = sample(7, 0.0, 0.0);
+        s.fine_votes = vec![10, 10];
+        assert_eq!(e.decide(&s), ScalingDecision::Grow(1), "clamped at max 8");
+        s.pool_size = 3;
+        s.fine_votes = vec![-10];
+        assert_eq!(e.decide(&s), ScalingDecision::Shrink(1), "clamped at min 2");
+    }
+
+    #[test]
+    fn poll_respects_burst_interval() {
+        let config = PoolConfig::builder("C1")
+            .burst_interval(SimDuration::from_secs(60))
+            .build()
+            .unwrap();
+        let mut e = ScalingEngine::new(config, SimTime::ZERO);
+        let hot = sample(5, 99.0, 0.0);
+        // Not due before one interval has elapsed.
+        assert_eq!(e.poll(SimTime::from_secs(30), &hot), ScalingDecision::Hold);
+        assert_eq!(e.poll(SimTime::from_secs(60), &hot), ScalingDecision::Grow(1));
+        // Interval consumed: immediately asking again holds.
+        assert_eq!(e.poll(SimTime::from_secs(61), &hot), ScalingDecision::Hold);
+        assert_eq!(e.poll(SimTime::from_secs(120), &hot), ScalingDecision::Grow(1));
+    }
+
+    #[test]
+    fn decision_delta_signs() {
+        assert_eq!(ScalingDecision::Grow(3).delta(), 3);
+        assert_eq!(ScalingDecision::Shrink(2).delta(), -2);
+        assert_eq!(ScalingDecision::Hold.delta(), 0);
+    }
+}

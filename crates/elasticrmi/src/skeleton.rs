@@ -1,0 +1,651 @@
+//! The skeleton: server-side representative of one pool member (paper §2.3).
+//!
+//! Beyond a classic Java RMI skeleton's unmarshal-dispatch-marshal duty, an
+//! ElasticRMI skeleton also:
+//!
+//! * tracks per-method call statistics for the burst interval
+//!   (`getMethodCallStats`),
+//! * reports load (pending invocations, busy fraction, RAM, fine-grained
+//!   vote) when the runtime polls it,
+//! * obeys sentinel rebalance directives by redirecting a portion of
+//!   incoming invocations to designated members, and
+//! * executes the two-phase shutdown drain of §2.5: finish what is pending,
+//!   redirect everything newer, then acknowledge readiness.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use erm_sim::{SharedClock, SimTime};
+use erm_transport::{EndpointId, Mailbox, Network, RecvError};
+
+use crate::api::{ElasticService, MethodCallStats, ServiceContext};
+use crate::message::{LoadReport, MemberState, MethodStat, RmiMessage};
+
+/// How long the receive loop blocks before re-checking control state.
+const POLL_TICK: Duration = Duration::from_millis(5);
+
+#[derive(Debug, Default)]
+struct IntervalStats {
+    methods: HashMap<String, (u64, u64)>, // (calls, total latency µs)
+    busy_micros: u64,
+    started_at: Option<SimTime>,
+}
+
+impl IntervalStats {
+    fn record(&mut self, method: &str, latency_us: u64) {
+        let entry = self.methods.entry(method.to_string()).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += latency_us;
+        self.busy_micros += latency_us;
+    }
+
+    fn snapshot(&self) -> Vec<(String, MethodStat)> {
+        self.methods
+            .iter()
+            .map(|(name, &(calls, total))| {
+                (
+                    name.clone(),
+                    MethodStat {
+                        calls,
+                        mean_latency_us: if calls == 0 { 0 } else { total / calls },
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Runs one pool member: the skeleton event loop plus the hosted service.
+///
+/// Created by the pool runtime, one per granted slice, each on its own
+/// thread. Public only for integration tests and custom runtimes; normal use
+/// goes through `ElasticPool`.
+pub struct Skeleton {
+    uid: u64,
+    endpoint: EndpointId,
+    runtime_ctl: EndpointId,
+    net: Arc<dyn Network>,
+    clock: SharedClock,
+    service: Box<dyn ElasticService>,
+    ctx: ServiceContext,
+    // Control state.
+    epoch: u64,
+    sentinel_uid: u64,
+    members: Vec<MemberState>,
+    draining: bool,
+    finished: bool,
+    drain_budget: usize,
+    redirect_quota: Vec<(EndpointId, u32)>,
+    interval: IntervalStats,
+    served_since_start: u64,
+}
+
+impl Skeleton {
+    /// Assembles a skeleton for member `uid` listening on `endpoint`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        uid: u64,
+        endpoint: EndpointId,
+        runtime_ctl: EndpointId,
+        net: Arc<dyn Network>,
+        clock: SharedClock,
+        service: Box<dyn ElasticService>,
+        ctx: ServiceContext,
+    ) -> Self {
+        Skeleton {
+            uid,
+            endpoint,
+            runtime_ctl,
+            net,
+            clock,
+            service,
+            ctx,
+            epoch: 0,
+            sentinel_uid: uid,
+            members: Vec::new(),
+            draining: false,
+            finished: false,
+            drain_budget: 0,
+            redirect_quota: Vec::new(),
+            interval: IntervalStats::default(),
+            served_since_start: 0,
+        }
+    }
+
+    /// This member's uid.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Total requests served since start (used in tests).
+    pub fn served(&self) -> u64 {
+        self.served_since_start
+    }
+
+    /// Runs the event loop until shutdown completes or the mailbox closes.
+    /// This is the thread body of a pool member.
+    pub fn run(mut self, mailbox: Mailbox) {
+        self.service.on_start(&mut self.ctx);
+        self.interval.started_at = Some(self.clock.now());
+        loop {
+            match mailbox.recv_timeout(POLL_TICK) {
+                Ok(datagram) => {
+                    let Ok(msg) = RmiMessage::decode(&datagram.payload) else {
+                        continue; // malformed datagrams are dropped
+                    };
+                    if self.handle(datagram.from, msg, &mailbox) {
+                        break;
+                    }
+                }
+                Err(RecvError::Timeout) => {
+                    if self.draining && mailbox.is_empty() {
+                        // Queue drained with no pending work: finish shutdown.
+                        self.finish_shutdown();
+                        break;
+                    }
+                }
+                Err(RecvError::Closed) => break,
+            }
+        }
+    }
+
+    /// Handles one message; returns `true` when the skeleton should exit.
+    /// Exposed for deterministic unit tests.
+    pub fn handle(&mut self, from: EndpointId, msg: RmiMessage, mailbox: &Mailbox) -> bool {
+        match msg {
+            RmiMessage::Request { call, method, args } => {
+                self.on_request(from, call, &method, &args);
+                self.finished
+            }
+            RmiMessage::PoolInfoRequest => {
+                let members: Vec<EndpointId> = self.members.iter().map(|m| m.endpoint).collect();
+                let sentinel = self
+                    .members
+                    .iter()
+                    .find(|m| m.uid == self.sentinel_uid)
+                    .map_or(self.endpoint, |m| m.endpoint);
+                self.send(
+                    from,
+                    RmiMessage::PoolInfo {
+                        epoch: self.epoch,
+                        sentinel,
+                        members,
+                    },
+                );
+                false
+            }
+            RmiMessage::PollLoad => {
+                let report = self.make_load_report(mailbox.len() as u32);
+                self.send(from, RmiMessage::Load(report));
+                false
+            }
+            RmiMessage::StateBroadcast {
+                epoch,
+                sentinel_uid,
+                members,
+            } => {
+                if epoch >= self.epoch {
+                    self.epoch = epoch;
+                    self.sentinel_uid = sentinel_uid;
+                    self.members = members;
+                }
+                false
+            }
+            RmiMessage::Rebalance { to, count } => {
+                self.redirect_quota.push((to, count));
+                false
+            }
+            RmiMessage::Shutdown => {
+                // §2.5: acknowledge, finish pending invocations (those
+                // already queued), then notify readiness.
+                self.draining = true;
+                self.drain_budget = mailbox.len();
+                if self.drain_budget == 0 {
+                    self.finish_shutdown();
+                    return true;
+                }
+                false
+            }
+            RmiMessage::Ping => {
+                self.send(from, RmiMessage::Pong);
+                false
+            }
+            // Messages a skeleton never consumes.
+            RmiMessage::Response { .. }
+            | RmiMessage::Redirected { .. }
+            | RmiMessage::PoolInfo { .. }
+            | RmiMessage::Load(_)
+            | RmiMessage::ShutdownReady { .. }
+            | RmiMessage::Pong => false,
+        }
+    }
+
+    fn on_request(&mut self, from: EndpointId, call: u64, method: &str, args: &[u8]) {
+        if self.draining {
+            if self.drain_budget > 0 {
+                // Pending at shutdown time: still executed (§2.5).
+                self.drain_budget -= 1;
+            } else {
+                self.redirect(from, call);
+                return;
+            }
+        } else if let Some(target) = self.take_redirect_quota() {
+            // Sentinel told us to shed a portion of incoming invocations.
+            self.send(
+                from,
+                RmiMessage::Redirected {
+                    call,
+                    members: vec![target],
+                },
+            );
+            return;
+        }
+        let start = self.clock.now();
+        let outcome = self.service.dispatch(method, args, &mut self.ctx);
+        let latency = self.clock.now().saturating_since(start);
+        self.interval.record(method, latency.as_micros());
+        self.served_since_start += 1;
+        self.send(from, RmiMessage::Response { call, outcome });
+        if self.draining && self.drain_budget == 0 {
+            self.finish_shutdown();
+        }
+    }
+
+    fn take_redirect_quota(&mut self) -> Option<EndpointId> {
+        let (target, remaining) = self.redirect_quota.first_mut().map(|(t, c)| {
+            *c -= 1;
+            (*t, *c)
+        })?;
+        if remaining == 0 {
+            self.redirect_quota.remove(0);
+        }
+        Some(target)
+    }
+
+    fn redirect(&mut self, from: EndpointId, call: u64) {
+        let members: Vec<EndpointId> = self
+            .members
+            .iter()
+            .filter(|m| m.uid != self.uid)
+            .map(|m| m.endpoint)
+            .collect();
+        self.send(from, RmiMessage::Redirected { call, members });
+    }
+
+    fn make_load_report(&mut self, pending: u32) -> LoadReport {
+        let now = self.clock.now();
+        let elapsed = self
+            .interval
+            .started_at
+            .map_or(erm_sim::SimDuration::ZERO, |t| now.saturating_since(t));
+        let busy = if elapsed.is_zero() {
+            0.0
+        } else {
+            (self.interval.busy_micros as f64 / elapsed.as_micros() as f64 * 100.0).min(100.0)
+                as f32
+        };
+        let stats_vec = self.interval.snapshot();
+        let stats = MethodCallStats::new(elapsed, stats_vec.iter().cloned().collect());
+        let vote = self.service.change_pool_size(&stats, &mut self.ctx);
+        let report = LoadReport {
+            uid: self.uid,
+            pending,
+            busy,
+            ram: self.service.ram_utilization(),
+            fine_vote: Some(vote),
+            method_stats: stats_vec,
+        };
+        // Burst interval rolls over after each poll.
+        self.interval = IntervalStats {
+            started_at: Some(now),
+            ..IntervalStats::default()
+        };
+        report
+    }
+
+    fn finish_shutdown(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.service.on_shutdown(&mut self.ctx);
+        self.send(self.runtime_ctl, RmiMessage::ShutdownReady { uid: self.uid });
+    }
+
+    fn send(&self, to: EndpointId, msg: RmiMessage) {
+        let _ = self.net.send(self.endpoint, to, msg.encode());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::decode_args;
+    use crate::error::RemoteError;
+    use erm_kvstore::{Store, StoreConfig};
+    use erm_sim::VirtualClock;
+    use erm_transport::{Host, InProcNetwork};
+    use std::sync::atomic::AtomicU32;
+
+    /// Echo service: returns its argument; "fail" raises a remote error.
+    struct Echo;
+    impl ElasticService for Echo {
+        fn dispatch(
+            &mut self,
+            method: &str,
+            args: &[u8],
+            _ctx: &mut ServiceContext,
+        ) -> Result<Vec<u8>, RemoteError> {
+            match method {
+                "echo" => {
+                    let s: String = decode_args(method, args)?;
+                    crate::api::encode_result(&s)
+                }
+                "fail" => Err(RemoteError::new("AppError", "requested failure")),
+                other => Err(RemoteError::no_such_method(other)),
+            }
+        }
+        fn ram_utilization(&self) -> f32 {
+            37.5
+        }
+    }
+
+    struct Rig {
+        net: InProcNetwork,
+        skeleton: Skeleton,
+        skeleton_mailbox: Mailbox,
+        client: EndpointId,
+        client_mailbox: Mailbox,
+        runtime: EndpointId,
+        runtime_mailbox: Mailbox,
+    }
+
+    fn rig() -> Rig {
+        let net = InProcNetwork::new();
+        let (skel_ep, skel_mb) = net.open();
+        let (client, client_mb) = net.open();
+        let (runtime, runtime_mb) = net.open();
+        let clock: SharedClock = Arc::new(VirtualClock::new());
+        let store = Arc::new(Store::new(StoreConfig::default()));
+        let ctx = ServiceContext::new(
+            store,
+            "Echo",
+            0,
+            Arc::clone(&clock),
+            Arc::new(AtomicU32::new(1)),
+        );
+        let skeleton = Skeleton::new(
+            0,
+            skel_ep,
+            runtime,
+            Arc::new(net.clone()),
+            clock,
+            Box::new(Echo),
+            ctx,
+        );
+        Rig {
+            net,
+            skeleton,
+            skeleton_mailbox: skel_mb,
+            client,
+            client_mailbox: client_mb,
+            runtime,
+            runtime_mailbox: runtime_mb,
+        }
+    }
+
+    fn recv(mb: &Mailbox) -> RmiMessage {
+        RmiMessage::decode(&mb.try_recv().expect("message expected").payload).unwrap()
+    }
+
+    #[test]
+    fn dispatches_and_responds() {
+        let mut r = rig();
+        let args = erm_transport::to_bytes(&"hi".to_string()).unwrap();
+        r.skeleton.handle(
+            r.client,
+            RmiMessage::Request {
+                call: 1,
+                method: "echo".into(),
+                args,
+            },
+            &r.skeleton_mailbox,
+        );
+        match recv(&r.client_mailbox) {
+            RmiMessage::Response { call: 1, outcome: Ok(bytes) } => {
+                let s: String = erm_transport::from_bytes(&bytes).unwrap();
+                assert_eq!(s, "hi");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.skeleton.served(), 1);
+    }
+
+    #[test]
+    fn remote_errors_propagate() {
+        let mut r = rig();
+        r.skeleton.handle(
+            r.client,
+            RmiMessage::Request {
+                call: 2,
+                method: "fail".into(),
+                args: vec![],
+            },
+            &r.skeleton_mailbox,
+        );
+        match recv(&r.client_mailbox) {
+            RmiMessage::Response { call: 2, outcome: Err(e) } => assert_eq!(e.kind, "AppError"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_method_is_remote_error() {
+        let mut r = rig();
+        r.skeleton.handle(
+            r.client,
+            RmiMessage::Request {
+                call: 3,
+                method: "nope".into(),
+                args: vec![],
+            },
+            &r.skeleton_mailbox,
+        );
+        match recv(&r.client_mailbox) {
+            RmiMessage::Response { outcome: Err(e), .. } => assert_eq!(e.kind, "NoSuchMethod"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poll_load_reports_and_resets_interval() {
+        let mut r = rig();
+        let args = erm_transport::to_bytes(&"x".to_string()).unwrap();
+        for call in 0..5 {
+            r.skeleton.handle(
+                r.client,
+                RmiMessage::Request {
+                    call,
+                    method: "echo".into(),
+                    args: args.clone(),
+                },
+                &r.skeleton_mailbox,
+            );
+        }
+        while r.client_mailbox.try_recv().is_ok() {}
+        r.skeleton
+            .handle(r.runtime, RmiMessage::PollLoad, &r.skeleton_mailbox);
+        match recv(&r.runtime_mailbox) {
+            RmiMessage::Load(report) => {
+                assert_eq!(report.uid, 0);
+                assert_eq!(report.ram, 37.5);
+                assert_eq!(report.fine_vote, Some(0));
+                let echo = report
+                    .method_stats
+                    .iter()
+                    .find(|(m, _)| m == "echo")
+                    .expect("echo stats");
+                assert_eq!(echo.1.calls, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Second poll: interval was reset.
+        r.skeleton
+            .handle(r.runtime, RmiMessage::PollLoad, &r.skeleton_mailbox);
+        match recv(&r.runtime_mailbox) {
+            RmiMessage::Load(report) => assert!(report.method_stats.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_broadcast_updates_membership_and_pool_info() {
+        let mut r = rig();
+        let members = vec![
+            MemberState { endpoint: EndpointId(90), uid: 0, pending: 0 },
+            MemberState { endpoint: EndpointId(91), uid: 1, pending: 2 },
+        ];
+        r.skeleton.handle(
+            r.runtime,
+            RmiMessage::StateBroadcast {
+                epoch: 4,
+                sentinel_uid: 0,
+                members: members.clone(),
+            },
+            &r.skeleton_mailbox,
+        );
+        r.skeleton
+            .handle(r.client, RmiMessage::PoolInfoRequest, &r.skeleton_mailbox);
+        match recv(&r.client_mailbox) {
+            RmiMessage::PoolInfo { epoch, sentinel, members } => {
+                assert_eq!(epoch, 4);
+                assert_eq!(sentinel, EndpointId(90));
+                assert_eq!(members, vec![EndpointId(90), EndpointId(91)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_broadcast_is_ignored() {
+        let mut r = rig();
+        r.skeleton.handle(
+            r.runtime,
+            RmiMessage::StateBroadcast { epoch: 5, sentinel_uid: 1, members: vec![] },
+            &r.skeleton_mailbox,
+        );
+        r.skeleton.handle(
+            r.runtime,
+            RmiMessage::StateBroadcast {
+                epoch: 3,
+                sentinel_uid: 9,
+                members: vec![MemberState { endpoint: EndpointId(1), uid: 9, pending: 0 }],
+            },
+            &r.skeleton_mailbox,
+        );
+        r.skeleton
+            .handle(r.client, RmiMessage::PoolInfoRequest, &r.skeleton_mailbox);
+        match recv(&r.client_mailbox) {
+            RmiMessage::PoolInfo { epoch, members, .. } => {
+                assert_eq!(epoch, 5);
+                assert!(members.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rebalance_redirects_the_requested_count() {
+        let mut r = rig();
+        r.skeleton.handle(
+            r.runtime,
+            RmiMessage::Rebalance { to: EndpointId(77), count: 2 },
+            &r.skeleton_mailbox,
+        );
+        let args = erm_transport::to_bytes(&"x".to_string()).unwrap();
+        let mut redirects = 0;
+        let mut responses = 0;
+        for call in 0..4 {
+            r.skeleton.handle(
+                r.client,
+                RmiMessage::Request { call, method: "echo".into(), args: args.clone() },
+                &r.skeleton_mailbox,
+            );
+            match recv(&r.client_mailbox) {
+                RmiMessage::Redirected { members, .. } => {
+                    assert_eq!(members, vec![EndpointId(77)]);
+                    redirects += 1;
+                }
+                RmiMessage::Response { .. } => responses += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(redirects, 2, "exactly the rebalance count is shed");
+        assert_eq!(responses, 2);
+    }
+
+    #[test]
+    fn shutdown_with_empty_queue_acks_immediately() {
+        let mut r = rig();
+        let done = r
+            .skeleton
+            .handle(r.runtime, RmiMessage::Shutdown, &r.skeleton_mailbox);
+        assert!(done);
+        match recv(&r.runtime_mailbox) {
+            RmiMessage::ShutdownReady { uid } => assert_eq!(uid, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_finishes_pending_then_redirects_new() {
+        let mut r = rig();
+        let args = erm_transport::to_bytes(&"x".to_string()).unwrap();
+        // Two requests already queued in the mailbox at shutdown time.
+        for call in [10, 11] {
+            r.net
+                .send(
+                    r.client,
+                    r.skeleton_mailbox.id(),
+                    RmiMessage::Request { call, method: "echo".into(), args: args.clone() }
+                        .encode(),
+                )
+                .unwrap();
+        }
+        r.skeleton
+            .handle(r.runtime, RmiMessage::Shutdown, &r.skeleton_mailbox);
+        // Drain the two pending: they execute normally.
+        for _ in 0..2 {
+            let d = r.skeleton_mailbox.try_recv().unwrap();
+            let msg = RmiMessage::decode(&d.payload).unwrap();
+            r.skeleton.handle(d.from, msg, &r.skeleton_mailbox);
+        }
+        let mut got = Vec::new();
+        while let Ok(d) = r.client_mailbox.try_recv() {
+            got.push(RmiMessage::decode(&d.payload).unwrap());
+        }
+        assert!(got.iter().all(|m| matches!(m, RmiMessage::Response { .. })));
+        assert_eq!(got.len(), 2);
+        // Runtime got the readiness ack.
+        match recv(&r.runtime_mailbox) {
+            RmiMessage::ShutdownReady { uid } => assert_eq!(uid, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A request arriving after the drain is redirected.
+        r.skeleton.handle(
+            r.client,
+            RmiMessage::Request { call: 12, method: "echo".into(), args },
+            &r.skeleton_mailbox,
+        );
+        assert!(matches!(recv(&r.client_mailbox), RmiMessage::Redirected { .. }));
+    }
+
+    #[test]
+    fn ping_pong() {
+        let mut r = rig();
+        r.skeleton
+            .handle(r.client, RmiMessage::Ping, &r.skeleton_mailbox);
+        assert!(matches!(recv(&r.client_mailbox), RmiMessage::Pong));
+    }
+}

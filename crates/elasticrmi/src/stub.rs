@@ -1,0 +1,556 @@
+//! The client stub: local proxy for a whole elastic object pool (§2.3, §4.3).
+//!
+//! To the client application the pool is a single remote object; the stub is
+//! where the pool's plurality is known. It
+//!
+//! * discovers membership from the sentinel on first contact,
+//! * load-balances invocations across members (round-robin or random),
+//! * marshals arguments, awaits and unmarshals results,
+//! * on send failure, timeout or an explicit `Redirected` reply, retries the
+//!   invocation on other members *including the sentinel*, and
+//! * propagates the failure to the application only when every member has
+//!   been tried.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use erm_sim::seeded_rng;
+use erm_transport::{EndpointId, Mailbox, Network, RecvError};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::error::{RmiError, RemoteError};
+use crate::message::RmiMessage;
+
+/// Client-side load-balancing discipline (§4.3: "randomly or in a
+/// round-robin fashion").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientLb {
+    /// Rotate through members in order.
+    RoundRobin,
+    /// Pick a member uniformly at random (seeded, for reproducibility).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Counters the stub keeps about its own behaviour; useful in tests and for
+/// application-level metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StubStats {
+    /// Completed invocations (success or remote error).
+    pub invocations: u64,
+    /// Extra attempts beyond the first for any invocation.
+    pub retries: u64,
+    /// `Redirected` replies followed.
+    pub redirects_followed: u64,
+    /// Membership refreshes fetched from the sentinel.
+    pub refreshes: u64,
+}
+
+/// A stub bound to one elastic object pool.
+///
+/// Not `Clone`: like a socket, each client thread opens its own stub (its
+/// own endpoint) against the same pool.
+pub struct Stub {
+    net: Arc<dyn Network>,
+    endpoint: EndpointId,
+    mailbox: Mailbox,
+    sentinel: EndpointId,
+    members: Vec<EndpointId>,
+    lb: ClientLb,
+    rr_next: usize,
+    rng: StdRng,
+    next_call: u64,
+    reply_timeout: Duration,
+    stats: StubStats,
+}
+
+impl std::fmt::Debug for Stub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stub")
+            .field("endpoint", &self.endpoint)
+            .field("sentinel", &self.sentinel)
+            .field("members", &self.members)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Stub {
+    /// Connects to the pool whose sentinel listens at `sentinel`, fetching
+    /// the member list ("while contacting the sentinel for the first time,
+    /// the stub requests the identities of the other skeletons").
+    ///
+    /// # Errors
+    ///
+    /// [`RmiError::SentinelUnreachable`] when the sentinel cannot be reached
+    /// or does not answer within the reply timeout.
+    pub fn connect(
+        net: Arc<dyn Network>,
+        endpoint: EndpointId,
+        mailbox: Mailbox,
+        sentinel: EndpointId,
+        lb: ClientLb,
+    ) -> Result<Stub, RmiError> {
+        let rng = match lb {
+            ClientLb::Random { seed } => seeded_rng(seed),
+            ClientLb::RoundRobin => seeded_rng(0),
+        };
+        let mut stub = Stub {
+            net,
+            endpoint,
+            mailbox,
+            sentinel,
+            members: Vec::new(),
+            lb,
+            rr_next: 0,
+            rng,
+            next_call: 0,
+            reply_timeout: Duration::from_millis(500),
+            stats: StubStats::default(),
+        };
+        stub.refresh_members()?;
+        Ok(stub)
+    }
+
+    /// Overrides the per-attempt reply timeout (default 500 ms).
+    pub fn set_reply_timeout(&mut self, timeout: Duration) {
+        self.reply_timeout = timeout;
+    }
+
+    /// The member endpoints the stub currently knows.
+    pub fn members(&self) -> &[EndpointId] {
+        &self.members
+    }
+
+    /// Behaviour counters.
+    pub fn stats(&self) -> StubStats {
+        self.stats
+    }
+
+    /// Invokes `method` with `args` on the pool, returning the decoded
+    /// result — the ElasticRMI analogue of calling a method on a Java RMI
+    /// stub. Unicast: exactly one member executes the invocation.
+    ///
+    /// # Errors
+    ///
+    /// * [`RmiError::Remote`] — the method executed and raised,
+    /// * [`RmiError::PoolUnreachable`] — every member (sentinel included)
+    ///   failed to answer,
+    /// * [`RmiError::Encode`]/[`RmiError::Decode`] — marshalling failures.
+    pub fn invoke<A, R>(&mut self, method: &str, args: &A) -> Result<R, RmiError>
+    where
+        A: Serialize + ?Sized,
+        R: DeserializeOwned,
+    {
+        let encoded =
+            erm_transport::to_bytes(args).map_err(|e| RmiError::Encode(e.to_string()))?;
+        let outcome = self.invoke_raw(method, encoded)?;
+        erm_transport::from_bytes(&outcome).map_err(|e| RmiError::Decode(e.to_string()))
+    }
+
+    /// Like [`Stub::invoke`] but with pre-encoded arguments and an encoded
+    /// result — the layer generated stubs would call.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Stub::invoke`], minus `Decode`.
+    pub fn invoke_raw(&mut self, method: &str, args: Vec<u8>) -> Result<Vec<u8>, RmiError> {
+        let mut targets = self.target_order();
+        let mut attempts = 0u32;
+        let mut refreshed = false;
+        let mut i = 0;
+        while i < targets.len() {
+            let target = targets[i];
+            i += 1;
+            attempts += 1;
+            if attempts > 1 {
+                self.stats.retries += 1;
+            }
+            match self.attempt(target, method, &args) {
+                AttemptOutcome::Ok(bytes) => {
+                    self.stats.invocations += 1;
+                    return Ok(bytes);
+                }
+                AttemptOutcome::RemoteError(e) => {
+                    self.stats.invocations += 1;
+                    return Err(RmiError::Remote(e));
+                }
+                AttemptOutcome::Redirected(mut suggested) => {
+                    self.stats.redirects_followed += 1;
+                    // Try the suggested members next (before our stale list).
+                    suggested.retain(|m| !targets[i..].contains(m));
+                    for (k, m) in suggested.into_iter().enumerate() {
+                        targets.insert(i + k, m);
+                    }
+                }
+                AttemptOutcome::Failed => {
+                    // Member gone or mute. Once, mid-sequence, ask the
+                    // sentinel for a fresh view.
+                    if !refreshed && self.refresh_members().is_ok() {
+                        refreshed = true;
+                        for m in self.members.clone() {
+                            if !targets.contains(&m) {
+                                targets.push(m);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Err(RmiError::PoolUnreachable { attempts })
+    }
+
+    /// The attempt order for one invocation: the LB-chosen member first,
+    /// then the remaining members, then the sentinel (always last resort,
+    /// §4.3: "retries the invocation on other objects including the
+    /// sentinel").
+    fn target_order(&mut self) -> Vec<EndpointId> {
+        let mut order: Vec<EndpointId> = Vec::with_capacity(self.members.len() + 1);
+        if !self.members.is_empty() {
+            let start = match self.lb {
+                ClientLb::RoundRobin => {
+                    let s = self.rr_next % self.members.len();
+                    self.rr_next = self.rr_next.wrapping_add(1);
+                    s
+                }
+                ClientLb::Random { .. } => self.rng.gen_range(0..self.members.len()),
+            };
+            for k in 0..self.members.len() {
+                order.push(self.members[(start + k) % self.members.len()]);
+            }
+        }
+        if !order.contains(&self.sentinel) {
+            order.push(self.sentinel);
+        }
+        order
+    }
+
+    fn attempt(&mut self, target: EndpointId, method: &str, args: &[u8]) -> AttemptOutcome {
+        let call = self.next_call;
+        self.next_call += 1;
+        let msg = RmiMessage::Request {
+            call,
+            method: method.to_string(),
+            args: args.to_vec(),
+        };
+        if self.net.send(self.endpoint, target, msg.encode()).is_err() {
+            return AttemptOutcome::Failed;
+        }
+        let deadline = std::time::Instant::now() + self.reply_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return AttemptOutcome::Failed;
+            }
+            match self.mailbox.recv_timeout(remaining) {
+                Ok(datagram) => match RmiMessage::decode(&datagram.payload) {
+                    Ok(RmiMessage::Response { call: c, outcome }) if c == call => {
+                        return match outcome {
+                            Ok(bytes) => AttemptOutcome::Ok(bytes),
+                            Err(e) => AttemptOutcome::RemoteError(e),
+                        };
+                    }
+                    Ok(RmiMessage::Redirected { call: c, members }) if c == call => {
+                        return AttemptOutcome::Redirected(members);
+                    }
+                    // Stale replies to earlier timed-out calls, pool info
+                    // broadcasts, etc.: skip.
+                    _ => continue,
+                },
+                Err(RecvError::Timeout) | Err(RecvError::Closed) => {
+                    return AttemptOutcome::Failed;
+                }
+            }
+        }
+    }
+
+    /// Fetches the member list from the sentinel.
+    ///
+    /// # Errors
+    ///
+    /// [`RmiError::SentinelUnreachable`] when no `PoolInfo` arrives in time.
+    pub fn refresh_members(&mut self) -> Result<(), RmiError> {
+        self.stats.refreshes += 1;
+        if self
+            .net
+            .send(self.endpoint, self.sentinel, RmiMessage::PoolInfoRequest.encode())
+            .is_err()
+        {
+            return Err(RmiError::SentinelUnreachable(self.sentinel));
+        }
+        let deadline = std::time::Instant::now() + self.reply_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(RmiError::SentinelUnreachable(self.sentinel));
+            }
+            match self.mailbox.recv_timeout(remaining) {
+                Ok(datagram) => {
+                    if let Ok(RmiMessage::PoolInfo { sentinel, members, .. }) =
+                        RmiMessage::decode(&datagram.payload)
+                    {
+                        self.sentinel = sentinel;
+                        if !members.is_empty() {
+                            self.members = members;
+                            self.rr_next = 0;
+                        }
+                        return Ok(());
+                    }
+                }
+                Err(_) => return Err(RmiError::SentinelUnreachable(self.sentinel)),
+            }
+        }
+    }
+}
+
+enum AttemptOutcome {
+    Ok(Vec<u8>),
+    RemoteError(RemoteError),
+    Redirected(Vec<EndpointId>),
+    Failed,
+}
+
+// Keep RemoteError import used in non-test builds.
+const _: fn(&AttemptOutcome) = |_| {};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erm_transport::{Host, InProcNetwork};
+
+    /// A scripted fake member that answers from a queue of behaviours.
+    struct FakeMember {
+        net: InProcNetwork,
+        endpoint: EndpointId,
+        mailbox: Mailbox,
+    }
+
+    impl FakeMember {
+        fn new(net: &InProcNetwork) -> Self {
+            let (endpoint, mailbox) = net.open();
+            FakeMember {
+                net: net.clone(),
+                endpoint,
+                mailbox,
+            }
+        }
+
+        /// Answer the next queued request with `f(call) -> RmiMessage`.
+        /// Discovery requests arriving in between are served transparently.
+        fn answer(&self, f: impl Fn(u64) -> RmiMessage) {
+            loop {
+                let d = self
+                    .mailbox
+                    .recv_timeout(Duration::from_secs(5))
+                    .expect("request expected");
+                match RmiMessage::decode(&d.payload).unwrap() {
+                    RmiMessage::Request { call, .. } => {
+                        self.net.send(self.endpoint, d.from, f(call).encode()).unwrap();
+                        return;
+                    }
+                    RmiMessage::PoolInfoRequest => {
+                        let info = RmiMessage::PoolInfo {
+                            epoch: 99,
+                            sentinel: self.endpoint,
+                            members: Vec::new(),
+                        };
+                        self.net.send(self.endpoint, d.from, info.encode()).unwrap();
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    fn pool_info(sentinel: &FakeMember, members: &[&FakeMember]) -> RmiMessage {
+        RmiMessage::PoolInfo {
+            epoch: 1,
+            sentinel: sentinel.endpoint,
+            members: members.iter().map(|m| m.endpoint).collect(),
+        }
+    }
+
+    fn connect(net: &InProcNetwork, sentinel: &FakeMember, members: &[&FakeMember]) -> Stub {
+        let (client_ep, client_mb) = net.open();
+        let net_arc: Arc<dyn Network> = Arc::new(net.clone());
+        let info = pool_info(sentinel, members);
+        let s_ep = sentinel.endpoint;
+        // Connect blocks on discovery, so run it in a thread and serve the
+        // PoolInfoRequest from here.
+        let handle = std::thread::spawn(move || {
+            Stub::connect(net_arc, client_ep, client_mb, s_ep, ClientLb::RoundRobin)
+        });
+        let d = sentinel.mailbox.recv().expect("discovery request");
+        net.send(sentinel.endpoint, d.from, info.encode()).unwrap();
+        handle.join().unwrap().expect("connect succeeds")
+    }
+
+    #[test]
+    fn connect_discovers_members() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let m1 = FakeMember::new(&net);
+        let stub = connect(&net, &sentinel, &[&sentinel, &m1]);
+        assert_eq!(stub.members(), &[sentinel.endpoint, m1.endpoint]);
+    }
+
+    #[test]
+    fn invoke_round_robins_across_members() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let m1 = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&sentinel, &m1]);
+
+        // First invocation goes to member 0 (sentinel), second to member 1.
+        let h = std::thread::spawn(move || {
+            let a: u32 = stub.invoke("m", &()).unwrap();
+            let b: u32 = stub.invoke("m", &()).unwrap();
+            (a, b, stub.stats())
+        });
+        let ok = |call: u64| RmiMessage::Response {
+            call,
+            outcome: Ok(erm_transport::to_bytes(&1u32).unwrap()),
+        };
+        sentinel.answer(ok);
+        m1.answer(ok);
+        let (a, b, stats) = h.join().unwrap();
+        assert_eq!((a, b), (1, 1));
+        assert_eq!(stats.invocations, 2);
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn invoke_fails_over_to_next_member_on_crash() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let m1 = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&m1, &sentinel]);
+        stub.set_reply_timeout(Duration::from_millis(200));
+        // Kill m1: sends to it now fail immediately.
+        net.close_endpoint(m1.endpoint);
+        let h = std::thread::spawn(move || {
+            let v: u32 = stub.invoke("m", &()).unwrap();
+            (v, stub.stats())
+        });
+        sentinel.answer(|call| RmiMessage::Response {
+            call,
+            outcome: Ok(erm_transport::to_bytes(&9u32).unwrap()),
+        });
+        let (v, stats) = h.join().unwrap();
+        assert_eq!(v, 9);
+        assert!(stats.retries >= 1, "failover must count as retry");
+    }
+
+    #[test]
+    fn redirected_reply_is_followed() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let m1 = FakeMember::new(&net);
+        let m2 = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&m1]);
+        let m2_ep = m2.endpoint;
+        let h = std::thread::spawn(move || {
+            let v: u32 = stub.invoke("m", &()).unwrap();
+            (v, stub.stats())
+        });
+        m1.answer(move |call| RmiMessage::Redirected {
+            call,
+            members: vec![m2_ep],
+        });
+        m2.answer(|call| RmiMessage::Response {
+            call,
+            outcome: Ok(erm_transport::to_bytes(&5u32).unwrap()),
+        });
+        let (v, stats) = h.join().unwrap();
+        assert_eq!(v, 5);
+        assert_eq!(stats.redirects_followed, 1);
+    }
+
+    #[test]
+    fn remote_error_propagates_without_retry() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&sentinel]);
+        let h = std::thread::spawn(move || stub.invoke::<(), u32>("m", &()));
+        sentinel.answer(|call| RmiMessage::Response {
+            call,
+            outcome: Err(RemoteError::new("AppError", "no")),
+        });
+        let err = h.join().unwrap().unwrap_err();
+        assert!(matches!(err, RmiError::Remote(e) if e.kind == "AppError"));
+    }
+
+    #[test]
+    fn all_members_down_propagates_pool_unreachable() {
+        // §4.3: "If all attempts to communicate with the elastic object pool
+        // fail, the exception is propagated to the client application."
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let m1 = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&sentinel, &m1]);
+        stub.set_reply_timeout(Duration::from_millis(50));
+        net.close_endpoint(sentinel.endpoint);
+        net.close_endpoint(m1.endpoint);
+        let err = stub.invoke::<(), u32>("m", &()).unwrap_err();
+        assert!(matches!(err, RmiError::PoolUnreachable { attempts } if attempts >= 2));
+    }
+
+    #[test]
+    fn stale_responses_are_ignored() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&sentinel]);
+        let h = std::thread::spawn(move || {
+            let v: u32 = stub.invoke("m", &()).unwrap();
+            v
+        });
+        // Answer with a bogus call id first, then the real one.
+        let d = sentinel.mailbox.recv().unwrap();
+        let call = match RmiMessage::decode(&d.payload).unwrap() {
+            RmiMessage::Request { call, .. } => call,
+            other => panic!("unexpected {other:?}"),
+        };
+        net.send(
+            sentinel.endpoint,
+            d.from,
+            RmiMessage::Response {
+                call: call + 999,
+                outcome: Ok(erm_transport::to_bytes(&0u32).unwrap()),
+            }
+            .encode(),
+        )
+        .unwrap();
+        net.send(
+            sentinel.endpoint,
+            d.from,
+            RmiMessage::Response {
+                call,
+                outcome: Ok(erm_transport::to_bytes(&7u32).unwrap()),
+            }
+            .encode(),
+        )
+        .unwrap();
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn random_lb_is_seed_deterministic() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let m1 = FakeMember::new(&net);
+        let mut a = connect(&net, &sentinel, &[&sentinel, &m1]);
+        a.lb = ClientLb::Random { seed: 42 };
+        a.rng = seeded_rng(42);
+        let seq_a: Vec<EndpointId> = (0..8).map(|_| a.target_order()[0]).collect();
+        let mut b = connect(&net, &sentinel, &[&sentinel, &m1]);
+        b.lb = ClientLb::Random { seed: 42 };
+        b.rng = seeded_rng(42);
+        let seq_b: Vec<EndpointId> = (0..8).map(|_| b.target_order()[0]).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+}

@@ -1,0 +1,163 @@
+//! The four deployment scenarios compared in the paper's evaluation (§5.4).
+
+use elasticrmi::{PoolConfig, ScalingPolicy, Thresholds};
+use erm_apps::AppModel;
+use erm_cluster::LatencyModel;
+use erm_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Which control stack manages the application's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Deployment {
+    /// ElasticRMI with the application's fine-grained metrics (the paper's
+    /// headline configuration): `changePoolSize` demand votes every
+    /// 60-second burst interval, Mesos-slice provisioning (seconds).
+    ElasticRmi,
+    /// ElasticRMI restricted to CPU/RAM thresholds — "no application-level
+    /// properties are used but only the conditions based on CPU/Memory
+    /// utilization in CloudWatch" (§5.4). Same fast provisioning as
+    /// ElasticRMI.
+    ElasticRmiCpuMem,
+    /// Amazon CloudWatch + AutoScaling: the same CPU/RAM threshold
+    /// conditions, but VM provisioning measured in minutes.
+    CloudWatch,
+    /// The overprovisioning oracle: knows the peak in advance and
+    /// provisions for it statically; zero provisioning latency, maximum
+    /// excess.
+    Overprovision,
+}
+
+impl Deployment {
+    /// All four, in the paper's comparison order.
+    pub const ALL: [Deployment; 4] = [
+        Deployment::ElasticRmi,
+        Deployment::ElasticRmiCpuMem,
+        Deployment::CloudWatch,
+        Deployment::Overprovision,
+    ];
+
+    /// Display name as used in the figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Deployment::ElasticRmi => "ElasticRMI",
+            Deployment::ElasticRmiCpuMem => "ElasticRMI-CPUMem",
+            Deployment::CloudWatch => "CloudWatch",
+            Deployment::Overprovision => "Overprovisioning",
+        }
+    }
+
+    /// Provisioning-latency model for new capacity.
+    pub fn provisioning(self) -> LatencyModel {
+        match self {
+            Deployment::ElasticRmi | Deployment::ElasticRmiCpuMem => {
+                LatencyModel::elastic_rmi_default()
+            }
+            Deployment::CloudWatch => LatencyModel::cloudwatch_default(),
+            Deployment::Overprovision => LatencyModel::instant(),
+        }
+    }
+
+    /// Whether this deployment scales at all.
+    pub fn is_elastic(self) -> bool {
+        self != Deployment::Overprovision
+    }
+
+    /// The pool configuration (policy + burst interval + bounds) this
+    /// deployment runs the application under.
+    ///
+    /// The CPU/RAM threshold set matches the paper's `CacheExplicit1`
+    /// running example (85/50 CPU, 70/40 RAM) for both CloudWatch and
+    /// ElasticRMI-CPUMem — "the same conditions are used to decide on
+    /// elastic scaling" (§5.5) — with the CloudWatch-style 5-minute alarm
+    /// period as the burst interval. ElasticRMI proper uses the fine-grained
+    /// policy at the default 60-second burst interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for [`Deployment::Overprovision`], which has no
+    /// scaling policy.
+    pub fn pool_config(self, app: &AppModel, max_pool: u32) -> PoolConfig {
+        assert!(
+            self.is_elastic(),
+            "the overprovisioning oracle has no scaling policy"
+        );
+        let min_pool = app.min_objects.max(2);
+        let builder = PoolConfig::builder(app.name)
+            .min_pool_size(min_pool)
+            .max_pool_size(max_pool);
+        let thresholds = Thresholds {
+            cpu_incr: Some(85.0),
+            cpu_decr: Some(50.0),
+            ram_incr: Some(70.0),
+            ram_decr: Some(40.0),
+        };
+        match self {
+            Deployment::ElasticRmi => builder
+                .policy(ScalingPolicy::FineGrained)
+                .burst_interval(SimDuration::from_secs(60))
+                .build()
+                .expect("valid deployment config"),
+            Deployment::ElasticRmiCpuMem | Deployment::CloudWatch => builder
+                .policy(ScalingPolicy::Coarse(thresholds))
+                .burst_interval(SimDuration::from_minutes(5))
+                .build()
+                .expect("valid deployment config"),
+            Deployment::Overprovision => unreachable!("guarded above"),
+        }
+    }
+}
+
+impl std::fmt::Display for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erm_apps::AppKind;
+
+    #[test]
+    fn names_match_figure_legends() {
+        assert_eq!(Deployment::ElasticRmi.name(), "ElasticRMI");
+        assert_eq!(Deployment::Overprovision.name(), "Overprovisioning");
+    }
+
+    #[test]
+    fn elastic_rmi_uses_fine_grained_policy() {
+        let cfg = Deployment::ElasticRmi.pool_config(&AppKind::Paxos.model(), 60);
+        assert_eq!(cfg.policy(), ScalingPolicy::FineGrained);
+        assert_eq!(cfg.burst_interval(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn threshold_deployments_share_conditions() {
+        let a = Deployment::CloudWatch.pool_config(&AppKind::Dcs.model(), 60);
+        let b = Deployment::ElasticRmiCpuMem.pool_config(&AppKind::Dcs.model(), 60);
+        assert_eq!(a.policy(), b.policy());
+        assert_eq!(a.burst_interval(), b.burst_interval());
+    }
+
+    #[test]
+    fn provisioning_speed_ordering() {
+        // Oracle < ElasticRMI < CloudWatch, the premise of Fig. 8.
+        let mut rng = erm_sim::seeded_rng(1);
+        let oracle = Deployment::Overprovision.provisioning().sample(&mut rng, 0.5);
+        let ermi = Deployment::ElasticRmi.provisioning().sample(&mut rng, 0.5);
+        let cw = Deployment::CloudWatch.provisioning().sample(&mut rng, 0.5);
+        assert!(oracle < ermi && ermi < cw);
+    }
+
+    #[test]
+    #[should_panic(expected = "no scaling policy")]
+    fn oracle_has_no_pool_config() {
+        let _ = Deployment::Overprovision.pool_config(&AppKind::Paxos.model(), 60);
+    }
+
+    #[test]
+    fn min_pool_respects_app_floor() {
+        let cfg = Deployment::ElasticRmi.pool_config(&AppKind::Paxos.model(), 60);
+        assert_eq!(cfg.min_pool_size(), 3, "Paxos quorum floor");
+    }
+}

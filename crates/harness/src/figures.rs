@@ -1,0 +1,247 @@
+//! Figure regeneration: one function per figure of the paper's evaluation.
+//!
+//! Every function returns the figure's data as aligned text columns — the
+//! same series the paper plots — so the `figures` binary (and EXPERIMENTS.md)
+//! can diff our shape against the paper's.
+
+use erm_apps::AppKind;
+use erm_sim::TimeSeries;
+use erm_workloads::{PatternKind, Workload, WorkloadBuilder};
+
+use crate::deployment::Deployment;
+use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+
+/// Identifies a figure of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureId {
+    /// Fig. 7a — the abrupt workload pattern.
+    F7a,
+    /// Fig. 7b — the cyclic workload pattern.
+    F7b,
+    /// Fig. 7c–7j — agility over time for one (app, pattern).
+    Agility(AppKind, PatternKind),
+    /// Fig. 8a/8b — provisioning latency for all apps under one pattern.
+    Provisioning(PatternKind),
+}
+
+impl FigureId {
+    /// Parses ids like `7a`, `7c`, `8b`.
+    pub fn parse(s: &str) -> Option<FigureId> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "7a" => FigureId::F7a,
+            "7b" => FigureId::F7b,
+            "7c" => FigureId::Agility(AppKind::Marketcetera, PatternKind::Abrupt),
+            "7d" => FigureId::Agility(AppKind::Marketcetera, PatternKind::Cyclic),
+            "7e" => FigureId::Agility(AppKind::Hedwig, PatternKind::Abrupt),
+            "7f" => FigureId::Agility(AppKind::Hedwig, PatternKind::Cyclic),
+            "7g" => FigureId::Agility(AppKind::Paxos, PatternKind::Abrupt),
+            "7h" => FigureId::Agility(AppKind::Paxos, PatternKind::Cyclic),
+            "7i" => FigureId::Agility(AppKind::Dcs, PatternKind::Abrupt),
+            "7j" => FigureId::Agility(AppKind::Dcs, PatternKind::Cyclic),
+            "8a" => FigureId::Provisioning(PatternKind::Abrupt),
+            "8b" => FigureId::Provisioning(PatternKind::Cyclic),
+            _ => return None,
+        })
+    }
+
+    /// All figure ids in paper order.
+    pub fn all() -> Vec<(String, FigureId)> {
+        ["7a", "7b", "7c", "7d", "7e", "7f", "7g", "7h", "7i", "7j", "8a", "8b"]
+            .iter()
+            .map(|s| (s.to_string(), FigureId::parse(s).expect("known id")))
+            .collect()
+    }
+
+    /// Renders the figure's data as text.
+    pub fn render(self, seed: u64) -> String {
+        match self {
+            FigureId::F7a => render_workload(PatternKind::Abrupt),
+            FigureId::F7b => render_workload(PatternKind::Cyclic),
+            FigureId::Agility(app, pattern) => render_agility(app, pattern, seed),
+            FigureId::Provisioning(pattern) => render_provisioning(pattern, seed),
+        }
+    }
+}
+
+fn workload_for(pattern: PatternKind) -> Workload {
+    // Unit peak: the pattern is what matters, "the specific values of
+    // Points A and B are immaterial" (§5.3).
+    WorkloadBuilder::new(pattern, 100.0).build()
+}
+
+fn render_workload(pattern: PatternKind) -> String {
+    let w = workload_for(pattern);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Fig. {} — {} workload pattern (% of peak vs minutes)\n",
+        if pattern == PatternKind::Abrupt { "7a" } else { "7b" },
+        pattern
+    ));
+    out.push_str(&format!("{:>8} {:>10}\n", "min", "load%"));
+    for (t, rate) in w.sample(erm_sim::SimDuration::from_minutes(10)) {
+        out.push_str(&format!("{:>8.0} {:>10.1}\n", t.as_minutes_f64(), rate));
+    }
+    out.push_str(&sparkline(
+        &w.sample(erm_sim::SimDuration::from_minutes(5))
+            .iter()
+            .map(|&(_, v)| v)
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+/// Runs the four deployments for one agility panel.
+pub fn agility_results(
+    app: AppKind,
+    pattern: PatternKind,
+    seed: u64,
+) -> Vec<ExperimentResult> {
+    Deployment::ALL
+        .iter()
+        .map(|&deployment| {
+            let mut config = ExperimentConfig::paper(app, pattern, deployment);
+            config.seed = seed;
+            run_experiment(&config)
+        })
+        .collect()
+}
+
+fn render_agility(app: AppKind, pattern: PatternKind, seed: u64) -> String {
+    let results = agility_results(app, pattern, seed);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Agility vs time — {app}, {pattern} workload (10-minute samples)\n"
+    ));
+    out.push_str(&format!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}\n",
+        "min",
+        "ElasticRMI",
+        "ERMI-CPUMem",
+        "CloudWatch",
+        "Overprov"
+    ));
+    let series: Vec<&TimeSeries> = results.iter().map(|r| r.agility.series()).collect();
+    let longest = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for i in 0..longest {
+        let t = series
+            .iter()
+            .find_map(|s| s.samples().get(i).map(|&(t, _)| t));
+        let Some(t) = t else { break };
+        out.push_str(&format!("{:>6.0}", t.as_minutes_f64()));
+        for s in &series {
+            match s.samples().get(i) {
+                Some(&(_, v)) => out.push_str(&format!(" {v:>12.2}")),
+                None => out.push_str(&format!(" {:>12}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("# mean agility: ");
+    for r in &results {
+        out.push_str(&format!(
+            "{}={:.2}  ",
+            r.config.deployment,
+            r.agility.mean_agility()
+        ));
+    }
+    out.push('\n');
+    for r in &results {
+        let values: Vec<f64> = r.agility.series().iter().map(|(_, v)| v).collect();
+        out.push_str(&format!("# {:<18} ", r.config.deployment.to_string()));
+        out.push_str(&sparkline(&values));
+    }
+    out
+}
+
+fn render_provisioning(pattern: PatternKind, seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# Fig. {} — ElasticRMI provisioning latency (s) vs time, {pattern} workload\n",
+        if pattern == PatternKind::Abrupt { "8a" } else { "8b" }
+    ));
+    out.push_str("# Overprovisioning is identically 0; CloudWatch (minutes) omitted as in the paper.\n");
+    for app in AppKind::ALL {
+        let mut config = ExperimentConfig::paper(app, pattern, Deployment::ElasticRmi);
+        config.seed = seed;
+        let r = run_experiment(&config);
+        out.push_str(&format!("## {app}\n"));
+        out.push_str(&format!("{:>8} {:>12}\n", "min", "latency_s"));
+        for (t, v) in r.provisioning.series().iter() {
+            out.push_str(&format!("{:>8.1} {:>12.1}\n", t.as_minutes_f64(), v));
+        }
+        out.push_str(&format!(
+            "## {app} mean={:.1}s max={:.1}s events={}\n",
+            r.provisioning.mean_latency().map_or(0.0, |d| d.as_secs_f64()),
+            r.provisioning.max_latency().map_or(0.0, |d| d.as_secs_f64()),
+            r.provisioning.events(),
+        ));
+    }
+    out
+}
+
+/// Renders values as a one-line unicode sparkline — a quick visual check
+/// that a regenerated series has the paper's shape.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-9);
+    let mut out = String::with_capacity(values.len() + 1);
+    for &v in values {
+        let idx = (((v - min) / span) * 7.0).round() as usize;
+        out.push(BARS[idx.min(7)]);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_id_parses() {
+        assert_eq!(FigureId::all().len(), 12);
+        assert!(FigureId::parse("7z").is_none());
+        assert_eq!(FigureId::parse("8A"), Some(FigureId::Provisioning(PatternKind::Abrupt)));
+    }
+
+    #[test]
+    fn workload_figures_render() {
+        let text = FigureId::F7a.render(7);
+        assert!(text.contains("abrupt"));
+        // 450 minutes at 10-minute steps -> 46 data lines.
+        assert!(text.lines().count() > 40);
+    }
+
+    #[test]
+    fn agility_figure_has_four_series() {
+        let text = FigureId::Agility(AppKind::Paxos, PatternKind::Abrupt).render(7);
+        assert!(text.contains("ElasticRMI") && text.contains("Overprov"));
+        assert!(text.contains("mean agility"));
+    }
+
+    #[test]
+    fn provisioning_figure_covers_all_apps() {
+        let text = FigureId::Provisioning(PatternKind::Cyclic).render(7);
+        for app in AppKind::ALL {
+            assert!(text.contains(&format!("## {app}")), "{app} missing");
+        }
+    }
+
+    #[test]
+    fn sparkline_is_len_preserving() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.trim_end().chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.trim_end().ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_of_empty_is_empty() {
+        assert!(sparkline(&[]).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Experiment harness for the ElasticRMI reproduction (paper §5).
+//!
+//! Connects the substrates into the paper's evaluation: the four
+//! [`Deployment`] scenarios (§5.4), the fluid-time [`run_experiment`] runner
+//! producing SPEC agility and provisioning-interval reports (§5.5–5.6), the
+//! figure renderers regenerating Fig. 7a–7j and Fig. 8a/8b, and the summary
+//! grid behind the prose statistics of §5.5.
+//!
+//! The control logic under test is the *real* middleware
+//! ([`elasticrmi::ScalingEngine`] with production `PoolConfig`s); only the
+//! request execution is fluid-modelled so a 500-minute experiment runs in
+//! milliseconds. See DESIGN.md for the substitution table.
+
+pub mod deployment;
+pub mod experiment;
+pub mod figures;
+pub mod scalability;
+pub mod summary;
+pub mod tiered;
+
+pub use deployment::Deployment;
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use figures::{agility_results, sparkline, FigureId};
+pub use scalability::{render_scalability, scalability_curve, ScalabilityPoint, SharedStateProfile};
+pub use summary::{format_summary, summary_table, SummaryRow};
+pub use tiered::{render_tiered, run_tiered, TierCoordination, TieredResult};

@@ -1,0 +1,203 @@
+//! Scalability analysis (paper §5.1's distinction, §4.1's caveat).
+//!
+//! The paper separates *scalability* — throughput growing with resources —
+//! from *elasticity*, and warns that shared state limits the former:
+//! "Increasing shared state increases latency due to the network delays
+//! involved in accessing HyperDex. Having shared state and mutual exclusion
+//! through locks or synchronized methods further decreases parallelism."
+//!
+//! This module quantifies that caveat with a closed-form throughput model
+//! per pool size, parameterized by each application's shared-state profile,
+//! and the `figures --ablation`/bench targets print the resulting
+//! throughput-vs-pool-size curves.
+
+use erm_apps::{AppKind, AppModel};
+use serde::Serialize;
+
+/// How much of an application's work touches shared state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SharedStateProfile {
+    /// Fraction of each request's service time spent in store round-trips
+    /// (serial, but concurrent across members).
+    pub store_fraction: f64,
+    /// Fraction of each request executed under the class-wide lock
+    /// (serial across the whole pool — the Amdahl term).
+    pub locked_fraction: f64,
+}
+
+impl SharedStateProfile {
+    /// Profile for one of the four applications, from how each was built in
+    /// `erm-apps`:
+    ///
+    /// * Marketcetera: two store puts per route, no class lock.
+    /// * Hedwig: store-heavy fan-out, no class lock.
+    /// * Paxos: acceptor cells in the store (two phases), no class lock.
+    /// * DCS: every update runs `synchronized` to stamp its zxid.
+    pub fn for_app(kind: AppKind) -> SharedStateProfile {
+        match kind {
+            AppKind::Marketcetera => SharedStateProfile {
+                store_fraction: 0.25,
+                locked_fraction: 0.0,
+            },
+            AppKind::Hedwig => SharedStateProfile {
+                store_fraction: 0.40,
+                locked_fraction: 0.0,
+            },
+            AppKind::Paxos => SharedStateProfile {
+                store_fraction: 0.55,
+                locked_fraction: 0.0,
+            },
+            AppKind::Dcs => SharedStateProfile {
+                store_fraction: 0.30,
+                locked_fraction: 0.08,
+            },
+        }
+    }
+}
+
+/// One point of a throughput-vs-pool-size curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ScalabilityPoint {
+    /// Pool size.
+    pub pool_size: u32,
+    /// Sustained throughput (events/second) at that size.
+    pub throughput: f64,
+    /// Throughput relative to `pool_size ×` single-object throughput
+    /// (1.0 = perfectly linear scaling).
+    pub efficiency: f64,
+}
+
+/// Computes the throughput-vs-size curve for an application.
+///
+/// Model: a request costs `1/c` seconds of member time, of which
+/// `locked_fraction` must execute under the single class lock (an Amdahl
+/// bottleneck shared by all members) and `store_fraction` is store work
+/// whose latency rises with offered load on the store (one node per 8
+/// members, matching the runtime's auto-scaling rule).
+pub fn scalability_curve(app: &AppModel, sizes: &[u32]) -> Vec<ScalabilityPoint> {
+    let profile = SharedStateProfile::for_app(app.kind);
+    let single = throughput_at(app, &profile, 1);
+    sizes
+        .iter()
+        .map(|&n| {
+            let throughput = throughput_at(app, &profile, n);
+            ScalabilityPoint {
+                pool_size: n,
+                throughput,
+                efficiency: if n == 0 {
+                    0.0
+                } else {
+                    throughput / (single * f64::from(n))
+                },
+            }
+        })
+        .collect()
+}
+
+fn throughput_at(app: &AppModel, profile: &SharedStateProfile, n: u32) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n_f = f64::from(n);
+    // Store contention: nodes scale 1 per 8 members, so per-request store
+    // time inflates as members-per-node grows.
+    let store_nodes = 1.0 + (n_f / 8.0).floor();
+    let members_per_node = n_f / store_nodes;
+    let store_inflation = 1.0 + 0.05 * (members_per_node - 1.0).max(0.0);
+    // Effective per-request service time (seconds) at one member.
+    let base = 1.0 / app.per_object_capacity;
+    let service = base
+        * ((1.0 - profile.store_fraction - profile.locked_fraction)
+            + profile.store_fraction * store_inflation);
+    let member_limit = n_f / service;
+    if profile.locked_fraction == 0.0 {
+        return member_limit;
+    }
+    // The class lock serializes `locked_fraction` of every request across
+    // the pool: a hard pool-wide ceiling of 1/(base * locked_fraction).
+    let lock_limit = 1.0 / (base * profile.locked_fraction);
+    member_limit.min(lock_limit)
+}
+
+/// Renders the curves for all four applications as aligned text.
+pub fn render_scalability() -> String {
+    let sizes: Vec<u32> = vec![1, 2, 4, 8, 16, 32];
+    let mut out = String::new();
+    out.push_str("# Throughput vs pool size (events/s) and scaling efficiency\n");
+    out.push_str("# (\"having shared state and mutual exclusion ... decreases parallelism\", \u{a7}4.1)\n");
+    for app in AppKind::ALL {
+        let model = app.model();
+        out.push_str(&format!("## {app}\n"));
+        out.push_str(&format!("{:>6} {:>14} {:>12}\n", "size", "throughput", "efficiency"));
+        for point in scalability_curve(&model, &sizes) {
+            out.push_str(&format!(
+                "{:>6} {:>14.0} {:>11.0}%\n",
+                point.pool_size,
+                point.throughput,
+                point.efficiency * 100.0
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_increases_with_size() {
+        for app in AppKind::ALL {
+            let curve = scalability_curve(&app.model(), &[1, 2, 4, 8]);
+            for pair in curve.windows(2) {
+                assert!(
+                    pair[1].throughput >= pair[0].throughput,
+                    "{app}: throughput must be monotone in pool size"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn efficiency_never_exceeds_linear() {
+        for app in AppKind::ALL {
+            for point in scalability_curve(&app.model(), &[1, 2, 4, 8, 16, 32]) {
+                assert!(point.efficiency <= 1.0 + 1e-9, "{app}: superlinear scaling is a bug");
+            }
+        }
+    }
+
+    #[test]
+    fn lock_bound_app_saturates() {
+        // DCS's synchronized zxid stamping imposes an Amdahl ceiling; at 32
+        // members it must be visibly below linear while Marketcetera stays
+        // near-linear.
+        let dcs = scalability_curve(&AppKind::Dcs.model(), &[32]);
+        let mkt = scalability_curve(&AppKind::Marketcetera.model(), &[32]);
+        assert!(
+            dcs[0].efficiency < 0.7,
+            "DCS at 32 members should be lock-bound, efficiency {:.2}",
+            dcs[0].efficiency
+        );
+        assert!(
+            mkt[0].efficiency > dcs[0].efficiency,
+            "lock-free routing must scale better than total ordering"
+        );
+    }
+
+    #[test]
+    fn single_member_is_reference_efficiency() {
+        for app in AppKind::ALL {
+            let curve = scalability_curve(&app.model(), &[1]);
+            assert!((curve[0].efficiency - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_covers_all_apps() {
+        let text = render_scalability();
+        for app in AppKind::ALL {
+            assert!(text.contains(&format!("## {app}")));
+        }
+    }
+}

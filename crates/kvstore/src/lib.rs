@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! HyperDex-like strongly consistent in-memory key-value store (paper §4.1).
+//!
+//! ElasticRMI keeps the shared state of an elastic object pool — its instance
+//! and static fields — in an external in-memory store with strong
+//! consistency, and maps `synchronized` methods onto named distributed locks
+//! (`ERMI.lock("C1")` in Fig. 6). This crate is that substrate:
+//!
+//! * a sharded, versioned, linearizable key-value store ([`Store`]) holding
+//!   opaque byte values (the RMI codec lives in `erm-transport`; the field
+//!   mapping like `"C1$x"` lives in `elasticrmi::state`),
+//! * conditional writes (`compare_and_put`) used for atomic read-modify-write
+//!   of shared fields,
+//! * prefix scans (backing the DCS hierarchical namespace),
+//! * a named lock manager with owner tracking and TTL expiry
+//!   ([`Store::try_lock`]), and
+//! * operation statistics (including lock contention), which applications
+//!   surface as fine-grained elasticity metrics (`avgLockAcqFailure` in the
+//!   paper's `CacheExplicit2`).
+//!
+//! Like HyperDex in the paper, durability matches Java RMI's: state lives in
+//! memory only.
+//!
+//! # Example
+//!
+//! ```
+//! use erm_kvstore::{LockOwner, Store, StoreConfig};
+//! use erm_sim::{SimDuration, SimTime};
+//!
+//! let store = Store::new(StoreConfig::default());
+//! store.put("C1$x", b"5".to_vec());
+//! assert_eq!(store.get("C1$x").unwrap().value, b"5");
+//!
+//! let me = LockOwner::new(1);
+//! assert!(store.try_lock("C1", me, SimTime::ZERO, SimDuration::from_secs(30)));
+//! store.unlock("C1", me).unwrap();
+//! ```
+
+mod locks;
+mod store;
+
+pub use locks::{LockError, LockManager, LockOwner, LockStats};
+pub use store::{CasError, Store, StoreConfig, StoreStats, Versioned};

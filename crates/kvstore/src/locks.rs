@@ -1,0 +1,243 @@
+//! Named distributed locks with TTL expiry.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use erm_sim::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a lock holder (one elastic object / skeleton).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LockOwner(u64);
+
+impl LockOwner {
+    /// Creates an owner id.
+    pub const fn new(id: u64) -> Self {
+        LockOwner(id)
+    }
+
+    /// The raw id.
+    pub const fn id(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for LockOwner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "owner-{}", self.0)
+    }
+}
+
+/// Errors from lock release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// The lock is not currently held at all.
+    NotHeld,
+    /// The lock is held by a different owner.
+    HeldByOther(LockOwner),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::NotHeld => write!(f, "lock is not held"),
+            LockError::HeldByOther(o) => write!(f, "lock is held by {o}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Contention counters. `failure_rate()` is the paper's `avgLockAcqFailure`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LockStats {
+    /// Total acquisition attempts.
+    pub attempts: u64,
+    /// Attempts that failed because another owner held the lock.
+    pub failures: u64,
+    /// Locks reclaimed after their TTL lapsed (crashed holders).
+    pub expirations: u64,
+}
+
+impl LockStats {
+    /// Fraction of acquisition attempts that failed, in `[0, 1]`.
+    pub fn failure_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.attempts as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Holder {
+    owner: LockOwner,
+    expires_at: SimTime,
+}
+
+/// The lock table. Embedded in [`crate::Store`]; usable standalone in tests.
+///
+/// Locks carry a TTL so that a holder that crashes mid-critical-section
+/// (an RMI object "can crash in the middle of a remote method invocation",
+/// §4.4) cannot wedge the whole pool: the next attempt after expiry steals
+/// the lock.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    table: Mutex<HashMap<String, Holder>>,
+    attempts: AtomicU64,
+    failures: AtomicU64,
+    expirations: AtomicU64,
+}
+
+impl LockManager {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attempts to acquire `name` for `owner` until `now + ttl`.
+    ///
+    /// Succeeds when the lock is free, expired, or already held by `owner`
+    /// (refreshing the TTL). Returns `false` when held by another live
+    /// owner.
+    pub fn try_lock(&self, name: &str, owner: LockOwner, now: SimTime, ttl: SimDuration) -> bool {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        let mut table = self.table.lock();
+        match table.get(name) {
+            Some(holder) if holder.owner != owner && holder.expires_at > now => {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            other => {
+                if matches!(other, Some(h) if h.owner != owner) {
+                    self.expirations.fetch_add(1, Ordering::Relaxed);
+                }
+                table.insert(
+                    name.to_string(),
+                    Holder {
+                        owner,
+                        expires_at: now + ttl,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Releases `name` if held by `owner`.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::NotHeld`] if nobody holds the lock,
+    /// [`LockError::HeldByOther`] if another owner does.
+    pub fn unlock(&self, name: &str, owner: LockOwner) -> Result<(), LockError> {
+        let mut table = self.table.lock();
+        match table.get(name) {
+            None => Err(LockError::NotHeld),
+            Some(h) if h.owner != owner => Err(LockError::HeldByOther(h.owner)),
+            Some(_) => {
+                table.remove(name);
+                Ok(())
+            }
+        }
+    }
+
+    /// The current holder of `name`, if any (ignoring expiry).
+    pub fn holder(&self, name: &str) -> Option<LockOwner> {
+        self.table.lock().get(name).map(|h| h.owner)
+    }
+
+    /// Snapshot of contention counters.
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TTL: SimDuration = SimDuration::from_secs(30);
+
+    #[test]
+    fn exclusive_acquisition() {
+        let locks = LockManager::new();
+        let (a, b) = (LockOwner::new(1), LockOwner::new(2));
+        assert!(locks.try_lock("C1", a, SimTime::ZERO, TTL));
+        assert!(!locks.try_lock("C1", b, SimTime::from_secs(1), TTL));
+        assert_eq!(locks.holder("C1"), Some(a));
+    }
+
+    #[test]
+    fn reacquire_by_holder_refreshes_ttl() {
+        let locks = LockManager::new();
+        let a = LockOwner::new(1);
+        assert!(locks.try_lock("C1", a, SimTime::ZERO, TTL));
+        assert!(locks.try_lock("C1", a, SimTime::from_secs(20), TTL));
+        // Without the refresh this would be past expiry (t=35 > 0+30).
+        let b = LockOwner::new(2);
+        assert!(!locks.try_lock("C1", b, SimTime::from_secs(35), TTL));
+    }
+
+    #[test]
+    fn unlock_then_other_acquires() {
+        let locks = LockManager::new();
+        let (a, b) = (LockOwner::new(1), LockOwner::new(2));
+        locks.try_lock("C1", a, SimTime::ZERO, TTL);
+        locks.unlock("C1", a).unwrap();
+        assert!(locks.try_lock("C1", b, SimTime::from_secs(1), TTL));
+    }
+
+    #[test]
+    fn unlock_errors_are_precise() {
+        let locks = LockManager::new();
+        let (a, b) = (LockOwner::new(1), LockOwner::new(2));
+        assert_eq!(locks.unlock("C1", a), Err(LockError::NotHeld));
+        locks.try_lock("C1", a, SimTime::ZERO, TTL);
+        assert_eq!(locks.unlock("C1", b), Err(LockError::HeldByOther(a)));
+    }
+
+    #[test]
+    fn expired_lock_is_stolen() {
+        let locks = LockManager::new();
+        let (a, b) = (LockOwner::new(1), LockOwner::new(2));
+        locks.try_lock("C1", a, SimTime::ZERO, TTL);
+        assert!(locks.try_lock("C1", b, SimTime::from_secs(31), TTL));
+        assert_eq!(locks.holder("C1"), Some(b));
+        assert_eq!(locks.stats().expirations, 1);
+    }
+
+    #[test]
+    fn stats_track_contention() {
+        let locks = LockManager::new();
+        let (a, b) = (LockOwner::new(1), LockOwner::new(2));
+        locks.try_lock("C1", a, SimTime::ZERO, TTL);
+        for _ in 0..3 {
+            locks.try_lock("C1", b, SimTime::from_secs(1), TTL);
+        }
+        let stats = locks.stats();
+        assert_eq!(stats.attempts, 4);
+        assert_eq!(stats.failures, 3);
+        assert_eq!(stats.failure_rate(), 0.75);
+    }
+
+    #[test]
+    fn distinct_locks_are_independent() {
+        let locks = LockManager::new();
+        let (a, b) = (LockOwner::new(1), LockOwner::new(2));
+        assert!(locks.try_lock("C1", a, SimTime::ZERO, TTL));
+        assert!(locks.try_lock("C2", b, SimTime::ZERO, TTL));
+    }
+
+    #[test]
+    fn failure_rate_of_empty_stats_is_zero() {
+        assert_eq!(LockStats::default().failure_rate(), 0.0);
+    }
+}

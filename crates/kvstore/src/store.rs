@@ -1,0 +1,469 @@
+//! The sharded, versioned store.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use erm_sim::{SimDuration, SimTime};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::locks::{LockError, LockManager, LockOwner, LockStats};
+
+/// A value together with its monotonically increasing version.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Versioned {
+    /// The stored bytes.
+    pub value: Vec<u8>,
+    /// Version assigned by the store; 1 for the first write of a key.
+    pub version: u64,
+}
+
+/// Error returned by [`Store::compare_and_put`] when the expected version
+/// does not match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CasError {
+    /// The version actually stored (`None` if the key is absent).
+    pub actual: Option<u64>,
+}
+
+impl fmt::Display for CasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.actual {
+            Some(v) => write!(f, "compare-and-put conflict: stored version is {v}"),
+            None => write!(f, "compare-and-put conflict: key is absent"),
+        }
+    }
+}
+
+impl std::error::Error for CasError {}
+
+/// Store construction parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Number of shards (each with its own reader-writer lock). More shards
+    /// means more write parallelism, mirroring HyperDex's partitioned space.
+    pub shards: usize,
+    /// Number of backing "nodes" the store runs on. ElasticRMI instantiates
+    /// HyperDex on one Mesos slice and "may add additional nodes to HyperDex
+    /// as necessary" (§4.2); the node count scales the modelled op capacity.
+    pub initial_nodes: u32,
+    /// Modelled operations/second one node sustains; used by the simulation
+    /// harness for latency accounting, not enforced on real calls.
+    pub ops_per_node_per_sec: f64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 16,
+            initial_nodes: 1,
+            ops_per_node_per_sec: 200_000.0,
+        }
+    }
+}
+
+/// Counters exposed for metrics and fine-grained scaling decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Completed `get` operations.
+    pub gets: u64,
+    /// Completed `put` operations.
+    pub puts: u64,
+    /// Completed `delete` operations.
+    pub deletes: u64,
+    /// `compare_and_put` calls that failed the version check.
+    pub cas_conflicts: u64,
+}
+
+/// The strongly consistent in-memory store. See the [crate docs](crate).
+///
+/// All operations are linearizable: each key lives in exactly one shard and
+/// every read/write takes that shard's lock.
+#[derive(Debug)]
+pub struct Store {
+    shards: Vec<RwLock<BTreeMap<String, Versioned>>>,
+    locks: LockManager,
+    nodes: AtomicU64,
+    config: StoreConfig,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    cas_conflicts: AtomicU64,
+}
+
+impl Store {
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` or `config.initial_nodes` is zero.
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.shards > 0, "store needs at least one shard");
+        assert!(config.initial_nodes > 0, "store needs at least one node");
+        Store {
+            shards: (0..config.shards).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            locks: LockManager::new(),
+            nodes: AtomicU64::new(u64::from(config.initial_nodes)),
+            config,
+            gets: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            cas_conflicts: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> &RwLock<BTreeMap<String, Versioned>> {
+        // FNV-1a over the key selects the shard.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    /// Reads the current value of `key`.
+    pub fn get(&self, key: &str) -> Option<Versioned> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.shard_of(key).read().get(key).cloned()
+    }
+
+    /// Writes `value`, returning the new version (1 for a fresh key).
+    pub fn put(&self, key: &str, value: Vec<u8>) -> u64 {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(key).write();
+        let version = shard.get(key).map_or(1, |v| v.version + 1);
+        shard.insert(key.to_string(), Versioned { value, version });
+        version
+    }
+
+    /// Writes `value` only if the stored version equals `expected`
+    /// (`None` = key must be absent). Returns the new version on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError`] with the actual version on mismatch.
+    pub fn compare_and_put(
+        &self,
+        key: &str,
+        expected: Option<u64>,
+        value: Vec<u8>,
+    ) -> Result<u64, CasError> {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_of(key).write();
+        let actual = shard.get(key).map(|v| v.version);
+        if actual != expected {
+            self.cas_conflicts.fetch_add(1, Ordering::Relaxed);
+            return Err(CasError { actual });
+        }
+        let version = actual.unwrap_or(0) + 1;
+        shard.insert(key.to_string(), Versioned { value, version });
+        Ok(version)
+    }
+
+    /// Removes `key`, returning whether it existed.
+    pub fn delete(&self, key: &str) -> bool {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.shard_of(key).write().remove(key).is_some()
+    }
+
+    /// Total number of stored keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All keys starting with `prefix`, sorted. Backs hierarchical
+    /// namespaces (the DCS application lists children of a path this way).
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .range(prefix.to_string()..)
+                    .take_while(|(k, _)| k.starts_with(prefix))
+                    .map(|(k, _)| k.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Attempts to acquire the named lock for `owner`, valid for `ttl` from
+    /// `now`. Lock acquisition is idempotent for the current holder (the
+    /// TTL is refreshed). Returns `false` when another owner holds it.
+    ///
+    /// This is the mechanism behind `synchronized` elastic methods: the
+    /// preprocessor-equivalent wraps the method body in a lock named after
+    /// the class (Fig. 6).
+    pub fn try_lock(&self, name: &str, owner: LockOwner, now: SimTime, ttl: SimDuration) -> bool {
+        self.locks.try_lock(name, owner, now, ttl)
+    }
+
+    /// Releases the named lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError`] if `owner` does not hold the lock.
+    pub fn unlock(&self, name: &str, owner: LockOwner) -> Result<(), LockError> {
+        self.locks.unlock(name, owner)
+    }
+
+    /// Lock contention statistics (fed into fine-grained scaling metrics).
+    pub fn lock_stats(&self) -> LockStats {
+        self.locks.stats()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            cas_conflicts: self.cas_conflicts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of backing store nodes.
+    pub fn nodes(&self) -> u32 {
+        self.nodes.load(Ordering::Relaxed) as u32
+    }
+
+    /// Adds `n` store nodes (capacity growth; §4.2 "ElasticRMI may add
+    /// additional nodes to HyperDex as necessary").
+    pub fn add_nodes(&self, n: u32) {
+        self.nodes.fetch_add(u64::from(n), Ordering::Relaxed);
+    }
+
+    /// Modelled aggregate throughput capacity in ops/second, used by the
+    /// simulation harness to account for store-induced latency.
+    pub fn modelled_capacity_ops(&self) -> f64 {
+        self.config.ops_per_node_per_sec * self.nodes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn store() -> Store {
+        Store::new(StoreConfig::default())
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let s = store();
+        s.put("k", b"v".to_vec());
+        assert_eq!(s.get("k").unwrap().value, b"v");
+        assert_eq!(s.get("absent"), None);
+    }
+
+    #[test]
+    fn versions_increase_monotonically() {
+        let s = store();
+        assert_eq!(s.put("k", b"1".to_vec()), 1);
+        assert_eq!(s.put("k", b"2".to_vec()), 2);
+        assert_eq!(s.get("k").unwrap().version, 2);
+    }
+
+    #[test]
+    fn cas_succeeds_on_matching_version() {
+        let s = store();
+        let v = s.put("k", b"1".to_vec());
+        let v2 = s.compare_and_put("k", Some(v), b"2".to_vec()).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(s.get("k").unwrap().value, b"2");
+    }
+
+    #[test]
+    fn cas_fails_on_stale_version() {
+        let s = store();
+        s.put("k", b"1".to_vec());
+        s.put("k", b"2".to_vec());
+        let err = s.compare_and_put("k", Some(1), b"x".to_vec()).unwrap_err();
+        assert_eq!(err.actual, Some(2));
+        assert_eq!(s.stats().cas_conflicts, 1);
+        assert_eq!(s.get("k").unwrap().value, b"2");
+    }
+
+    #[test]
+    fn cas_none_means_create_only() {
+        let s = store();
+        assert_eq!(s.compare_and_put("k", None, b"1".to_vec()), Ok(1));
+        let err = s.compare_and_put("k", None, b"2".to_vec()).unwrap_err();
+        assert_eq!(err.actual, Some(1));
+    }
+
+    #[test]
+    fn delete_removes_and_reports() {
+        let s = store();
+        s.put("k", b"1".to_vec());
+        assert!(s.delete("k"));
+        assert!(!s.delete("k"));
+        assert_eq!(s.get("k"), None);
+        // A fresh write after delete restarts versioning.
+        assert_eq!(s.put("k", b"2".to_vec()), 1);
+    }
+
+    #[test]
+    fn prefix_scan_is_sorted_and_scoped() {
+        let s = store();
+        for k in ["/a/1", "/a/2", "/b/1", "/a", "/ab"] {
+            s.put(k, vec![]);
+        }
+        assert_eq!(s.keys_with_prefix("/a/"), vec!["/a/1", "/a/2"]);
+        assert_eq!(s.keys_with_prefix("/a"), vec!["/a", "/a/1", "/a/2", "/ab"]);
+        assert!(s.keys_with_prefix("/zzz").is_empty());
+    }
+
+    #[test]
+    fn len_spans_shards() {
+        let s = store();
+        for i in 0..100 {
+            s.put(&format!("key-{i}"), vec![]);
+        }
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let s = store();
+        s.put("a", vec![]);
+        s.get("a");
+        s.get("b");
+        s.delete("a");
+        let st = s.stats();
+        assert_eq!((st.puts, st.gets, st.deletes), (1, 2, 1));
+    }
+
+    #[test]
+    fn add_nodes_scales_modelled_capacity() {
+        let s = Store::new(StoreConfig {
+            ops_per_node_per_sec: 1000.0,
+            ..StoreConfig::default()
+        });
+        assert_eq!(s.modelled_capacity_ops(), 1000.0);
+        s.add_nodes(3);
+        assert_eq!(s.nodes(), 4);
+        assert_eq!(s.modelled_capacity_ops(), 4000.0);
+    }
+
+    #[test]
+    fn concurrent_puts_are_linearizable_per_key() {
+        let s = Arc::new(store());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.put("counter", b"x".to_vec());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 8 threads * 1000 puts -> final version is exactly 8000.
+        assert_eq!(s.get("counter").unwrap().version, 8000);
+    }
+
+    #[test]
+    fn concurrent_cas_admits_exactly_one_winner_per_round() {
+        let s = Arc::new(store());
+        s.put("k", b"0".to_vec());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut wins = 0u32;
+                for _ in 0..500 {
+                    let cur = s.get("k").unwrap();
+                    if s
+                        .compare_and_put("k", Some(cur.version), vec![t])
+                        .is_ok()
+                    {
+                        wins += 1;
+                    }
+                }
+                wins
+            }));
+        }
+        let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Every successful CAS bumps the version by exactly 1.
+        assert_eq!(s.get("k").unwrap().version, u64::from(total) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = Store::new(StoreConfig {
+            shards: 0,
+            ..StoreConfig::default()
+        });
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap as Model;
+
+    proptest! {
+        /// The sharded store behaves exactly like one big ordered map.
+        #[test]
+        fn store_matches_model(
+            ops in proptest::collection::vec(
+                (0u8..3, "[a-c]{1,3}", proptest::collection::vec(any::<u8>(), 0..4)),
+                1..200,
+            )
+        ) {
+            let store = Store::new(StoreConfig::default());
+            let mut model: Model<String, Vec<u8>> = Model::new();
+            for (op, key, value) in ops {
+                match op {
+                    0 => {
+                        store.put(&key, value.clone());
+                        model.insert(key, value);
+                    }
+                    1 => {
+                        let got = store.get(&key).map(|v| v.value);
+                        prop_assert_eq!(got, model.get(&key).cloned());
+                    }
+                    _ => {
+                        let got = store.delete(&key);
+                        prop_assert_eq!(got, model.remove(&key).is_some());
+                    }
+                }
+            }
+            prop_assert_eq!(store.len(), model.len());
+            // Prefix scans agree with the model.
+            let scanned = store.keys_with_prefix("a");
+            let expected: Vec<String> =
+                model.keys().filter(|k| k.starts_with('a')).cloned().collect();
+            prop_assert_eq!(scanned, expected);
+        }
+
+        /// Versions count writes exactly, independent of interleaving.
+        #[test]
+        fn versions_count_writes(keys in proptest::collection::vec("[a-b]{1,2}", 1..100)) {
+            let store = Store::new(StoreConfig::default());
+            let mut writes: std::collections::HashMap<String, u64> = Default::default();
+            for key in keys {
+                let v = store.put(&key, vec![]);
+                let n = writes.entry(key).or_insert(0);
+                *n += 1;
+                prop_assert_eq!(v, *n);
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The SPEC agility metric (paper §5.1).
+
+use erm_sim::{SimDuration, SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Accumulates `Req_min(i)` / `Cap_prov(i)` sub-samples and produces both the
+/// agility-over-time series plotted in Fig. 7 and the run-wide average
+/// agility quoted in the paper's prose.
+///
+/// The meter distinguishes two granularities, matching the paper:
+///
+/// * a **sub-interval** (the SPEC `i`; we default to 1 minute) at which one
+///   `Excess(i)`/`Shortage(i)` pair is recorded, and
+/// * a **plot window** (the figure sampling interval; the paper uses
+///   10 minutes) over which the sub-samples are averaged into one plotted
+///   agility value.
+///
+/// # Example
+///
+/// ```
+/// use erm_metrics::AgilityMeter;
+/// use erm_sim::{SimDuration, SimTime};
+///
+/// let mut meter = AgilityMeter::new(SimDuration::from_minutes(1), SimDuration::from_minutes(10));
+/// for minute in 0..20 {
+///     let t = SimTime::from_minutes(minute);
+///     // 2 nodes needed, 3 provisioned -> excess of 1 everywhere.
+///     meter.record(t, 2.0, 3.0);
+/// }
+/// let report = meter.finish();
+/// assert_eq!(report.mean_agility(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgilityMeter {
+    sub_interval: SimDuration,
+    window: SimDuration,
+    next_sub_due: SimTime,
+    window_start: SimTime,
+    window_excess: f64,
+    window_shortage: f64,
+    window_count: u32,
+    total_excess: f64,
+    total_shortage: f64,
+    total_count: u64,
+    shortage_subs: u64,
+    series: TimeSeries,
+    excess_series: TimeSeries,
+    shortage_series: TimeSeries,
+}
+
+impl AgilityMeter {
+    /// Creates a meter sampling one SPEC sub-interval every `sub_interval`
+    /// and emitting one plotted point every `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either duration is zero or if `window < sub_interval`.
+    pub fn new(sub_interval: SimDuration, window: SimDuration) -> Self {
+        assert!(!sub_interval.is_zero(), "sub-interval must be positive");
+        assert!(window >= sub_interval, "window must cover >= 1 sub-interval");
+        AgilityMeter {
+            sub_interval,
+            window,
+            next_sub_due: SimTime::ZERO,
+            window_start: SimTime::ZERO,
+            window_excess: 0.0,
+            window_shortage: 0.0,
+            window_count: 0,
+            total_excess: 0.0,
+            total_shortage: 0.0,
+            total_count: 0,
+            shortage_subs: 0,
+            series: TimeSeries::new("agility"),
+            excess_series: TimeSeries::new("excess"),
+            shortage_series: TimeSeries::new("shortage"),
+        }
+    }
+
+    /// A meter with the paper's parameters: 1-minute sub-intervals averaged
+    /// into 10-minute plotted points.
+    pub fn paper_default() -> Self {
+        Self::new(SimDuration::from_minutes(1), SimDuration::from_minutes(10))
+    }
+
+    /// Feeds the current capacity picture. Call as often as you like (e.g.
+    /// every simulation tick); the meter latches one sub-sample per
+    /// sub-interval boundary and ignores calls in between.
+    ///
+    /// `req_min` is the minimum capacity (in nodes/objects) needed to meet
+    /// QoS at the current workload; `cap_prov` is the capacity actually
+    /// provisioned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is negative or non-finite.
+    pub fn record(&mut self, now: SimTime, req_min: f64, cap_prov: f64) {
+        assert!(
+            req_min.is_finite() && req_min >= 0.0 && cap_prov.is_finite() && cap_prov >= 0.0,
+            "capacity samples must be finite and non-negative"
+        );
+        if now < self.next_sub_due {
+            return;
+        }
+        self.next_sub_due = now + self.sub_interval;
+
+        let excess = (cap_prov - req_min).max(0.0);
+        let shortage = (req_min - cap_prov).max(0.0);
+        self.window_excess += excess;
+        self.window_shortage += shortage;
+        self.window_count += 1;
+        self.total_excess += excess;
+        self.total_shortage += shortage;
+        self.total_count += 1;
+        if shortage > 0.0 {
+            self.shortage_subs += 1;
+        }
+
+        if now.saturating_since(self.window_start) >= self.window {
+            self.flush_window(now);
+        }
+    }
+
+    fn flush_window(&mut self, now: SimTime) {
+        if self.window_count > 0 {
+            let n = f64::from(self.window_count);
+            self.series
+                .push(now, (self.window_excess + self.window_shortage) / n);
+            self.excess_series.push(now, self.window_excess / n);
+            self.shortage_series.push(now, self.window_shortage / n);
+        }
+        self.window_start = now;
+        self.window_excess = 0.0;
+        self.window_shortage = 0.0;
+        self.window_count = 0;
+    }
+
+    /// Closes the final (possibly partial) window and returns the report.
+    pub fn finish(mut self) -> AgilityReport {
+        let at = self.window_start + self.window;
+        self.flush_window(at.max(self.next_sub_due));
+        AgilityReport {
+            mean_agility: if self.total_count == 0 {
+                0.0
+            } else {
+                (self.total_excess + self.total_shortage) / self.total_count as f64
+            },
+            mean_excess: if self.total_count == 0 {
+                0.0
+            } else {
+                self.total_excess / self.total_count as f64
+            },
+            mean_shortage: if self.total_count == 0 {
+                0.0
+            } else {
+                self.total_shortage / self.total_count as f64
+            },
+            sub_samples: self.total_count,
+            shortage_fraction: if self.total_count == 0 {
+                0.0
+            } else {
+                self.shortage_subs as f64 / self.total_count as f64
+            },
+            series: self.series,
+            excess_series: self.excess_series,
+            shortage_series: self.shortage_series,
+        }
+    }
+}
+
+/// The outcome of an agility measurement: the plotted series plus run-wide
+/// averages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgilityReport {
+    mean_agility: f64,
+    mean_excess: f64,
+    mean_shortage: f64,
+    sub_samples: u64,
+    shortage_fraction: f64,
+    series: TimeSeries,
+    excess_series: TimeSeries,
+    shortage_series: TimeSeries,
+}
+
+impl AgilityReport {
+    /// The SPEC agility over the whole run: `(ΣExcess + ΣShortage) / N`.
+    pub fn mean_agility(&self) -> f64 {
+        self.mean_agility
+    }
+
+    /// Mean excess capacity (resource wastage component).
+    pub fn mean_excess(&self) -> f64 {
+        self.mean_excess
+    }
+
+    /// Mean shortage (under-provisioning component).
+    pub fn mean_shortage(&self) -> f64 {
+        self.mean_shortage
+    }
+
+    /// Number of SPEC sub-samples the averages cover.
+    pub fn sub_samples(&self) -> u64 {
+        self.sub_samples
+    }
+
+    /// Fraction of sub-intervals that were under-provisioned — the share of
+    /// time QoS was at risk. The paper's agility definition "will not be
+    /// valid in a context where the QoS is not met" (§5.1); this statistic
+    /// is how the harness checks that caveat stays small.
+    pub fn shortage_fraction(&self) -> f64 {
+        self.shortage_fraction
+    }
+
+    /// Agility per plot window over time (the Fig. 7 curve).
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Excess-only component over time.
+    pub fn excess_series(&self) -> &TimeSeries {
+        &self.excess_series
+    }
+
+    /// Shortage-only component over time.
+    pub fn shortage_series(&self) -> &TimeSeries {
+        &self.shortage_series
+    }
+
+    /// Fraction of plotted points where agility returned exactly to zero —
+    /// the paper repeatedly notes ElasticRMI "oscillates between 0 and a
+    /// positive value".
+    pub fn zero_fraction(&self) -> f64 {
+        self.series.zero_fraction().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_constant(req: f64, cap: f64, minutes: u64) -> AgilityReport {
+        let mut meter = AgilityMeter::paper_default();
+        for m in 0..minutes {
+            meter.record(SimTime::from_minutes(m), req, cap);
+        }
+        meter.finish()
+    }
+
+    #[test]
+    fn perfectly_provisioned_has_zero_agility() {
+        let report = run_constant(5.0, 5.0, 100);
+        assert_eq!(report.mean_agility(), 0.0);
+        assert_eq!(report.zero_fraction(), 1.0);
+    }
+
+    #[test]
+    fn excess_counts_positive() {
+        let report = run_constant(5.0, 8.0, 60);
+        assert_eq!(report.mean_agility(), 3.0);
+        assert_eq!(report.mean_excess(), 3.0);
+        assert_eq!(report.mean_shortage(), 0.0);
+    }
+
+    #[test]
+    fn shortage_counts_positive() {
+        let report = run_constant(8.0, 5.0, 60);
+        assert_eq!(report.mean_agility(), 3.0);
+        assert_eq!(report.mean_shortage(), 3.0);
+        assert_eq!(report.mean_excess(), 0.0);
+    }
+
+    #[test]
+    fn excess_and_shortage_do_not_cancel() {
+        // Half the run over-provisioned by 2, half under by 2: SPEC agility
+        // adds magnitudes rather than letting them cancel out.
+        let mut meter = AgilityMeter::paper_default();
+        for m in 0..50 {
+            meter.record(SimTime::from_minutes(m), 5.0, 7.0);
+        }
+        for m in 50..100 {
+            meter.record(SimTime::from_minutes(m), 7.0, 5.0);
+        }
+        let report = meter.finish();
+        assert_eq!(report.mean_agility(), 2.0);
+    }
+
+    #[test]
+    fn sub_interval_latching_ignores_dense_calls() {
+        let mut meter =
+            AgilityMeter::new(SimDuration::from_minutes(1), SimDuration::from_minutes(10));
+        // Call every second for 10 minutes: only 10 sub-samples should land.
+        for s in 0..600 {
+            meter.record(SimTime::from_secs(s), 1.0, 2.0);
+        }
+        let report = meter.finish();
+        assert_eq!(report.sub_samples(), 10);
+        assert_eq!(report.mean_agility(), 1.0);
+    }
+
+    #[test]
+    fn series_has_roughly_one_point_per_window() {
+        let report = run_constant(4.0, 4.0, 100);
+        // 100 minutes / 10-minute windows -> about 10 plotted points.
+        let n = report.series().len();
+        assert!((9..=11).contains(&n), "expected ~10 points, got {n}");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_capacity() {
+        let mut meter = AgilityMeter::paper_default();
+        meter.record(SimTime::ZERO, -1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must cover")]
+    fn rejects_window_smaller_than_sub_interval() {
+        let _ = AgilityMeter::new(SimDuration::from_minutes(10), SimDuration::from_minutes(1));
+    }
+
+    #[test]
+    fn shortage_fraction_counts_underprovisioned_time() {
+        let mut meter = AgilityMeter::paper_default();
+        for m in 0..50 {
+            meter.record(SimTime::from_minutes(m), 5.0, 6.0); // excess
+        }
+        for m in 50..100 {
+            meter.record(SimTime::from_minutes(m), 6.0, 5.0); // shortage
+        }
+        let report = meter.finish();
+        assert!((report.shortage_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let report = AgilityMeter::paper_default().finish();
+        assert_eq!(report.mean_agility(), 0.0);
+        assert_eq!(report.sub_samples(), 0);
+    }
+}

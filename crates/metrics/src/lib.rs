@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! SPEC elasticity metrics for the ElasticRMI reproduction.
+//!
+//! Implements the two metrics the paper's evaluation (§5.1) is built on:
+//!
+//! * **Agility** — for a measurement period divided into `N` sub-intervals,
+//!   `Agility = (1/N) (Σ Excess(i) + Σ Shortage(i))` where
+//!   `Excess(i) = max(0, Cap_prov(i) − Req_min(i))` and
+//!   `Shortage(i) = max(0, Req_min(i) − Cap_prov(i))`. An ideal deployment
+//!   has agility 0: never under- nor over-provisioned. See [`AgilityMeter`].
+//! * **Provisioning interval** — the time between requesting a new resource
+//!   and that resource serving its first request. See
+//!   [`ProvisioningRecorder`].
+//!
+//! The crate also provides the QoS trackers (throughput / latency) used by
+//! the threaded runtime and application tests.
+
+mod agility;
+mod provisioning;
+mod qos;
+
+pub use agility::{AgilityMeter, AgilityReport};
+pub use provisioning::{ProvisioningRecorder, ProvisioningReport};
+pub use qos::{LatencyTracker, ThroughputTracker};

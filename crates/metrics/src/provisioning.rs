@@ -1,0 +1,179 @@
+//! The provisioning-interval metric (paper §5.1, Fig. 8).
+
+use std::collections::HashMap;
+
+use erm_sim::{SimDuration, SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Records provisioning intervals: the time between *initiating the request*
+/// to bring up a new resource and that resource *serving its first request*.
+///
+/// # Example
+///
+/// ```
+/// use erm_metrics::ProvisioningRecorder;
+/// use erm_sim::{SimDuration, SimTime};
+///
+/// let mut rec = ProvisioningRecorder::new();
+/// rec.requested(1, SimTime::from_secs(100));
+/// rec.first_served(1, SimTime::from_secs(118));
+/// let report = rec.finish(SimTime::from_secs(200));
+/// assert_eq!(report.mean_latency(), Some(SimDuration::from_secs(18)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProvisioningRecorder {
+    pending: HashMap<u64, SimTime>,
+    completed: Vec<(SimTime, SimDuration)>,
+}
+
+impl ProvisioningRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes that resource `id` was requested at `t`. Re-requesting an id
+    /// that is still pending keeps the *earlier* request time, since the
+    /// metric is defined from request initiation.
+    pub fn requested(&mut self, id: u64, t: SimTime) {
+        self.pending.entry(id).or_insert(t);
+    }
+
+    /// Notes that resource `id` served its first request at `t`. Unknown ids
+    /// are ignored (the resource may predate the measurement period).
+    pub fn first_served(&mut self, id: u64, t: SimTime) {
+        if let Some(start) = self.pending.remove(&id) {
+            self.completed.push((t, t.saturating_since(start)));
+        }
+    }
+
+    /// Number of requests still awaiting their first served invocation.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Closes the measurement at `end` and returns the report. Requests that
+    /// never served anything are reported as `abandoned`.
+    pub fn finish(self, end: SimTime) -> ProvisioningReport {
+        let mut completed = self.completed;
+        completed.sort_by_key(|&(t, _)| t);
+        let mut series = TimeSeries::new("provisioning_latency_s");
+        for &(t, d) in &completed {
+            series.push(t, d.as_secs_f64());
+        }
+        let abandoned = self.pending.len();
+        let mean = if completed.is_empty() {
+            None
+        } else {
+            let total: u64 = completed.iter().map(|&(_, d)| d.as_micros()).sum();
+            Some(SimDuration::from_micros(total / completed.len() as u64))
+        };
+        let max = completed.iter().map(|&(_, d)| d).max();
+        ProvisioningReport {
+            end,
+            events: completed.len(),
+            abandoned,
+            mean,
+            max,
+            series,
+        }
+    }
+}
+
+/// Summary of provisioning intervals over a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProvisioningReport {
+    end: SimTime,
+    events: usize,
+    abandoned: usize,
+    mean: Option<SimDuration>,
+    max: Option<SimDuration>,
+    series: TimeSeries,
+}
+
+impl ProvisioningReport {
+    /// Number of completed provisioning events.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Requests that never served a first invocation before the run ended.
+    pub fn abandoned(&self) -> usize {
+        self.abandoned
+    }
+
+    /// Mean provisioning interval, `None` if no events completed.
+    pub fn mean_latency(&self) -> Option<SimDuration> {
+        self.mean
+    }
+
+    /// Maximum provisioning interval, `None` if no events completed.
+    pub fn max_latency(&self) -> Option<SimDuration> {
+        self.max
+    }
+
+    /// Latency (seconds) against completion time — the Fig. 8 curve.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_request_to_first_serve() {
+        let mut rec = ProvisioningRecorder::new();
+        rec.requested(7, SimTime::from_secs(10));
+        rec.first_served(7, SimTime::from_secs(35));
+        let report = rec.finish(SimTime::from_secs(100));
+        assert_eq!(report.events(), 1);
+        assert_eq!(report.mean_latency(), Some(SimDuration::from_secs(25)));
+        assert_eq!(report.max_latency(), Some(SimDuration::from_secs(25)));
+    }
+
+    #[test]
+    fn re_request_keeps_earliest_time() {
+        let mut rec = ProvisioningRecorder::new();
+        rec.requested(1, SimTime::from_secs(10));
+        rec.requested(1, SimTime::from_secs(20));
+        rec.first_served(1, SimTime::from_secs(30));
+        let report = rec.finish(SimTime::from_secs(50));
+        assert_eq!(report.mean_latency(), Some(SimDuration::from_secs(20)));
+    }
+
+    #[test]
+    fn unknown_serve_is_ignored() {
+        let mut rec = ProvisioningRecorder::new();
+        rec.first_served(99, SimTime::from_secs(5));
+        let report = rec.finish(SimTime::from_secs(10));
+        assert_eq!(report.events(), 0);
+        assert_eq!(report.mean_latency(), None);
+    }
+
+    #[test]
+    fn abandoned_requests_are_counted() {
+        let mut rec = ProvisioningRecorder::new();
+        rec.requested(1, SimTime::from_secs(1));
+        rec.requested(2, SimTime::from_secs(2));
+        rec.first_served(1, SimTime::from_secs(3));
+        assert_eq!(rec.pending_count(), 1);
+        let report = rec.finish(SimTime::from_secs(10));
+        assert_eq!(report.abandoned(), 1);
+        assert_eq!(report.events(), 1);
+    }
+
+    #[test]
+    fn mean_over_multiple_events() {
+        let mut rec = ProvisioningRecorder::new();
+        for (id, start, served) in [(1, 0, 10), (2, 0, 20), (3, 0, 30)] {
+            rec.requested(id, SimTime::from_secs(start));
+            rec.first_served(id, SimTime::from_secs(served));
+        }
+        let report = rec.finish(SimTime::from_secs(60));
+        assert_eq!(report.mean_latency(), Some(SimDuration::from_secs(20)));
+        assert_eq!(report.max_latency(), Some(SimDuration::from_secs(30)));
+        assert_eq!(report.series().len(), 3);
+    }
+}

@@ -1,0 +1,288 @@
+//! QoS trackers: throughput and latency.
+//!
+//! The paper defines QoS per application as "typically a combination of
+//! throughput and latency" (§5.1). These trackers are used by the threaded
+//! runtime's skeletons (per-method stats feeding `getMethodCallStats`) and by
+//! the application tests.
+
+use erm_sim::{SimDuration, SimTime, TimeSeries};
+
+/// Counts events per fixed window and exposes a rate series.
+///
+/// # Example
+///
+/// ```
+/// use erm_metrics::ThroughputTracker;
+/// use erm_sim::{SimDuration, SimTime};
+///
+/// let mut t = ThroughputTracker::new(SimDuration::from_secs(1));
+/// for i in 0..500 {
+///     t.observe(SimTime::from_micros(i * 2_000)); // 500 events in 1s
+/// }
+/// t.flush(SimTime::from_secs(1));
+/// assert_eq!(t.series().samples()[0].1, 500.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThroughputTracker {
+    window: SimDuration,
+    window_start: SimTime,
+    count: u64,
+    total: u64,
+    series: TimeSeries,
+}
+
+impl ThroughputTracker {
+    /// Creates a tracker with the given aggregation window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "throughput window must be positive");
+        ThroughputTracker {
+            window,
+            window_start: SimTime::ZERO,
+            count: 0,
+            total: 0,
+            series: TimeSeries::new("throughput_per_s"),
+        }
+    }
+
+    /// Records one event at `now`, closing windows as needed.
+    pub fn observe(&mut self, now: SimTime) {
+        self.roll(now);
+        self.count += 1;
+        self.total += 1;
+    }
+
+    /// Records `n` events at once.
+    pub fn observe_n(&mut self, now: SimTime, n: u64) {
+        self.roll(now);
+        self.count += n;
+        self.total += n;
+    }
+
+    fn roll(&mut self, now: SimTime) {
+        while now.saturating_since(self.window_start) >= self.window {
+            let end = self.window_start + self.window;
+            let rate = self.count as f64 / self.window.as_secs_f64();
+            self.series.push(end, rate);
+            self.count = 0;
+            self.window_start = end;
+        }
+    }
+
+    /// Closes the window containing `now` so the final partial window is
+    /// emitted.
+    pub fn flush(&mut self, now: SimTime) {
+        self.roll(now + self.window);
+    }
+
+    /// Total events observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Rate per window over time (events/second).
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+/// Online latency statistics with logarithmic buckets.
+///
+/// Tracks count/mean/max exactly and quantiles approximately (bucketed by
+/// powers of √2 starting at 1 µs), which is plenty for QoS thresholds like
+/// "put latency > 100 ms" in the paper's `CacheExplicit2` example.
+#[derive(Debug, Clone)]
+pub struct LatencyTracker {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_micros: u128,
+    max: SimDuration,
+}
+
+const BUCKETS: usize = 64;
+
+impl LatencyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        LatencyTracker {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_micros: 0,
+            max: SimDuration::ZERO,
+        }
+    }
+
+    fn bucket_index(d: SimDuration) -> usize {
+        let micros = d.as_micros().max(1);
+        // Two buckets per power of two (≈ √2 resolution).
+        let log2 = 63 - micros.leading_zeros() as usize;
+        let half = usize::from(micros >= (1u64 << log2) + (1u64 << log2.saturating_sub(1)));
+        (2 * log2 + half).min(BUCKETS - 1)
+    }
+
+    fn bucket_upper_bound(index: usize) -> SimDuration {
+        let log2 = index / 2;
+        let base = 1u64 << log2;
+        let bound = if index % 2 == 0 { base + base / 2 } else { base * 2 };
+        SimDuration::from_micros(bound)
+    }
+
+    /// Records one latency observation.
+    pub fn observe(&mut self, latency: SimDuration) {
+        self.buckets[Self::bucket_index(latency)] += 1;
+        self.count += 1;
+        self.sum_micros += u128::from(latency.as_micros());
+        if latency > self.max {
+            self.max = latency;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean latency, `None` when empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(SimDuration::from_micros(
+            (self.sum_micros / u128::from(self.count)) as u64,
+        ))
+    }
+
+    /// Exact maximum latency, `None` when empty.
+    pub fn max(&self) -> Option<SimDuration> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Approximate quantile (`0.0..=1.0`) as a bucket upper bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be within [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_upper_bound(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another tracker into this one (used when aggregating
+    /// per-skeleton stats at the sentinel).
+    pub fn merge(&mut self, other: &LatencyTracker) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_micros += other.sum_micros;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+impl Default for LatencyTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_counts_rate_per_window() {
+        let mut t = ThroughputTracker::new(SimDuration::from_secs(10));
+        for s in 0..10 {
+            t.observe_n(SimTime::from_secs(s), 100); // 1000 events in 10s
+        }
+        t.flush(SimTime::from_secs(10));
+        assert_eq!(t.total(), 1000);
+        assert_eq!(t.series().samples()[0].1, 100.0);
+    }
+
+    #[test]
+    fn throughput_emits_zero_windows_for_idle_gaps() {
+        let mut t = ThroughputTracker::new(SimDuration::from_secs(1));
+        t.observe(SimTime::from_secs(0));
+        t.observe(SimTime::from_secs(5));
+        t.flush(SimTime::from_secs(5));
+        let zeros = t
+            .series()
+            .iter()
+            .filter(|&(_, v)| v == 0.0)
+            .count();
+        assert!(zeros >= 3, "idle seconds should appear as zero-rate windows");
+    }
+
+    #[test]
+    fn latency_mean_and_max_are_exact() {
+        let mut l = LatencyTracker::new();
+        l.observe(SimDuration::from_millis(10));
+        l.observe(SimDuration::from_millis(20));
+        l.observe(SimDuration::from_millis(30));
+        assert_eq!(l.mean(), Some(SimDuration::from_millis(20)));
+        assert_eq!(l.max(), Some(SimDuration::from_millis(30)));
+        assert_eq!(l.count(), 3);
+    }
+
+    #[test]
+    fn quantile_is_order_of_magnitude_accurate() {
+        let mut l = LatencyTracker::new();
+        for ms in 1..=100u64 {
+            l.observe(SimDuration::from_millis(ms));
+        }
+        let p50 = l.quantile(0.5).unwrap();
+        assert!(
+            p50 >= SimDuration::from_millis(32) && p50 <= SimDuration::from_millis(100),
+            "p50 = {p50}"
+        );
+        let p100 = l.quantile(1.0).unwrap();
+        assert_eq!(p100, SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn empty_latency_tracker_returns_none() {
+        let l = LatencyTracker::new();
+        assert_eq!(l.mean(), None);
+        assert_eq!(l.max(), None);
+        assert_eq!(l.quantile(0.9), None);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyTracker::new();
+        let mut b = LatencyTracker::new();
+        a.observe(SimDuration::from_millis(5));
+        b.observe(SimDuration::from_millis(50));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Some(SimDuration::from_millis(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0,1]")]
+    fn quantile_validates_range() {
+        let l = LatencyTracker::new();
+        let _ = l.quantile(1.5);
+    }
+}

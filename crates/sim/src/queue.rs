@@ -1,0 +1,256 @@
+//! A generic future-event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A priority queue of events keyed by their due time.
+///
+/// Events scheduled for the same instant pop in insertion order (FIFO), which
+/// keeps simulations deterministic. Used by the cluster substrate for
+/// provisioning completions and by the simulated network for message
+/// delivery.
+///
+/// # Example
+///
+/// ```
+/// use erm_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "b");
+/// q.schedule(SimTime::from_secs(1), "a");
+/// let order: Vec<_> = q.pop_due(SimTime::from_secs(2)).collect();
+/// assert_eq!(order, vec!["a", "b"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    due: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to become due at `due`.
+    pub fn schedule(&mut self, due: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { due, seq, event }));
+    }
+
+    /// The due time of the earliest pending event, if any. Simulation drivers
+    /// use this to skip idle stretches of virtual time.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.due)
+    }
+
+    /// Pops and returns every event due at or before `now`, in
+    /// (time, insertion) order. The returned iterator borrows the queue;
+    /// events scheduled while it is alive are not observed by it.
+    pub fn pop_due(&mut self, now: SimTime) -> PopDue<'_, E> {
+        PopDue { queue: self, now }
+    }
+
+    /// Pops the single earliest event due at or before `now`.
+    pub fn pop_one_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.due <= now => {
+                let Reverse(e) = self.heap.pop().expect("peeked entry exists");
+                Some((e.due, e.event))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Drains every pending event regardless of due time, in order.
+    pub fn drain_all(&mut self) -> Vec<(SimTime, E)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(Reverse(e)) = self.heap.pop() {
+            out.push((e.due, e.event));
+        }
+        out
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Iterator returned by [`EventQueue::pop_due`].
+#[derive(Debug)]
+pub struct PopDue<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Iterator for PopDue<'_, E> {
+    type Item = E;
+
+    fn next(&mut self) -> Option<E> {
+        self.queue.pop_one_due(self.now).map(|(_, e)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        let got: Vec<_> = q.pop_due(SimTime::from_secs(10)).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let got: Vec<_> = q.pop_due(t).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn future_events_stay_queued() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "later");
+        assert!(q.pop_due(SimTime::from_secs(4)).next().is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_due(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn pop_one_due_is_incremental() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(
+            q.pop_one_due(SimTime::from_secs(3)),
+            Some((SimTime::from_secs(1), "a"))
+        );
+        assert_eq!(
+            q.pop_one_due(SimTime::from_secs(3)),
+            Some((SimTime::from_secs(2), "b"))
+        );
+        assert_eq!(q.pop_one_due(SimTime::from_secs(3)), None);
+    }
+
+    #[test]
+    fn drain_all_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(9), 9);
+        q.schedule(SimTime::from_secs(4), 4);
+        let drained = q.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].1, 4);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_discards_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.next_due(), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pop order is always non-decreasing in due time, whatever the
+        /// schedule order.
+        #[test]
+        fn pop_order_is_chronological(times in proptest::collection::vec(0u64..1_000, 1..128)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(t), i);
+            }
+            let drained = q.drain_all();
+            for pair in drained.windows(2) {
+                prop_assert!(pair[0].0 <= pair[1].0);
+            }
+            prop_assert_eq!(drained.len(), times.len());
+        }
+
+        /// pop_due never returns an event later than `now` and never loses
+        /// events.
+        #[test]
+        fn pop_due_respects_cutoff(
+            times in proptest::collection::vec(0u64..1_000, 1..128),
+            cutoff in 0u64..1_000,
+        ) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.schedule(SimTime::from_micros(t), t);
+            }
+            let now = SimTime::from_micros(cutoff);
+            let popped: Vec<u64> = q.pop_due(now).collect();
+            prop_assert!(popped.iter().all(|&t| t <= cutoff));
+            let expected = times.iter().filter(|&&t| t <= cutoff).count();
+            prop_assert_eq!(popped.len(), expected);
+            prop_assert_eq!(q.len(), times.len() - expected);
+        }
+    }
+}

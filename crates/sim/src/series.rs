@@ -1,0 +1,179 @@
+//! Timestamped value series used throughout the harness and metrics crates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// An append-only series of `(time, value)` samples.
+///
+/// This is the common currency between the experiment runner (which records
+/// pool sizes, workload rates and utilizations) and the figure printers. It
+/// deliberately stays minimal: ordered pushes, iteration, interpolation-free
+/// lookup, and simple summary statistics.
+///
+/// # Example
+///
+/// ```
+/// use erm_sim::{SimTime, TimeSeries};
+///
+/// let mut s = TimeSeries::new("pool_size");
+/// s.push(SimTime::from_minutes(0), 5.0);
+/// s.push(SimTime::from_minutes(10), 8.0);
+/// assert_eq!(s.mean(), Some(6.5));
+/// assert_eq!(s.value_at(SimTime::from_minutes(7)), Some(5.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series labelled `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// The series label (used as the column header by figure printers).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last sample; series are recorded in
+    /// chronological order.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(t >= last, "time series {} sample out of order", self.name);
+        }
+        self.samples.push((t, value));
+    }
+
+    /// The samples, in chronological order.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The last value recorded at or before `t` (step interpolation), or
+    /// `None` if `t` precedes the first sample.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.samples.binary_search_by_key(&t, |&(st, _)| st) {
+            Ok(i) => Some(self.samples[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.samples[i - 1].1),
+        }
+    }
+
+    /// Arithmetic mean of the values, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Maximum value, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// Minimum value, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.min(v),
+            })
+        })
+    }
+
+    /// Fraction of samples whose value is exactly zero. The paper highlights
+    /// how often ElasticRMI's agility "oscillates back to zero"; this is the
+    /// statistic behind that observation.
+    pub fn zero_fraction(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let zeros = self.samples.iter().filter(|&&(_, v)| v == 0.0).count();
+        Some(zeros as f64 / self.samples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new("test");
+        for &(min, v) in values {
+            s.push(SimTime::from_minutes(min), v);
+        }
+        s
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let s = series(&[(0, 1.0), (10, 3.0), (20, 5.0)]);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_series_has_no_stats() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.zero_fraction(), None);
+    }
+
+    #[test]
+    fn value_at_uses_step_interpolation() {
+        let s = series(&[(10, 1.0), (20, 2.0)]);
+        assert_eq!(s.value_at(SimTime::from_minutes(5)), None);
+        assert_eq!(s.value_at(SimTime::from_minutes(10)), Some(1.0));
+        assert_eq!(s.value_at(SimTime::from_minutes(15)), Some(1.0));
+        assert_eq!(s.value_at(SimTime::from_minutes(20)), Some(2.0));
+        assert_eq!(s.value_at(SimTime::from_minutes(99)), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_push_panics() {
+        let mut s = series(&[(10, 1.0)]);
+        s.push(SimTime::from_minutes(5), 2.0);
+    }
+
+    #[test]
+    fn zero_fraction_counts_exact_zeros() {
+        let s = series(&[(0, 0.0), (1, 2.0), (2, 0.0), (3, 4.0)]);
+        assert_eq!(s.zero_fraction(), Some(0.5));
+    }
+}

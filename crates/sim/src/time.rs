@@ -1,0 +1,302 @@
+//! Simulation timestamps and durations.
+//!
+//! Both types wrap a microsecond count in a `u64`. Microsecond resolution
+//! comfortably spans the paper's 500-minute experiments (3×10¹⁰ µs) while
+//! staying far from overflow (u64 holds ~584,000 years of microseconds).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated (or real, when produced by a system clock) time,
+/// measured in microseconds since the start of the run.
+///
+/// `SimTime` is ordered, copyable and cheap; arithmetic with
+/// [`SimDuration`] is saturating on subtraction so metric code never panics
+/// on slightly out-of-order samples.
+///
+/// # Example
+///
+/// ```
+/// use erm_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(90);
+/// assert_eq!(t.as_secs_f64(), 90.0);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_secs(90));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a timestamp from a raw microsecond count.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates a timestamp `secs` seconds after the origin.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Creates a timestamp `minutes` minutes after the origin; experiment
+    /// configuration in the paper is expressed in minutes.
+    pub const fn from_minutes(minutes: u64) -> Self {
+        SimTime(minutes * 60 * 1_000_000)
+    }
+
+    /// Raw microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin, as a float (lossy above 2^53 µs).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Minutes since the origin, as a float. The paper's figures all use a
+    /// minutes x-axis.
+    pub fn as_minutes_f64(self) -> f64 {
+        self.0 as f64 / 60e6
+    }
+
+    /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A span of simulated time, in microseconds.
+///
+/// # Example
+///
+/// ```
+/// use erm_sim::SimDuration;
+///
+/// let burst = SimDuration::from_secs(60);
+/// assert_eq!(burst * 5, SimDuration::from_minutes(5));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_minutes(minutes: u64) -> Self {
+        SimDuration(minutes * 60 * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration seconds must be finite and non-negative, got {secs}"
+        );
+        SimDuration((secs * 1e6).round() as u64)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    /// Panics on division by zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl From<std::time::Duration> for SimDuration {
+    fn from(d: std::time::Duration) -> Self {
+        SimDuration(d.as_micros() as u64)
+    }
+}
+
+impl From<SimDuration> for std::time::Duration {
+    fn from(d: SimDuration) -> Self {
+        std::time::Duration::from_micros(d.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_secs(10) + SimDuration::from_millis(500);
+        assert_eq!(t.as_micros(), 10_500_000);
+        assert_eq!(t - SimTime::from_secs(10), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn subtraction_saturates_instead_of_panicking() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(5);
+        assert_eq!(early - late, SimDuration::ZERO);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs(1) - SimDuration::from_secs(2),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn minutes_constructor_matches_seconds() {
+        assert_eq!(SimTime::from_minutes(5), SimTime::from_secs(300));
+        assert_eq!(SimDuration::from_minutes(2), SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert_eq!(SimTime::from_minutes(450).as_minutes_f64(), 450.0);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_micros(), 1_500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_duration_rejected() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn std_duration_conversion_roundtrips() {
+        let d = SimDuration::from_millis(1234);
+        let std: std::time::Duration = d.into();
+        assert_eq!(SimDuration::from(std), d);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_readable() {
+        assert_eq!(format!("{}", SimTime::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", SimDuration::from_millis(250)), "0.250s");
+    }
+
+    #[test]
+    fn mul_div_scale_durations() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d * 6, SimDuration::from_minutes(1));
+        assert_eq!(d / 2, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimDuration::from_millis(999) < SimDuration::from_secs(1));
+    }
+}

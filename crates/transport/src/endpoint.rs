@@ -1,0 +1,157 @@
+//! Endpoint identities, datagrams and the network abstraction.
+
+use std::fmt;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one communication endpoint (a client stub, a skeleton, or the
+/// pool runtime). Endpoint ids are assigned by the network and unique within
+/// it; the pool uses their monotonic order for its "royal hierarchy" leader
+/// election (paper §4.3).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EndpointId(pub u64);
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep-{}", self.0)
+    }
+}
+
+/// A received message: the sender plus the opaque payload (encoded with
+/// [`crate::to_bytes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Which endpoint sent this payload.
+    pub from: EndpointId,
+    /// The encoded message.
+    pub payload: Vec<u8>,
+}
+
+/// Errors surfaced by [`Network::send`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The destination endpoint does not exist or has been closed — the
+    /// error a stub observes when an object "has been removed from the pool
+    /// after its identity is sent" (paper §4.3).
+    Unreachable(EndpointId),
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::Unreachable(id) => write!(f, "endpoint {id} is unreachable"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Errors surfaced when receiving from a [`Mailbox`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived within the allowed time.
+    Timeout,
+    /// The endpoint was closed and its queue drained.
+    Closed,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Closed => write!(f, "endpoint closed"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A byte-moving network: the lowest layer of the RMI stack. Implemented by
+/// [`crate::InProcNetwork`] (tests, examples, simulations) and
+/// [`crate::TcpHost`] (real sockets).
+pub trait Network: Send + Sync {
+    /// Delivers `payload` from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Unreachable`] when the destination is unknown or closed.
+    /// A successful return means *accepted for delivery*, not processed —
+    /// injected message loss looks like success, exactly like UDP.
+    fn send(&self, from: EndpointId, to: EndpointId, payload: Vec<u8>) -> Result<(), SendError>;
+}
+
+/// A [`Network`] that can also mint and retire endpoints locally — what a
+/// pool runtime needs to host skeletons. Implemented by
+/// [`crate::InProcNetwork`] and [`crate::TcpHost`].
+pub trait Host: Network {
+    /// Opens a fresh endpoint on this host.
+    fn open(&self) -> (EndpointId, Mailbox);
+    /// Closes a local endpoint; later sends to it fail with
+    /// [`SendError::Unreachable`].
+    fn close(&self, id: EndpointId);
+}
+
+/// The receiving half of an endpoint.
+#[derive(Debug)]
+pub struct Mailbox {
+    id: EndpointId,
+    receiver: Receiver<Datagram>,
+}
+
+impl Mailbox {
+    pub(crate) fn new(id: EndpointId, receiver: Receiver<Datagram>) -> Self {
+        Mailbox { id, receiver }
+    }
+
+    /// This mailbox's endpoint id.
+    pub fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    /// Blocks until a datagram arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Closed`] once the endpoint is closed and drained.
+    pub fn recv(&self) -> Result<Datagram, RecvError> {
+        self.receiver.recv().map_err(|_| RecvError::Closed)
+    }
+
+    /// Waits up to `timeout` for a datagram.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] on expiry, [`RecvError::Closed`] when closed.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Datagram, RecvError> {
+        self.receiver.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Timeout,
+            RecvTimeoutError::Disconnected => RecvError::Closed,
+        })
+    }
+
+    /// Returns a datagram if one is already queued.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] when empty, [`RecvError::Closed`] when closed.
+    pub fn try_recv(&self) -> Result<Datagram, RecvError> {
+        self.receiver.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => RecvError::Timeout,
+            TryRecvError::Disconnected => RecvError::Closed,
+        })
+    }
+
+    /// Number of queued datagrams.
+    pub fn len(&self) -> usize {
+        self.receiver.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.receiver.is_empty()
+    }
+}

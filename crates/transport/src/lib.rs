@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! RMI wire layer for the ElasticRMI reproduction (paper §2.3).
+//!
+//! Three layers live here, mirroring what Java RMI gives the paper for free:
+//!
+//! 1. **Marshalling** — [`to_bytes`]/[`from_bytes`], a compact binary serde
+//!    format standing in for Java object serialization (see [`mod@wire`]'s
+//!    module docs for the encoding).
+//! 2. **Endpoints** — [`EndpointId`], [`Mailbox`] and the [`Network`] trait:
+//!    opaque datagrams between addressable endpoints.
+//! 3. **Transports** — [`InProcNetwork`] (channels within one process, with
+//!    crash/partition fault injection for tests) and [`TcpHost`] (real
+//!    sockets, frame-delimited).
+//!
+//! The RMI *protocol* — requests, responses, redirects, pool-control
+//! messages — is defined one layer up, in the `elasticrmi` crate; this crate
+//! only moves bytes.
+
+pub mod wire;
+
+mod endpoint;
+mod inproc;
+mod tcp;
+
+pub use endpoint::{Datagram, EndpointId, Host, Mailbox, Network, RecvError, SendError};
+pub use inproc::InProcNetwork;
+pub use tcp::TcpHost;
+pub use wire::{from_bytes, to_bytes, WireError};

@@ -1,0 +1,296 @@
+//! TCP transport: the same [`Network`] contract over real sockets.
+//!
+//! Frame format on the wire: `[u32 length][u64 from][u64 to][payload]`,
+//! all little-endian. Each host binds one listener; outgoing connections are
+//! cached per peer address.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use parking_lot::RwLock;
+
+use crate::endpoint::{Datagram, EndpointId, Mailbox, Network, SendError};
+
+/// A TCP-backed [`Network`] host.
+///
+/// Each process runs one `TcpHost`; it owns the local endpoints and a
+/// routing table mapping remote endpoint ids to the socket address of the
+/// host serving them (exchanged out-of-band, the way RMI registries hand out
+/// remote references).
+///
+/// Endpoint id allocation is partitioned by `host_index` (ids are
+/// `host_index * 2^32 + n`) so ids remain unique and ordered across hosts
+/// without coordination.
+///
+/// # Example
+///
+/// ```no_run
+/// use erm_transport::{Network, TcpHost};
+///
+/// let host_a = TcpHost::bind("127.0.0.1:0", 0)?;
+/// let host_b = TcpHost::bind("127.0.0.1:0", 1)?;
+/// let (a, _mail_a) = host_a.open_endpoint();
+/// let (b, mail_b) = host_b.open_endpoint();
+/// host_a.register_peer(b, host_b.local_addr());
+/// host_a.send(a, b, b"over tcp".to_vec())?;
+/// let got = mail_b.recv()?;
+/// assert_eq!(got.payload, b"over tcp");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct TcpHost {
+    inner: Arc<HostInner>,
+}
+
+#[derive(Debug)]
+struct HostInner {
+    local_addr: SocketAddr,
+    host_index: u32,
+    next_local: AtomicU64,
+    local: RwLock<HashMap<EndpointId, Sender<Datagram>>>,
+    peers: RwLock<HashMap<EndpointId, SocketAddr>>,
+    conns: Mutex<HashMap<SocketAddr, TcpStream>>,
+    shutdown: AtomicBool,
+}
+
+impl TcpHost {
+    /// Binds a listener on `addr` (use port 0 for an ephemeral port) and
+    /// starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn bind(addr: &str, host_index: u32) -> std::io::Result<TcpHost> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(HostInner {
+            local_addr,
+            host_index,
+            next_local: AtomicU64::new(0),
+            local: RwLock::new(HashMap::new()),
+            peers: RwLock::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_inner = Arc::clone(&inner);
+        thread::Builder::new()
+            .name(format!("tcp-accept-{local_addr}"))
+            .spawn(move || accept_loop(listener, accept_inner))?;
+        Ok(TcpHost { inner })
+    }
+
+    /// The address peers should use to reach endpoints on this host.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Opens a local endpoint.
+    pub fn open_endpoint(&self) -> (EndpointId, Mailbox) {
+        let n = self.inner.next_local.fetch_add(1, Ordering::SeqCst);
+        let id = EndpointId((u64::from(self.inner.host_index) << 32) | n);
+        let (tx, rx) = unbounded();
+        self.inner.local.write().insert(id, tx);
+        (id, Mailbox::new(id, rx))
+    }
+
+    /// Closes a local endpoint.
+    pub fn close_endpoint(&self, id: EndpointId) {
+        self.inner.local.write().remove(&id);
+    }
+
+    /// Teaches this host that endpoint `id` lives on the host at `addr`.
+    pub fn register_peer(&self, id: EndpointId, addr: SocketAddr) {
+        self.inner.peers.write().insert(id, addr);
+    }
+
+    /// Stops accepting new connections (best-effort; used on drop paths in
+    /// examples).
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop awake.
+        let _ = TcpStream::connect(self.inner.local_addr);
+    }
+
+    fn send_remote(
+        &self,
+        addr: SocketAddr,
+        from: EndpointId,
+        to: EndpointId,
+        payload: &[u8],
+    ) -> std::io::Result<()> {
+        let mut conns = self.inner.conns.lock();
+        // One write attempt over a cached connection, one over a fresh
+        // connection if the cached one died.
+        for attempt in 0..2 {
+            if !conns.contains_key(&addr) {
+                conns.insert(addr, TcpStream::connect(addr)?);
+            }
+            let stream = conns.get_mut(&addr).expect("just inserted");
+            match write_frame(stream, from, to, payload) {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt == 0 => {
+                    let _ = e;
+                    conns.remove(&addr);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on success or final error")
+    }
+}
+
+impl crate::endpoint::Host for TcpHost {
+    fn open(&self) -> (EndpointId, Mailbox) {
+        self.open_endpoint()
+    }
+
+    fn close(&self, id: EndpointId) {
+        self.close_endpoint(id);
+    }
+}
+
+impl Network for TcpHost {
+    fn send(&self, from: EndpointId, to: EndpointId, payload: Vec<u8>) -> Result<(), SendError> {
+        // Local fast path.
+        if let Some(tx) = self.inner.local.read().get(&to) {
+            let _ = tx.send(Datagram { from, payload });
+            return Ok(());
+        }
+        let addr = {
+            let peers = self.inner.peers.read();
+            *peers.get(&to).ok_or(SendError::Unreachable(to))?
+        };
+        self.send_remote(addr, from, to, &payload)
+            .map_err(|_| SendError::Unreachable(to))
+    }
+}
+
+fn write_frame(
+    stream: &mut TcpStream,
+    from: EndpointId,
+    to: EndpointId,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut frame = Vec::with_capacity(4 + 16 + payload.len());
+    let len = u32::try_from(16 + payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "payload too large"))?;
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&from.0.to_le_bytes());
+    frame.extend_from_slice(&to.0.to_le_bytes());
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame)
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<HostInner>) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_inner = Arc::clone(&inner);
+        let _ = thread::Builder::new()
+            .name("tcp-conn".to_string())
+            .spawn(move || read_loop(stream, conn_inner));
+    }
+}
+
+fn read_loop(mut stream: TcpStream, inner: Arc<HostInner>) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).is_err() {
+            return;
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len < 16 {
+            return; // malformed frame
+        }
+        let mut frame = vec![0u8; len];
+        if stream.read_exact(&mut frame).is_err() {
+            return;
+        }
+        let from = EndpointId(u64::from_le_bytes(frame[0..8].try_into().expect("8 bytes")));
+        let to = EndpointId(u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes")));
+        let payload = frame[16..].to_vec();
+        if let Some(tx) = inner.local.read().get(&to) {
+            let _ = tx.send(Datagram { from, payload });
+        }
+        // Unknown destination: frame dropped, like a NIC with no listener.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn pair() -> (TcpHost, TcpHost) {
+        let a = TcpHost::bind("127.0.0.1:0", 0).unwrap();
+        let b = TcpHost::bind("127.0.0.1:0", 1).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn cross_host_roundtrip() {
+        let (host_a, host_b) = pair();
+        let (a, mail_a) = host_a.open_endpoint();
+        let (b, mail_b) = host_b.open_endpoint();
+        host_a.register_peer(b, host_b.local_addr());
+        host_b.register_peer(a, host_a.local_addr());
+
+        host_a.send(a, b, b"ping".to_vec()).unwrap();
+        let got = mail_b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.from, a);
+        assert_eq!(got.payload, b"ping");
+
+        host_b.send(b, a, b"pong".to_vec()).unwrap();
+        let got = mail_a.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.payload, b"pong");
+    }
+
+    #[test]
+    fn local_delivery_skips_sockets() {
+        let host = TcpHost::bind("127.0.0.1:0", 0).unwrap();
+        let (a, _mail_a) = host.open_endpoint();
+        let (b, mail_b) = host.open_endpoint();
+        host.send(a, b, vec![42]).unwrap();
+        assert_eq!(mail_b.recv().unwrap().payload, vec![42]);
+    }
+
+    #[test]
+    fn unknown_peer_is_unreachable() {
+        let host = TcpHost::bind("127.0.0.1:0", 0).unwrap();
+        let (a, _mail) = host.open_endpoint();
+        let ghost = EndpointId(u64::MAX);
+        assert_eq!(host.send(a, ghost, vec![]), Err(SendError::Unreachable(ghost)));
+    }
+
+    #[test]
+    fn endpoint_ids_are_partitioned_by_host() {
+        let (host_a, host_b) = pair();
+        let (a, _ma) = host_a.open_endpoint();
+        let (b, _mb) = host_b.open_endpoint();
+        assert_ne!(a, b);
+        assert!(b > a, "host index orders ids");
+    }
+
+    #[test]
+    fn many_messages_preserve_order_per_connection() {
+        let (host_a, host_b) = pair();
+        let (a, _mail_a) = host_a.open_endpoint();
+        let (b, mail_b) = host_b.open_endpoint();
+        host_a.register_peer(b, host_b.local_addr());
+        for i in 0..200u32 {
+            host_a.send(a, b, i.to_le_bytes().to_vec()).unwrap();
+        }
+        for i in 0..200u32 {
+            let got = mail_b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(got.payload, i.to_le_bytes().to_vec());
+        }
+    }
+}

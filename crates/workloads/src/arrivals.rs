@@ -1,0 +1,170 @@
+//! Open-loop arrival processes on top of the rate patterns.
+//!
+//! The fluid experiment harness consumes rates directly; driving a *real*
+//! pool (integration tests, demos) needs discrete request arrivals. This
+//! module turns a [`Workload`] rate trajectory into reproducible arrival
+//! counts and timestamps via a Poisson process with the pattern's
+//! time-varying intensity.
+
+use erm_sim::{derive_seed, seeded_rng, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::pattern::Workload;
+
+/// A deterministic Poisson arrival generator following a workload pattern.
+///
+/// # Example
+///
+/// ```
+/// use erm_sim::{SimDuration, SimTime};
+/// use erm_workloads::{ArrivalProcess, PatternKind, Workload};
+///
+/// let w = Workload::paper_pattern(PatternKind::Abrupt, 1_000.0);
+/// let mut arrivals = ArrivalProcess::new(w, 7);
+/// let n = arrivals.count_in(SimTime::ZERO, SimDuration::from_secs(1));
+/// assert!(n < 400, "initial load is ~10% of the 1k/s peak, got {n}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    workload: Workload,
+    rng: StdRng,
+}
+
+impl ArrivalProcess {
+    /// Creates a process for `workload` seeded by `seed`.
+    pub fn new(workload: Workload, seed: u64) -> Self {
+        ArrivalProcess {
+            rng: seeded_rng(derive_seed(seed, "arrivals")),
+            workload,
+        }
+    }
+
+    /// The underlying workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Samples how many requests arrive in `[start, start + window)`.
+    ///
+    /// Uses a Poisson draw with mean `rate(midpoint) × window` (the pattern
+    /// changes slowly relative to any sensible window, so midpoint intensity
+    /// is an adequate thinning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn count_in(&mut self, start: SimTime, window: SimDuration) -> u64 {
+        assert!(!window.is_zero(), "arrival window must be positive");
+        let midpoint = start + window / 2;
+        let mean = self.workload.noisy_rate_at(midpoint) * window.as_secs_f64();
+        self.poisson(mean)
+    }
+
+    /// Samples the arrival timestamps in `[start, start + window)`, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn arrivals_in(&mut self, start: SimTime, window: SimDuration) -> Vec<SimTime> {
+        let n = self.count_in(start, window);
+        // Conditioned on the count, Poisson arrivals are uniform i.i.d.
+        let mut times: Vec<SimTime> = (0..n)
+            .map(|_| start + SimDuration::from_micros(self.rng.gen_range(0..window.as_micros())))
+            .collect();
+        times.sort_unstable();
+        times
+    }
+
+    fn poisson(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean > 64.0 {
+            // Normal approximation for large means (exact enough here and
+            // O(1) instead of O(mean)): N(mean, mean), clamped at 0.
+            let (u1, u2): (f64, f64) = (self.rng.gen_range(1e-12..1.0), self.rng.gen());
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            return (mean + z * mean.sqrt()).round().max(0.0) as u64;
+        }
+        // Knuth's algorithm for small means.
+        let limit = (-mean).exp();
+        let mut product: f64 = 1.0;
+        let mut count = 0u64;
+        loop {
+            product *= self.rng.gen::<f64>();
+            if product <= limit {
+                return count;
+            }
+            count += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternKind;
+
+    fn process(peak: f64) -> ArrivalProcess {
+        ArrivalProcess::new(Workload::paper_pattern(PatternKind::Abrupt, peak), 42)
+    }
+
+    #[test]
+    fn counts_track_the_pattern() {
+        let mut p = process(10_000.0);
+        let early = p.count_in(SimTime::ZERO, SimDuration::from_secs(10));
+        let peak = p.count_in(SimTime::from_minutes(225), SimDuration::from_secs(10));
+        // ~10% of peak vs 100% of peak over 10 s.
+        assert!(peak > early * 5, "early {early}, peak {peak}");
+        let expect_peak = 10_000.0 * 10.0;
+        assert!((peak as f64) > 0.9 * expect_peak && (peak as f64) < 1.1 * expect_peak);
+    }
+
+    #[test]
+    fn same_seed_same_arrivals() {
+        let mut a = process(500.0);
+        let mut b = process(500.0);
+        for minute in [0, 100, 225] {
+            assert_eq!(
+                a.count_in(SimTime::from_minutes(minute), SimDuration::from_secs(5)),
+                b.count_in(SimTime::from_minutes(minute), SimDuration::from_secs(5))
+            );
+        }
+    }
+
+    #[test]
+    fn arrival_times_are_sorted_and_in_window() {
+        let mut p = process(200.0);
+        let start = SimTime::from_minutes(225);
+        let window = SimDuration::from_secs(2);
+        let times = p.arrivals_in(start, window);
+        assert!(!times.is_empty());
+        for pair in times.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        assert!(times.iter().all(|&t| t >= start && t < start + window));
+    }
+
+    #[test]
+    fn poisson_small_mean_statistics() {
+        let mut p = process(1.0);
+        let total: u64 = (0..2_000).map(|_| p.poisson(2.0)).sum();
+        let mean = total as f64 / 2_000.0;
+        assert!((1.8..2.2).contains(&mean), "sample mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut p = process(1.0);
+        assert_eq!(p.poisson(0.0), 0);
+        assert_eq!(p.poisson(-5.0), 0);
+    }
+
+    #[test]
+    fn large_mean_uses_sane_approximation() {
+        let mut p = process(1.0);
+        let sample = p.poisson(10_000.0);
+        assert!((9_000..=11_000).contains(&sample), "sample {sample}");
+    }
+}

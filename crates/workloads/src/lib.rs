@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Workload pattern generators for the ElasticRMI evaluation (paper §5.3).
+//!
+//! The paper drives every experiment with one of two shapes:
+//!
+//! * **Abrupt** (Fig. 7a, 450 minutes): gradual non-cyclic increase, rapid
+//!   increases, rapid decrease and gradual decrease — "all possible scenarios
+//!   regarding abrupt changes in workload".
+//! * **Cyclic** (Fig. 7b, 500 minutes): three cycles rising to the peak and
+//!   falling back.
+//!
+//! The *shape* is identical for all four evaluated systems; only the
+//! magnitude (point A for abrupt, point B = 1.2·A for cyclic) differs. That
+//! is exactly how [`Workload`] is parameterized.
+
+mod arrivals;
+mod pattern;
+
+pub use arrivals::ArrivalProcess;
+pub use pattern::{PatternKind, Workload, WorkloadBuilder};
+
+/// Point-A peak rates used by the paper for each application (§5.3).
+pub mod paper {
+    /// Marketcetera order routing: 50,000 orders/s.
+    pub const MARKETCETERA_POINT_A: f64 = 50_000.0;
+    /// DCS coordination service: 75,000 updates/s.
+    pub const DCS_POINT_A: f64 = 75_000.0;
+    /// Paxos: 24,000 consensus rounds/s.
+    pub const PAXOS_POINT_A: f64 = 24_000.0;
+    /// Hedwig publish/subscribe: 30,000 messages/s.
+    pub const HEDWIG_POINT_A: f64 = 30_000.0;
+    /// Point B is "20% above point A" for the cyclic workload.
+    pub const POINT_B_FACTOR: f64 = 1.2;
+}

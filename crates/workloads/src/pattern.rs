@@ -1,0 +1,414 @@
+//! Piecewise-linear workload patterns with optional multiplicative noise.
+
+use erm_sim::{derive_seed, seeded_rng, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's two patterns a workload follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Fig. 7a: 450 minutes with gradual and abrupt rises and falls, peaking
+    /// at point A.
+    Abrupt,
+    /// Fig. 7b: 500 minutes, three cycles peaking at point B (= 1.2 A).
+    Cyclic,
+}
+
+impl PatternKind {
+    /// The experiment duration the paper uses for this pattern.
+    pub fn duration(self) -> SimDuration {
+        match self {
+            PatternKind::Abrupt => SimDuration::from_minutes(450),
+            PatternKind::Cyclic => SimDuration::from_minutes(500),
+        }
+    }
+}
+
+impl std::fmt::Display for PatternKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternKind::Abrupt => write!(f, "abrupt"),
+            PatternKind::Cyclic => write!(f, "cyclic"),
+        }
+    }
+}
+
+/// An arrival-rate trajectory: request rate (events/second) as a function of
+/// simulated time.
+///
+/// # Example
+///
+/// ```
+/// use erm_sim::SimTime;
+/// use erm_workloads::{PatternKind, Workload};
+///
+/// let w = Workload::paper_pattern(PatternKind::Abrupt, 50_000.0);
+/// let peak = w.rate_at(SimTime::from_minutes(240));
+/// assert!(peak > 45_000.0, "pattern peaks near point A");
+/// assert!(w.rate_at(SimTime::from_minutes(0)) < peak / 2.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    kind: PatternKind,
+    peak: f64,
+    /// Control points as (minute, fraction-of-peak); linearly interpolated.
+    points: Vec<(f64, f64)>,
+    noise_amplitude: f64,
+    seed: u64,
+}
+
+impl Workload {
+    /// Builds one of the paper's two patterns with the given peak rate
+    /// (point A for [`PatternKind::Abrupt`]; for [`PatternKind::Cyclic`] pass
+    /// point A as well — the generator applies the paper's 1.2× factor to
+    /// obtain point B).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `peak_a` is finite and positive.
+    pub fn paper_pattern(kind: PatternKind, peak_a: f64) -> Workload {
+        WorkloadBuilder::new(kind, peak_a).build()
+    }
+
+    /// The underlying pattern kind.
+    pub fn kind(&self) -> PatternKind {
+        self.kind
+    }
+
+    /// The absolute peak rate of this trajectory (point A or B).
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Total duration of the trajectory.
+    pub fn duration(&self) -> SimDuration {
+        self.kind.duration()
+    }
+
+    /// The deterministic (noise-free) rate at `t`, linearly interpolated
+    /// between control points and clamped to the final value after the end.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let minute = t.as_minutes_f64();
+        let pts = &self.points;
+        if minute <= pts[0].0 {
+            return pts[0].1 * self.peak;
+        }
+        for pair in pts.windows(2) {
+            let (t0, f0) = pair[0];
+            let (t1, f1) = pair[1];
+            if minute <= t1 {
+                let alpha = if t1 > t0 { (minute - t0) / (t1 - t0) } else { 1.0 };
+                return (f0 + alpha * (f1 - f0)) * self.peak;
+            }
+        }
+        pts.last().expect("patterns have control points").1 * self.peak
+    }
+
+    /// The rate at `t` with deterministic, seed-derived multiplicative noise
+    /// (±`noise_amplitude`), quantized per minute so repeated calls within a
+    /// minute agree.
+    pub fn noisy_rate_at(&self, t: SimTime) -> f64 {
+        let base = self.rate_at(t);
+        if self.noise_amplitude == 0.0 {
+            return base;
+        }
+        let minute = t.as_minutes_f64().floor() as u64;
+        let mut rng = seeded_rng(derive_seed(self.seed, &format!("noise-{minute}")));
+        let factor = 1.0 + rng.gen_range(-self.noise_amplitude..=self.noise_amplitude);
+        (base * factor).max(0.0)
+    }
+
+    /// Samples the trajectory at a fixed interval — handy for printing
+    /// Fig. 7a/7b themselves.
+    pub fn sample(&self, interval: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        let end = SimTime::ZERO + self.duration();
+        while t <= end {
+            out.push((t, self.rate_at(t)));
+            t += interval;
+        }
+        out
+    }
+}
+
+/// Configures a [`Workload`] beyond the paper defaults.
+///
+/// # Example
+///
+/// ```
+/// use erm_workloads::{PatternKind, WorkloadBuilder};
+///
+/// let w = WorkloadBuilder::new(PatternKind::Cyclic, 30_000.0)
+///     .noise(0.05)
+///     .seed(7)
+///     .build();
+/// assert_eq!(w.peak(), 36_000.0); // point B = 1.2 * A
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    kind: PatternKind,
+    peak_a: f64,
+    noise_amplitude: f64,
+    seed: u64,
+}
+
+impl WorkloadBuilder {
+    /// Starts a builder for the given pattern and point-A rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `peak_a` is finite and positive.
+    pub fn new(kind: PatternKind, peak_a: f64) -> Self {
+        assert!(
+            peak_a.is_finite() && peak_a > 0.0,
+            "peak rate must be finite and positive, got {peak_a}"
+        );
+        WorkloadBuilder {
+            kind,
+            peak_a,
+            noise_amplitude: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Adds multiplicative noise of the given amplitude (e.g. `0.05` = ±5%).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `amplitude` is within `[0, 1)`.
+    pub fn noise(mut self, amplitude: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "noise amplitude must be in [0,1), got {amplitude}"
+        );
+        self.noise_amplitude = amplitude;
+        self
+    }
+
+    /// Sets the seed from which per-minute noise is derived.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds a workload from custom control points instead of the paper
+    /// patterns: `(minute, fraction_of_peak)` pairs, linearly interpolated.
+    /// The pattern kind is kept for duration bookkeeping; pass whichever of
+    /// the two the custom trace is closest to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, times are not non-decreasing, or any
+    /// fraction is negative or non-finite.
+    pub fn build_custom(self, points: Vec<(f64, f64)>) -> Workload {
+        assert!(!points.is_empty(), "custom pattern needs control points");
+        for pair in points.windows(2) {
+            assert!(
+                pair[0].0 <= pair[1].0,
+                "control point times must be non-decreasing"
+            );
+        }
+        for &(t, f) in &points {
+            assert!(
+                t.is_finite() && f.is_finite() && f >= 0.0,
+                "control point ({t}, {f}) invalid"
+            );
+        }
+        Workload {
+            kind: self.kind,
+            peak: self.peak_a,
+            points,
+            noise_amplitude: self.noise_amplitude,
+            seed: self.seed,
+        }
+    }
+
+    /// Builds the workload.
+    pub fn build(self) -> Workload {
+        let (peak, points) = match self.kind {
+            // Fig. 7a: low start, gradual non-cyclic increase, a rapid jump,
+            // a plateau at point A, a rapid ("abrupt") decrease, then a
+            // gradual decrease back to the starting level over 450 minutes.
+            PatternKind::Abrupt => (
+                self.peak_a,
+                vec![
+                    (0.0, 0.10),
+                    (60.0, 0.20),   // gradual increase
+                    (120.0, 0.40),  // continued gradual increase
+                    (150.0, 0.45),
+                    (155.0, 0.90),  // abrupt increase
+                    (200.0, 1.00),  // reaches point A
+                    (250.0, 1.00),  // plateau at peak
+                    (255.0, 0.35),  // abrupt decrease
+                    (330.0, 0.30),  // slow drift
+                    (450.0, 0.10),  // gradual decrease to the initial level
+                ],
+            ),
+            // Fig. 7b: three cycles to point B = 1.2 A over 500 minutes.
+            PatternKind::Cyclic => {
+                let mut pts = Vec::new();
+                let cycle = 500.0 / 3.0;
+                for c in 0..3 {
+                    let start = c as f64 * cycle;
+                    pts.push((start, 0.15));
+                    pts.push((start + cycle * 0.5, 1.00));
+                }
+                pts.push((500.0, 0.15));
+                (self.peak_a * crate::paper::POINT_B_FACTOR, pts)
+            }
+        };
+        Workload {
+            kind: self.kind,
+            peak,
+            points,
+            noise_amplitude: self.noise_amplitude,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abrupt_pattern_shape() {
+        let w = Workload::paper_pattern(PatternKind::Abrupt, 50_000.0);
+        // Starts low.
+        assert!(w.rate_at(SimTime::ZERO) <= 0.11 * 50_000.0);
+        // Abrupt jump between minute 150 and 160.
+        let before = w.rate_at(SimTime::from_minutes(150));
+        let after = w.rate_at(SimTime::from_minutes(160));
+        assert!(after > before * 1.8, "jump {before} -> {after} not abrupt");
+        // Peak plateau hits point A.
+        assert_eq!(w.rate_at(SimTime::from_minutes(225)), 50_000.0);
+        // Abrupt decrease after the plateau.
+        let dropped = w.rate_at(SimTime::from_minutes(260));
+        assert!(dropped < 0.5 * 50_000.0);
+        // Ends back near the start.
+        assert!(w.rate_at(SimTime::from_minutes(450)) <= 0.11 * 50_000.0);
+    }
+
+    #[test]
+    fn cyclic_pattern_has_three_peaks() {
+        let w = Workload::paper_pattern(PatternKind::Cyclic, 30_000.0);
+        assert_eq!(w.peak(), 36_000.0);
+        let samples = w.sample(SimDuration::from_minutes(1));
+        // Count strict local maxima near the peak value.
+        let peaks = samples
+            .windows(3)
+            .filter(|tri| {
+                tri[1].1 >= tri[0].1 && tri[1].1 >= tri[2].1 && tri[1].1 > 0.95 * w.peak()
+            })
+            .count();
+        assert!(peaks >= 3, "expected >=3 near-peak maxima, got {peaks}");
+    }
+
+    #[test]
+    fn rate_is_continuous_at_control_points() {
+        let w = Workload::paper_pattern(PatternKind::Abrupt, 1_000.0);
+        for minute in [60.0, 120.0, 200.0, 330.0] {
+            let eps = 1e-4;
+            let left = w.rate_at(SimTime::from_micros(((minute - eps) * 60e6) as u64));
+            let right = w.rate_at(SimTime::from_micros(((minute + eps) * 60e6) as u64));
+            assert!(
+                (left - right).abs() < 1.0,
+                "discontinuity at {minute}: {left} vs {right}"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_clamps_after_end() {
+        let w = Workload::paper_pattern(PatternKind::Abrupt, 1_000.0);
+        assert_eq!(
+            w.rate_at(SimTime::from_minutes(450)),
+            w.rate_at(SimTime::from_minutes(9_999))
+        );
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed_and_minute() {
+        let w = WorkloadBuilder::new(PatternKind::Abrupt, 10_000.0)
+            .noise(0.1)
+            .seed(3)
+            .build();
+        let t = SimTime::from_minutes(100);
+        let t2 = t + SimDuration::from_secs(30);
+        // The noise *factor* is latched per minute; the base rate still
+        // interpolates, so compare ratios.
+        let factor_a = w.noisy_rate_at(t) / w.rate_at(t);
+        let factor_b = w.noisy_rate_at(t2) / w.rate_at(t2);
+        assert!((factor_a - factor_b).abs() < 1e-12);
+        let w2 = WorkloadBuilder::new(PatternKind::Abrupt, 10_000.0)
+            .noise(0.1)
+            .seed(4)
+            .build();
+        assert_ne!(w.noisy_rate_at(t), w2.noisy_rate_at(t));
+    }
+
+    #[test]
+    fn noise_stays_within_amplitude() {
+        let w = WorkloadBuilder::new(PatternKind::Cyclic, 10_000.0)
+            .noise(0.05)
+            .seed(11)
+            .build();
+        for m in 0..500 {
+            let t = SimTime::from_minutes(m);
+            let base = w.rate_at(t);
+            let noisy = w.noisy_rate_at(t);
+            assert!(
+                (noisy - base).abs() <= base * 0.05 + 1e-9,
+                "minute {m}: base {base} noisy {noisy}"
+            );
+        }
+    }
+
+    #[test]
+    fn durations_match_paper() {
+        assert_eq!(PatternKind::Abrupt.duration(), SimDuration::from_minutes(450));
+        assert_eq!(PatternKind::Cyclic.duration(), SimDuration::from_minutes(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_zero_peak() {
+        let _ = WorkloadBuilder::new(PatternKind::Abrupt, 0.0);
+    }
+
+    #[test]
+    fn custom_patterns_interpolate_their_points() {
+        let w = WorkloadBuilder::new(PatternKind::Abrupt, 1_000.0)
+            .build_custom(vec![(0.0, 0.0), (10.0, 1.0), (20.0, 0.5)]);
+        assert_eq!(w.rate_at(SimTime::ZERO), 0.0);
+        assert_eq!(w.rate_at(SimTime::from_minutes(10)), 1_000.0);
+        assert_eq!(w.rate_at(SimTime::from_minutes(5)), 500.0);
+        assert_eq!(w.rate_at(SimTime::from_minutes(20)), 500.0);
+        assert_eq!(w.rate_at(SimTime::from_minutes(99)), 500.0, "clamped");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn custom_pattern_rejects_time_travel() {
+        let _ = WorkloadBuilder::new(PatternKind::Abrupt, 1.0)
+            .build_custom(vec![(10.0, 0.1), (5.0, 0.2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs control points")]
+    fn custom_pattern_rejects_empty() {
+        let _ = WorkloadBuilder::new(PatternKind::Abrupt, 1.0).build_custom(vec![]);
+    }
+
+    #[test]
+    fn rates_never_negative() {
+        let w = WorkloadBuilder::new(PatternKind::Abrupt, 100.0)
+            .noise(0.3)
+            .build();
+        for m in 0..450 {
+            assert!(w.noisy_rate_at(SimTime::from_minutes(m)) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! DCS + Paxos: two elastic pools cooperating (paper §5.2), plus an
+//! application-level `Decider` (§3.3) steering one of them.
+//!
+//! A DCS pool provides the hierarchical namespace; a Paxos pool decides the
+//! values that get written into it. The DCS pool uses an application-level
+//! scaling decision (a `Decider` that sizes the pool from a target tracked
+//! in shared state), demonstrating the fourth decision mechanism.
+//!
+//! Run with: `cargo run --example coordination_service`
+
+use std::sync::Arc;
+
+use elasticrmi::{ClientLb, ElasticPool, PoolConfig, PoolDeps, PoolSample, ScalingPolicy};
+use erm_apps::dcs::{Dcs, ZNode};
+use erm_apps::paxos::{PaxosReplica, ProposeResult};
+use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_kvstore::{Store, StoreConfig};
+use erm_sim::SystemClock;
+use erm_transport::InProcNetwork;
+use parking_lot::Mutex;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One cluster and network host both pools; each pool gets its own
+    // store (its own elastic-object state), as in the paper.
+    let cluster = Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        nodes: 32,
+        provisioning: LatencyModel::instant(),
+        ..ClusterConfig::default()
+    })));
+    let net = Arc::new(InProcNetwork::new());
+    let clock = Arc::new(SystemClock::new());
+    let deps_for = |store: Arc<Store>| PoolDeps {
+        cluster: Arc::clone(&cluster),
+        net: net.clone(),
+        store,
+        clock: clock.clone(),
+    };
+
+    // Paxos pool: quorum of 3, fine-grained scaling.
+    let paxos_cfg = PoolConfig::builder(PaxosReplica::CLASS)
+        .min_pool_size(3)
+        .max_pool_size(9)
+        .policy(ScalingPolicy::FineGrained)
+        .build()?;
+    let mut paxos = ElasticPool::instantiate(
+        paxos_cfg,
+        Arc::new(|| Box::new(PaxosReplica::default())),
+        deps_for(Arc::new(Store::new(StoreConfig::default()))),
+        None,
+    )?;
+
+    // DCS pool: sized by an application-level Decider that reads a target
+    // from its own shared store (the "monitoring component" of §3.3).
+    let dcs_store = Arc::new(Store::new(StoreConfig::default()));
+    let decider_store = Arc::clone(&dcs_store);
+    let decider = move |sample: &PoolSample| -> u32 {
+        let target = decider_store
+            .get("decider$target")
+            .and_then(|v| erm_transport::from_bytes::<u32>(&v.value).ok())
+            .unwrap_or(3);
+        // Never shrink below what the current load appears to need.
+        target.max(sample.pool_size.min(3))
+    };
+    let dcs_cfg = PoolConfig::builder(Dcs::CLASS)
+        .min_pool_size(3)
+        .max_pool_size(12)
+        .policy(ScalingPolicy::AppLevel)
+        .build()?;
+    let mut dcs = ElasticPool::instantiate(
+        dcs_cfg,
+        Arc::new(|| Box::new(Dcs::new())),
+        deps_for(Arc::clone(&dcs_store)),
+        Some(Box::new(decider)),
+    )?;
+    println!("pools up: paxos={} members, dcs={} members", paxos.size(), dcs.size());
+
+    // Reach consensus on a configuration value, then publish it in DCS.
+    let mut paxos_stub = paxos.stub(ClientLb::RoundRobin)?;
+    let decision: ProposeResult =
+        paxos_stub.invoke("propose", &(0u64, b"replication=3".to_vec()))?;
+    println!(
+        "paxos instance 0 chose {:?} at ballot {} (ours: {})",
+        String::from_utf8_lossy(&decision.chosen),
+        decision.ballot,
+        decision.was_ours
+    );
+
+    let mut dcs_stub = dcs.stub(ClientLb::RoundRobin)?;
+    let _: u64 = dcs_stub.invoke("create", &("/config", Vec::<u8>::new()))?;
+    let zxid: u64 = dcs_stub.invoke("create", &("/config/replication", decision.chosen.clone()))?;
+    println!("wrote decided value into DCS at zxid {zxid}");
+
+    // A competing proposer must observe the same decision (Paxos safety).
+    let mut other = paxos.stub(ClientLb::RoundRobin)?;
+    let competing: ProposeResult = other.invoke("propose", &(0u64, b"replication=5".to_vec()))?;
+    assert_eq!(competing.chosen, decision.chosen);
+    assert!(!competing.was_ours);
+    println!("competing proposal correctly lost to the decided value");
+
+    // Read the namespace back.
+    let node: Option<ZNode> = dcs_stub.invoke("get", &"/config/replication")?;
+    let node = node.expect("node exists");
+    println!(
+        "DCS /config/replication = {:?} (created at zxid {})",
+        String::from_utf8_lossy(&node.data),
+        node.created_zxid
+    );
+    let kids: Vec<String> = dcs_stub.invoke("children", &"/config")?;
+    println!("children of /config: {kids:?}");
+
+    // Ask the Decider to grow the DCS pool via shared state.
+    dcs_store.put("decider$target", erm_transport::to_bytes(&5u32)?);
+    println!("decider target set to 5 (pool resizes at its next burst interval)");
+
+    paxos.shutdown();
+    dcs.shutdown();
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! The paper's running example (§3, Figs. 4–5): a distributed cache as an
+//! elastic class, in all three programming styles:
+//!
+//! 1. **Implicit elasticity** (`CacheImplicit`, Fig. 4a): just min/max pool
+//!    sizes; the runtime scales on its default CPU thresholds.
+//! 2. **Explicit coarse-grained** (`CacheExplicit1`, Fig. 4b): custom burst
+//!    interval and CPU/RAM thresholds.
+//! 3. **Explicit fine-grained** (`CacheExplicit2`, Fig. 5): a
+//!    `changePoolSize` override using cache-specific metrics (put/get
+//!    latency, lock-acquisition failure rate) to veto growth under
+//!    contention.
+//!
+//! Run with: `cargo run --example distributed_cache`
+
+use std::sync::Arc;
+
+use elasticrmi::{
+    decode_args, encode_result, ClientLb, ElasticPool, ElasticService, MethodCallStats,
+    PoolConfig, PoolDeps, RemoteError, ScalingPolicy, ServiceContext, Thresholds,
+};
+use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_kvstore::{Store, StoreConfig};
+use erm_sim::{SimDuration, SystemClock};
+use erm_transport::InProcNetwork;
+use parking_lot::Mutex;
+
+/// A write-locked distributed object cache, the paper's running example.
+struct Cache;
+
+impl Cache {
+    fn key(k: &str) -> String {
+        format!("cache/{k}")
+    }
+}
+
+impl ElasticService for Cache {
+    fn dispatch(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError> {
+        match method {
+            "put" => {
+                let (k, v): (String, Vec<u8>) = decode_args(method, args)?;
+                // Consistency during put is guarded by the class write lock
+                // (the avgLockAcqFailure source in Fig. 5).
+                ctx.synchronized(|| ctx.store().put(&Cache::key(&k), v));
+                encode_result(&true)
+            }
+            "get" => {
+                let k: String = decode_args(method, args)?;
+                encode_result(&ctx.store().get(&Cache::key(&k)).map(|v| v.value))
+            }
+            "evict" => {
+                let k: String = decode_args(method, args)?;
+                encode_result(&ctx.store().delete(&Cache::key(&k)))
+            }
+            other => Err(RemoteError::no_such_method(other)),
+        }
+    }
+
+    /// Fig. 5's `changePoolSize`: grow by 2 when puts are slow, unless lock
+    /// contention is the cause — then adding objects only makes it worse.
+    fn change_pool_size(&mut self, stats: &MethodCallStats, ctx: &mut ServiceContext) -> i32 {
+        let put_latency = stats.mean_latency("put").unwrap_or(SimDuration::ZERO);
+        let get_latency = stats.mean_latency("get").unwrap_or(SimDuration::ZERO);
+        let slow_puts = put_latency > SimDuration::from_millis(100)
+            || (get_latency > SimDuration::ZERO
+                && put_latency.as_micros() > 3 * get_latency.as_micros());
+        if slow_puts {
+            let lock_failure_rate = ctx.lock_stats().failure_rate();
+            if lock_failure_rate > 0.5 {
+                return 0; // contention, not capacity: don't add objects
+            }
+            return 2;
+        }
+        0
+    }
+}
+
+fn deps() -> PoolDeps {
+    PoolDeps {
+        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+            provisioning: LatencyModel::instant(),
+            ..ClusterConfig::default()
+        }))),
+        net: Arc::new(InProcNetwork::new()),
+        store: Arc::new(Store::new(StoreConfig::default())),
+        clock: Arc::new(SystemClock::new()),
+    }
+}
+
+fn exercise(pool: &ElasticPool, label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let mut stub = pool.stub(ClientLb::Random { seed: 1 })?;
+    for i in 0..20u32 {
+        let _: bool = stub.invoke("put", &(format!("k{i}"), vec![i as u8; 16]))?;
+    }
+    let hit: Option<Vec<u8>> = stub.invoke("get", &"k7")?;
+    let miss: Option<Vec<u8>> = stub.invoke("get", &"nope")?;
+    let evicted: bool = stub.invoke("evict", &"k7")?;
+    println!(
+        "[{label}] pool size {}: k7 hit={} miss-is-none={} evicted={}",
+        pool.size(),
+        hit.is_some(),
+        miss.is_none(),
+        evicted
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 4a — CacheImplicit: only the pool bounds, implicit elasticity.
+    let implicit = PoolConfig::builder("CacheImplicit")
+        .min_pool_size(5)
+        .max_pool_size(50)
+        .policy(ScalingPolicy::Implicit)
+        .build()?;
+    let mut pool = ElasticPool::instantiate(implicit, Arc::new(|| Box::new(Cache)), deps(), None)?;
+    exercise(&pool, "CacheImplicit")?;
+    pool.shutdown();
+
+    // Fig. 4b — CacheExplicit1: 5-minute bursts, CPU 85/50 OR RAM 70/40.
+    let explicit1 = PoolConfig::builder("CacheExplicit1")
+        .min_pool_size(5)
+        .max_pool_size(50)
+        .burst_interval(SimDuration::from_minutes(5))
+        .policy(ScalingPolicy::Coarse(Thresholds {
+            cpu_incr: Some(85.0),
+            cpu_decr: Some(50.0),
+            ram_incr: Some(70.0),
+            ram_decr: Some(40.0),
+        }))
+        .build()?;
+    let mut pool =
+        ElasticPool::instantiate(explicit1, Arc::new(|| Box::new(Cache)), deps(), None)?;
+    exercise(&pool, "CacheExplicit1")?;
+    pool.shutdown();
+
+    // Fig. 5 — CacheExplicit2: fine-grained changePoolSize votes.
+    let explicit2 = PoolConfig::builder("CacheExplicit2")
+        .min_pool_size(5)
+        .max_pool_size(50)
+        .policy(ScalingPolicy::FineGrained)
+        .build()?;
+    let mut pool =
+        ElasticPool::instantiate(explicit2, Arc::new(|| Box::new(Cache)), deps(), None)?;
+    exercise(&pool, "CacheExplicit2")?;
+    pool.shutdown();
+
+    println!("all three cache variants served traffic through the same API");
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Live elasticity demo: watch an elastic pool breathe.
+//!
+//! Drives a pool of deliberately slow objects with a load that ramps up,
+//! holds, and stops — printing the pool size, the stub's view, and the
+//! cluster's slice ledger each second. The implicit CPU policy (90%/60%
+//! thresholds, §3.2) does all the scaling; no votes, no thresholds to tune.
+//!
+//! Run with: `cargo run --release --example elasticity_demo`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use elasticrmi::{
+    encode_result, ClientLb, ElasticPool, ElasticService, PoolConfig, PoolDeps, RemoteError,
+    ScalingPolicy, ServiceContext,
+};
+use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_kvstore::{Store, StoreConfig};
+use erm_sim::{SimDuration, SystemClock};
+use erm_transport::InProcNetwork;
+use parking_lot::Mutex;
+
+/// Each call costs ~3 ms of "CPU".
+struct Grinder;
+impl ElasticService for Grinder {
+    fn dispatch(
+        &mut self,
+        method: &str,
+        _args: &[u8],
+        ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError> {
+        match method {
+            "grind" => {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                encode_result(&ctx.uid())
+            }
+            other => Err(RemoteError::no_such_method(other)),
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deps = PoolDeps {
+        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+            nodes: 16,
+            slices_per_node: 1,
+            // A touch of provisioning latency so joins are visible.
+            provisioning: LatencyModel::Fixed(SimDuration::from_millis(300)),
+            ..ClusterConfig::default()
+        }))),
+        net: Arc::new(InProcNetwork::new()),
+        store: Arc::new(Store::new(StoreConfig::default())),
+        clock: Arc::new(SystemClock::new()),
+    };
+    let cluster = Arc::clone(&deps.cluster);
+
+    let config = PoolConfig::builder("Grinder")
+        .min_pool_size(2)
+        .max_pool_size(10)
+        .policy(ScalingPolicy::Implicit)
+        .burst_interval(SimDuration::from_millis(500))
+        .build()?;
+    let pool = Arc::new(ElasticPool::instantiate(
+        config,
+        Arc::new(|| Box::new(Grinder)),
+        deps,
+        None,
+    )?);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+
+    // Load generators: ramp 0 -> 10 clients over the first phase.
+    let mut generators = Vec::new();
+    for c in 0..10u64 {
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        let completed = Arc::clone(&completed);
+        generators.push(std::thread::spawn(move || {
+            // Staggered start: one extra client every 700 ms.
+            std::thread::sleep(std::time::Duration::from_millis(700 * c));
+            let Ok(mut stub) = pool.stub(ClientLb::Random { seed: c }) else {
+                return;
+            };
+            stub.set_reply_timeout(std::time::Duration::from_secs(2));
+            while !stop.load(Ordering::Relaxed) {
+                if stub.invoke::<(), u64>("grind", &()).is_ok() {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+
+    println!("{:>4} {:>6} {:>9} {:>12} {:>12}", "sec", "pool", "slices", "done", "phase");
+    let mut last_done = 0;
+    for sec in 0..18 {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        if sec == 9 {
+            stop.store(true, Ordering::Relaxed); // load vanishes
+        }
+        let done = completed.load(Ordering::Relaxed);
+        println!(
+            "{:>4} {:>6} {:>9} {:>12} {:>12}",
+            sec,
+            pool.size(),
+            cluster.lock().slices_in_use(),
+            done - last_done,
+            if sec < 9 { "ramping load" } else { "idle" },
+        );
+        last_done = done;
+    }
+    for g in generators {
+        let _ = g.join();
+    }
+    println!(
+        "total {} invocations; pool grew under load and shrank when idle",
+        completed.load(Ordering::Relaxed)
+    );
+    // Shut down through the Arc (we are the last owner once generators quit).
+    if let Ok(mut pool) = Arc::try_unwrap(pool) {
+        pool.shutdown();
+    }
+    Ok(())
+}

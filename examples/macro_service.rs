@@ -1,0 +1,72 @@
+//! The `elastic_class!` macro in action: a tiny leaderboard service written
+//! without any dispatch boilerplate — the macro plays the role of the
+//! paper's rmic-like preprocessor (§3).
+//!
+//! Run with: `cargo run --example macro_service`
+
+use std::sync::Arc;
+
+use elasticrmi::{elastic_class, ClientLb, ElasticPool, PoolConfig, PoolDeps, RemoteError};
+use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_kvstore::{Store, StoreConfig};
+use erm_sim::SystemClock;
+use erm_transport::InProcNetwork;
+use parking_lot::Mutex;
+
+elastic_class! {
+    /// A shared leaderboard: scores live in the pool's external store, so
+    /// every member serves the same board.
+    pub class Leaderboard(me, ctx) {
+        /// Records a score; returns the player's new total.
+        method record(player: String, points: u64) -> u64 {
+            let _ = me;
+            Ok(ctx
+                .shared::<u64>(&format!("score/{player}"))
+                .update(|| 0, |s| { *s += points; *s }))
+        }
+        /// Returns a player's total (error if unknown).
+        method score_of(player: String) -> u64 {
+            ctx.shared::<u64>(&format!("score/{player}"))
+                .get()
+                .ok_or_else(|| RemoteError::new("NoSuchPlayer", player.clone()))
+        }
+        /// Which pool member served this call (shows the pool at work).
+        method served_by() -> u64 {
+            Ok(ctx.uid())
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let deps = PoolDeps {
+        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+            provisioning: LatencyModel::instant(),
+            ..ClusterConfig::default()
+        }))),
+        net: Arc::new(InProcNetwork::new()),
+        store: Arc::new(Store::new(StoreConfig::default())),
+        clock: Arc::new(SystemClock::new()),
+    };
+    let config = PoolConfig::builder("Leaderboard")
+        .min_pool_size(3)
+        .max_pool_size(6)
+        .build()?;
+    let mut pool =
+        ElasticPool::instantiate(config, Arc::new(|| Box::new(Leaderboard)), deps, None)?;
+    let mut stub = pool.stub(ClientLb::RoundRobin)?;
+
+    for (player, points) in [("ada", 30u64), ("alan", 20), ("ada", 25), ("grace", 50)] {
+        let total: u64 = stub.invoke("record", &(player, points))?;
+        let member: u64 = stub.invoke("served_by", &())?;
+        println!("{player:>6} +{points:<3} -> total {total:<4} (member {member})");
+    }
+    let ada: u64 = stub.invoke("score_of", &"ada")?;
+    assert_eq!(ada, 55);
+    match stub.invoke::<_, u64>("score_of", &"nobody") {
+        Err(elasticrmi::RmiError::Remote(e)) => println!("unknown player -> {e}"),
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    println!("leaderboard consistent across all {} members", pool.size());
+    pool.shutdown();
+    Ok(())
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the ElasticRMI reproduction.
+//!
+//! Re-exports the whole workspace so examples, integration tests and
+//! downstream users can depend on a single crate:
+//!
+//! * [`elasticrmi`] — the paper's contribution: elastic object pools,
+//!   stubs/skeletons, scaling policies, sentinel load balancing.
+//! * [`cluster`] — Mesos-like resource manager (slices, offers,
+//!   provisioning latency).
+//! * [`kvstore`] — HyperDex-like strongly consistent store with locks.
+//! * [`transport`] — binary serde codec, in-process and TCP networks.
+//! * [`sim`] — virtual clocks, event queues, deterministic RNG.
+//! * [`metrics`] — SPEC agility and provisioning-interval metrics.
+//! * [`workloads`] — the paper's abrupt/cyclic workload patterns.
+//! * [`apps`] — Marketcetera, Hedwig, Paxos and DCS on the public API.
+//! * [`harness`] — the evaluation harness regenerating every figure.
+//!
+//! See the repository README for a guided tour and DESIGN.md for the
+//! paper-to-module map.
+
+pub use elasticrmi;
+pub use erm_apps as apps;
+pub use erm_cluster as cluster;
+pub use erm_harness as harness;
+pub use erm_kvstore as kvstore;
+pub use erm_metrics as metrics;
+pub use erm_sim as sim;
+pub use erm_transport as transport;
+pub use erm_workloads as workloads;

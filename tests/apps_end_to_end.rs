@@ -1,0 +1,181 @@
+//! End-to-end tests of the four evaluation applications running on real
+//! elastic pools (stub → network → skeleton → service → shared store),
+//! exactly as the examples deploy them.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::pool_with;
+use elasticrmi::{ClientLb, ElasticPool, PoolConfig, ScalingPolicy};
+use erm_apps::dcs::{Dcs, ZNode};
+use erm_apps::hedwig::{Delivery, Hub};
+use erm_apps::marketcetera::{Order, OrderRouter, RouteAck, Side};
+use erm_apps::paxos::{PaxosReplica, ProposeResult};
+
+fn app_pool(class: &str, factory: elasticrmi::ServiceFactory, min: u32) -> ElasticPool {
+    let config = PoolConfig::builder(class)
+        .min_pool_size(min)
+        .max_pool_size(min + 4)
+        .policy(ScalingPolicy::FineGrained)
+        .build()
+        .unwrap();
+    pool_with(config, factory).0
+}
+
+#[test]
+fn marketcetera_routes_and_persists_through_pool() {
+    let mut pool = app_pool(OrderRouter::CLASS, Arc::new(|| Box::new(OrderRouter::new())), 2);
+    let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
+    let mut venues = std::collections::HashSet::new();
+    for i in 0..40u64 {
+        let ack: RouteAck = stub
+            .invoke(
+                "route",
+                &Order {
+                    id: i,
+                    symbol: ["HPQ", "IBM", "AAPL"][(i % 3) as usize].to_string(),
+                    side: if i % 2 == 0 { Side::Buy } else { Side::Sell },
+                    quantity: 10 + i as u32,
+                    limit_cents: Some(100 + i),
+                },
+            )
+            .unwrap();
+        venues.insert(ack.venue);
+    }
+    let count: u64 = stub.invoke("routed_count", &()).unwrap();
+    assert_eq!(count, 40);
+    // Status lookups work through any member (state is pool-wide).
+    let status: Option<Order> = stub.invoke("order_status", &17u64).unwrap();
+    assert_eq!(status.unwrap().id, 17);
+    pool.shutdown();
+}
+
+#[test]
+fn hedwig_delivers_once_across_hubs() {
+    let mut pool = app_pool(Hub::CLASS, Arc::new(|| Box::new(Hub::new())), 3);
+    let mut publisher = pool.stub(ClientLb::RoundRobin).unwrap();
+    let mut subscriber = pool.stub(ClientLb::Random { seed: 5 }).unwrap();
+
+    let _: bool = subscriber.invoke("subscribe", &("alerts", "ops-team")).unwrap();
+    for i in 0..10u8 {
+        let _: (u64, u32) = publisher.invoke("publish", &("alerts", vec![i])).unwrap();
+    }
+    // Fetch through a *different* stub (and likely different hub).
+    let got: Vec<Delivery> = subscriber.invoke("fetch", &"ops-team").unwrap();
+    assert_eq!(got.len(), 10);
+    let seqs: Vec<u64> = got.iter().map(|d| d.seq).collect();
+    assert_eq!(seqs, (1..=10).collect::<Vec<_>>(), "gap-free sequence");
+    // At-most-once: a second fetch is empty.
+    let again: Vec<Delivery> = subscriber.invoke("fetch", &"ops-team").unwrap();
+    assert!(again.is_empty());
+    pool.shutdown();
+}
+
+#[test]
+fn paxos_agrees_across_concurrent_pool_clients() {
+    let pool = Arc::new(parking_lot::Mutex::new(app_pool(
+        PaxosReplica::CLASS,
+        Arc::new(|| Box::new(PaxosReplica::default())),
+        3,
+    )));
+    let mut clients = Vec::new();
+    for c in 0..3u64 {
+        let pool = Arc::clone(&pool);
+        clients.push(std::thread::spawn(move || {
+            let mut stub = pool.lock().stub(ClientLb::Random { seed: c }).unwrap();
+            stub.set_reply_timeout(std::time::Duration::from_secs(5));
+            let mut chosen = Vec::new();
+            for instance in 0..10u64 {
+                let res: ProposeResult = stub
+                    .invoke("propose", &(instance, format!("c{c}-i{instance}").into_bytes()))
+                    .unwrap();
+                chosen.push((instance, res.chosen));
+            }
+            chosen
+        }));
+    }
+    let outcomes: Vec<Vec<(u64, Vec<u8>)>> =
+        clients.into_iter().map(|c| c.join().unwrap()).collect();
+    for instance in 0..10u64 {
+        let mut values: Vec<&Vec<u8>> = outcomes
+            .iter()
+            .flat_map(|o| o.iter().filter(|(i, _)| *i == instance).map(|(_, v)| v))
+            .collect();
+        values.dedup();
+        assert_eq!(values.len(), 1, "instance {instance} split-brained: {values:?}");
+    }
+    pool.lock().shutdown();
+}
+
+#[test]
+fn dcs_totally_orders_updates_from_many_clients() {
+    let pool = Arc::new(parking_lot::Mutex::new(app_pool(
+        Dcs::CLASS,
+        Arc::new(|| Box::new(Dcs::new())),
+        3,
+    )));
+    {
+        let mut root = pool.lock().stub(ClientLb::RoundRobin).unwrap();
+        let _: u64 = root.invoke("create", &("/jobs", Vec::<u8>::new())).unwrap();
+    }
+    let mut clients = Vec::new();
+    for c in 0..4u64 {
+        let pool = Arc::clone(&pool);
+        clients.push(std::thread::spawn(move || {
+            let mut stub = pool.lock().stub(ClientLb::Random { seed: c }).unwrap();
+            stub.set_reply_timeout(std::time::Duration::from_secs(5));
+            let mut zxids = Vec::new();
+            for i in 0..10 {
+                let z: u64 = stub
+                    .invoke("create", &(format!("/jobs/c{c}-{i}"), Vec::<u8>::new()))
+                    .unwrap();
+                zxids.push(z);
+            }
+            zxids
+        }));
+    }
+    let mut all: Vec<u64> = clients
+        .into_iter()
+        .flat_map(|c| c.join().unwrap())
+        .collect();
+    let n = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), n, "zxids must be unique (total order)");
+
+    let mut stub = pool.lock().stub(ClientLb::RoundRobin).unwrap();
+    let kids: Vec<String> = stub.invoke("children", &"/jobs").unwrap();
+    assert_eq!(kids.len(), 40);
+    let node: Option<ZNode> = stub.invoke("get", &"/jobs").unwrap();
+    assert!(node.is_some());
+    pool.lock().shutdown();
+}
+
+#[test]
+fn two_apps_share_one_cluster() {
+    // Two elastic pools with separate stores on separate networks can share
+    // nothing but the machine — and two pools *can* also share one cluster,
+    // which is the multi-tier deployment of §3.3.
+    let deps_a = common::fast_deps();
+    let mut deps_b = common::fast_deps();
+    deps_b.cluster = Arc::clone(&deps_a.cluster); // shared Mesos
+    let pool_a = elasticrmi::ElasticPool::instantiate(
+        PoolConfig::builder(OrderRouter::CLASS).build().unwrap(),
+        Arc::new(|| Box::new(OrderRouter::new())),
+        deps_a.clone(),
+        None,
+    )
+    .unwrap();
+    let pool_b = elasticrmi::ElasticPool::instantiate(
+        PoolConfig::builder(Dcs::CLASS).min_pool_size(3).build().unwrap(),
+        Arc::new(|| Box::new(Dcs::new())),
+        deps_b,
+        None,
+    )
+    .unwrap();
+    let used = deps_a.cluster.lock().slices_in_use();
+    assert_eq!(used, 5, "2 router + 3 DCS slices from one cluster");
+    drop(pool_a);
+    drop(pool_b);
+}

@@ -1,0 +1,46 @@
+//! Shared fixtures for the integration tests: a fast in-process deployment
+//! (instant provisioning, short burst intervals) hosting any service.
+
+use std::sync::Arc;
+
+use elasticrmi::{ElasticPool, PoolConfig, PoolDeps, ServiceFactory};
+use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_kvstore::{Store, StoreConfig};
+use erm_sim::SystemClock;
+use erm_transport::InProcNetwork;
+use parking_lot::Mutex;
+
+/// A ready-to-use set of substrates with instant provisioning.
+pub fn fast_deps() -> PoolDeps {
+    PoolDeps {
+        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+            nodes: 64,
+            slices_per_node: 1,
+            provisioning: LatencyModel::instant(),
+            ..ClusterConfig::default()
+        }))),
+        net: Arc::new(InProcNetwork::new()),
+        store: Arc::new(Store::new(StoreConfig::default())),
+        clock: Arc::new(SystemClock::new()),
+    }
+}
+
+/// Instantiates a pool on fresh fast deps.
+pub fn pool_with(config: PoolConfig, factory: ServiceFactory) -> (ElasticPool, PoolDeps) {
+    let deps = fast_deps();
+    let pool = ElasticPool::instantiate(config, factory, deps.clone(), None)
+        .expect("pool instantiates on instant cluster");
+    (pool, deps)
+}
+
+/// Polls `cond` every 10 ms for up to `secs` seconds.
+pub fn wait_until(secs: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
+    while std::time::Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    cond()
+}

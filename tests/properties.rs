@@ -1,0 +1,220 @@
+//! Property-based tests of the core invariants, spanning crates:
+//! codec roundtrips, bin-packing conservation, scaling-engine bounds,
+//! agility-metric identities, lock exclusivity, and workload sanity.
+
+mod common;
+
+use std::collections::HashMap;
+
+use elasticrmi::balance::{apply_plan, plan_redirects, MemberLoad};
+use elasticrmi::{PoolConfig, PoolSample, ScalingEngine, ScalingPolicy};
+use erm_kvstore::{LockOwner, Store, StoreConfig};
+use erm_metrics::AgilityMeter;
+use erm_sim::{SimDuration, SimTime};
+use erm_transport::EndpointId;
+use erm_workloads::{PatternKind, WorkloadBuilder};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct Nested {
+    id: u64,
+    name: String,
+    values: Vec<i32>,
+    tag: Option<(bool, char)>,
+    map: HashMap<String, u16>,
+}
+
+fn nested_strategy() -> impl Strategy<Value = Nested> {
+    (
+        any::<u64>(),
+        ".{0,32}",
+        proptest::collection::vec(any::<i32>(), 0..16),
+        proptest::option::of((any::<bool>(), any::<char>())),
+        proptest::collection::hash_map(".{0,8}", any::<u16>(), 0..8),
+    )
+        .prop_map(|(id, name, values, tag, map)| Nested {
+            id,
+            name,
+            values,
+            tag,
+            map,
+        })
+}
+
+proptest! {
+    /// The wire codec is lossless for arbitrary nested data.
+    #[test]
+    fn codec_roundtrips_arbitrary_structs(value in nested_strategy()) {
+        let bytes = erm_transport::to_bytes(&value).unwrap();
+        let back: Nested = erm_transport::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, value);
+    }
+
+    /// Decoding never panics on arbitrary garbage — it returns errors.
+    #[test]
+    fn codec_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = erm_transport::from_bytes::<Nested>(&bytes);
+        let _ = erm_transport::from_bytes::<Vec<String>>(&bytes);
+        let _ = elasticrmi::RmiMessage::decode(&bytes);
+    }
+
+    /// Bin packing conserves work, never overloads a receiver, and never
+    /// moves work from a member at or under capacity.
+    #[test]
+    fn bin_packing_invariants(
+        pendings in proptest::collection::vec(0u32..60, 2..24),
+        capacity in 1u32..40,
+    ) {
+        let loads: Vec<MemberLoad> = pendings
+            .iter()
+            .enumerate()
+            .map(|(i, &pending)| MemberLoad { endpoint: EndpointId(i as u64), pending })
+            .collect();
+        let plan = plan_redirects(&loads, capacity);
+        let after = apply_plan(&loads, &plan);
+        // Conservation.
+        let before_total: u64 = loads.iter().map(|m| u64::from(m.pending)).sum();
+        let after_total: u64 = after.iter().map(|m| u64::from(m.pending)).sum();
+        prop_assert_eq!(before_total, after_total);
+        for (orig, new) in loads.iter().zip(&after) {
+            if orig.pending <= capacity {
+                // Underloaded members only ever gain, and never past capacity.
+                prop_assert!(new.pending >= orig.pending);
+                prop_assert!(new.pending <= capacity.max(orig.pending));
+            } else {
+                // Overloaded members only ever shed, and never below capacity.
+                prop_assert!(new.pending <= orig.pending);
+                prop_assert!(new.pending >= capacity);
+            }
+        }
+    }
+
+    /// Whatever the sample says, the engine never drives the pool outside
+    /// its configured bounds.
+    #[test]
+    fn scaling_engine_respects_bounds(
+        pool_size in 0u32..100,
+        cpu in 0.0f32..100.0,
+        ram in 0.0f32..100.0,
+        votes in proptest::collection::vec(-8i32..8, 0..16),
+        min in 2u32..10,
+        span in 0u32..40,
+    ) {
+        let max = min + span;
+        for policy in [
+            ScalingPolicy::Implicit,
+            ScalingPolicy::FineGrained,
+            ScalingPolicy::AppLevel,
+        ] {
+            let config = PoolConfig::builder("P")
+                .min_pool_size(min)
+                .max_pool_size(max)
+                .policy(policy)
+                .build()
+                .unwrap();
+            let engine = ScalingEngine::new(config, SimTime::ZERO);
+            let sample = PoolSample {
+                pool_size,
+                avg_cpu: cpu,
+                avg_ram: ram,
+                fine_votes: votes.clone(),
+                desired_size: Some(pool_size / 2),
+            };
+            let target = i64::from(pool_size) + engine.decide(&sample).delta();
+            prop_assert!(
+                (i64::from(min)..=i64::from(max)).contains(&target)
+                    // From outside the bounds the engine moves toward them,
+                    // never further away.
+                    || (pool_size > max && target <= i64::from(pool_size))
+                    || (pool_size < min && target >= i64::from(pool_size)),
+                "policy {policy:?}: size {pool_size} -> target {target} outside [{min},{max}]"
+            );
+        }
+    }
+
+    /// Agility is non-negative and equals mean excess + mean shortage.
+    #[test]
+    fn agility_identity(
+        samples in proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0), 1..200),
+    ) {
+        let mut meter = AgilityMeter::new(
+            SimDuration::from_minutes(1),
+            SimDuration::from_minutes(10),
+        );
+        for (i, &(req, cap)) in samples.iter().enumerate() {
+            meter.record(SimTime::from_minutes(i as u64), req, cap);
+        }
+        let report = meter.finish();
+        prop_assert!(report.mean_agility() >= 0.0);
+        let identity = report.mean_excess() + report.mean_shortage();
+        prop_assert!((report.mean_agility() - identity).abs() < 1e-9);
+        // Perfect provisioning iff agility is zero.
+        let perfect = samples.iter().all(|&(req, cap)| req == cap);
+        if perfect {
+            prop_assert_eq!(report.mean_agility(), 0.0);
+        }
+    }
+
+    /// At most one owner ever holds a lock, whatever the operation order.
+    #[test]
+    fn lock_exclusivity(ops in proptest::collection::vec((0u64..4, 0u64..3, 0u64..100), 1..64)) {
+        let store = Store::new(StoreConfig::default());
+        let ttl = SimDuration::from_secs(10);
+        let mut holder: Option<(u64, u64)> = None; // (owner, acquired_at)
+        let mut clock = 0u64;
+        for (owner, action, dt) in ops {
+            clock += dt;
+            let now = SimTime::from_secs(clock);
+            let expired = holder.is_some_and(|(_, at)| clock >= at + 10);
+            match action {
+                0 | 1 => {
+                    let got = store.try_lock("L", LockOwner::new(owner), now, ttl);
+                    let expect = match holder {
+                        None => true,
+                        Some((h, _)) => h == owner || expired,
+                    };
+                    prop_assert_eq!(got, expect, "owner {} at t={}", owner, clock);
+                    if got {
+                        holder = Some((owner, clock));
+                    }
+                }
+                _ => {
+                    let ok = store.unlock("L", LockOwner::new(owner)).is_ok();
+                    prop_assert_eq!(ok, holder.is_some_and(|(h, _)| h == owner));
+                    if ok {
+                        holder = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Workload patterns are bounded by their peak and non-negative.
+    #[test]
+    fn workload_bounds(
+        peak in 1.0f64..1e6,
+        noise in 0.0f64..0.3,
+        seed in any::<u64>(),
+        minute in 0u64..500,
+    ) {
+        for kind in [PatternKind::Abrupt, PatternKind::Cyclic] {
+            let w = WorkloadBuilder::new(kind, peak).noise(noise).seed(seed).build();
+            let r = w.noisy_rate_at(SimTime::from_minutes(minute));
+            prop_assert!(r >= 0.0);
+            prop_assert!(r <= w.peak() * (1.0 + noise) + 1e-6);
+        }
+    }
+
+    /// Store versions increase by exactly one per successful write.
+    #[test]
+    fn store_version_monotonicity(writes in proptest::collection::vec(".{0,8}", 1..50)) {
+        let store = Store::new(StoreConfig::default());
+        let mut expected: HashMap<String, u64> = HashMap::new();
+        for key in writes {
+            let v = store.put(&key, vec![1]);
+            let e = expected.entry(key).or_insert(0);
+            *e += 1;
+            prop_assert_eq!(v, *e);
+        }
+    }
+}

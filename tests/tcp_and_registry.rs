@@ -1,0 +1,131 @@
+//! End-to-end over real sockets: a pool hosted on one `TcpHost`, a client
+//! on another, with discovery through the RMI registry.
+
+mod common;
+
+use std::sync::Arc;
+
+use elasticrmi::{
+    decode_args, encode_result, ClientLb, ElasticPool, ElasticService, PoolConfig, PoolDeps,
+    RegistryClient, RegistryServer, RemoteError, ServiceContext, Stub,
+};
+use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_kvstore::{Store, StoreConfig};
+use erm_sim::SystemClock;
+use erm_transport::{Network, TcpHost};
+use parking_lot::Mutex;
+
+struct Adder;
+impl ElasticService for Adder {
+    fn dispatch(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        _ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError> {
+        match method {
+            "add" => {
+                let (a, b): (i64, i64) = decode_args(method, args)?;
+                encode_result(&(a + b))
+            }
+            other => Err(RemoteError::no_such_method(other)),
+        }
+    }
+}
+
+#[test]
+fn pool_and_registry_work_across_tcp_hosts() {
+    // Server machine.
+    let server_host = Arc::new(TcpHost::bind("127.0.0.1:0", 0).unwrap());
+    let deps = PoolDeps {
+        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+            provisioning: LatencyModel::instant(),
+            ..ClusterConfig::default()
+        }))),
+        net: server_host.clone(),
+        store: Arc::new(Store::new(StoreConfig::default())),
+        clock: Arc::new(SystemClock::new()),
+    };
+    let mut pool = ElasticPool::instantiate(
+        PoolConfig::builder("Adder").min_pool_size(2).max_pool_size(4).build().unwrap(),
+        Arc::new(|| Box::new(Adder)),
+        deps,
+        None,
+    )
+    .unwrap();
+
+    // Registry runs on the server machine; the pool binds itself.
+    let registry = RegistryServer::spawn(server_host.clone());
+    {
+        let mut binder = RegistryClient::connect(server_host.clone(), registry.endpoint());
+        assert!(binder.bind("adder", pool.sentinel()).unwrap());
+    }
+
+    // Client machine: only knows the server's address and the registry
+    // endpoint id (the out-of-band bootstrap, as with rmiregistry's port).
+    let client_host = Arc::new(TcpHost::bind("127.0.0.1:0", 1).unwrap());
+    client_host.register_peer(registry.endpoint(), server_host.local_addr());
+    let mut lookup = RegistryClient::connect(client_host.clone(), registry.endpoint());
+    // The registry's reply must route back: teach the server our address.
+    // (A real deployment exchanges addresses in the frame; the test wires it
+    // explicitly.)
+    server_host.register_peer(erm_transport::EndpointId(1 << 32), client_host.local_addr());
+    server_host.register_peer(erm_transport::EndpointId((1 << 32) | 1), client_host.local_addr());
+
+    let sentinel = lookup.lookup("adder").unwrap().expect("bound name");
+    assert_eq!(sentinel, pool.sentinel());
+
+    // Route all pool members through the server host's address and connect.
+    client_host.register_peer(sentinel, server_host.local_addr());
+    for member in pool.members() {
+        client_host.register_peer(member, server_host.local_addr());
+    }
+    let (client_ep, client_mailbox) = client_host.open_endpoint();
+    server_host.register_peer(client_ep, client_host.local_addr());
+    let net: Arc<dyn Network> = client_host.clone();
+    let mut stub = Stub::connect(net, client_ep, client_mailbox, sentinel, ClientLb::RoundRobin)
+        .expect("stub connects over TCP");
+
+    for i in 0..20i64 {
+        let sum: i64 = stub.invoke("add", &(i, 1000 - i)).unwrap();
+        assert_eq!(sum, 1000);
+    }
+
+    pool.shutdown();
+    registry.shutdown();
+    server_host.shutdown();
+    client_host.shutdown();
+}
+
+#[test]
+fn registry_over_inproc_reaches_pool() {
+    // Same flow on the in-process network, exercising the lookup-then
+    // -connect path the examples use.
+    let deps = common::fast_deps();
+    let net = deps.net.clone();
+    let mut pool = ElasticPool::instantiate(
+        PoolConfig::builder("Adder").build().unwrap(),
+        Arc::new(|| Box::new(Adder)),
+        deps,
+        None,
+    )
+    .unwrap();
+    let registry = RegistryServer::spawn(net.clone());
+    let mut client = RegistryClient::connect(net.clone(), registry.endpoint());
+    client.bind("adder", pool.sentinel()).unwrap();
+
+    let sentinel = client.lookup("adder").unwrap().unwrap();
+    let (ep, mailbox) = erm_transport::Host::open(net.as_ref());
+    let mut stub = Stub::connect(
+        net as Arc<dyn Network>,
+        ep,
+        mailbox,
+        sentinel,
+        ClientLb::RoundRobin,
+    )
+    .unwrap();
+    let sum: i64 = stub.invoke("add", &(40i64, 2i64)).unwrap();
+    assert_eq!(sum, 42);
+    pool.shutdown();
+    registry.shutdown();
+}

@@ -1,0 +1,122 @@
+//! Golden-byte tests pinning the wire format.
+//!
+//! The codec is a protocol: once two processes (or a client and a pool on
+//! different hosts) exchange bytes, its layout must not drift. These tests
+//! hard-code the expected encodings so any accidental format change fails
+//! loudly instead of corrupting cross-version traffic.
+
+use elasticrmi::{RemoteError, RmiMessage};
+use erm_transport::{to_bytes, EndpointId};
+
+#[test]
+fn integer_layout_is_little_endian_fixed_width() {
+    assert_eq!(to_bytes(&0x01020304u32).unwrap(), [4, 3, 2, 1]);
+    assert_eq!(to_bytes(&1u8).unwrap(), [1]);
+    assert_eq!(to_bytes(&(-2i16)).unwrap(), [0xfe, 0xff]);
+    assert_eq!(
+        to_bytes(&0x0102030405060708u64).unwrap(),
+        [8, 7, 6, 5, 4, 3, 2, 1]
+    );
+}
+
+#[test]
+fn bool_and_option_tags() {
+    assert_eq!(to_bytes(&true).unwrap(), [1]);
+    assert_eq!(to_bytes(&false).unwrap(), [0]);
+    assert_eq!(to_bytes(&Option::<u8>::None).unwrap(), [0]);
+    assert_eq!(to_bytes(&Some(7u8)).unwrap(), [1, 7]);
+}
+
+#[test]
+fn string_layout_is_length_prefixed_utf8() {
+    assert_eq!(to_bytes("hi").unwrap(), [2, 0, 0, 0, b'h', b'i']);
+    assert_eq!(to_bytes("").unwrap(), [0, 0, 0, 0]);
+}
+
+#[test]
+fn vec_layout_is_length_prefixed_elements() {
+    assert_eq!(
+        to_bytes(&vec![1u16, 2]).unwrap(),
+        [2, 0, 0, 0, 1, 0, 2, 0]
+    );
+}
+
+#[test]
+fn float_layout_is_ieee754_le() {
+    assert_eq!(to_bytes(&1.0f32).unwrap(), 1.0f32.to_le_bytes());
+    assert_eq!(to_bytes(&-2.5f64).unwrap(), (-2.5f64).to_le_bytes());
+}
+
+#[test]
+fn enum_variants_are_u32_indices() {
+    // RmiMessage::Ping is variant 10 of the protocol enum; its encoding is
+    // exactly the 4-byte index. Renumbering variants breaks deployed peers.
+    assert_eq!(RmiMessage::Ping.encode(), [10, 0, 0, 0]);
+    assert_eq!(RmiMessage::Pong.encode(), [11, 0, 0, 0]);
+    assert_eq!(RmiMessage::PoolInfoRequest.encode(), [3, 0, 0, 0]);
+    assert_eq!(RmiMessage::Shutdown.encode(), [8, 0, 0, 0]);
+}
+
+#[test]
+fn request_message_golden_bytes() {
+    let msg = RmiMessage::Request {
+        call: 1,
+        method: "m".to_string(),
+        args: vec![9],
+    };
+    let expected: Vec<u8> = [
+        vec![0, 0, 0, 0],             // variant 0: Request
+        vec![1, 0, 0, 0, 0, 0, 0, 0], // call: u64 = 1
+        vec![1, 0, 0, 0, b'm'],       // method: len 1, "m"
+        vec![1, 0, 0, 0, 9],          // args: len 1, [9]
+    ]
+    .concat();
+    assert_eq!(msg.encode(), expected);
+}
+
+#[test]
+fn response_ok_golden_bytes() {
+    let msg = RmiMessage::Response {
+        call: 2,
+        outcome: Ok(vec![7, 8]),
+    };
+    let expected: Vec<u8> = [
+        vec![1, 0, 0, 0],             // variant 1: Response
+        vec![2, 0, 0, 0, 0, 0, 0, 0], // call
+        vec![0, 0, 0, 0],             // Result variant 0: Ok
+        vec![2, 0, 0, 0, 7, 8],       // bytes
+    ]
+    .concat();
+    assert_eq!(msg.encode(), expected);
+}
+
+#[test]
+fn response_err_golden_bytes() {
+    let msg = RmiMessage::Response {
+        call: 0,
+        outcome: Err(RemoteError::new("E", "d")),
+    };
+    let expected: Vec<u8> = [
+        vec![1, 0, 0, 0],             // variant 1: Response
+        vec![0; 8],                   // call 0
+        vec![1, 0, 0, 0],             // Result variant 1: Err
+        vec![1, 0, 0, 0, b'E'],       // kind
+        vec![1, 0, 0, 0, b'd'],       // detail
+    ]
+    .concat();
+    assert_eq!(msg.encode(), expected);
+}
+
+#[test]
+fn endpoint_id_is_a_bare_u64() {
+    assert_eq!(to_bytes(&EndpointId(3)).unwrap(), 3u64.to_le_bytes());
+}
+
+#[test]
+fn golden_decodes_roundtrip() {
+    // The inverse direction: the pinned bytes decode to the original values.
+    let bytes = [10u8, 0, 0, 0];
+    assert_eq!(RmiMessage::decode(&bytes).unwrap(), RmiMessage::Ping);
+    let s: String = erm_transport::from_bytes(&[2, 0, 0, 0, b'h', b'i']).unwrap();
+    assert_eq!(s, "hi");
+}
