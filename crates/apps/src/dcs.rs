@@ -93,20 +93,24 @@ impl Dcs {
     /// ZooKeeper-style watch polling).
     fn log_change(ctx: &ServiceContext, zxid: u64, op: &str, path: &str) {
         const CAP: usize = 1_000;
-        ctx.shared::<Vec<(u64, String, String)>>("changelog").update(Vec::new, |log| {
-            log.push((zxid, op.to_string(), path.to_string()));
-            if log.len() > CAP {
-                let excess = log.len() - CAP;
-                log.drain(..excess);
-            }
-        });
+        ctx.shared::<Vec<(u64, String, String)>>("changelog")
+            .update(Vec::new, |log| {
+                log.push((zxid, op.to_string(), path.to_string()));
+                if log.len() > CAP {
+                    let excess = log.len() - CAP;
+                    log.drain(..excess);
+                }
+            });
     }
 
     fn next_zxid(ctx: &ServiceContext) -> u64 {
-        ctx.shared::<u64>("zxid").update(|| 0, |z| {
-            *z += 1;
-            *z
-        })
+        ctx.shared::<u64>("zxid").update(
+            || 0,
+            |z| {
+                *z += 1;
+                *z
+            },
+        )
     }
 
     fn session_key(id: u64) -> String {
@@ -123,10 +127,11 @@ impl Dcs {
 
     fn read_node(ctx: &ServiceContext, path: &str) -> Result<Option<ZNode>, RemoteError> {
         match ctx.store().get(&Self::node_key(path)) {
-            Some(v) => Ok(Some(
-                erm_transport::from_bytes(&v.value)
-                    .map_err(|e| RemoteError::new("CorruptNode", e.to_string()))?,
-            )),
+            Some(v) => {
+                Ok(Some(erm_transport::from_bytes(&v.value).map_err(|e| {
+                    RemoteError::new("CorruptNode", e.to_string())
+                })?))
+            }
             None => Ok(None),
         }
     }
@@ -252,15 +257,17 @@ impl ElasticService for Dcs {
                 if ttl_secs == 0 {
                     return Err(RemoteError::new("InvalidSession", "zero ttl"));
                 }
-                let id = ctx.shared::<u64>("next_session").update(|| 0, |n| {
-                    *n += 1;
-                    *n
-                });
+                let id = ctx.shared::<u64>("next_session").update(
+                    || 0,
+                    |n| {
+                        *n += 1;
+                        *n
+                    },
+                );
                 let deadline = ctx.now().as_micros() + ttl_secs * 1_000_000;
                 ctx.store().put(
                     &Self::session_key(id),
-                    erm_transport::to_bytes(&(deadline, ttl_secs))
-                        .expect("session record encodes"),
+                    erm_transport::to_bytes(&(deadline, ttl_secs)).expect("session record encodes"),
                 );
                 encode_result(&id)
             }
@@ -274,8 +281,7 @@ impl ElasticService for Dcs {
                 let deadline = ctx.now().as_micros() + ttl_secs * 1_000_000;
                 ctx.store().put(
                     &Self::session_key(id),
-                    erm_transport::to_bytes(&(deadline, ttl_secs))
-                        .expect("session record encodes"),
+                    erm_transport::to_bytes(&(deadline, ttl_secs)).expect("session record encodes"),
                 );
                 encode_result(&deadline)
             }
@@ -286,9 +292,11 @@ impl ElasticService for Dcs {
                     return Err(RemoteError::new("NoSession", session.to_string()));
                 }
                 // Create exactly like a normal node...
-                let created =
-                    self.dispatch("create", &erm_transport::to_bytes(&(path.clone(), data))
-                        .expect("args encode"), ctx)?;
+                let created = self.dispatch(
+                    "create",
+                    &erm_transport::to_bytes(&(path.clone(), data)).expect("args encode"),
+                    ctx,
+                )?;
                 // ...then index it under its owning session.
                 ctx.shared::<Vec<String>>(&format!("ephemeral/{session}"))
                     .update(Vec::new, |paths| paths.push(path.clone()));
@@ -305,9 +313,10 @@ impl ElasticService for Dcs {
                 let mut expired = 0u32;
                 let sessions = ctx.store().keys_with_prefix("dcs-session/");
                 for key in sessions {
-                    let Some(cell) = ctx.store().get(&key) else { continue };
-                    let Ok((deadline, _ttl)) =
-                        erm_transport::from_bytes::<(u64, u64)>(&cell.value)
+                    let Some(cell) = ctx.store().get(&key) else {
+                        continue;
+                    };
+                    let Ok((deadline, _ttl)) = erm_transport::from_bytes::<(u64, u64)>(&cell.value)
                     else {
                         continue;
                     };
@@ -480,7 +489,8 @@ mod tests {
     #[test]
     fn set_on_missing_node_fails() {
         let (mut svc, mut ctx) = fresh();
-        let err = call::<_, u64>(&mut svc, &mut ctx, "set", &("/ghost", b"x".to_vec())).unwrap_err();
+        let err =
+            call::<_, u64>(&mut svc, &mut ctx, "set", &("/ghost", b"x".to_vec())).unwrap_err();
         assert_eq!(err.kind, "NoNode");
     }
 
@@ -497,9 +507,13 @@ mod tests {
                 let mut zxids = Vec::new();
                 for i in 0..50 {
                     let path = format!("/m{uid}-{i}");
-                    let z: u64 =
-                        call(&mut svc, &mut ctx, "create", &(path.as_str(), Vec::<u8>::new()))
-                            .unwrap();
+                    let z: u64 = call(
+                        &mut svc,
+                        &mut ctx,
+                        "create",
+                        &(path.as_str(), Vec::<u8>::new()),
+                    )
+                    .unwrap();
                     zxids.push(z);
                 }
                 zxids
@@ -576,7 +590,12 @@ mod session_tests {
     fn ephemeral_node_dies_with_its_session() {
         let mut r = rig();
         let session: u64 = call(&mut r, "create_session", &30u64).unwrap();
-        let _: u64 = call(&mut r, "create_ephemeral", &(session, "/lock", b"me".to_vec())).unwrap();
+        let _: u64 = call(
+            &mut r,
+            "create_ephemeral",
+            &(session, "/lock", b"me".to_vec()),
+        )
+        .unwrap();
         let exists: bool = call(&mut r, "exists", &"/lock").unwrap();
         assert!(exists);
         // Session lapses...
@@ -591,8 +610,12 @@ mod session_tests {
     fn heartbeat_keeps_session_alive() {
         let mut r = rig();
         let session: u64 = call(&mut r, "create_session", &30u64).unwrap();
-        let _: u64 = call(&mut r, "create_ephemeral", &(session, "/leader", Vec::<u8>::new()))
-            .unwrap();
+        let _: u64 = call(
+            &mut r,
+            "create_ephemeral",
+            &(session, "/leader", Vec::<u8>::new()),
+        )
+        .unwrap();
         r.clock.advance(SimDuration::from_secs(20));
         let _: u64 = call(&mut r, "heartbeat", &session).unwrap();
         r.clock.advance(SimDuration::from_secs(20)); // 40s total, but renewed at 20
@@ -612,9 +635,12 @@ mod session_tests {
     #[test]
     fn ephemeral_on_dead_session_rejected() {
         let mut r = rig();
-        let err =
-            call::<_, u64>(&mut r, "create_ephemeral", &(404u64, "/x", Vec::<u8>::new()))
-                .unwrap_err();
+        let err = call::<_, u64>(
+            &mut r,
+            "create_ephemeral",
+            &(404u64, "/x", Vec::<u8>::new()),
+        )
+        .unwrap_err();
         assert_eq!(err.kind, "NoSession");
     }
 
@@ -622,9 +648,18 @@ mod session_tests {
     fn ephemeral_trees_are_reaped_children_first() {
         let mut r = rig();
         let session: u64 = call(&mut r, "create_session", &10u64).unwrap();
-        let _: u64 = call(&mut r, "create_ephemeral", &(session, "/svc", Vec::<u8>::new())).unwrap();
-        let _: u64 =
-            call(&mut r, "create_ephemeral", &(session, "/svc/a", Vec::<u8>::new())).unwrap();
+        let _: u64 = call(
+            &mut r,
+            "create_ephemeral",
+            &(session, "/svc", Vec::<u8>::new()),
+        )
+        .unwrap();
+        let _: u64 = call(
+            &mut r,
+            "create_ephemeral",
+            &(session, "/svc/a", Vec::<u8>::new()),
+        )
+        .unwrap();
         r.clock.advance(SimDuration::from_secs(11));
         let expired: u32 = call(&mut r, "expire_sessions", &()).unwrap();
         assert_eq!(expired, 1);
@@ -637,8 +672,12 @@ mod session_tests {
         let mut r = rig();
         let session: u64 = call(&mut r, "create_session", &10u64).unwrap();
         let _: u64 = call(&mut r, "create", &("/durable", Vec::<u8>::new())).unwrap();
-        let _: u64 =
-            call(&mut r, "create_ephemeral", &(session, "/temp", Vec::<u8>::new())).unwrap();
+        let _: u64 = call(
+            &mut r,
+            "create_ephemeral",
+            &(session, "/temp", Vec::<u8>::new()),
+        )
+        .unwrap();
         r.clock.advance(SimDuration::from_secs(11));
         let _: u32 = call(&mut r, "expire_sessions", &()).unwrap();
         let durable: bool = call(&mut r, "exists", &"/durable").unwrap();
@@ -701,8 +740,7 @@ mod watch_tests {
         let (mut svc, mut ctx) = fresh();
         let z1: u64 = call(&mut svc, &mut ctx, "create", &("/a", Vec::<u8>::new()));
         let _: u64 = call(&mut svc, &mut ctx, "create", &("/b", Vec::<u8>::new()));
-        let after: Vec<(u64, String, String)> =
-            call(&mut svc, &mut ctx, "changes_since", &z1);
+        let after: Vec<(u64, String, String)> = call(&mut svc, &mut ctx, "changes_since", &z1);
         assert_eq!(after.len(), 1);
         assert_eq!(after[0].2, "/b");
     }
@@ -721,7 +759,12 @@ mod watch_tests {
     fn changelog_is_bounded() {
         let (mut svc, mut ctx) = fresh();
         for i in 0..1_100 {
-            let _: u64 = call(&mut svc, &mut ctx, "create", &(format!("/n{i}"), Vec::<u8>::new()));
+            let _: u64 = call(
+                &mut svc,
+                &mut ctx,
+                "create",
+                &(format!("/n{i}"), Vec::<u8>::new()),
+            );
         }
         let all: Vec<(u64, String, String)> = call(&mut svc, &mut ctx, "changes_since", &0u64);
         assert_eq!(all.len(), 1_000, "log capped at 1000 entries");

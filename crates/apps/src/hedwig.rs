@@ -65,7 +65,10 @@ impl Hub {
         ctx.shared(&format!("subs/{topic}"))
     }
 
-    fn inbox_field(ctx: &ServiceContext, subscriber: &str) -> elasticrmi::SharedField<Vec<Delivery>> {
+    fn inbox_field(
+        ctx: &ServiceContext,
+        subscriber: &str,
+    ) -> elasticrmi::SharedField<Vec<Delivery>> {
         ctx.shared(&format!("inbox/{subscriber}"))
     }
 
@@ -114,10 +117,13 @@ impl ElasticService for Hub {
                 // Hubs partition topic ownership: first publish claims it.
                 let me = ctx.uid();
                 Self::owner_field(ctx, &topic).update(|| me, |_| ());
-                let seq = Self::seq_field(ctx, &topic).update(|| 0, |s| {
-                    *s += 1;
-                    *s
-                });
+                let seq = Self::seq_field(ctx, &topic).update(
+                    || 0,
+                    |s| {
+                        *s += 1;
+                        *s
+                    },
+                );
                 let delivery = Delivery {
                     topic: topic.clone(),
                     payload,
@@ -136,8 +142,7 @@ impl ElasticService for Hub {
                 let subscriber: String = decode_args(method, args)?;
                 // At-most-once: take the messages out atomically; they are
                 // never redelivered even if this response is lost.
-                let drained = Self::inbox_field(ctx, &subscriber)
-                    .update(Vec::new, std::mem::take);
+                let drained = Self::inbox_field(ctx, &subscriber).update(Vec::new, std::mem::take);
                 encode_result(&drained)
             }
             "topic_owner" => {
@@ -150,8 +155,8 @@ impl ElasticService for Hub {
 
     fn change_pool_size(&mut self, stats: &MethodCallStats, ctx: &mut ServiceContext) -> i32 {
         let model = AppKind::Hedwig.model();
-        let pool_rate = (stats.rate("publish") + stats.rate("fetch"))
-            * f64::from(ctx.pool_size().max(1));
+        let pool_rate =
+            (stats.rate("publish") + stats.rate("fetch")) * f64::from(ctx.pool_size().max(1));
         demand_vote(pool_rate, model.per_object_capacity, ctx.pool_size(), 1.0)
     }
 }
@@ -249,10 +254,12 @@ mod tests {
         let pool = Pool::new(2);
         let (mut hub0, mut ctx0) = pool.member(0);
         let (mut hub1, mut ctx1) = pool.member(1);
-        let _: (u64, u32) = call(&mut hub1, &mut ctx1, "publish", &("t", Vec::<u8>::new())).unwrap();
+        let _: (u64, u32) =
+            call(&mut hub1, &mut ctx1, "publish", &("t", Vec::<u8>::new())).unwrap();
         // Ownership claimed by hub 1; a later publish through hub 0 does not
         // steal it.
-        let _: (u64, u32) = call(&mut hub0, &mut ctx0, "publish", &("t", Vec::<u8>::new())).unwrap();
+        let _: (u64, u32) =
+            call(&mut hub0, &mut ctx0, "publish", &("t", Vec::<u8>::new())).unwrap();
         let owner: Option<u64> = call(&mut hub0, &mut ctx0, "topic_owner", &"t").unwrap();
         assert_eq!(owner, Some(1));
     }
@@ -299,8 +306,8 @@ mod tests {
     fn invalid_topic_rejected() {
         let pool = Pool::new(2);
         let (mut hub, mut ctx) = pool.member(0);
-        let err = call::<_, (u64, u32)>(&mut hub, &mut ctx, "publish", &("", vec![1u8]))
-            .unwrap_err();
+        let err =
+            call::<_, (u64, u32)>(&mut hub, &mut ctx, "publish", &("", vec![1u8])).unwrap_err();
         assert_eq!(err.kind, "InvalidTopic");
     }
 

@@ -98,7 +98,11 @@ impl OrderStream {
         Order {
             id,
             symbol: Self::SYMBOLS[idx.min(Self::SYMBOLS.len() - 1)].to_string(),
-            side: if self.rng.gen() { Side::Buy } else { Side::Sell },
+            side: if self.rng.gen() {
+                Side::Buy
+            } else {
+                Side::Sell
+            },
             quantity: self.rng.gen_range(1..=1_000),
             limit_cents: if self.rng.gen_range(0..4) == 0 {
                 None // market order
@@ -151,7 +155,9 @@ impl OrderRouter {
     }
 
     fn venue_for(symbol: &str) -> &'static str {
-        let h: u64 = symbol.bytes().fold(5381u64, |h, b| h.wrapping_mul(33) ^ u64::from(b));
+        let h: u64 = symbol
+            .bytes()
+            .fold(5381u64, |h, b| h.wrapping_mul(33) ^ u64::from(b));
         VENUES[(h % VENUES.len() as u64) as usize]
     }
 
@@ -317,7 +323,11 @@ mod tests {
         let clock = Arc::new(VirtualClock::new());
         let size = Arc::new(AtomicU32::new(2));
         let mut c1 = ServiceContext::new(
-            Arc::clone(&store), OrderRouter::CLASS, 0, clock.clone(), Arc::clone(&size),
+            Arc::clone(&store),
+            OrderRouter::CLASS,
+            0,
+            clock.clone(),
+            Arc::clone(&size),
         );
         let mut c2 = ServiceContext::new(store, OrderRouter::CLASS, 1, clock, size);
         let mut a = OrderRouter::new();
@@ -343,7 +353,10 @@ mod tests {
         let mut methods = HashMap::new();
         methods.insert(
             "route".to_string(),
-            elasticrmi::MethodStat { calls: 36_000, mean_latency_us: 100 },
+            elasticrmi::MethodStat {
+                calls: 36_000,
+                mean_latency_us: 100,
+            },
         );
         let stats = MethodCallStats::new(SimDuration::from_secs(60), methods);
         assert_eq!(svc.change_pool_size(&stats, &mut c), -3);
@@ -351,7 +364,10 @@ mod tests {
         let mut methods = HashMap::new();
         methods.insert(
             "route".to_string(),
-            elasticrmi::MethodStat { calls: 600_000, mean_latency_us: 100 },
+            elasticrmi::MethodStat {
+                calls: 600_000,
+                mean_latency_us: 100,
+            },
         );
         let stats = MethodCallStats::new(SimDuration::from_secs(60), methods);
         assert!(svc.change_pool_size(&stats, &mut c) > 1);
@@ -384,7 +400,10 @@ mod tests {
         let orders: Vec<Order> = OrderStream::new(3, 0).take(2_000).collect();
         let hot = orders.iter().filter(|o| o.symbol == "HPQ").count();
         let cold = orders.iter().filter(|o| o.symbol == "DELL").count();
-        assert!(hot > cold * 2, "zipf-ish skew expected: hot {hot} vs cold {cold}");
+        assert!(
+            hot > cold * 2,
+            "zipf-ish skew expected: hot {hot} vs cold {cold}"
+        );
     }
 
     #[test]

@@ -12,7 +12,6 @@ use erm_workloads::paper;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-
 /// The four applications of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AppKind {
@@ -194,7 +193,10 @@ mod tests {
             .map(|min| m.req_min(20_000.0, min).to_bits())
             .collect::<std::collections::HashSet<_>>();
         let _ = (a, b);
-        assert!(distinct.len() > 1, "jitter should vary Req_min across minutes");
+        assert!(
+            distinct.len() > 1,
+            "jitter should vary Req_min across minutes"
+        );
     }
 
     #[test]

@@ -159,7 +159,7 @@ impl PaxosReplica {
                     let s: AcceptorState =
                         erm_transport::from_bytes(&v.value).expect("acceptor state decodes");
                     if let Some((ab, av)) = s.accepted {
-                        if best_accepted.as_ref().map_or(true, |(bb, _)| ab > *bb) {
+                        if best_accepted.as_ref().is_none_or(|(bb, _)| ab > *bb) {
                             best_accepted = Some((ab, av));
                         }
                     }
@@ -453,9 +453,15 @@ mod tests {
         let (mut r, mut ctx) = member(&store, 0);
         propose(&mut r, &mut ctx, 1, b"a");
         propose(&mut r, &mut ctx, 2, b"b");
-        let n: u64 =
-            erm_transport::from_bytes(&r.dispatch("decided_count", &erm_transport::to_bytes(&()).unwrap(), &mut ctx).unwrap())
-                .unwrap();
+        let n: u64 = erm_transport::from_bytes(
+            &r.dispatch(
+                "decided_count",
+                &erm_transport::to_bytes(&()).unwrap(),
+                &mut ctx,
+            )
+            .unwrap(),
+        )
+        .unwrap();
         assert_eq!(n, 2);
     }
 }

@@ -10,11 +10,11 @@ use elasticrmi::{
     encode_result, ClientLb, ElasticPool, ElasticService, PoolConfig, PoolDeps, PoolSample,
     RemoteError, ScalingEngine, ScalingPolicy, ServiceContext,
 };
-use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::TraceHandle;
 use erm_sim::{SimTime, SystemClock};
 use erm_transport::{EndpointId, InProcNetwork};
-use parking_lot::Mutex;
 
 fn bench_scaling_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling_engine");
@@ -97,13 +97,14 @@ fn bench_full_rmi_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("rmi_invocation");
     group.sample_size(30);
     let deps = PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             provisioning: LatencyModel::instant(),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: Arc::new(InProcNetwork::new()),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     };
     let config = PoolConfig::builder("Echo")
         .min_pool_size(3)
@@ -128,13 +129,14 @@ fn bench_lb_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("client_lb_policy");
     group.sample_size(30);
     let deps = PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             provisioning: LatencyModel::instant(),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: Arc::new(InProcNetwork::new()),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     };
     let config = PoolConfig::builder("Echo")
         .min_pool_size(4)

@@ -65,7 +65,10 @@ fn bench_fig7i_7j(c: &mut Criterion) {
 fn bench_fig8_provisioning(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_provisioning_latency");
     group.sample_size(10);
-    for (name, pattern) in [("8a_abrupt", PatternKind::Abrupt), ("8b_cyclic", PatternKind::Cyclic)] {
+    for (name, pattern) in [
+        ("8a_abrupt", PatternKind::Abrupt),
+        ("8b_cyclic", PatternKind::Cyclic),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let figure = FigureId::Provisioning(pattern);

@@ -7,6 +7,9 @@
 //! figures --ablation         # design-choice ablations (burst interval,
 //!                            # policy, provisioning latency)
 //! figures --seed 42          # change the experiment seed
+//! figures --dump-traces      # control-plane trace of one run per
+//!                            # app x pattern (scale decisions, joins,
+//!                            # drains, in virtual time)
 //! ```
 
 use erm_apps::AppKind;
@@ -20,6 +23,7 @@ fn main() {
     let mut fig: Option<String> = None;
     let mut table = false;
     let mut ablation = false;
+    let mut dump_traces = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -32,10 +36,15 @@ fn main() {
             }
             "--fig" => {
                 i += 1;
-                fig = Some(args.get(i).cloned().unwrap_or_else(|| usage("--fig needs an id")));
+                fig = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--fig needs an id")),
+                );
             }
             "--table" => table = true,
             "--ablation" => ablation = true,
+            "--dump-traces" => dump_traces = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -57,6 +66,10 @@ fn main() {
         print_ablations(seed);
         return;
     }
+    if dump_traces {
+        print_traces(seed);
+        return;
+    }
     // Default: everything.
     for (name, figure) in FigureId::all() {
         println!("================ Figure {name} ================");
@@ -71,7 +84,9 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: figures [--fig 7a..7j|8a|8b] [--table] [--ablation] [--seed N]");
+    eprintln!(
+        "usage: figures [--fig 7a..7j|8a|8b] [--table] [--ablation] [--dump-traces] [--seed N]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -100,6 +115,27 @@ fn print_summary(seed: u64) {
     }
 }
 
+/// One ElasticRMI run per application x pattern with control-plane tracing
+/// on, dumped one record per line in virtual time.
+fn print_traces(seed: u64) {
+    for app in AppKind::ALL {
+        for pattern in [PatternKind::Abrupt, PatternKind::Cyclic] {
+            let mut config = ExperimentConfig::paper(app, pattern, Deployment::ElasticRmi);
+            config.seed = seed;
+            config.trace = true;
+            let r = run_experiment(&config);
+            println!(
+                "================ Trace: {app} / {pattern} ({} events) ================",
+                r.trace.len()
+            );
+            for record in &r.trace {
+                println!("{record}");
+            }
+            println!();
+        }
+    }
+}
+
 /// Ablations for the design choices DESIGN.md calls out: burst interval,
 /// decision policy, and provisioning latency.
 fn print_ablations(seed: u64) {
@@ -116,7 +152,11 @@ fn print_ablations(seed: u64) {
         let mut config = ExperimentConfig::paper(app, PatternKind::Abrupt, dep);
         config.seed = seed;
         let r = run_experiment(&config);
-        println!("  {:<18} agility={:.2}", dep.to_string(), r.agility.mean_agility());
+        println!(
+            "  {:<18} agility={:.2}",
+            dep.to_string(),
+            r.agility.mean_agility()
+        );
     }
     println!("\n# Ablation 3: provisioning latency at equal policy (threshold policy)");
     for dep in [Deployment::ElasticRmiCpuMem, Deployment::CloudWatch] {
@@ -127,7 +167,9 @@ fn print_ablations(seed: u64) {
             "  {:<18} agility={:.2} prov={:.0}s",
             dep.to_string(),
             r.agility.mean_agility(),
-            r.provisioning.mean_latency().map_or(0.0, |d| d.as_secs_f64())
+            r.provisioning
+                .mean_latency()
+                .map_or(0.0, |d| d.as_secs_f64())
         );
     }
     println!("\n# Ablation 4: cluster-master outage during the abrupt ramp (par. 4.4)");
@@ -135,7 +177,10 @@ fn print_ablations(seed: u64) {
         let mut config = ExperimentConfig::paper(app, PatternKind::Abrupt, Deployment::ElasticRmi);
         config.seed = seed;
         config.master_outage = outage.map(|(a, b)| {
-            (erm_sim::SimTime::from_minutes(a), erm_sim::SimTime::from_minutes(b))
+            (
+                erm_sim::SimTime::from_minutes(a),
+                erm_sim::SimTime::from_minutes(b),
+            )
         });
         let r = run_experiment(&config);
         println!(

@@ -69,7 +69,10 @@ impl LatencyModel {
     /// Panics if `load` is not within `[0, 1]` or the model has
     /// `min > max`.
     pub fn sample(&self, rng: &mut StdRng, load: f64) -> SimDuration {
-        assert!((0.0..=1.0).contains(&load), "load must be in [0,1], got {load}");
+        assert!(
+            (0.0..=1.0).contains(&load),
+            "load must be in [0,1], got {load}"
+        );
         match *self {
             LatencyModel::Fixed(d) => d,
             LatencyModel::Uniform { min, max } => {

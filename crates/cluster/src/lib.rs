@@ -32,9 +32,11 @@
 //! assert_eq!(ready.len(), 3);
 //! ```
 
+mod handle;
 mod latency;
 mod manager;
 
+pub use handle::ClusterHandle;
 pub use latency::LatencyModel;
 pub use manager::{
     AdminAlert, ClusterConfig, ClusterError, NodeId, RequestOutcome, ResourceManager, SliceGrant,

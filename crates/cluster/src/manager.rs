@@ -229,11 +229,7 @@ impl ResourceManager {
     /// active.
     ///
     /// [`poll_ready`]: ResourceManager::poll_ready
-    pub fn request_slices(
-        &mut self,
-        n: u32,
-        now: SimTime,
-    ) -> Result<RequestOutcome, ClusterError> {
+    pub fn request_slices(&mut self, n: u32, now: SimTime) -> Result<RequestOutcome, ClusterError> {
         self.check_master(now)?;
         let request_id = self.next_request;
         self.next_request += 1;

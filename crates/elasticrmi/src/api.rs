@@ -26,7 +26,7 @@ use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 use crate::error::RemoteError;
-use crate::message::MethodStat;
+use crate::message::{InvocationContext, MethodStat};
 use crate::state::{synchronized, SharedField};
 
 /// Statistics over one burst interval, handed to
@@ -36,17 +36,35 @@ use crate::state::{synchronized, SharedField};
 pub struct MethodCallStats {
     interval: SimDuration,
     methods: HashMap<String, MethodStat>,
+    expired: u32,
 }
 
 impl MethodCallStats {
     /// Builds stats from per-method entries covering `interval`.
     pub fn new(interval: SimDuration, methods: HashMap<String, MethodStat>) -> Self {
-        MethodCallStats { interval, methods }
+        MethodCallStats {
+            interval,
+            methods,
+            expired: 0,
+        }
+    }
+
+    /// Same stats plus the interval's count of deadline-expired rejections.
+    pub fn with_expired(mut self, expired: u32) -> Self {
+        self.expired = expired;
+        self
     }
 
     /// The burst interval the stats cover.
     pub fn interval(&self) -> SimDuration {
         self.interval
+    }
+
+    /// Requests this member rejected during the interval because their
+    /// deadline had already passed on arrival — a direct signal of
+    /// overload for `change_pool_size` implementations.
+    pub fn expired(&self) -> u32 {
+        self.expired
     }
 
     /// Invocations of `method` during the interval (0 if never called).
@@ -89,6 +107,7 @@ pub struct ServiceContext {
     clock: SharedClock,
     pool_size: Arc<AtomicU32>,
     lock_ttl: SimDuration,
+    invocation: Option<InvocationContext>,
 }
 
 impl std::fmt::Debug for ServiceContext {
@@ -117,7 +136,29 @@ impl ServiceContext {
             clock,
             pool_size,
             lock_ttl: SimDuration::from_secs(30),
+            invocation: None,
         }
+    }
+
+    /// Attaches (or clears) the context of the invocation about to be
+    /// dispatched. Called by the skeleton around each dispatch.
+    pub fn set_invocation(&mut self, invocation: Option<InvocationContext>) {
+        self.invocation = invocation;
+    }
+
+    /// The context of the invocation currently executing, if the call came
+    /// in over the wire (as opposed to lifecycle hooks such as `on_start`).
+    pub fn invocation(&self) -> Option<&InvocationContext> {
+        self.invocation.as_ref()
+    }
+
+    /// Deadline budget the current invocation has left, on the pool's
+    /// clock. `None` outside a remote dispatch. A long-running method can
+    /// consult this to abandon work nobody will wait for.
+    pub fn remaining_budget(&self) -> Option<SimDuration> {
+        self.invocation
+            .as_ref()
+            .map(|inv| inv.remaining(self.clock.now()))
     }
 
     /// Handle to shared field `name` of this elastic class. Reads and writes
@@ -300,6 +341,34 @@ mod tests {
         assert_eq!(stats.mean_latency("put"), Some(SimDuration::from_millis(2)));
         assert_eq!(stats.calls("get"), 0);
         assert_eq!(stats.mean_latency("get"), None);
+    }
+
+    #[test]
+    fn invocation_context_attaches_and_clears() {
+        use erm_transport::EndpointId;
+
+        let mut ctx = context();
+        assert!(ctx.invocation().is_none());
+        assert!(ctx.remaining_budget().is_none());
+        let inv = InvocationContext {
+            id: 1,
+            deadline: SimTime::from_secs(10),
+            attempt: 1,
+            origin: EndpointId(9),
+        };
+        ctx.set_invocation(Some(inv));
+        assert_eq!(ctx.invocation(), Some(&inv));
+        // The test clock is a VirtualClock stuck at t=0.
+        assert_eq!(ctx.remaining_budget(), Some(SimDuration::from_secs(10)));
+        ctx.set_invocation(None);
+        assert!(ctx.invocation().is_none());
+    }
+
+    #[test]
+    fn stats_carry_expired_rejections() {
+        let stats = MethodCallStats::new(SimDuration::from_secs(60), HashMap::new());
+        assert_eq!(stats.expired(), 0);
+        assert_eq!(stats.clone().with_expired(4).expired(), 4);
     }
 
     #[test]

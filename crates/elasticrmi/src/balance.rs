@@ -201,6 +201,9 @@ mod tests {
         let plan = plan_redirects(&input, 6);
         let after = apply_plan(&input, &plan);
         let after_total: u32 = after.iter().map(|m| m.pending).sum();
-        assert_eq!(before, after_total, "redirection must not create or lose work");
+        assert_eq!(
+            before, after_total,
+            "redirection must not create or lose work"
+        );
     }
 }

@@ -137,7 +137,10 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "threshold {name} = {value} outside 0..=100")
             }
             ConfigError::InvertedThresholds { resource } => {
-                write!(f, "{resource} decrease threshold must be below its increase threshold")
+                write!(
+                    f,
+                    "{resource} decrease threshold must be below its increase threshold"
+                )
             }
             ConfigError::EmptyThresholds => {
                 write!(f, "coarse-grained policy requires at least one threshold")
@@ -316,7 +319,10 @@ mod tests {
     #[test]
     fn min_pool_size_of_one_is_rejected() {
         // Paper §4.2: "a minimum (≥ 2)".
-        let err = PoolConfig::builder("C1").min_pool_size(1).build().unwrap_err();
+        let err = PoolConfig::builder("C1")
+            .min_pool_size(1)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ConfigError::MinTooSmall(1));
     }
 
@@ -361,7 +367,13 @@ mod tests {
             }))
             .build()
             .unwrap_err();
-        assert!(matches!(err, ConfigError::ThresholdOutOfRange { name: "cpu_incr", .. }));
+        assert!(matches!(
+            err,
+            ConfigError::ThresholdOutOfRange {
+                name: "cpu_incr",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -47,6 +47,21 @@ impl RemoteError {
     pub fn aborted_by_shutdown() -> Self {
         RemoteError::new("AbnormalTermination", "object shut down before execution")
     }
+
+    /// Raised by a skeleton that receives a request whose deadline has
+    /// already passed: the stub has given up, so dispatching would only
+    /// burn pool capacity on an answer nobody is waiting for.
+    pub fn deadline_exceeded(method: &str, late_by: impl fmt::Display) -> Self {
+        RemoteError::new(
+            "DeadlineExceeded",
+            format!("{method} arrived {late_by} past its deadline"),
+        )
+    }
+
+    /// Whether this is a deadline rejection.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        self.kind == "DeadlineExceeded"
+    }
 }
 
 impl fmt::Display for RemoteError {
@@ -77,6 +92,12 @@ pub enum RmiError {
     /// The stub has not discovered pool membership yet and the sentinel is
     /// unreachable.
     SentinelUnreachable(EndpointId),
+    /// The invocation's deadline passed before any member produced an
+    /// answer, across however many attempts fit in the budget.
+    DeadlineExceeded {
+        /// How many member endpoints were attempted before expiry.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for RmiError {
@@ -89,6 +110,9 @@ impl fmt::Display for RmiError {
             RmiError::Decode(why) => write!(f, "failed to decode return value: {why}"),
             RmiError::Encode(why) => write!(f, "failed to encode arguments: {why}"),
             RmiError::SentinelUnreachable(id) => write!(f, "sentinel {id} unreachable"),
+            RmiError::DeadlineExceeded { attempts } => {
+                write!(f, "invocation deadline exceeded after {attempts} attempts")
+            }
         }
     }
 }
@@ -138,10 +162,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(RemoteError::aborted_by_shutdown().to_string().contains("shut down"));
+        assert!(RemoteError::aborted_by_shutdown()
+            .to_string()
+            .contains("shut down"));
         assert!(RmiError::PoolUnreachable { attempts: 4 }
             .to_string()
             .contains("4 attempts"));
+        assert!(RmiError::DeadlineExceeded { attempts: 2 }
+            .to_string()
+            .contains("deadline"));
+        let expired = RemoteError::deadline_exceeded("put", "15ms");
+        assert!(expired.is_deadline_exceeded());
+        assert!(expired.to_string().contains("15ms"));
         assert!(PoolError::NoCapacity.to_string().contains("no slices"));
     }
 

@@ -36,7 +36,7 @@
 //!     ClientLb, ElasticPool, ElasticService, PoolConfig, PoolDeps, RemoteError,
 //!     ServiceContext,
 //! };
-//! use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+//! use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 //! use erm_kvstore::{Store, StoreConfig};
 //! use erm_sim::SystemClock;
 //! use erm_transport::InProcNetwork;
@@ -60,13 +60,14 @@
 //! }
 //!
 //! let deps = PoolDeps {
-//!     cluster: Arc::new(parking_lot::Mutex::new(ResourceManager::new(ClusterConfig {
+//!     cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
 //!         provisioning: LatencyModel::instant(),
 //!         ..ClusterConfig::default()
-//!     }))),
+//!     })),
 //!     net: Arc::new(InProcNetwork::new()),
 //!     store: Arc::new(Store::new(StoreConfig::default())),
 //!     clock: Arc::new(SystemClock::new()),
+//!     trace: erm_metrics::TraceHandle::disabled(),
 //! };
 //! let config = PoolConfig::builder("Counter").build()?;
 //! let mut pool = ElasticPool::instantiate(config, Arc::new(|| Box::new(Counter)), deps, None)?;
@@ -106,7 +107,7 @@ pub mod stub;
 pub use api::{decode_args, encode_result, ElasticService, MethodCallStats, ServiceContext};
 pub use config::{ConfigError, PoolConfig, PoolConfigBuilder, ScalingPolicy, Thresholds};
 pub use error::{PoolError, RemoteError, RmiError};
-pub use message::{LoadReport, MemberState, MethodStat, RmiMessage};
+pub use message::{InvocationContext, LoadReport, MemberState, MethodStat, RmiMessage};
 pub use pool::{Decider, ElasticPool, PoolDeps, PoolStats, ServiceFactory};
 pub use registry::{RegistryClient, RegistryServer};
 pub use scaling::{PoolSample, ScalingDecision, ScalingEngine};

@@ -81,6 +81,9 @@ macro_rules! elastic_class {
                             let $self_ = &mut *self;
                             #[allow(unused_variables)]
                             let $ctx = &mut *ctx;
+                            // The closure scopes `return` statements inside
+                            // `$body` to the method, not `dispatch`.
+                            #[allow(clippy::redundant_closure_call)]
                             let result: ::std::result::Result<$ret, $crate::RemoteError> =
                                 (|| $body)();
                             $crate::encode_result(&result?)
@@ -165,8 +168,13 @@ mod tests {
     #[test]
     fn multi_arg_method() {
         let mut svc = Calculator;
-        let out: i64 =
-            call(&mut svc, &mut ctx(), "weighted_sum", &(vec![1i64, 2, 3], 10i64)).unwrap();
+        let out: i64 = call(
+            &mut svc,
+            &mut ctx(),
+            "weighted_sum",
+            &(vec![1i64, 2, 3], 10i64),
+        )
+        .unwrap();
         assert_eq!(out, 60);
     }
 
@@ -272,11 +280,11 @@ macro_rules! elastic_stub {
 #[cfg(test)]
 mod stub_macro_tests {
     use crate::{ClientLb, ElasticPool, PoolConfig, PoolDeps};
-    use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+    use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
     use erm_kvstore::{Store, StoreConfig};
+    use erm_metrics::TraceHandle;
     use erm_sim::SystemClock;
     use erm_transport::InProcNetwork;
-    use parking_lot::Mutex;
     use std::sync::Arc;
 
     elastic_class! {
@@ -307,19 +315,22 @@ mod stub_macro_tests {
     #[test]
     fn typed_stub_round_trips_through_a_real_pool() {
         let deps = PoolDeps {
-            cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+            cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
                 provisioning: LatencyModel::instant(),
                 ..ClusterConfig::default()
-            }))),
+            })),
             net: Arc::new(InProcNetwork::new()),
             store: Arc::new(Store::new(StoreConfig::default())),
             clock: Arc::new(SystemClock::new()),
+            trace: TraceHandle::disabled(),
         };
         let config = PoolConfig::builder("Greeter").build().unwrap();
         let mut pool =
-            ElasticPool::instantiate(config, Arc::new(|| Box::new(Greeter)), deps, None)
-                .unwrap();
+            ElasticPool::instantiate(config, Arc::new(|| Box::new(Greeter)), deps, None).unwrap();
         let mut client = GreeterClient::new(pool.stub(ClientLb::RoundRobin).unwrap());
+        client
+            .stub_mut()
+            .set_invocation_budget(erm_sim::SimDuration::from_secs(30));
         assert_eq!(client.greet("ada").unwrap(), "hello, ada");
         assert_eq!(client.add(40, 2).unwrap(), 42);
         client.nothing().unwrap();

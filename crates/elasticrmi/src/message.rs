@@ -10,6 +10,7 @@
 //!   membership broadcasts (the JGroups substitute), rebalance directives
 //!   and the two-phase shutdown handshake of §2.5.
 
+use erm_sim::{SimDuration, SimTime};
 use erm_transport::EndpointId;
 use serde::{Deserialize, Serialize};
 
@@ -17,6 +18,40 @@ use crate::error::RemoteError;
 
 /// Correlates a response with its request.
 pub type CallId = u64;
+
+/// The context an invocation carries through every hop of its life: stub →
+/// wire → skeleton → (redirect →) skeleton.
+///
+/// Created once per `invoke` by the stub and re-sent (with a bumped
+/// [`attempt`](Self::attempt)) on every retry and followed redirect, so every
+/// member that sees the invocation can correlate it, enforce its deadline on
+/// the shared simulation clock, and trace it end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvocationContext {
+    /// Invocation id, stable across retries and redirects (unlike the
+    /// per-attempt [`CallId`], which changes so stale replies can be
+    /// discarded).
+    pub id: u64,
+    /// Absolute deadline on the simulation clock. Skeletons refuse to
+    /// dispatch past it; redirected attempts inherit (never extend) it.
+    pub deadline: SimTime,
+    /// 1-based attempt counter, bumped per retry or followed redirect.
+    pub attempt: u32,
+    /// The invoking stub's reply endpoint.
+    pub origin: EndpointId,
+}
+
+impl InvocationContext {
+    /// Budget left at `now` ([`SimDuration::ZERO`] once expired).
+    pub fn remaining(&self, now: SimTime) -> SimDuration {
+        self.deadline.saturating_since(now)
+    }
+
+    /// Whether the deadline has passed at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now >= self.deadline
+    }
+}
 
 /// Per-method statistics reported by a skeleton for one burst interval;
 /// the wire form of the paper's `getMethodCallStats()` entry.
@@ -54,6 +89,9 @@ pub struct LoadReport {
     pub ram: f32,
     /// The member's `changePoolSize()` vote, if the service overrides it.
     pub fine_vote: Option<i32>,
+    /// Requests rejected during the interval because their deadline had
+    /// already passed on arrival — deadline pressure the pool can scale on.
+    pub expired: u32,
     /// Per-method call statistics for the interval.
     pub method_stats: Vec<(String, MethodStat)>,
 }
@@ -63,8 +101,10 @@ pub struct LoadReport {
 pub enum RmiMessage {
     /// Stub → skeleton: invoke `method` with encoded `args`.
     Request {
-        /// Correlation id chosen by the stub.
+        /// Correlation id chosen by the stub (fresh per attempt).
         call: CallId,
+        /// The invocation's end-to-end context (id, deadline, attempt).
+        context: InvocationContext,
         /// Remote method name.
         method: String,
         /// Arguments encoded with the wire codec.
@@ -85,6 +125,9 @@ pub enum RmiMessage {
         call: CallId,
         /// Current live members to retry against.
         members: Vec<EndpointId>,
+        /// The refused request's deadline, echoed back so the follow-up
+        /// attempt runs under the remaining budget and never past it.
+        deadline: SimTime,
     },
 
     /// Stub → sentinel: request pool membership ("while contacting the
@@ -169,10 +212,20 @@ mod tests {
         assert_eq!(RmiMessage::decode(&bytes).unwrap(), msg);
     }
 
+    fn ctx() -> InvocationContext {
+        InvocationContext {
+            id: 40,
+            deadline: SimTime::from_micros(1_500_000),
+            attempt: 2,
+            origin: EndpointId(11),
+        }
+    }
+
     #[test]
     fn invocation_plane_roundtrips() {
         roundtrip(RmiMessage::Request {
             call: 7,
+            context: ctx(),
             method: "put".into(),
             args: vec![1, 2, 3],
         });
@@ -187,7 +240,23 @@ mod tests {
         roundtrip(RmiMessage::Redirected {
             call: 9,
             members: vec![EndpointId(1), EndpointId(2)],
+            deadline: SimTime::from_micros(900_000),
         });
+    }
+
+    #[test]
+    fn context_budget_arithmetic() {
+        let c = ctx();
+        assert!(!c.is_expired(SimTime::from_micros(1_499_999)));
+        assert!(c.is_expired(SimTime::from_micros(1_500_000)));
+        assert_eq!(
+            c.remaining(SimTime::from_micros(1_000_000)),
+            SimDuration::from_micros(500_000)
+        );
+        assert_eq!(
+            c.remaining(SimTime::from_micros(2_000_000)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -209,6 +278,7 @@ mod tests {
             busy: 0.83,
             ram: 0.5,
             fine_vote: Some(-1),
+            expired: 3,
             method_stats: vec![(
                 "get".into(),
                 MethodStat {

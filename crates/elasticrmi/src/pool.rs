@@ -22,8 +22,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use erm_cluster::{ResourceManager, SliceGrant, SliceId};
+use erm_cluster::{ClusterHandle, SliceGrant, SliceId};
 use erm_kvstore::Store;
+use erm_metrics::{TraceEvent, TraceHandle};
 use erm_sim::{SharedClock, SimDuration, SimTime};
 use erm_transport::{EndpointId, Host, Mailbox, Network};
 use parking_lot::{Mutex, RwLock};
@@ -53,17 +54,20 @@ impl<F: FnMut(&PoolSample) -> u32 + Send + 'static> Decider for F {
 }
 
 /// External dependencies of a pool: the cluster, the network host, the
-/// shared store, and the clock.
+/// shared store, the clock, and the (optional) trace sink.
 #[derive(Clone)]
 pub struct PoolDeps {
     /// The Mesos-like resource manager granting slices.
-    pub cluster: Arc<Mutex<ResourceManager>>,
+    pub cluster: ClusterHandle,
     /// The network to host skeleton endpoints on.
     pub net: Arc<dyn Host>,
     /// The HyperDex-like store for shared state.
     pub store: Arc<Store>,
     /// Time source (system clock in production, virtual in tests).
     pub clock: SharedClock,
+    /// Trace sink for invocation and elasticity events (disabled by
+    /// default; see [`erm_metrics::TraceSink`]).
+    pub trace: TraceHandle,
 }
 
 impl std::fmt::Debug for PoolDeps {
@@ -109,6 +113,8 @@ enum Command {
 pub struct ElasticPool {
     shared: Arc<PoolShared>,
     net: Arc<dyn Host>,
+    clock: SharedClock,
+    trace: TraceHandle,
     cmd_tx: Sender<Command>,
     runtime: Option<JoinHandle<()>>,
 }
@@ -152,7 +158,6 @@ impl ElasticPool {
         let now = deps.clock.now();
         let outcome = deps
             .cluster
-            .lock()
             .request_slices(config.min_pool_size(), now)
             .map_err(|e| PoolError::Cluster(e.to_string()))?;
         if outcome.granted == 0 {
@@ -185,9 +190,7 @@ impl ElasticPool {
             grant_times: BTreeMap::new(),
             last_broadcast: SimTime::ZERO,
         };
-        runtime
-            .grant_times
-            .insert(outcome.request_id, now);
+        runtime.grant_times.insert(outcome.request_id, now);
         let handle = std::thread::Builder::new()
             .name("elasticrmi-pool".to_string())
             .spawn(move || runtime.run(ctl_mailbox))
@@ -196,6 +199,8 @@ impl ElasticPool {
         let pool = ElasticPool {
             shared,
             net: deps.net,
+            clock: deps.clock,
+            trace: deps.trace,
             cmd_tx,
             runtime: Some(handle),
         };
@@ -248,7 +253,16 @@ impl ElasticPool {
     pub fn stub(&self, lb: ClientLb) -> Result<Stub, crate::RmiError> {
         let (ep, mailbox) = self.net.open();
         let net: Arc<dyn Network> = Arc::clone(&self.net) as Arc<dyn Network>;
-        Stub::connect(net, ep, mailbox, self.sentinel(), lb)
+        let mut stub = Stub::connect(
+            net,
+            ep,
+            mailbox,
+            self.sentinel(),
+            lb,
+            Arc::clone(&self.clock),
+        )?;
+        stub.set_trace(self.trace.clone());
+        Ok(stub)
     }
 
     /// Shuts the pool down: drains every member and releases all slices.
@@ -300,7 +314,10 @@ const BROADCAST_EVERY: SimDuration = SimDuration::from_millis(500);
 
 impl Runtime {
     fn run(&mut self, ctl_mailbox: Mailbox) {
-        self.engine = Some(ScalingEngine::new(self.config.clone(), self.deps.clock.now()));
+        self.engine = Some(ScalingEngine::new(
+            self.config.clone(),
+            self.deps.clock.now(),
+        ));
         loop {
             // 1. Commands from the handle.
             if let Ok(Command::Shutdown) = self.cmd_rx.try_recv() {
@@ -314,14 +331,14 @@ impl Runtime {
                 }
             }
             // 3. Newly provisioned slices become members.
-            let grants = self.deps.cluster.lock().poll_ready(self.deps.clock.now());
+            let grants = self.deps.cluster.poll_ready(self.deps.clock.now());
             let grew = !grants.is_empty();
             for grant in grants {
                 self.spawn_member(grant);
             }
             // 4. Crash detection + sentinel re-election. Slice revocations
             // (node failures) kill their members too.
-            let revoked = self.deps.cluster.lock().drain_revocations();
+            let revoked = self.deps.cluster.drain_revocations();
             if !revoked.is_empty() {
                 let victims: Vec<u64> = self
                     .members
@@ -364,7 +381,11 @@ impl Runtime {
                         m.first_served = true;
                         if let Some(t0) = m.requested_at {
                             let latency = self.deps.clock.now().saturating_since(t0);
-                            self.shared.stats.lock().provisioning_latencies.push(latency);
+                            self.shared
+                                .stats
+                                .lock()
+                                .provisioning_latencies
+                                .push(latency);
                         }
                     }
                 }
@@ -399,6 +420,7 @@ impl Runtime {
             Arc::clone(&self.deps.clock),
             (self.factory)(),
             ctx,
+            self.deps.trace.clone(),
         );
         let join = std::thread::Builder::new()
             .name(format!("erm-member-{uid}"))
@@ -416,6 +438,9 @@ impl Runtime {
                 first_served: false,
             },
         );
+        self.deps
+            .trace
+            .emit(self.deps.clock.now(), TraceEvent::MemberJoined { uid });
         self.publish();
     }
 
@@ -429,12 +454,17 @@ impl Runtime {
         let _ = self
             .deps
             .cluster
-            .lock()
             .release(member.slice, self.deps.clock.now());
         if !crashed {
             let _ = member.join.join();
         }
         self.reports.remove(&uid);
+        let now = self.deps.clock.now();
+        if crashed {
+            self.deps.trace.emit(now, TraceEvent::MemberCrashed { uid });
+        } else if member.draining {
+            self.deps.trace.emit(now, TraceEvent::MemberDrained { uid });
+        }
         let mut stats = self.shared.stats.lock();
         if crashed {
             stats.crashed += 1;
@@ -461,6 +491,15 @@ impl Runtime {
             // §4.4: sentinel failure triggers leader election; lowest uid
             // (the royal hierarchy) wins, which BTreeMap order gives us.
             self.shared.stats.lock().elections += 1;
+            if let Some(uid) = self.sentinel_uid() {
+                self.deps.trace.emit(
+                    self.deps.clock.now(),
+                    TraceEvent::SentinelElected {
+                        uid,
+                        epoch: self.epoch + 1,
+                    },
+                );
+            }
         }
         self.epoch += 1;
         true
@@ -573,8 +612,7 @@ impl Runtime {
         if let Some(decider) = self.decider.as_mut() {
             sample.desired_size = Some(decider.desired_pool_size(&sample));
         }
-        *self.shared.last_reports.lock() =
-            self.reports.values().cloned().collect();
+        *self.shared.last_reports.lock() = self.reports.values().cloned().collect();
         let decision = self
             .engine
             .as_mut()
@@ -582,7 +620,14 @@ impl Runtime {
             .poll(now, &sample);
         match decision {
             ScalingDecision::Grow(k) => {
-                if let Ok(outcome) = self.deps.cluster.lock().request_slices(k, now) {
+                self.deps.trace.emit(
+                    now,
+                    TraceEvent::ScaleDecision {
+                        pool_size,
+                        delta: i64::from(k),
+                    },
+                );
+                if let Ok(outcome) = self.deps.cluster.request_slices(k, now) {
                     if outcome.granted > 0 {
                         self.grant_times.insert(outcome.request_id, now);
                         self.shared.stats.lock().grown += outcome.granted;
@@ -590,6 +635,13 @@ impl Runtime {
                 }
             }
             ScalingDecision::Shrink(k) => {
+                self.deps.trace.emit(
+                    now,
+                    TraceEvent::ScaleDecision {
+                        pool_size,
+                        delta: -i64::from(k),
+                    },
+                );
                 // Remove the youngest members first and never the sentinel.
                 let sentinel = self.sentinel_uid();
                 let victims: Vec<u64> = self
@@ -603,10 +655,10 @@ impl Runtime {
                 for uid in victims {
                     if let Some(m) = self.members.get_mut(&uid) {
                         m.draining = true;
-                        let _ = self
-                            .deps
-                            .net
-                            .send(self.ctl, m.endpoint, RmiMessage::Shutdown.encode());
+                        let _ =
+                            self.deps
+                                .net
+                                .send(self.ctl, m.endpoint, RmiMessage::Shutdown.encode());
                     }
                 }
                 self.publish();
@@ -634,7 +686,7 @@ impl Runtime {
             return;
         }
         let total: u32 = loads.iter().map(|l| l.pending).sum();
-        let capacity = (total + loads.len() as u32 - 1) / loads.len() as u32;
+        let capacity = total.div_ceil(loads.len() as u32);
         for entry in plan_redirects(&loads, capacity.max(1)) {
             let _ = self.deps.net.send(
                 self.ctl,

@@ -32,10 +32,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use erm_sim::{SharedClock, SimDuration, SystemClock};
 use erm_transport::{EndpointId, Host, Mailbox, Network, RecvError};
 
 use crate::error::{RemoteError, RmiError};
-use crate::message::RmiMessage;
+use crate::message::{InvocationContext, RmiMessage};
 
 /// A running registry server.
 ///
@@ -102,7 +103,14 @@ fn serve(endpoint: EndpointId, mailbox: Mailbox, net: Arc<dyn Network>) {
             Err(RecvError::Timeout) => continue,
             Err(RecvError::Closed) => return,
         };
-        let Ok(RmiMessage::Request { call, method, args }) = RmiMessage::decode(&datagram.payload)
+        // The registry has no pool clock, so it serves every request and
+        // leaves deadline enforcement to the caller.
+        let Ok(RmiMessage::Request {
+            call,
+            context: _,
+            method,
+            args,
+        }) = RmiMessage::decode(&datagram.payload)
         else {
             continue;
         };
@@ -127,7 +135,11 @@ fn serve(endpoint: EndpointId, mailbox: Mailbox, net: Arc<dyn Network>) {
             }
             other => Err(RemoteError::no_such_method(other)),
         };
-        let _ = net.send(endpoint, datagram.from, RmiMessage::Response { call, outcome }.encode());
+        let _ = net.send(
+            endpoint,
+            datagram.from,
+            RmiMessage::Response { call, outcome }.encode(),
+        );
     }
 }
 
@@ -138,6 +150,7 @@ pub struct RegistryClient {
     mailbox: Mailbox,
     registry: EndpointId,
     next_call: u64,
+    clock: SharedClock,
     timeout: Duration,
 }
 
@@ -151,6 +164,9 @@ impl std::fmt::Debug for RegistryClient {
 
 impl RegistryClient {
     /// Opens a client endpoint on `net` aimed at the registry at `registry`.
+    /// Requests carry deadlines from a system clock; use
+    /// [`RegistryClient::with_clock`] to stamp them from a shared
+    /// (possibly virtual) clock instead.
     pub fn connect(net: Arc<dyn Host>, registry: EndpointId) -> RegistryClient {
         let (endpoint, mailbox) = net.open();
         RegistryClient {
@@ -159,8 +175,16 @@ impl RegistryClient {
             mailbox,
             registry,
             next_call: 0,
+            clock: Arc::new(SystemClock::new()),
             timeout: Duration::from_secs(2),
         }
+    }
+
+    /// Replaces the clock used to stamp request deadlines.
+    #[must_use]
+    pub fn with_clock(mut self, clock: SharedClock) -> RegistryClient {
+        self.clock = clock;
+        self
     }
 
     fn call<A: serde::Serialize, R: serde::de::DeserializeOwned>(
@@ -170,14 +194,20 @@ impl RegistryClient {
     ) -> Result<R, RmiError> {
         let call = self.next_call;
         self.next_call += 1;
-        let args =
-            erm_transport::to_bytes(args).map_err(|e| RmiError::Encode(e.to_string()))?;
+        let args = erm_transport::to_bytes(args).map_err(|e| RmiError::Encode(e.to_string()))?;
+        let context = InvocationContext {
+            id: call,
+            deadline: self.clock.now() + SimDuration::from_micros(self.timeout.as_micros() as u64),
+            attempt: 1,
+            origin: self.endpoint,
+        };
         self.net
             .send(
                 self.endpoint,
                 self.registry,
                 RmiMessage::Request {
                     call,
+                    context,
                     method: method.to_string(),
                     args,
                 }

@@ -133,8 +133,8 @@ fn threshold_step(sample: &PoolSample, t: &Thresholds) -> i64 {
         return 1;
     }
     let decr_configured = t.cpu_decr.is_some() || t.ram_decr.is_some();
-    let cpu_cold = t.cpu_decr.map_or(true, |th| sample.avg_cpu < th);
-    let ram_cold = t.ram_decr.map_or(true, |th| sample.avg_ram < th);
+    let cpu_cold = t.cpu_decr.is_none_or(|th| sample.avg_cpu < th);
+    let ram_cold = t.ram_decr.is_none_or(|th| sample.avg_ram < th);
     if decr_configured && cpu_cold && ram_cold {
         return -1;
     }
@@ -292,10 +292,16 @@ mod tests {
         let hot = sample(5, 99.0, 0.0);
         // Not due before one interval has elapsed.
         assert_eq!(e.poll(SimTime::from_secs(30), &hot), ScalingDecision::Hold);
-        assert_eq!(e.poll(SimTime::from_secs(60), &hot), ScalingDecision::Grow(1));
+        assert_eq!(
+            e.poll(SimTime::from_secs(60), &hot),
+            ScalingDecision::Grow(1)
+        );
         // Interval consumed: immediately asking again holds.
         assert_eq!(e.poll(SimTime::from_secs(61), &hot), ScalingDecision::Hold);
-        assert_eq!(e.poll(SimTime::from_secs(120), &hot), ScalingDecision::Grow(1));
+        assert_eq!(
+            e.poll(SimTime::from_secs(120), &hot),
+            ScalingDecision::Grow(1)
+        );
     }
 
     #[test]

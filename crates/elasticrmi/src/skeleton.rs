@@ -16,11 +16,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use erm_metrics::{TraceEvent, TraceHandle};
 use erm_sim::{SharedClock, SimTime};
 use erm_transport::{EndpointId, Mailbox, Network, RecvError};
 
 use crate::api::{ElasticService, MethodCallStats, ServiceContext};
-use crate::message::{LoadReport, MemberState, MethodStat, RmiMessage};
+use crate::error::RemoteError;
+use crate::message::{InvocationContext, LoadReport, MemberState, MethodStat, RmiMessage};
 
 /// How long the receive loop blocks before re-checking control state.
 const POLL_TICK: Duration = Duration::from_millis(5);
@@ -29,6 +31,7 @@ const POLL_TICK: Duration = Duration::from_millis(5);
 struct IntervalStats {
     methods: HashMap<String, (u64, u64)>, // (calls, total latency µs)
     busy_micros: u64,
+    expired: u32,
     started_at: Option<SimTime>,
 }
 
@@ -48,7 +51,7 @@ impl IntervalStats {
                     name.clone(),
                     MethodStat {
                         calls,
-                        mean_latency_us: if calls == 0 { 0 } else { total / calls },
+                        mean_latency_us: (total / calls.max(1)),
                     },
                 )
             })
@@ -79,6 +82,7 @@ pub struct Skeleton {
     redirect_quota: Vec<(EndpointId, u32)>,
     interval: IntervalStats,
     served_since_start: u64,
+    trace: TraceHandle,
 }
 
 impl Skeleton {
@@ -92,6 +96,7 @@ impl Skeleton {
         clock: SharedClock,
         service: Box<dyn ElasticService>,
         ctx: ServiceContext,
+        trace: TraceHandle,
     ) -> Self {
         Skeleton {
             uid,
@@ -101,6 +106,7 @@ impl Skeleton {
             clock,
             service,
             ctx,
+            trace,
             epoch: 0,
             sentinel_uid: uid,
             members: Vec::new(),
@@ -154,8 +160,13 @@ impl Skeleton {
     /// Exposed for deterministic unit tests.
     pub fn handle(&mut self, from: EndpointId, msg: RmiMessage, mailbox: &Mailbox) -> bool {
         match msg {
-            RmiMessage::Request { call, method, args } => {
-                self.on_request(from, call, &method, &args);
+            RmiMessage::Request {
+                call,
+                context,
+                method,
+                args,
+            } => {
+                self.on_request(from, call, context, &method, &args);
                 self.finished
             }
             RmiMessage::PoolInfoRequest => {
@@ -221,31 +232,65 @@ impl Skeleton {
         }
     }
 
-    fn on_request(&mut self, from: EndpointId, call: u64, method: &str, args: &[u8]) {
+    fn on_request(
+        &mut self,
+        from: EndpointId,
+        call: u64,
+        context: InvocationContext,
+        method: &str,
+        args: &[u8],
+    ) {
         if self.draining {
             if self.drain_budget > 0 {
                 // Pending at shutdown time: still executed (§2.5).
                 self.drain_budget -= 1;
             } else {
-                self.redirect(from, call);
+                self.redirect(from, call, &context);
                 return;
             }
         } else if let Some(target) = self.take_redirect_quota() {
             // Sentinel told us to shed a portion of incoming invocations.
+            self.trace.emit(
+                self.clock.now(),
+                TraceEvent::RequestShed {
+                    uid: self.uid,
+                    invocation: context.id,
+                },
+            );
             self.send(
                 from,
                 RmiMessage::Redirected {
                     call,
                     members: vec![target],
+                    deadline: context.deadline,
                 },
             );
             return;
         }
         let start = self.clock.now();
-        let outcome = self.service.dispatch(method, args, &mut self.ctx);
-        let latency = self.clock.now().saturating_since(start);
-        self.interval.record(method, latency.as_micros());
-        self.served_since_start += 1;
+        // A request whose deadline already passed is never dispatched: the
+        // stub has given up, so executing it would only burn capacity.
+        let outcome = if context.is_expired(start) {
+            let late_by = start.saturating_since(context.deadline);
+            self.interval.expired += 1;
+            self.trace.emit(
+                start,
+                TraceEvent::RequestExpired {
+                    uid: self.uid,
+                    invocation: context.id,
+                    late_by,
+                },
+            );
+            Err(RemoteError::deadline_exceeded(method, late_by))
+        } else {
+            self.ctx.set_invocation(Some(context));
+            let outcome = self.service.dispatch(method, args, &mut self.ctx);
+            self.ctx.set_invocation(None);
+            let latency = self.clock.now().saturating_since(start);
+            self.interval.record(method, latency.as_micros());
+            self.served_since_start += 1;
+            outcome
+        };
         self.send(from, RmiMessage::Response { call, outcome });
         if self.draining && self.drain_budget == 0 {
             self.finish_shutdown();
@@ -263,14 +308,30 @@ impl Skeleton {
         Some(target)
     }
 
-    fn redirect(&mut self, from: EndpointId, call: u64) {
+    fn redirect(&mut self, from: EndpointId, call: u64, context: &InvocationContext) {
+        self.trace.emit(
+            self.clock.now(),
+            TraceEvent::RequestShed {
+                uid: self.uid,
+                invocation: context.id,
+            },
+        );
         let members: Vec<EndpointId> = self
             .members
             .iter()
             .filter(|m| m.uid != self.uid)
             .map(|m| m.endpoint)
             .collect();
-        self.send(from, RmiMessage::Redirected { call, members });
+        // Echo the deadline so the follow-up attempt runs under the
+        // remaining budget, never a fresh one.
+        self.send(
+            from,
+            RmiMessage::Redirected {
+                call,
+                members,
+                deadline: context.deadline,
+            },
+        );
     }
 
     fn make_load_report(&mut self, pending: u32) -> LoadReport {
@@ -286,7 +347,8 @@ impl Skeleton {
                 as f32
         };
         let stats_vec = self.interval.snapshot();
-        let stats = MethodCallStats::new(elapsed, stats_vec.iter().cloned().collect());
+        let stats = MethodCallStats::new(elapsed, stats_vec.iter().cloned().collect())
+            .with_expired(self.interval.expired);
         let vote = self.service.change_pool_size(&stats, &mut self.ctx);
         let report = LoadReport {
             uid: self.uid,
@@ -294,6 +356,7 @@ impl Skeleton {
             busy,
             ram: self.service.ram_utilization(),
             fine_vote: Some(vote),
+            expired: self.interval.expired,
             method_stats: stats_vec,
         };
         // Burst interval rolls over after each poll.
@@ -310,7 +373,10 @@ impl Skeleton {
         }
         self.finished = true;
         self.service.on_shutdown(&mut self.ctx);
-        self.send(self.runtime_ctl, RmiMessage::ShutdownReady { uid: self.uid });
+        self.send(
+            self.runtime_ctl,
+            RmiMessage::ShutdownReady { uid: self.uid },
+        );
     }
 
     fn send(&self, to: EndpointId, msg: RmiMessage) {
@@ -383,6 +449,7 @@ mod tests {
             clock,
             Box::new(Echo),
             ctx,
+            TraceHandle::disabled(),
         );
         Rig {
             net,
@@ -399,6 +466,16 @@ mod tests {
         RmiMessage::decode(&mb.try_recv().expect("message expected").payload).unwrap()
     }
 
+    /// A context with plenty of budget left on the rig's virtual clock.
+    fn live_ctx(id: u64) -> InvocationContext {
+        InvocationContext {
+            id,
+            deadline: SimTime::from_secs(1_000),
+            attempt: 1,
+            origin: EndpointId(500),
+        }
+    }
+
     #[test]
     fn dispatches_and_responds() {
         let mut r = rig();
@@ -407,13 +484,17 @@ mod tests {
             r.client,
             RmiMessage::Request {
                 call: 1,
+                context: live_ctx(1),
                 method: "echo".into(),
                 args,
             },
             &r.skeleton_mailbox,
         );
         match recv(&r.client_mailbox) {
-            RmiMessage::Response { call: 1, outcome: Ok(bytes) } => {
+            RmiMessage::Response {
+                call: 1,
+                outcome: Ok(bytes),
+            } => {
                 let s: String = erm_transport::from_bytes(&bytes).unwrap();
                 assert_eq!(s, "hi");
             }
@@ -429,13 +510,17 @@ mod tests {
             r.client,
             RmiMessage::Request {
                 call: 2,
+                context: live_ctx(2),
                 method: "fail".into(),
                 args: vec![],
             },
             &r.skeleton_mailbox,
         );
         match recv(&r.client_mailbox) {
-            RmiMessage::Response { call: 2, outcome: Err(e) } => assert_eq!(e.kind, "AppError"),
+            RmiMessage::Response {
+                call: 2,
+                outcome: Err(e),
+            } => assert_eq!(e.kind, "AppError"),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -447,13 +532,16 @@ mod tests {
             r.client,
             RmiMessage::Request {
                 call: 3,
+                context: live_ctx(3),
                 method: "nope".into(),
                 args: vec![],
             },
             &r.skeleton_mailbox,
         );
         match recv(&r.client_mailbox) {
-            RmiMessage::Response { outcome: Err(e), .. } => assert_eq!(e.kind, "NoSuchMethod"),
+            RmiMessage::Response {
+                outcome: Err(e), ..
+            } => assert_eq!(e.kind, "NoSuchMethod"),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -467,6 +555,7 @@ mod tests {
                 r.client,
                 RmiMessage::Request {
                     call,
+                    context: live_ctx(call),
                     method: "echo".into(),
                     args: args.clone(),
                 },
@@ -503,8 +592,16 @@ mod tests {
     fn state_broadcast_updates_membership_and_pool_info() {
         let mut r = rig();
         let members = vec![
-            MemberState { endpoint: EndpointId(90), uid: 0, pending: 0 },
-            MemberState { endpoint: EndpointId(91), uid: 1, pending: 2 },
+            MemberState {
+                endpoint: EndpointId(90),
+                uid: 0,
+                pending: 0,
+            },
+            MemberState {
+                endpoint: EndpointId(91),
+                uid: 1,
+                pending: 2,
+            },
         ];
         r.skeleton.handle(
             r.runtime,
@@ -518,7 +615,11 @@ mod tests {
         r.skeleton
             .handle(r.client, RmiMessage::PoolInfoRequest, &r.skeleton_mailbox);
         match recv(&r.client_mailbox) {
-            RmiMessage::PoolInfo { epoch, sentinel, members } => {
+            RmiMessage::PoolInfo {
+                epoch,
+                sentinel,
+                members,
+            } => {
                 assert_eq!(epoch, 4);
                 assert_eq!(sentinel, EndpointId(90));
                 assert_eq!(members, vec![EndpointId(90), EndpointId(91)]);
@@ -532,7 +633,11 @@ mod tests {
         let mut r = rig();
         r.skeleton.handle(
             r.runtime,
-            RmiMessage::StateBroadcast { epoch: 5, sentinel_uid: 1, members: vec![] },
+            RmiMessage::StateBroadcast {
+                epoch: 5,
+                sentinel_uid: 1,
+                members: vec![],
+            },
             &r.skeleton_mailbox,
         );
         r.skeleton.handle(
@@ -540,7 +645,11 @@ mod tests {
             RmiMessage::StateBroadcast {
                 epoch: 3,
                 sentinel_uid: 9,
-                members: vec![MemberState { endpoint: EndpointId(1), uid: 9, pending: 0 }],
+                members: vec![MemberState {
+                    endpoint: EndpointId(1),
+                    uid: 9,
+                    pending: 0,
+                }],
             },
             &r.skeleton_mailbox,
         );
@@ -560,7 +669,10 @@ mod tests {
         let mut r = rig();
         r.skeleton.handle(
             r.runtime,
-            RmiMessage::Rebalance { to: EndpointId(77), count: 2 },
+            RmiMessage::Rebalance {
+                to: EndpointId(77),
+                count: 2,
+            },
             &r.skeleton_mailbox,
         );
         let args = erm_transport::to_bytes(&"x".to_string()).unwrap();
@@ -569,7 +681,12 @@ mod tests {
         for call in 0..4 {
             r.skeleton.handle(
                 r.client,
-                RmiMessage::Request { call, method: "echo".into(), args: args.clone() },
+                RmiMessage::Request {
+                    call,
+                    context: live_ctx(call),
+                    method: "echo".into(),
+                    args: args.clone(),
+                },
                 &r.skeleton_mailbox,
             );
             match recv(&r.client_mailbox) {
@@ -608,8 +725,13 @@ mod tests {
                 .send(
                     r.client,
                     r.skeleton_mailbox.id(),
-                    RmiMessage::Request { call, method: "echo".into(), args: args.clone() }
-                        .encode(),
+                    RmiMessage::Request {
+                        call,
+                        context: live_ctx(call),
+                        method: "echo".into(),
+                        args: args.clone(),
+                    }
+                    .encode(),
                 )
                 .unwrap();
         }
@@ -635,10 +757,106 @@ mod tests {
         // A request arriving after the drain is redirected.
         r.skeleton.handle(
             r.client,
-            RmiMessage::Request { call: 12, method: "echo".into(), args },
+            RmiMessage::Request {
+                call: 12,
+                context: live_ctx(12),
+                method: "echo".into(),
+                args,
+            },
             &r.skeleton_mailbox,
         );
-        assert!(matches!(recv(&r.client_mailbox), RmiMessage::Redirected { .. }));
+        assert!(matches!(
+            recv(&r.client_mailbox),
+            RmiMessage::Redirected { .. }
+        ));
+    }
+
+    #[test]
+    fn expired_request_is_rejected_without_dispatch() {
+        let mut r = rig();
+        let (trace, _sink) = TraceHandle::buffered(16);
+        r.skeleton.trace = trace.clone();
+        let args = erm_transport::to_bytes(&"hi".to_string()).unwrap();
+        // The rig's virtual clock sits at t=0; a deadline of 0 is expired.
+        r.skeleton.handle(
+            r.client,
+            RmiMessage::Request {
+                call: 8,
+                context: InvocationContext {
+                    id: 70,
+                    deadline: SimTime::ZERO,
+                    attempt: 1,
+                    origin: EndpointId(500),
+                },
+                method: "echo".into(),
+                args,
+            },
+            &r.skeleton_mailbox,
+        );
+        match recv(&r.client_mailbox) {
+            RmiMessage::Response {
+                call: 8,
+                outcome: Err(e),
+            } => {
+                assert!(e.is_deadline_exceeded());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Never dispatched: served counter untouched, expiry traced and
+        // counted in the next load report.
+        assert_eq!(r.skeleton.served(), 0);
+        assert!(trace
+            .snapshot()
+            .iter()
+            .any(|rec| matches!(rec.event, TraceEvent::RequestExpired { invocation: 70, .. })));
+        r.skeleton
+            .handle(r.runtime, RmiMessage::PollLoad, &r.skeleton_mailbox);
+        match recv(&r.runtime_mailbox) {
+            RmiMessage::Load(report) => assert_eq!(report.expired, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_redirect_echoes_the_request_deadline() {
+        let mut r = rig();
+        r.skeleton.handle(
+            r.runtime,
+            RmiMessage::StateBroadcast {
+                epoch: 1,
+                sentinel_uid: 1,
+                members: vec![MemberState {
+                    endpoint: EndpointId(91),
+                    uid: 1,
+                    pending: 0,
+                }],
+            },
+            &r.skeleton_mailbox,
+        );
+        // Drain with nothing pending, then send a fresh request: redirected.
+        r.skeleton
+            .handle(r.runtime, RmiMessage::Shutdown, &r.skeleton_mailbox);
+        let mut ctx = live_ctx(21);
+        ctx.deadline = SimTime::from_secs(77);
+        r.skeleton.handle(
+            r.client,
+            RmiMessage::Request {
+                call: 21,
+                context: ctx,
+                method: "echo".into(),
+                args: vec![],
+            },
+            &r.skeleton_mailbox,
+        );
+        match recv(&r.client_mailbox) {
+            RmiMessage::Redirected {
+                deadline, members, ..
+            } => {
+                assert_eq!(deadline, SimTime::from_secs(77));
+                assert_eq!(members, vec![EndpointId(91)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -92,7 +92,11 @@ impl<T: Serialize + DeserializeOwned> SharedField<T> {
             };
             let out = f(&mut value);
             let bytes = erm_transport::to_bytes(&value).expect("shared field value encodes");
-            if self.store.compare_and_put(&self.key, expected, bytes).is_ok() {
+            if self
+                .store
+                .compare_and_put(&self.key, expected, bytes)
+                .is_ok()
+            {
                 return out;
             }
         }
@@ -129,7 +133,11 @@ pub fn synchronized<R>(
             let _ = self.store.unlock(self.class, self.owner);
         }
     }
-    let _guard = Unlock { store, class, owner };
+    let _guard = Unlock {
+        store,
+        class,
+        owner,
+    };
     body()
 }
 
@@ -169,10 +177,13 @@ mod tests {
     #[test]
     fn update_initializes_absent_field() {
         let f: SharedField<u64> = SharedField::new(store(), "C1", "count");
-        let out = f.update(|| 100, |v| {
-            *v += 1;
-            *v
-        });
+        let out = f.update(
+            || 100,
+            |v| {
+                *v += 1;
+                *v
+            },
+        );
         assert_eq!(out, 101);
         assert_eq!(f.get(), Some(101));
     }
@@ -222,7 +233,11 @@ mod tests {
             h.join().unwrap();
         }
         let f: SharedField<u64> = SharedField::new(s, "C1", "rmw");
-        assert_eq!(f.get(), Some(800), "lost updates imply broken mutual exclusion");
+        assert_eq!(
+            f.get(),
+            Some(800),
+            "lost updates imply broken mutual exclusion"
+        );
     }
 
     #[test]

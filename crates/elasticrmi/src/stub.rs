@@ -14,15 +14,25 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use erm_sim::seeded_rng;
+use erm_metrics::{TraceEvent, TraceHandle};
+use erm_sim::{seeded_rng, SharedClock, SimDuration, SimTime};
 use erm_transport::{EndpointId, Mailbox, Network, RecvError};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
-use crate::error::{RmiError, RemoteError};
-use crate::message::RmiMessage;
+use crate::error::{RemoteError, RmiError};
+use crate::message::{InvocationContext, RmiMessage};
+
+/// How often the wait loops re-check the (possibly virtual) clock while
+/// polling the mailbox.
+const POLL_TICK: Duration = Duration::from_millis(1);
+
+/// Real-time liveness cap on any single wait: if the injected clock is a
+/// virtual clock that nobody advances, waits still terminate after this much
+/// wall time instead of wedging the caller.
+const REAL_TIME_BACKSTOP: Duration = Duration::from_secs(10);
 
 /// Client-side load-balancing discipline (§4.3: "randomly or in a
 /// round-robin fashion").
@@ -49,6 +59,8 @@ pub struct StubStats {
     pub redirects_followed: u64,
     /// Membership refreshes fetched from the sentinel.
     pub refreshes: u64,
+    /// Invocations abandoned because their deadline passed.
+    pub expired: u64,
 }
 
 /// A stub bound to one elastic object pool.
@@ -65,7 +77,11 @@ pub struct Stub {
     rr_next: usize,
     rng: StdRng,
     next_call: u64,
-    reply_timeout: Duration,
+    next_invocation: u64,
+    clock: SharedClock,
+    reply_timeout: SimDuration,
+    invocation_budget: SimDuration,
+    trace: TraceHandle,
     stats: StubStats,
 }
 
@@ -83,7 +99,10 @@ impl std::fmt::Debug for Stub {
 impl Stub {
     /// Connects to the pool whose sentinel listens at `sentinel`, fetching
     /// the member list ("while contacting the sentinel for the first time,
-    /// the stub requests the identities of the other skeletons").
+    /// the stub requests the identities of the other skeletons"). All
+    /// timeout and deadline arithmetic runs on `clock` — the pool's
+    /// simulation clock — so virtual-time tests get deterministic timeouts
+    /// and every hop of an invocation agrees on its deadline.
     ///
     /// # Errors
     ///
@@ -95,6 +114,7 @@ impl Stub {
         mailbox: Mailbox,
         sentinel: EndpointId,
         lb: ClientLb,
+        clock: SharedClock,
     ) -> Result<Stub, RmiError> {
         let rng = match lb {
             ClientLb::Random { seed } => seeded_rng(seed),
@@ -110,16 +130,34 @@ impl Stub {
             rr_next: 0,
             rng,
             next_call: 0,
-            reply_timeout: Duration::from_millis(500),
+            next_invocation: 0,
+            clock,
+            reply_timeout: SimDuration::from_millis(500),
+            invocation_budget: SimDuration::from_secs(30),
+            trace: TraceHandle::disabled(),
             stats: StubStats::default(),
         };
         stub.refresh_members()?;
         Ok(stub)
     }
 
-    /// Overrides the per-attempt reply timeout (default 500 ms).
-    pub fn set_reply_timeout(&mut self, timeout: Duration) {
+    /// Overrides the per-attempt reply timeout (default 500 ms of clock
+    /// time).
+    pub fn set_reply_timeout(&mut self, timeout: SimDuration) {
         self.reply_timeout = timeout;
+    }
+
+    /// Overrides the end-to-end invocation budget (default 30 s of clock
+    /// time). Each `invoke` gets `now + budget` as its absolute deadline;
+    /// retries and followed redirects all run under that one deadline, and
+    /// the call fails with [`RmiError::DeadlineExceeded`] when it passes.
+    pub fn set_invocation_budget(&mut self, budget: SimDuration) {
+        self.invocation_budget = budget;
+    }
+
+    /// Routes this stub's trace events into `trace`.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The member endpoints the stub currently knows.
@@ -147,8 +185,7 @@ impl Stub {
         A: Serialize + ?Sized,
         R: DeserializeOwned,
     {
-        let encoded =
-            erm_transport::to_bytes(args).map_err(|e| RmiError::Encode(e.to_string()))?;
+        let encoded = erm_transport::to_bytes(args).map_err(|e| RmiError::Encode(e.to_string()))?;
         let outcome = self.invoke_raw(method, encoded)?;
         erm_transport::from_bytes(&outcome).map_err(|e| RmiError::Decode(e.to_string()))
     }
@@ -156,32 +193,79 @@ impl Stub {
     /// Like [`Stub::invoke`] but with pre-encoded arguments and an encoded
     /// result — the layer generated stubs would call.
     ///
+    /// Creates the invocation's [`InvocationContext`] once — id, absolute
+    /// deadline (`now + invocation budget`), attempt counter — and re-sends
+    /// it with every retry and followed redirect, so every skeleton that
+    /// sees the invocation enforces the same deadline.
+    ///
     /// # Errors
     ///
     /// As for [`Stub::invoke`], minus `Decode`.
     pub fn invoke_raw(&mut self, method: &str, args: Vec<u8>) -> Result<Vec<u8>, RmiError> {
+        let now = self.clock.now();
+        let mut context = InvocationContext {
+            id: self.next_invocation,
+            deadline: now + self.invocation_budget,
+            attempt: 0,
+            origin: self.endpoint,
+        };
+        self.next_invocation += 1;
         let mut targets = self.target_order();
         let mut attempts = 0u32;
         let mut refreshed = false;
         let mut i = 0;
         while i < targets.len() {
+            if context.is_expired(self.clock.now()) {
+                return self.expire(&context, attempts);
+            }
             let target = targets[i];
             i += 1;
             attempts += 1;
             if attempts > 1 {
                 self.stats.retries += 1;
             }
-            match self.attempt(target, method, &args) {
+            context.attempt = attempts;
+            match self.attempt(target, method, &args, &context) {
                 AttemptOutcome::Ok(bytes) => {
                     self.stats.invocations += 1;
+                    self.trace.emit(
+                        self.clock.now(),
+                        TraceEvent::InvocationCompleted {
+                            invocation: context.id,
+                            attempts,
+                            ok: true,
+                        },
+                    );
                     return Ok(bytes);
                 }
                 AttemptOutcome::RemoteError(e) => {
                     self.stats.invocations += 1;
+                    self.trace.emit(
+                        self.clock.now(),
+                        TraceEvent::InvocationCompleted {
+                            invocation: context.id,
+                            attempts,
+                            ok: false,
+                        },
+                    );
                     return Err(RmiError::Remote(e));
                 }
-                AttemptOutcome::Redirected(mut suggested) => {
+                AttemptOutcome::Redirected {
+                    mut suggested,
+                    deadline,
+                } => {
                     self.stats.redirects_followed += 1;
+                    // A redirect never extends the budget: the follow-up
+                    // attempt inherits whichever deadline is tighter.
+                    context.deadline = context.deadline.min(deadline);
+                    self.trace.emit(
+                        self.clock.now(),
+                        TraceEvent::AttemptRedirected {
+                            invocation: context.id,
+                            attempt: attempts,
+                            remaining: context.remaining(self.clock.now()),
+                        },
+                    );
                     // Try the suggested members next (before our stale list).
                     suggested.retain(|m| !targets[i..].contains(m));
                     for (k, m) in suggested.into_iter().enumerate() {
@@ -189,6 +273,14 @@ impl Stub {
                     }
                 }
                 AttemptOutcome::Failed => {
+                    self.trace.emit(
+                        self.clock.now(),
+                        TraceEvent::AttemptFailed {
+                            invocation: context.id,
+                            attempt: attempts,
+                            target: target.0,
+                        },
+                    );
                     // Member gone or mute. Once, mid-sequence, ask the
                     // sentinel for a fresh view.
                     if !refreshed && self.refresh_members().is_ok() {
@@ -200,9 +292,28 @@ impl Stub {
                         }
                     }
                 }
+                AttemptOutcome::Expired => {
+                    return self.expire(&context, attempts);
+                }
             }
         }
+        if context.is_expired(self.clock.now()) {
+            return self.expire(&context, attempts);
+        }
         Err(RmiError::PoolUnreachable { attempts })
+    }
+
+    /// Records and reports deadline expiry for `context`.
+    fn expire(&mut self, context: &InvocationContext, attempts: u32) -> Result<Vec<u8>, RmiError> {
+        self.stats.expired += 1;
+        self.trace.emit(
+            self.clock.now(),
+            TraceEvent::InvocationExpired {
+                invocation: context.id,
+                attempts,
+            },
+        );
+        Err(RmiError::DeadlineExceeded { attempts })
     }
 
     /// The attempt order for one invocation: the LB-chosen member first,
@@ -230,24 +341,49 @@ impl Stub {
         order
     }
 
-    fn attempt(&mut self, target: EndpointId, method: &str, args: &[u8]) -> AttemptOutcome {
+    fn attempt(
+        &mut self,
+        target: EndpointId,
+        method: &str,
+        args: &[u8],
+        context: &InvocationContext,
+    ) -> AttemptOutcome {
         let call = self.next_call;
         self.next_call += 1;
         let msg = RmiMessage::Request {
             call,
+            context: *context,
             method: method.to_string(),
             args: args.to_vec(),
         };
+        self.trace.emit(
+            self.clock.now(),
+            TraceEvent::AttemptStarted {
+                invocation: context.id,
+                attempt: context.attempt,
+                target: target.0,
+                deadline: context.deadline,
+            },
+        );
         if self.net.send(self.endpoint, target, msg.encode()).is_err() {
             return AttemptOutcome::Failed;
         }
-        let deadline = std::time::Instant::now() + self.reply_timeout;
+        // The attempt waits until its reply timeout or the invocation's
+        // deadline, whichever comes first — on the injected clock.
+        let attempt_deadline = (self.clock.now() + self.reply_timeout).min(context.deadline);
+        let mut wait = ClockWait::new(attempt_deadline);
         loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
-                return AttemptOutcome::Failed;
+            match wait.poll(self.clock.as_ref()) {
+                WaitState::Waiting => {}
+                WaitState::DeadlineReached => {
+                    return if context.is_expired(self.clock.now()) {
+                        AttemptOutcome::Expired
+                    } else {
+                        AttemptOutcome::Failed
+                    };
+                }
             }
-            match self.mailbox.recv_timeout(remaining) {
+            match self.mailbox.recv_timeout(POLL_TICK) {
                 Ok(datagram) => match RmiMessage::decode(&datagram.payload) {
                     Ok(RmiMessage::Response { call: c, outcome }) if c == call => {
                         return match outcome {
@@ -255,16 +391,22 @@ impl Stub {
                             Err(e) => AttemptOutcome::RemoteError(e),
                         };
                     }
-                    Ok(RmiMessage::Redirected { call: c, members }) if c == call => {
-                        return AttemptOutcome::Redirected(members);
+                    Ok(RmiMessage::Redirected {
+                        call: c,
+                        members,
+                        deadline,
+                    }) if c == call => {
+                        return AttemptOutcome::Redirected {
+                            suggested: members,
+                            deadline,
+                        };
                     }
                     // Stale replies to earlier timed-out calls, pool info
                     // broadcasts, etc.: skip.
                     _ => continue,
                 },
-                Err(RecvError::Timeout) | Err(RecvError::Closed) => {
-                    return AttemptOutcome::Failed;
-                }
+                Err(RecvError::Timeout) => continue,
+                Err(RecvError::Closed) => return AttemptOutcome::Failed,
             }
         }
     }
@@ -278,21 +420,25 @@ impl Stub {
         self.stats.refreshes += 1;
         if self
             .net
-            .send(self.endpoint, self.sentinel, RmiMessage::PoolInfoRequest.encode())
+            .send(
+                self.endpoint,
+                self.sentinel,
+                RmiMessage::PoolInfoRequest.encode(),
+            )
             .is_err()
         {
             return Err(RmiError::SentinelUnreachable(self.sentinel));
         }
-        let deadline = std::time::Instant::now() + self.reply_timeout;
+        let mut wait = ClockWait::new(self.clock.now() + self.reply_timeout);
         loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
+            if matches!(wait.poll(self.clock.as_ref()), WaitState::DeadlineReached) {
                 return Err(RmiError::SentinelUnreachable(self.sentinel));
             }
-            match self.mailbox.recv_timeout(remaining) {
+            match self.mailbox.recv_timeout(POLL_TICK) {
                 Ok(datagram) => {
-                    if let Ok(RmiMessage::PoolInfo { sentinel, members, .. }) =
-                        RmiMessage::decode(&datagram.payload)
+                    if let Ok(RmiMessage::PoolInfo {
+                        sentinel, members, ..
+                    }) = RmiMessage::decode(&datagram.payload)
                     {
                         self.sentinel = sentinel;
                         if !members.is_empty() {
@@ -302,8 +448,39 @@ impl Stub {
                         return Ok(());
                     }
                 }
-                Err(_) => return Err(RmiError::SentinelUnreachable(self.sentinel)),
+                Err(RecvError::Timeout) => continue,
+                Err(RecvError::Closed) => return Err(RmiError::SentinelUnreachable(self.sentinel)),
             }
+        }
+    }
+}
+
+/// A wait bounded by a deadline on the injected (possibly virtual) clock,
+/// with a real-time backstop so a never-advanced virtual clock cannot wedge
+/// the waiter forever.
+struct ClockWait {
+    deadline: SimTime,
+    backstop: std::time::Instant,
+}
+
+enum WaitState {
+    Waiting,
+    DeadlineReached,
+}
+
+impl ClockWait {
+    fn new(deadline: SimTime) -> Self {
+        ClockWait {
+            deadline,
+            backstop: std::time::Instant::now() + REAL_TIME_BACKSTOP,
+        }
+    }
+
+    fn poll(&mut self, clock: &dyn erm_sim::Clock) -> WaitState {
+        if clock.now() >= self.deadline || std::time::Instant::now() >= self.backstop {
+            WaitState::DeadlineReached
+        } else {
+            WaitState::Waiting
         }
     }
 }
@@ -311,8 +488,12 @@ impl Stub {
 enum AttemptOutcome {
     Ok(Vec<u8>),
     RemoteError(RemoteError),
-    Redirected(Vec<EndpointId>),
+    Redirected {
+        suggested: Vec<EndpointId>,
+        deadline: SimTime,
+    },
     Failed,
+    Expired,
 }
 
 // Keep RemoteError import used in non-test builds.
@@ -321,6 +502,7 @@ const _: fn(&AttemptOutcome) = |_| {};
 #[cfg(test)]
 mod tests {
     use super::*;
+    use erm_sim::SystemClock;
     use erm_transport::{Host, InProcNetwork};
 
     /// A scripted fake member that answers from a queue of behaviours.
@@ -350,7 +532,9 @@ mod tests {
                     .expect("request expected");
                 match RmiMessage::decode(&d.payload).unwrap() {
                     RmiMessage::Request { call, .. } => {
-                        self.net.send(self.endpoint, d.from, f(call).encode()).unwrap();
+                        self.net
+                            .send(self.endpoint, d.from, f(call).encode())
+                            .unwrap();
                         return;
                     }
                     RmiMessage::PoolInfoRequest => {
@@ -383,7 +567,14 @@ mod tests {
         // Connect blocks on discovery, so run it in a thread and serve the
         // PoolInfoRequest from here.
         let handle = std::thread::spawn(move || {
-            Stub::connect(net_arc, client_ep, client_mb, s_ep, ClientLb::RoundRobin)
+            Stub::connect(
+                net_arc,
+                client_ep,
+                client_mb,
+                s_ep,
+                ClientLb::RoundRobin,
+                Arc::new(SystemClock::new()),
+            )
         });
         let d = sentinel.mailbox.recv().expect("discovery request");
         net.send(sentinel.endpoint, d.from, info.encode()).unwrap();
@@ -430,7 +621,7 @@ mod tests {
         let sentinel = FakeMember::new(&net);
         let m1 = FakeMember::new(&net);
         let mut stub = connect(&net, &sentinel, &[&m1, &sentinel]);
-        stub.set_reply_timeout(Duration::from_millis(200));
+        stub.set_reply_timeout(SimDuration::from_millis(200));
         // Kill m1: sends to it now fail immediately.
         net.close_endpoint(m1.endpoint);
         let h = std::thread::spawn(move || {
@@ -461,6 +652,7 @@ mod tests {
         m1.answer(move |call| RmiMessage::Redirected {
             call,
             members: vec![m2_ep],
+            deadline: SimTime::from_secs(1_000_000),
         });
         m2.answer(|call| RmiMessage::Response {
             call,
@@ -493,7 +685,7 @@ mod tests {
         let sentinel = FakeMember::new(&net);
         let m1 = FakeMember::new(&net);
         let mut stub = connect(&net, &sentinel, &[&sentinel, &m1]);
-        stub.set_reply_timeout(Duration::from_millis(50));
+        stub.set_reply_timeout(SimDuration::from_millis(50));
         net.close_endpoint(sentinel.endpoint);
         net.close_endpoint(m1.endpoint);
         let err = stub.invoke::<(), u32>("m", &()).unwrap_err();

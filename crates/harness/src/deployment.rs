@@ -143,7 +143,9 @@ mod tests {
     fn provisioning_speed_ordering() {
         // Oracle < ElasticRMI < CloudWatch, the premise of Fig. 8.
         let mut rng = erm_sim::seeded_rng(1);
-        let oracle = Deployment::Overprovision.provisioning().sample(&mut rng, 0.5);
+        let oracle = Deployment::Overprovision
+            .provisioning()
+            .sample(&mut rng, 0.5);
         let ermi = Deployment::ElasticRmi.provisioning().sample(&mut rng, 0.5);
         let cw = Deployment::CloudWatch.provisioning().sample(&mut rng, 0.5);
         assert!(oracle < ermi && ermi < cw);

@@ -17,7 +17,10 @@
 use elasticrmi::{PoolSample, ScalingDecision, ScalingEngine};
 use erm_apps::{demand_vote, AppKind};
 use erm_cluster::{ClusterConfig, ResourceManager, SliceId};
-use erm_metrics::{AgilityMeter, AgilityReport, ProvisioningRecorder, ProvisioningReport};
+use erm_metrics::{
+    AgilityMeter, AgilityReport, ProvisioningRecorder, ProvisioningReport, TraceEvent, TraceHandle,
+    TraceRecord,
+};
 use erm_sim::{derive_seed, EventQueue, SimDuration, SimTime, TimeSeries};
 use erm_workloads::{PatternKind, Workload, WorkloadBuilder};
 use serde::{Deserialize, Serialize};
@@ -46,6 +49,10 @@ pub struct ExperimentConfig {
     /// (paper §4.4: "mesos-related failures affect the addition/removal of
     /// new objects until Mesos recovers").
     pub master_outage: Option<(SimTime, SimTime)>,
+    /// Record control-plane [`TraceRecord`]s (scale decisions, member
+    /// joins/drains) into [`ExperimentResult::trace`]. Off by default: the
+    /// 450-minute sweeps emit thousands of events per run.
+    pub trace: bool,
 }
 
 impl ExperimentConfig {
@@ -60,6 +67,7 @@ impl ExperimentConfig {
             sample_window: SimDuration::from_minutes(10),
             burst_override: None,
             master_outage: None,
+            trace: false,
         }
     }
 }
@@ -79,6 +87,9 @@ pub struct ExperimentResult {
     pub req_min_series: TimeSeries,
     /// Offered workload (events/s) over time.
     pub workload_series: TimeSeries,
+    /// Control-plane trace (empty unless [`ExperimentConfig::trace`] was
+    /// set): every scale decision, member join, and drain, in virtual time.
+    pub trace: Vec<TraceRecord>,
 }
 
 impl ExperimentResult {
@@ -148,6 +159,12 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
 
     let mut meter = AgilityMeter::new(SimDuration::from_minutes(1), config.sample_window);
     let mut prov = ProvisioningRecorder::new();
+    let (trace, trace_sink) = if config.trace {
+        let (handle, sink) = TraceHandle::buffered(65_536);
+        (handle, Some(sink))
+    } else {
+        (TraceHandle::disabled(), None)
+    };
     let mut capacity_series = TimeSeries::new("capacity");
     let mut req_series = TimeSeries::new("req_min");
     let mut load_series = TimeSeries::new("workload");
@@ -194,6 +211,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         }
         // 1. Provisioning completions join the pool and serve immediately.
         for grant in cluster.poll_ready(now) {
+            trace.emit(now, TraceEvent::MemberJoined { uid: grant.slice.0 });
             ready.push(grant.slice);
             pending_count = pending_count.saturating_sub(1);
             if let Some(entry) = pending_requests.first_mut() {
@@ -207,6 +225,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         }
         // 2. Draining members release their slices.
         for slice in draining.pop_due(now).collect::<Vec<_>>() {
+            trace.emit(now, TraceEvent::MemberDrained { uid: slice.0 });
             let _ = cluster.release(slice, now);
             // capacity already decremented at drain start
         }
@@ -258,6 +277,13 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
             };
             match engine.poll(now, &sample) {
                 ScalingDecision::Grow(k) => {
+                    trace.emit(
+                        now,
+                        TraceEvent::ScaleDecision {
+                            pool_size: committed,
+                            delta: i64::from(k),
+                        },
+                    );
                     if let Ok(outcome) = cluster.request_slices(k, now) {
                         let first = next_prov_id;
                         next_prov_id += u64::from(outcome.granted);
@@ -271,6 +297,13 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
                     }
                 }
                 ScalingDecision::Shrink(k) => {
+                    trace.emit(
+                        now,
+                        TraceEvent::ScaleDecision {
+                            pool_size: committed,
+                            delta: -i64::from(k),
+                        },
+                    );
                     for _ in 0..k {
                         if ready.len() as u32 <= engine.config().min_pool_size() {
                             break;
@@ -306,6 +339,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         capacity_series,
         req_min_series: req_series,
         workload_series: load_series,
+        trace: trace_sink.map_or_else(Vec::new, |sink| sink.snapshot()),
     }
 }
 
@@ -322,12 +356,45 @@ mod tests {
         let r = run(AppKind::Paxos, PatternKind::Abrupt, Deployment::ElasticRmi);
         let csv = r.to_csv();
         let mut lines = csv.lines();
-        assert_eq!(lines.next(), Some("minute,workload,req_min,capacity,agility"));
+        assert_eq!(
+            lines.next(),
+            Some("minute,workload,req_min,capacity,agility")
+        );
         let n = lines.clone().count();
-        assert!(n >= 440, "one row per minute of the 450-minute run, got {n}");
+        assert!(
+            n >= 440,
+            "one row per minute of the 450-minute run, got {n}"
+        );
         for line in lines {
             assert_eq!(line.split(',').count(), 5, "bad row: {line}");
         }
+    }
+
+    #[test]
+    fn trace_flag_records_the_control_plane() {
+        let mut config =
+            ExperimentConfig::paper(AppKind::Paxos, PatternKind::Abrupt, Deployment::ElasticRmi);
+        config.trace = true;
+        let r = run_experiment(&config);
+        assert!(
+            r.trace
+                .iter()
+                .any(|rec| matches!(rec.event, TraceEvent::MemberJoined { .. })),
+            "initial provisioning must be traced"
+        );
+        assert!(
+            r.trace.iter().any(
+                |rec| matches!(rec.event, TraceEvent::ScaleDecision { delta, .. } if delta > 0)
+            ),
+            "an abrupt workload must trigger a traced grow decision"
+        );
+        // Off by default: no records, no cost.
+        let quiet = run_experiment(&ExperimentConfig::paper(
+            AppKind::Paxos,
+            PatternKind::Abrupt,
+            Deployment::ElasticRmi,
+        ));
+        assert!(quiet.trace.is_empty());
     }
 
     #[test]
@@ -372,9 +439,16 @@ mod tests {
     #[test]
     fn overprovisioning_touches_zero_at_peak() {
         // §5.5: "its agility does reach zero at peak workload."
-        let over = run(AppKind::Marketcetera, PatternKind::Abrupt, Deployment::Overprovision);
+        let over = run(
+            AppKind::Marketcetera,
+            PatternKind::Abrupt,
+            Deployment::Overprovision,
+        );
         let min = over.agility.series().min().unwrap();
-        assert!(min <= 1.0, "agility at peak should approach zero, min {min}");
+        assert!(
+            min <= 1.0,
+            "agility at peak should approach zero, min {min}"
+        );
     }
 
     #[test]
@@ -383,11 +457,18 @@ mod tests {
         // "oscillates between 0 and a positive value frequently". With a
         // 10-minute plot window the dips show up as windows well below the
         // mean, some touching (near) zero.
-        let ermi = run(AppKind::Marketcetera, PatternKind::Abrupt, Deployment::ElasticRmi);
+        let ermi = run(
+            AppKind::Marketcetera,
+            PatternKind::Abrupt,
+            Deployment::ElasticRmi,
+        );
         let mean = ermi.agility.mean_agility();
         let min = ermi.agility.series().min().unwrap();
         assert!((0.5..=2.5).contains(&mean), "mean agility {mean:.2}");
-        assert!(min <= 0.5, "min windowed agility {min:.2} should dip near zero");
+        assert!(
+            min <= 0.5,
+            "min windowed agility {min:.2} should dip near zero"
+        );
     }
 
     #[test]
@@ -395,7 +476,11 @@ mod tests {
         // §5.5: "the agility of ElasticRMI-CPUMem is approximately equal to
         // CloudWatch" (same conditions, provisioning difference hidden by
         // the sampling interval).
-        let cpumem = run(AppKind::Hedwig, PatternKind::Abrupt, Deployment::ElasticRmiCpuMem);
+        let cpumem = run(
+            AppKind::Hedwig,
+            PatternKind::Abrupt,
+            Deployment::ElasticRmiCpuMem,
+        );
         let cw = run(AppKind::Hedwig, PatternKind::Abrupt, Deployment::CloudWatch);
         let ermi = run(AppKind::Hedwig, PatternKind::Abrupt, Deployment::ElasticRmi);
         let ratio = cpumem.agility.mean_agility() / cw.agility.mean_agility();
@@ -431,7 +516,11 @@ mod tests {
 
     #[test]
     fn overprovisioning_has_zero_provisioning_latency() {
-        let r = run(AppKind::Paxos, PatternKind::Cyclic, Deployment::Overprovision);
+        let r = run(
+            AppKind::Paxos,
+            PatternKind::Cyclic,
+            Deployment::Overprovision,
+        );
         // Only the initial (instant) provisioning occurred.
         if let Some(max) = r.provisioning.max_latency() {
             assert_eq!(max, SimDuration::ZERO);

@@ -46,10 +46,12 @@ impl FigureId {
 
     /// All figure ids in paper order.
     pub fn all() -> Vec<(String, FigureId)> {
-        ["7a", "7b", "7c", "7d", "7e", "7f", "7g", "7h", "7i", "7j", "8a", "8b"]
-            .iter()
-            .map(|s| (s.to_string(), FigureId::parse(s).expect("known id")))
-            .collect()
+        [
+            "7a", "7b", "7c", "7d", "7e", "7f", "7g", "7h", "7i", "7j", "8a", "8b",
+        ]
+        .iter()
+        .map(|s| (s.to_string(), FigureId::parse(s).expect("known id")))
+        .collect()
     }
 
     /// Renders the figure's data as text.
@@ -74,7 +76,11 @@ fn render_workload(pattern: PatternKind) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "# Fig. {} — {} workload pattern (% of peak vs minutes)\n",
-        if pattern == PatternKind::Abrupt { "7a" } else { "7b" },
+        if pattern == PatternKind::Abrupt {
+            "7a"
+        } else {
+            "7b"
+        },
         pattern
     ));
     out.push_str(&format!("{:>8} {:>10}\n", "min", "load%"));
@@ -91,11 +97,7 @@ fn render_workload(pattern: PatternKind) -> String {
 }
 
 /// Runs the four deployments for one agility panel.
-pub fn agility_results(
-    app: AppKind,
-    pattern: PatternKind,
-    seed: u64,
-) -> Vec<ExperimentResult> {
+pub fn agility_results(app: AppKind, pattern: PatternKind, seed: u64) -> Vec<ExperimentResult> {
     Deployment::ALL
         .iter()
         .map(|&deployment| {
@@ -114,11 +116,7 @@ fn render_agility(app: AppKind, pattern: PatternKind, seed: u64) -> String {
     ));
     out.push_str(&format!(
         "{:>6} {:>12} {:>12} {:>12} {:>12}\n",
-        "min",
-        "ElasticRMI",
-        "ERMI-CPUMem",
-        "CloudWatch",
-        "Overprov"
+        "min", "ElasticRMI", "ERMI-CPUMem", "CloudWatch", "Overprov"
     ));
     let series: Vec<&TimeSeries> = results.iter().map(|r| r.agility.series()).collect();
     let longest = series.iter().map(|s| s.len()).max().unwrap_or(0);
@@ -157,9 +155,15 @@ fn render_provisioning(pattern: PatternKind, seed: u64) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "# Fig. {} — ElasticRMI provisioning latency (s) vs time, {pattern} workload\n",
-        if pattern == PatternKind::Abrupt { "8a" } else { "8b" }
+        if pattern == PatternKind::Abrupt {
+            "8a"
+        } else {
+            "8b"
+        }
     ));
-    out.push_str("# Overprovisioning is identically 0; CloudWatch (minutes) omitted as in the paper.\n");
+    out.push_str(
+        "# Overprovisioning is identically 0; CloudWatch (minutes) omitted as in the paper.\n",
+    );
     for app in AppKind::ALL {
         let mut config = ExperimentConfig::paper(app, pattern, Deployment::ElasticRmi);
         config.seed = seed;
@@ -171,8 +175,12 @@ fn render_provisioning(pattern: PatternKind, seed: u64) -> String {
         }
         out.push_str(&format!(
             "## {app} mean={:.1}s max={:.1}s events={}\n",
-            r.provisioning.mean_latency().map_or(0.0, |d| d.as_secs_f64()),
-            r.provisioning.max_latency().map_or(0.0, |d| d.as_secs_f64()),
+            r.provisioning
+                .mean_latency()
+                .map_or(0.0, |d| d.as_secs_f64()),
+            r.provisioning
+                .max_latency()
+                .map_or(0.0, |d| d.as_secs_f64()),
             r.provisioning.events(),
         ));
     }
@@ -206,7 +214,10 @@ mod tests {
     fn every_figure_id_parses() {
         assert_eq!(FigureId::all().len(), 12);
         assert!(FigureId::parse("7z").is_none());
-        assert_eq!(FigureId::parse("8A"), Some(FigureId::Provisioning(PatternKind::Abrupt)));
+        assert_eq!(
+            FigureId::parse("8A"),
+            Some(FigureId::Provisioning(PatternKind::Abrupt))
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub mod tiered;
 pub use deployment::Deployment;
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use figures::{agility_results, sparkline, FigureId};
-pub use scalability::{render_scalability, scalability_curve, ScalabilityPoint, SharedStateProfile};
+pub use scalability::{
+    render_scalability, scalability_curve, ScalabilityPoint, SharedStateProfile,
+};
 pub use summary::{format_summary, summary_table, SummaryRow};
 pub use tiered::{render_tiered, run_tiered, TierCoordination, TieredResult};

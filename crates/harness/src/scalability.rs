@@ -124,11 +124,16 @@ pub fn render_scalability() -> String {
     let sizes: Vec<u32> = vec![1, 2, 4, 8, 16, 32];
     let mut out = String::new();
     out.push_str("# Throughput vs pool size (events/s) and scaling efficiency\n");
-    out.push_str("# (\"having shared state and mutual exclusion ... decreases parallelism\", \u{a7}4.1)\n");
+    out.push_str(
+        "# (\"having shared state and mutual exclusion ... decreases parallelism\", \u{a7}4.1)\n",
+    );
     for app in AppKind::ALL {
         let model = app.model();
         out.push_str(&format!("## {app}\n"));
-        out.push_str(&format!("{:>6} {:>14} {:>12}\n", "size", "throughput", "efficiency"));
+        out.push_str(&format!(
+            "{:>6} {:>14} {:>12}\n",
+            "size", "throughput", "efficiency"
+        ));
         for point in scalability_curve(&model, &sizes) {
             out.push_str(&format!(
                 "{:>6} {:>14.0} {:>11.0}%\n",
@@ -162,7 +167,10 @@ mod tests {
     fn efficiency_never_exceeds_linear() {
         for app in AppKind::ALL {
             for point in scalability_curve(&app.model(), &[1, 2, 4, 8, 16, 32]) {
-                assert!(point.efficiency <= 1.0 + 1e-9, "{app}: superlinear scaling is a bug");
+                assert!(
+                    point.efficiency <= 1.0 + 1e-9,
+                    "{app}: superlinear scaling is a bug"
+                );
             }
         }
     }

@@ -75,7 +75,16 @@ pub fn format_summary(rows: &[SummaryRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<13} {:<7} {:<18} {:>8} {:>8} {:>9} {:>6} {:>6} {:>9} {:>8}\n",
-        "app", "pattern", "deployment", "agility", "excess", "shortage", "zero%", "qos@r%", "vs-ERMI", "prov(s)"
+        "app",
+        "pattern",
+        "deployment",
+        "agility",
+        "excess",
+        "shortage",
+        "zero%",
+        "qos@r%",
+        "vs-ERMI",
+        "prov(s)"
     ));
     for r in rows {
         out.push_str(&format!(
@@ -108,7 +117,10 @@ mod tests {
     #[test]
     fn elastic_rmi_rows_have_unit_ratio() {
         let rows = summary_table(7);
-        for r in rows.iter().filter(|r| r.deployment == Deployment::ElasticRmi) {
+        for r in rows
+            .iter()
+            .filter(|r| r.deployment == Deployment::ElasticRmi)
+        {
             assert!((r.ratio_vs_elastic_rmi - 1.0).abs() < 1e-9);
         }
     }
@@ -129,7 +141,10 @@ mod tests {
                 let ermi = get(Deployment::ElasticRmi);
                 let cw = get(Deployment::CloudWatch);
                 let over = get(Deployment::Overprovision);
-                assert!(cw > 1.5 * ermi, "{app}/{pattern}: cw {cw:.2} ermi {ermi:.2}");
+                assert!(
+                    cw > 1.5 * ermi,
+                    "{app}/{pattern}: cw {cw:.2} ermi {ermi:.2}"
+                );
                 assert!(over > cw, "{app}/{pattern}: over {over:.2} cw {cw:.2}");
             }
         }
@@ -141,7 +156,10 @@ mod tests {
         // is not met" (§5.1): ElasticRMI must be under-provisioned only a
         // small fraction of the time for the comparison to stand.
         let rows = summary_table(7);
-        for r in rows.iter().filter(|r| r.deployment == Deployment::ElasticRmi) {
+        for r in rows
+            .iter()
+            .filter(|r| r.deployment == Deployment::ElasticRmi)
+        {
             assert!(
                 r.shortage_fraction < 0.25,
                 "{}/{}: QoS at risk {:.0}% of the time",

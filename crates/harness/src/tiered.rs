@@ -14,7 +14,7 @@
 //! scarce capacity proportionally to each tier's demand. The experiment
 //! measures joint agility both ways.
 
-use elasticrmi::{PoolSample, ScalingDecision, ScalingEngine, ScalingPolicy};
+use elasticrmi::{PoolSample, ScalingDecision, ScalingEngine};
 use erm_apps::{demand_vote, AppKind, AppModel};
 use erm_cluster::{ClusterConfig, ResourceManager, SliceId};
 use erm_metrics::{AgilityMeter, AgilityReport};
@@ -101,9 +101,9 @@ pub fn run_tiered(coordination: TierCoordination, seed: u64) -> TieredResult {
             workload,
         }
     };
-    let front_peak = AppKind::Marketcetera.model().peak_objects(
-        AppKind::Marketcetera.model().point_a * erm_workloads::paper::POINT_B_FACTOR,
-    );
+    let front_peak = AppKind::Marketcetera
+        .model()
+        .peak_objects(AppKind::Marketcetera.model().point_a * erm_workloads::paper::POINT_B_FACTOR);
     let back_peak = AppKind::Dcs
         .model()
         .peak_objects(AppKind::Dcs.model().point_a * erm_workloads::paper::POINT_B_FACTOR);
@@ -165,12 +165,8 @@ pub fn run_tiered(coordination: TierCoordination, seed: u64) -> TieredResult {
                 .iter()
                 .zip(rates)
                 .map(|(tier, rate)| {
-                    let vote = demand_vote(
-                        rate,
-                        tier.app.per_object_capacity,
-                        tier.committed(),
-                        0.9,
-                    );
+                    let vote =
+                        demand_vote(rate, tier.app.per_object_capacity, tier.committed(), 0.9);
                     (i64::from(tier.committed()) + i64::from(vote)).max(2) as u32
                 })
                 .collect(),
@@ -206,8 +202,8 @@ pub fn run_tiered(coordination: TierCoordination, seed: u64) -> TieredResult {
                 avg_cpu: 0.0,
                 avg_ram: 0.0,
                 fine_votes: vec![
-                    (i64::from(desired[i]) - i64::from(tier.committed()))
-                        .clamp(-4, 16) as i32;
+                    (i64::from(desired[i]) - i64::from(tier.committed())).clamp(-4, 16)
+                        as i32;
                     tier.ready.len().max(1)
                 ],
                 desired_size: None,
@@ -239,7 +235,8 @@ pub fn run_tiered(coordination: TierCoordination, seed: u64) -> TieredResult {
         let minute = now.as_minutes_f64() as u64;
         for (tier, rate) in tiers.iter_mut().zip(rates) {
             let req = tier.app.req_min(rate, minute);
-            tier.meter.record(now, req, f64::from(tier.ready.len() as u32));
+            tier.meter
+                .record(now, req, f64::from(tier.ready.len() as u32));
         }
 
         now += TICK;
@@ -256,7 +253,10 @@ pub fn run_tiered(coordination: TierCoordination, seed: u64) -> TieredResult {
 /// Renders the tiered comparison for the `figures --ablation` output.
 pub fn render_tiered(seed: u64) -> String {
     let mut out = String::new();
-    for coordination in [TierCoordination::LocalControllers, TierCoordination::GlobalDecider] {
+    for coordination in [
+        TierCoordination::LocalControllers,
+        TierCoordination::GlobalDecider,
+    ] {
         let r = run_tiered(coordination, seed);
         out.push_str(&format!(
             "  {:<18} joint={:.2} front={:.2} (shortage {:.2}) back={:.2} (shortage {:.2})\n",
@@ -289,10 +289,7 @@ mod tests {
         // proportional split bounds both tiers' shortage.
         let local = run_tiered(TierCoordination::LocalControllers, 7);
         let global = run_tiered(TierCoordination::GlobalDecider, 7);
-        let local_worst = local
-            .front
-            .mean_shortage()
-            .max(local.back.mean_shortage());
+        let local_worst = local.front.mean_shortage().max(local.back.mean_shortage());
         let global_worst = global
             .front
             .mean_shortage()

@@ -57,7 +57,10 @@ impl AgilityMeter {
     /// Panics if either duration is zero or if `window < sub_interval`.
     pub fn new(sub_interval: SimDuration, window: SimDuration) -> Self {
         assert!(!sub_interval.is_zero(), "sub-interval must be positive");
-        assert!(window >= sub_interval, "window must cover >= 1 sub-interval");
+        assert!(
+            window >= sub_interval,
+            "window must cover >= 1 sub-interval"
+        );
         AgilityMeter {
             sub_interval,
             window,

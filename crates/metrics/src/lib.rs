@@ -19,7 +19,9 @@
 mod agility;
 mod provisioning;
 mod qos;
+mod trace;
 
 pub use agility::{AgilityMeter, AgilityReport};
 pub use provisioning::{ProvisioningRecorder, ProvisioningReport};
 pub use qos::{LatencyTracker, ThroughputTracker};
+pub use trace::{TraceEvent, TraceHandle, TraceRecord, TraceSink};

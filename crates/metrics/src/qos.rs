@@ -126,7 +126,11 @@ impl LatencyTracker {
     fn bucket_upper_bound(index: usize) -> SimDuration {
         let log2 = index / 2;
         let base = 1u64 << log2;
-        let bound = if index % 2 == 0 { base + base / 2 } else { base * 2 };
+        let bound = if index.is_multiple_of(2) {
+            base + base / 2
+        } else {
+            base * 2
+        };
         SimDuration::from_micros(bound)
     }
 
@@ -226,12 +230,11 @@ mod tests {
         t.observe(SimTime::from_secs(0));
         t.observe(SimTime::from_secs(5));
         t.flush(SimTime::from_secs(5));
-        let zeros = t
-            .series()
-            .iter()
-            .filter(|&(_, v)| v == 0.0)
-            .count();
-        assert!(zeros >= 3, "idle seconds should appear as zero-rate windows");
+        let zeros = t.series().iter().filter(|&(_, v)| v == 0.0).count();
+        assert!(
+            zeros >= 3,
+            "idle seconds should appear as zero-rate windows"
+        );
     }
 
     #[test]

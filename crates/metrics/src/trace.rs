@@ -1,0 +1,419 @@
+//! Structured invocation and elasticity tracing.
+//!
+//! Every layer of the middleware — stub, skeleton, pool runtime, scaling
+//! engine, experiment harness — can emit typed [`TraceEvent`]s into a shared
+//! ring-buffer [`TraceSink`]. A trace stitches one invocation's life back
+//! together across retries and redirects (which otherwise only exist as
+//! per-layer counters) and interleaves it with the control-plane decisions
+//! (scale out/in, drains, sentinel elections) that explain *why* the
+//! invocation travelled the way it did.
+//!
+//! Tracing is opt-in and cheap when off: components hold a [`TraceHandle`],
+//! which is either disabled (a no-op, the default) or backed by a sink.
+//! Timestamps come from whatever clock the emitting component runs on, so a
+//! virtual-time experiment produces virtual-time traces.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use erm_sim::{SimDuration, SimTime};
+
+/// One typed event in the life of an invocation or of the pool.
+///
+/// Endpoints and member uids are carried as raw `u64`s so the metrics crate
+/// stays independent of the transport layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A stub sent (or re-sent) a request to one member.
+    AttemptStarted {
+        /// Invocation id (stable across every attempt of one `invoke`).
+        invocation: u64,
+        /// 1-based attempt counter.
+        attempt: u32,
+        /// Target member endpoint.
+        target: u64,
+        /// Absolute deadline the attempt runs under.
+        deadline: SimTime,
+    },
+    /// An attempt got no usable answer (send failure, timeout, dead member);
+    /// the stub will retry elsewhere if budget remains.
+    AttemptFailed {
+        /// Invocation id.
+        invocation: u64,
+        /// The attempt that failed.
+        attempt: u32,
+        /// The member that did not answer.
+        target: u64,
+    },
+    /// A member answered with `Redirected`; the stub follows with whatever
+    /// deadline budget remains.
+    AttemptRedirected {
+        /// Invocation id.
+        invocation: u64,
+        /// The attempt that was redirected.
+        attempt: u32,
+        /// Budget left when the redirect was followed.
+        remaining: SimDuration,
+    },
+    /// The invocation's deadline passed before any member answered.
+    InvocationExpired {
+        /// Invocation id.
+        invocation: u64,
+        /// Attempts consumed before expiry.
+        attempts: u32,
+    },
+    /// The invocation finished with a response (success or remote error).
+    InvocationCompleted {
+        /// Invocation id.
+        invocation: u64,
+        /// Attempts consumed, including the successful one.
+        attempts: u32,
+        /// Whether the remote method returned normally.
+        ok: bool,
+    },
+    /// A skeleton refused to dispatch a request whose deadline had already
+    /// passed on arrival.
+    RequestExpired {
+        /// The rejecting member's uid.
+        uid: u64,
+        /// Invocation id from the request's context.
+        invocation: u64,
+        /// How far past its deadline the request was.
+        late_by: SimDuration,
+    },
+    /// A skeleton shed a request (rebalance quota or shutdown drain).
+    RequestShed {
+        /// The shedding member's uid.
+        uid: u64,
+        /// Invocation id from the request's context.
+        invocation: u64,
+    },
+    /// A member joined the pool.
+    MemberJoined {
+        /// The new member's uid.
+        uid: u64,
+    },
+    /// A member finished its two-phase shutdown drain.
+    MemberDrained {
+        /// The drained member's uid.
+        uid: u64,
+    },
+    /// A member was lost to a crash or slice revocation.
+    MemberCrashed {
+        /// The lost member's uid.
+        uid: u64,
+    },
+    /// The sentinel changed (initial election or re-election after a crash).
+    SentinelElected {
+        /// The new sentinel's uid.
+        uid: u64,
+        /// Membership epoch at election time.
+        epoch: u64,
+    },
+    /// The scaling engine (or harness controller) decided to resize.
+    ScaleDecision {
+        /// Pool size the decision was made at.
+        pool_size: u32,
+        /// Members to add (positive) or remove (negative).
+        delta: i64,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::AttemptStarted {
+                invocation,
+                attempt,
+                target,
+                deadline,
+            } => write!(
+                f,
+                "inv {invocation} attempt {attempt} -> endpoint {target} (deadline {deadline})"
+            ),
+            TraceEvent::AttemptFailed {
+                invocation,
+                attempt,
+                target,
+            } => {
+                write!(
+                    f,
+                    "inv {invocation} attempt {attempt} failed at endpoint {target}"
+                )
+            }
+            TraceEvent::AttemptRedirected {
+                invocation,
+                attempt,
+                remaining,
+            } => write!(
+                f,
+                "inv {invocation} attempt {attempt} redirected ({} budget left)",
+                remaining
+            ),
+            TraceEvent::InvocationExpired {
+                invocation,
+                attempts,
+            } => {
+                write!(f, "inv {invocation} expired after {attempts} attempts")
+            }
+            TraceEvent::InvocationCompleted {
+                invocation,
+                attempts,
+                ok,
+            } => write!(
+                f,
+                "inv {invocation} completed after {attempts} attempts ({})",
+                if *ok { "ok" } else { "remote error" }
+            ),
+            TraceEvent::RequestExpired {
+                uid,
+                invocation,
+                late_by,
+            } => {
+                write!(
+                    f,
+                    "member {uid} rejected expired inv {invocation} ({late_by} late)"
+                )
+            }
+            TraceEvent::RequestShed { uid, invocation } => {
+                write!(f, "member {uid} shed inv {invocation}")
+            }
+            TraceEvent::MemberJoined { uid } => write!(f, "member {uid} joined"),
+            TraceEvent::MemberDrained { uid } => write!(f, "member {uid} drained"),
+            TraceEvent::MemberCrashed { uid } => write!(f, "member {uid} crashed"),
+            TraceEvent::SentinelElected { uid, epoch } => {
+                write!(f, "sentinel elected: member {uid} (epoch {epoch})")
+            }
+            TraceEvent::ScaleDecision { pool_size, delta } => {
+                write!(f, "scale decision at size {pool_size}: delta {delta:+}")
+            }
+        }
+    }
+}
+
+/// A [`TraceEvent`] with the time it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened, on the emitting component's clock.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.at, self.event)
+    }
+}
+
+/// A bounded, thread-safe ring buffer of trace records.
+///
+/// When full, the oldest records are evicted (and counted in
+/// [`TraceSink::dropped`]) so a long-running pool can keep tracing without
+/// unbounded memory growth.
+///
+/// # Example
+///
+/// ```
+/// use erm_metrics::{TraceEvent, TraceSink};
+/// use erm_sim::SimTime;
+///
+/// let sink = TraceSink::new(128);
+/// sink.record(SimTime::from_secs(1), TraceEvent::MemberJoined { uid: 0 });
+/// assert_eq!(sink.snapshot().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TraceSink {
+    buf: Mutex<Ring>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// Creates a sink holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceSink {
+            buf: Mutex::new(Ring::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn record(&self, at: SimTime, event: TraceEvent) {
+        let mut ring = self.buf.lock().expect("trace sink lock");
+        if ring.records.len() == self.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(TraceRecord { at, event });
+    }
+
+    /// A copy of the retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.buf
+            .lock()
+            .expect("trace sink lock")
+            .records
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("trace sink lock").records.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was cleared).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.buf.lock().expect("trace sink lock").dropped
+    }
+
+    /// Discards all retained records (the dropped counter is kept).
+    pub fn clear(&self) {
+        self.buf.lock().expect("trace sink lock").records.clear();
+    }
+
+    /// Renders the retained records one per line, for experiment dumps.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for record in self.snapshot() {
+            out.push_str(&record.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A cheap, cloneable handle components emit through: either disabled (the
+/// default — every emit is a no-op) or backed by a shared [`TraceSink`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle {
+    sink: Option<Arc<TraceSink>>,
+}
+
+impl TraceHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        TraceHandle::default()
+    }
+
+    /// A handle backed by `sink`.
+    pub fn new(sink: Arc<TraceSink>) -> Self {
+        TraceHandle { sink: Some(sink) }
+    }
+
+    /// Creates a sink of `capacity` records and a handle onto it.
+    pub fn buffered(capacity: usize) -> (Self, Arc<TraceSink>) {
+        let sink = Arc::new(TraceSink::new(capacity));
+        (TraceHandle::new(Arc::clone(&sink)), sink)
+    }
+
+    /// Whether emits reach a sink.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records `event` at time `at`, if enabled.
+    pub fn emit(&self, at: SimTime, event: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(at, event);
+        }
+    }
+
+    /// The retained records, oldest first (empty when disabled).
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.sink.as_ref().map_or_else(Vec::new, |s| s.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_retains_in_order() {
+        let sink = TraceSink::new(16);
+        for uid in 0..4 {
+            sink.record(SimTime::from_secs(uid), TraceEvent::MemberJoined { uid });
+        }
+        let records = sink.snapshot();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].event, TraceEvent::MemberJoined { uid: 0 });
+        assert_eq!(records[3].event, TraceEvent::MemberJoined { uid: 3 });
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let sink = TraceSink::new(2);
+        for uid in 0..5 {
+            sink.record(SimTime::ZERO, TraceEvent::MemberJoined { uid });
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        let records = sink.snapshot();
+        assert_eq!(records[0].event, TraceEvent::MemberJoined { uid: 3 });
+        assert_eq!(records[1].event, TraceEvent::MemberJoined { uid: 4 });
+    }
+
+    #[test]
+    fn disabled_handle_is_a_no_op() {
+        let handle = TraceHandle::disabled();
+        assert!(!handle.is_enabled());
+        handle.emit(SimTime::ZERO, TraceEvent::MemberJoined { uid: 1 });
+        assert!(handle.snapshot().is_empty());
+    }
+
+    #[test]
+    fn enabled_handle_shares_the_sink() {
+        let (handle, sink) = TraceHandle::buffered(8);
+        let clone = handle.clone();
+        clone.emit(
+            SimTime::from_secs(2),
+            TraceEvent::ScaleDecision {
+                pool_size: 4,
+                delta: 2,
+            },
+        );
+        assert_eq!(sink.len(), 1);
+        assert_eq!(handle.snapshot(), sink.snapshot());
+    }
+
+    #[test]
+    fn dump_is_one_line_per_record() {
+        let sink = TraceSink::new(8);
+        sink.record(SimTime::from_secs(1), TraceEvent::MemberJoined { uid: 7 });
+        sink.record(
+            SimTime::from_secs(2),
+            TraceEvent::ScaleDecision {
+                pool_size: 1,
+                delta: -1,
+            },
+        );
+        let dump = sink.dump();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.contains("member 7 joined"));
+        assert!(dump.contains("delta -1"));
+    }
+
+    #[test]
+    fn clear_keeps_dropped_counter() {
+        let sink = TraceSink::new(1);
+        sink.record(SimTime::ZERO, TraceEvent::MemberJoined { uid: 0 });
+        sink.record(SimTime::ZERO, TraceEvent::MemberJoined { uid: 1 });
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 1);
+    }
+}

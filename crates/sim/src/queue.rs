@@ -214,43 +214,50 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    proptest! {
-        /// Pop order is always non-decreasing in due time, whatever the
-        /// schedule order.
-        #[test]
-        fn pop_order_is_chronological(times in proptest::collection::vec(0u64..1_000, 1..128)) {
+    /// Pop order is always non-decreasing in due time, whatever the
+    /// schedule order (seeded-random replacement for the former proptest).
+    #[test]
+    fn pop_order_is_chronological() {
+        let mut rng = StdRng::seed_from_u64(0x0E0E);
+        for _ in 0..50 {
+            let n = rng.gen_range(1usize..128);
+            let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000)).collect();
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.schedule(SimTime::from_micros(t), i);
             }
             let drained = q.drain_all();
             for pair in drained.windows(2) {
-                prop_assert!(pair[0].0 <= pair[1].0);
+                assert!(pair[0].0 <= pair[1].0);
             }
-            prop_assert_eq!(drained.len(), times.len());
+            assert_eq!(drained.len(), times.len());
         }
+    }
 
-        /// pop_due never returns an event later than `now` and never loses
-        /// events.
-        #[test]
-        fn pop_due_respects_cutoff(
-            times in proptest::collection::vec(0u64..1_000, 1..128),
-            cutoff in 0u64..1_000,
-        ) {
+    /// pop_due never returns an event later than `now` and never loses
+    /// events.
+    #[test]
+    fn pop_due_respects_cutoff() {
+        let mut rng = StdRng::seed_from_u64(0x90B5);
+        for _ in 0..50 {
+            let n = rng.gen_range(1usize..128);
+            let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1_000)).collect();
+            let cutoff = rng.gen_range(0u64..1_000);
             let mut q = EventQueue::new();
             for &t in &times {
                 q.schedule(SimTime::from_micros(t), t);
             }
             let now = SimTime::from_micros(cutoff);
             let popped: Vec<u64> = q.pop_due(now).collect();
-            prop_assert!(popped.iter().all(|&t| t <= cutoff));
+            assert!(popped.iter().all(|&t| t <= cutoff));
             let expected = times.iter().filter(|&&t| t <= cutoff).count();
-            prop_assert_eq!(popped.len(), expected);
-            prop_assert_eq!(q.len(), times.len() - expected);
+            assert_eq!(popped.len(), expected);
+            assert_eq!(q.len(), times.len() - expected);
         }
     }
 }

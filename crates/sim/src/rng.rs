@@ -59,8 +59,14 @@ mod tests {
 
     #[test]
     fn same_seed_same_stream() {
-        let a: Vec<u32> = seeded_rng(1).sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = seeded_rng(1).sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = seeded_rng(1)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = seeded_rng(1)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -80,10 +86,16 @@ mod tests {
 
     #[test]
     fn similar_labels_diverge() {
-        let seeds: Vec<u64> = (0..32).map(|i| derive_seed(0, &format!("node-{i}"))).collect();
+        let seeds: Vec<u64> = (0..32)
+            .map(|i| derive_seed(0, &format!("node-{i}")))
+            .collect();
         let mut dedup = seeds.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), seeds.len(), "derived seeds collided: {seeds:?}");
+        assert_eq!(
+            dedup.len(),
+            seeds.len(),
+            "derived seeds collided: {seeds:?}"
+        );
     }
 }

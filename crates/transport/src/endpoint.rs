@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 /// pool runtime). Endpoint ids are assigned by the network and unique within
 /// it; the pool uses their monotonic order for its "royal hierarchy" leader
 /// election (paper §4.3).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct EndpointId(pub u64);
 
 impl fmt::Display for EndpointId {

@@ -127,13 +127,7 @@ impl InProcNetwork {
         self.inner
             .latency_us
             .store(latency.as_micros() as u64, Ordering::SeqCst);
-        if !latency.is_zero()
-            && self
-                .inner
-                .delay_thread_running
-                .swap(1, Ordering::SeqCst)
-                == 0
-        {
+        if !latency.is_zero() && self.inner.delay_thread_running.swap(1, Ordering::SeqCst) == 0 {
             let inner = Arc::clone(&self.inner);
             std::thread::Builder::new()
                 .name("inproc-delay".to_string())
@@ -238,7 +232,13 @@ mod tests {
         let (b, mb) = net.open_endpoint();
         net.send(a, b, vec![1, 2, 3]).unwrap();
         let got = mb.recv().unwrap();
-        assert_eq!(got, Datagram { from: a, payload: vec![1, 2, 3] });
+        assert_eq!(
+            got,
+            Datagram {
+                from: a,
+                payload: vec![1, 2, 3]
+            }
+        );
     }
 
     #[test]

@@ -128,10 +128,10 @@ impl TcpHost {
         // One write attempt over a cached connection, one over a fresh
         // connection if the cached one died.
         for attempt in 0..2 {
-            if !conns.contains_key(&addr) {
-                conns.insert(addr, TcpStream::connect(addr)?);
-            }
-            let stream = conns.get_mut(&addr).expect("just inserted");
+            let stream = match conns.entry(addr) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => e.insert(TcpStream::connect(addr)?),
+            };
             match write_frame(stream, from, to, payload) {
                 Ok(()) => return Ok(()),
                 Err(e) if attempt == 0 => {
@@ -215,7 +215,9 @@ fn read_loop(mut stream: TcpStream, inner: Arc<HostInner>) {
             return;
         }
         let from = EndpointId(u64::from_le_bytes(frame[0..8].try_into().expect("8 bytes")));
-        let to = EndpointId(u64::from_le_bytes(frame[8..16].try_into().expect("8 bytes")));
+        let to = EndpointId(u64::from_le_bytes(
+            frame[8..16].try_into().expect("8 bytes"),
+        ));
         let payload = frame[16..].to_vec();
         if let Some(tx) = inner.local.read().get(&to) {
             let _ = tx.send(Datagram { from, payload });
@@ -267,7 +269,10 @@ mod tests {
         let host = TcpHost::bind("127.0.0.1:0", 0).unwrap();
         let (a, _mail) = host.open_endpoint();
         let ghost = EndpointId(u64::MAX);
-        assert_eq!(host.send(a, ghost, vec![]), Err(SendError::Unreachable(ghost)));
+        assert_eq!(
+            host.send(a, ghost, vec![]),
+            Err(SendError::Unreachable(ghost))
+        );
     }
 
     #[test]

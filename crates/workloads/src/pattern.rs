@@ -97,7 +97,11 @@ impl Workload {
             let (t0, f0) = pair[0];
             let (t1, f1) = pair[1];
             if minute <= t1 {
-                let alpha = if t1 > t0 { (minute - t0) / (t1 - t0) } else { 1.0 };
+                let alpha = if t1 > t0 {
+                    (minute - t0) / (t1 - t0)
+                } else {
+                    1.0
+                };
                 return (f0 + alpha * (f1 - f0)) * self.peak;
             }
         }
@@ -235,15 +239,15 @@ impl WorkloadBuilder {
                 self.peak_a,
                 vec![
                     (0.0, 0.10),
-                    (60.0, 0.20),   // gradual increase
-                    (120.0, 0.40),  // continued gradual increase
+                    (60.0, 0.20),  // gradual increase
+                    (120.0, 0.40), // continued gradual increase
                     (150.0, 0.45),
-                    (155.0, 0.90),  // abrupt increase
-                    (200.0, 1.00),  // reaches point A
-                    (250.0, 1.00),  // plateau at peak
-                    (255.0, 0.35),  // abrupt decrease
-                    (330.0, 0.30),  // slow drift
-                    (450.0, 0.10),  // gradual decrease to the initial level
+                    (155.0, 0.90), // abrupt increase
+                    (200.0, 1.00), // reaches point A
+                    (250.0, 1.00), // plateau at peak
+                    (255.0, 0.35), // abrupt decrease
+                    (330.0, 0.30), // slow drift
+                    (450.0, 0.10), // gradual decrease to the initial level
                 ],
             ),
             // Fig. 7b: three cycles to point B = 1.2 A over 500 minutes.
@@ -368,8 +372,14 @@ mod tests {
 
     #[test]
     fn durations_match_paper() {
-        assert_eq!(PatternKind::Abrupt.duration(), SimDuration::from_minutes(450));
-        assert_eq!(PatternKind::Cyclic.duration(), SimDuration::from_minutes(500));
+        assert_eq!(
+            PatternKind::Abrupt.duration(),
+            SimDuration::from_minutes(450)
+        );
+        assert_eq!(
+            PatternKind::Cyclic.duration(),
+            SimDuration::from_minutes(500)
+        );
     }
 
     #[test]
@@ -380,8 +390,11 @@ mod tests {
 
     #[test]
     fn custom_patterns_interpolate_their_points() {
-        let w = WorkloadBuilder::new(PatternKind::Abrupt, 1_000.0)
-            .build_custom(vec![(0.0, 0.0), (10.0, 1.0), (20.0, 0.5)]);
+        let w = WorkloadBuilder::new(PatternKind::Abrupt, 1_000.0).build_custom(vec![
+            (0.0, 0.0),
+            (10.0, 1.0),
+            (20.0, 0.5),
+        ]);
         assert_eq!(w.rate_at(SimTime::ZERO), 0.0);
         assert_eq!(w.rate_at(SimTime::from_minutes(10)), 1_000.0);
         assert_eq!(w.rate_at(SimTime::from_minutes(5)), 500.0);

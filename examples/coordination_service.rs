@@ -13,27 +13,28 @@ use std::sync::Arc;
 use elasticrmi::{ClientLb, ElasticPool, PoolConfig, PoolDeps, PoolSample, ScalingPolicy};
 use erm_apps::dcs::{Dcs, ZNode};
 use erm_apps::paxos::{PaxosReplica, ProposeResult};
-use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::TraceHandle;
 use erm_sim::SystemClock;
 use erm_transport::InProcNetwork;
-use parking_lot::Mutex;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One cluster and network host both pools; each pool gets its own
     // store (its own elastic-object state), as in the paper.
-    let cluster = Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+    let cluster = ClusterHandle::new(ResourceManager::new(ClusterConfig {
         nodes: 32,
         provisioning: LatencyModel::instant(),
         ..ClusterConfig::default()
-    })));
+    }));
     let net = Arc::new(InProcNetwork::new());
     let clock = Arc::new(SystemClock::new());
     let deps_for = |store: Arc<Store>| PoolDeps {
-        cluster: Arc::clone(&cluster),
+        cluster: cluster.clone(),
         net: net.clone(),
         store,
         clock: clock.clone(),
+        trace: TraceHandle::disabled(),
     };
 
     // Paxos pool: quorum of 3, fine-grained scaling.
@@ -72,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         deps_for(Arc::clone(&dcs_store)),
         Some(Box::new(decider)),
     )?;
-    println!("pools up: paxos={} members, dcs={} members", paxos.size(), dcs.size());
+    println!(
+        "pools up: paxos={} members, dcs={} members",
+        paxos.size(),
+        dcs.size()
+    );
 
     // Reach consensus on a configuration value, then publish it in DCS.
     let mut paxos_stub = paxos.stub(ClientLb::RoundRobin)?;

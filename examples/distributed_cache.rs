@@ -15,14 +15,14 @@
 use std::sync::Arc;
 
 use elasticrmi::{
-    decode_args, encode_result, ClientLb, ElasticPool, ElasticService, MethodCallStats,
-    PoolConfig, PoolDeps, RemoteError, ScalingPolicy, ServiceContext, Thresholds,
+    decode_args, encode_result, ClientLb, ElasticPool, ElasticService, MethodCallStats, PoolConfig,
+    PoolDeps, RemoteError, ScalingPolicy, ServiceContext, Thresholds,
 };
-use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::TraceHandle;
 use erm_sim::{SimDuration, SystemClock};
 use erm_transport::InProcNetwork;
-use parking_lot::Mutex;
 
 /// A write-locked distributed object cache, the paper's running example.
 struct Cache;
@@ -81,13 +81,14 @@ impl ElasticService for Cache {
 
 fn deps() -> PoolDeps {
     PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             provisioning: LatencyModel::instant(),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: Arc::new(InProcNetwork::new()),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     }
 }
 
@@ -132,8 +133,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ram_decr: Some(40.0),
         }))
         .build()?;
-    let mut pool =
-        ElasticPool::instantiate(explicit1, Arc::new(|| Box::new(Cache)), deps(), None)?;
+    let mut pool = ElasticPool::instantiate(explicit1, Arc::new(|| Box::new(Cache)), deps(), None)?;
     exercise(&pool, "CacheExplicit1")?;
     pool.shutdown();
 
@@ -143,8 +143,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max_pool_size(50)
         .policy(ScalingPolicy::FineGrained)
         .build()?;
-    let mut pool =
-        ElasticPool::instantiate(explicit2, Arc::new(|| Box::new(Cache)), deps(), None)?;
+    let mut pool = ElasticPool::instantiate(explicit2, Arc::new(|| Box::new(Cache)), deps(), None)?;
     exercise(&pool, "CacheExplicit2")?;
     pool.shutdown();
 

@@ -14,11 +14,11 @@ use elasticrmi::{
     encode_result, ClientLb, ElasticPool, ElasticService, PoolConfig, PoolDeps, RemoteError,
     ScalingPolicy, ServiceContext,
 };
-use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::TraceHandle;
 use erm_sim::{SimDuration, SystemClock};
 use erm_transport::InProcNetwork;
-use parking_lot::Mutex;
 
 /// Each call costs ~3 ms of "CPU".
 struct Grinder;
@@ -41,18 +41,19 @@ impl ElasticService for Grinder {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deps = PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             nodes: 16,
             slices_per_node: 1,
             // A touch of provisioning latency so joins are visible.
             provisioning: LatencyModel::Fixed(SimDuration::from_millis(300)),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: Arc::new(InProcNetwork::new()),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     };
-    let cluster = Arc::clone(&deps.cluster);
+    let cluster = deps.cluster.clone();
 
     let config = PoolConfig::builder("Grinder")
         .min_pool_size(2)
@@ -82,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let Ok(mut stub) = pool.stub(ClientLb::Random { seed: c }) else {
                 return;
             };
-            stub.set_reply_timeout(std::time::Duration::from_secs(2));
+            stub.set_reply_timeout(erm_sim::SimDuration::from_secs(2));
             while !stop.load(Ordering::Relaxed) {
                 if stub.invoke::<(), u64>("grind", &()).is_ok() {
                     completed.fetch_add(1, Ordering::Relaxed);
@@ -91,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }));
     }
 
-    println!("{:>4} {:>6} {:>9} {:>12} {:>12}", "sec", "pool", "slices", "done", "phase");
+    println!(
+        "{:>4} {:>6} {:>9} {:>12} {:>12}",
+        "sec", "pool", "slices", "done", "phase"
+    );
     let mut last_done = 0;
     for sec in 0..18 {
         std::thread::sleep(std::time::Duration::from_secs(1));
@@ -103,7 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:>4} {:>6} {:>9} {:>12} {:>12}",
             sec,
             pool.size(),
-            cluster.lock().slices_in_use(),
+            cluster.slices_in_use(),
             done - last_done,
             if sec < 9 { "ramping load" } else { "idle" },
         );

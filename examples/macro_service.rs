@@ -7,11 +7,11 @@
 use std::sync::Arc;
 
 use elasticrmi::{elastic_class, ClientLb, ElasticPool, PoolConfig, PoolDeps, RemoteError};
-use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::TraceHandle;
 use erm_sim::SystemClock;
 use erm_transport::InProcNetwork;
-use parking_lot::Mutex;
 
 elastic_class! {
     /// A shared leaderboard: scores live in the pool's external store, so
@@ -39,13 +39,14 @@ elastic_class! {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deps = PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             provisioning: LatencyModel::instant(),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: Arc::new(InProcNetwork::new()),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     };
     let config = PoolConfig::builder("Leaderboard")
         .min_pool_size(3)

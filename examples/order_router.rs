@@ -8,22 +8,24 @@ use std::sync::Arc;
 
 use elasticrmi::{ClientLb, ElasticPool, PoolConfig, PoolDeps, ScalingPolicy};
 use erm_apps::marketcetera::{Order, OrderRouter, RouteAck, Side};
-use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::TraceHandle;
 use erm_sim::SystemClock;
 use erm_transport::InProcNetwork;
 use parking_lot::Mutex;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deps = PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             nodes: 32,
             provisioning: LatencyModel::instant(),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: Arc::new(InProcNetwork::new()),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     };
 
     let config = PoolConfig::builder(OrderRouter::CLASS)
@@ -76,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Every order is persisted on two nodes; check one via order_status.
     let mut stub = pool.lock().stub(ClientLb::RoundRobin)?;
     let status: Option<Order> = stub.invoke("order_status", &1_007u64)?;
-    println!("order 1007 status: {:?}", status.map(|o| (o.symbol, o.quantity)));
+    println!(
+        "order 1007 status: {:?}",
+        status.map(|o| (o.symbol, o.quantity))
+    );
     let total: u64 = stub.invoke("routed_count", &())?;
     println!("pool-wide routed_count = {total}");
     assert_eq!(total, 200);

@@ -13,11 +13,11 @@ use elasticrmi::{
     decode_args, encode_result, ClientLb, ElasticPool, ElasticService, PoolConfig, PoolDeps,
     RemoteError, ServiceContext,
 };
-use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::TraceHandle;
 use erm_sim::SystemClock;
 use erm_transport::InProcNetwork;
-use parking_lot::Mutex;
 
 /// The elastic class: a counter whose value is shared by every pool member.
 struct Counter;
@@ -32,10 +32,13 @@ impl ElasticService for Counter {
         match method {
             "add" => {
                 let amount: u64 = decode_args(method, args)?;
-                let total = ctx.shared::<u64>("count").update(|| 0, |n| {
-                    *n += amount;
-                    *n
-                });
+                let total = ctx.shared::<u64>("count").update(
+                    || 0,
+                    |n| {
+                        *n += amount;
+                        *n
+                    },
+                );
                 encode_result(&(total, ctx.uid()))
             }
             "read" => encode_result(&ctx.shared::<u64>("count").get().unwrap_or(0)),
@@ -48,13 +51,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The substrates ElasticRMI runs on: a Mesos-like cluster, a
     // HyperDex-like store, and a network.
     let deps = PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             provisioning: LatencyModel::instant(),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: Arc::new(InProcNetwork::new()),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     };
 
     // An elastic pool of 3..8 Counter objects, implicit elasticity.
@@ -63,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max_pool_size(8)
         .build()?;
     let mut pool = ElasticPool::instantiate(config, Arc::new(|| Box::new(Counter)), deps, None)?;
-    println!("pool up: {} members, sentinel {}", pool.size(), pool.sentinel());
+    println!(
+        "pool up: {} members, sentinel {}",
+        pool.size(),
+        pool.sentinel()
+    );
 
     // Clients talk to the whole pool through one stub.
     let mut stub = pool.stub(ClientLb::RoundRobin)?;
@@ -72,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("add({i}) -> total={total} (executed by member uid {served_by})");
     }
     let total: u64 = stub.invoke("read", &())?;
-    println!("final total = {total} (expected {})", (1..=9u64).sum::<u64>());
+    println!(
+        "final total = {total} (expected {})",
+        (1..=9u64).sum::<u64>()
+    );
     assert_eq!(total, 45);
 
     println!("stub stats: {:?}", stub.stats());

@@ -13,11 +13,11 @@ use elasticrmi::{
     decode_args, encode_result, ClientLb, ElasticPool, ElasticService, PoolConfig, PoolDeps,
     RemoteError, ServiceContext, Stub,
 };
-use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::TraceHandle;
 use erm_sim::SystemClock;
 use erm_transport::{Network, TcpHost};
-use parking_lot::Mutex;
 
 /// A tiny key-value façade service (the cache of §3, reduced).
 struct KvFacade;
@@ -54,13 +54,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("server host listening on {}", server_host.local_addr());
 
     let deps = PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             provisioning: LatencyModel::instant(),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: server_host.clone(),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     };
     let config = PoolConfig::builder("KvFacade")
         .min_pool_size(3)
@@ -87,6 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         client_mailbox,
         pool.sentinel(),
         ClientLb::RoundRobin,
+        Arc::new(SystemClock::new()),
     )?;
     println!("stub connected across TCP; members: {:?}", stub.members());
 

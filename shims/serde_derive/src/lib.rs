@@ -1,0 +1,338 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the serde *shim* traits (direct binary encode/decode,
+//! see the `serde` shim crate) for plain structs and enums. Because neither
+//! `syn` nor `quote` is available offline, the item is parsed by walking the
+//! raw [`TokenStream`] and the output is assembled as a string; this covers
+//! exactly what the workspace derives on:
+//!
+//! * unit, tuple and named-field structs,
+//! * enums with unit, tuple and struct variants,
+//! * no generic parameters and no `#[serde(...)]` attributes.
+//!
+//! The generated encoding is "fields in declaration order" with a `u32`
+//! little-endian variant index for enums — byte-identical to what real serde
+//! plus the original `erm-transport` wire serializer produced.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the serde shim's `Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the serde shim's `Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error parses"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive shim: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        }),
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("serde_derive shim: cannot derive for `{other}`")),
+    };
+    Ok(Item { name, kind })
+}
+
+/// Advances `i` past outer attributes (`#[...]`) and a visibility modifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field/variant list on commas that sit outside `<...>` nesting.
+/// (Brackets, braces and parens arrive as single `Group` tokens, so only
+/// angle brackets need explicit tracking; `->` is recognised so the `>` of
+/// a function-pointer return type is not miscounted.)
+fn top_level_segments(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_joint_dash = false;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' if !prev_joint_dash => angle_depth += 1,
+                '>' if !prev_joint_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    segments.push(std::mem::take(&mut current));
+                    prev_joint_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_joint_dash = p.as_char() == '-' && p.spacing() == Spacing::Joint;
+        } else {
+            prev_joint_dash = false;
+        }
+        current.push(tok);
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for segment in top_level_segments(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&segment, &mut i);
+        match segment.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+        match segment.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    top_level_segments(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for segment in top_level_segments(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&segment, &mut i);
+        let name = match segment.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let fields = match segment.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            None => Fields::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde_derive shim: explicit discriminant on variant `{name}` is not supported"
+                ))
+            }
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => String::new(),
+        Kind::Struct(Fields::Tuple(n)) => (0..*n)
+            .map(|i| format!("::serde::Serialize::serialize(&self.{i}, out);\n"))
+            .collect(),
+        Kind::Struct(Fields::Named(fields)) => fields
+            .iter()
+            .map(|f| format!("::serde::Serialize::serialize(&self.{f}, out);\n"))
+            .collect(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (index, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => {{ ::serde::Serialize::serialize(&{index}u32, out); }}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let pattern = binds.join(", ");
+                        let writes: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b}, out);\n"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pattern}) => {{ \
+                             ::serde::Serialize::serialize(&{index}u32, out);\n{writes} }}\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let pattern = fields.join(", ");
+                        let writes: String = fields
+                            .iter()
+                            .map(|f| format!("::serde::Serialize::serialize({f}, out);\n"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pattern} }} => {{ \
+                             ::serde::Serialize::serialize(&{index}u32, out);\n{writes} }}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    let out_param = if body.is_empty() { "_out" } else { "out" };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, {out_param}: &mut ::std::vec::Vec<u8>) {{\n{body}}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let de_field = "::serde::Deserialize::deserialize(input)?";
+    let (body, input_param) = match &item.kind {
+        Kind::Struct(Fields::Unit) => (format!("::std::result::Result::Ok({name})\n"), "_input"),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let fields: Vec<String> = (0..*n).map(|_| de_field.to_string()).collect();
+            (
+                format!("::std::result::Result::Ok({name}({}))\n", fields.join(", ")),
+                if *n == 0 { "_input" } else { "input" },
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: {de_field},\n"))
+                .collect();
+            (
+                format!("::std::result::Result::Ok({name} {{\n{inits}}})\n"),
+                if fields.is_empty() { "_input" } else { "input" },
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (index, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                let value = match &v.fields {
+                    Fields::Unit => format!("{name}::{vname}"),
+                    Fields::Tuple(n) => {
+                        let fields: Vec<String> = (0..*n).map(|_| de_field.to_string()).collect();
+                        format!("{name}::{vname}({})", fields.join(", "))
+                    }
+                    Fields::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| format!("{f}: {de_field},\n"))
+                            .collect();
+                        format!("{name}::{vname} {{\n{inits}}}")
+                    }
+                };
+                arms.push_str(&format!(
+                    "{index}u32 => ::std::result::Result::Ok({value}),\n"
+                ));
+            }
+            (
+                format!(
+                    "match <u32 as ::serde::Deserialize>::deserialize(input)? {{\n\
+                     {arms}\
+                     other => ::std::result::Result::Err(::serde::Error::invalid(\
+                         ::std::format!(\"variant index {{other}} for {name}\"))),\n\
+                     }}\n"
+                ),
+                "input",
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize({input_param}: &mut &'de [u8]) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}}}\n\
+         }}\n"
+    )
+}

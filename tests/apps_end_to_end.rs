@@ -25,7 +25,11 @@ fn app_pool(class: &str, factory: elasticrmi::ServiceFactory, min: u32) -> Elast
 
 #[test]
 fn marketcetera_routes_and_persists_through_pool() {
-    let mut pool = app_pool(OrderRouter::CLASS, Arc::new(|| Box::new(OrderRouter::new())), 2);
+    let mut pool = app_pool(
+        OrderRouter::CLASS,
+        Arc::new(|| Box::new(OrderRouter::new())),
+        2,
+    );
     let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
     let mut venues = std::collections::HashSet::new();
     for i in 0..40u64 {
@@ -57,7 +61,9 @@ fn hedwig_delivers_once_across_hubs() {
     let mut publisher = pool.stub(ClientLb::RoundRobin).unwrap();
     let mut subscriber = pool.stub(ClientLb::Random { seed: 5 }).unwrap();
 
-    let _: bool = subscriber.invoke("subscribe", &("alerts", "ops-team")).unwrap();
+    let _: bool = subscriber
+        .invoke("subscribe", &("alerts", "ops-team"))
+        .unwrap();
     for i in 0..10u8 {
         let _: (u64, u32) = publisher.invoke("publish", &("alerts", vec![i])).unwrap();
     }
@@ -84,11 +90,14 @@ fn paxos_agrees_across_concurrent_pool_clients() {
         let pool = Arc::clone(&pool);
         clients.push(std::thread::spawn(move || {
             let mut stub = pool.lock().stub(ClientLb::Random { seed: c }).unwrap();
-            stub.set_reply_timeout(std::time::Duration::from_secs(5));
+            stub.set_reply_timeout(erm_sim::SimDuration::from_secs(5));
             let mut chosen = Vec::new();
             for instance in 0..10u64 {
                 let res: ProposeResult = stub
-                    .invoke("propose", &(instance, format!("c{c}-i{instance}").into_bytes()))
+                    .invoke(
+                        "propose",
+                        &(instance, format!("c{c}-i{instance}").into_bytes()),
+                    )
                     .unwrap();
                 chosen.push((instance, res.chosen));
             }
@@ -103,7 +112,11 @@ fn paxos_agrees_across_concurrent_pool_clients() {
             .flat_map(|o| o.iter().filter(|(i, _)| *i == instance).map(|(_, v)| v))
             .collect();
         values.dedup();
-        assert_eq!(values.len(), 1, "instance {instance} split-brained: {values:?}");
+        assert_eq!(
+            values.len(),
+            1,
+            "instance {instance} split-brained: {values:?}"
+        );
     }
     pool.lock().shutdown();
 }
@@ -124,7 +137,7 @@ fn dcs_totally_orders_updates_from_many_clients() {
         let pool = Arc::clone(&pool);
         clients.push(std::thread::spawn(move || {
             let mut stub = pool.lock().stub(ClientLb::Random { seed: c }).unwrap();
-            stub.set_reply_timeout(std::time::Duration::from_secs(5));
+            stub.set_reply_timeout(erm_sim::SimDuration::from_secs(5));
             let mut zxids = Vec::new();
             for i in 0..10 {
                 let z: u64 = stub
@@ -159,7 +172,7 @@ fn two_apps_share_one_cluster() {
     // which is the multi-tier deployment of §3.3.
     let deps_a = common::fast_deps();
     let mut deps_b = common::fast_deps();
-    deps_b.cluster = Arc::clone(&deps_a.cluster); // shared Mesos
+    deps_b.cluster = deps_a.cluster.clone(); // shared Mesos
     let pool_a = elasticrmi::ElasticPool::instantiate(
         PoolConfig::builder(OrderRouter::CLASS).build().unwrap(),
         Arc::new(|| Box::new(OrderRouter::new())),
@@ -168,13 +181,16 @@ fn two_apps_share_one_cluster() {
     )
     .unwrap();
     let pool_b = elasticrmi::ElasticPool::instantiate(
-        PoolConfig::builder(Dcs::CLASS).min_pool_size(3).build().unwrap(),
+        PoolConfig::builder(Dcs::CLASS)
+            .min_pool_size(3)
+            .build()
+            .unwrap(),
         Arc::new(|| Box::new(Dcs::new())),
         deps_b,
         None,
     )
     .unwrap();
-    let used = deps_a.cluster.lock().slices_in_use();
+    let used = deps_a.cluster.slices_in_use();
     assert_eq!(used, 5, "2 router + 3 DCS slices from one cluster");
     drop(pool_a);
     drop(pool_b);

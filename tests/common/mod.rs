@@ -1,27 +1,31 @@
 //! Shared fixtures for the integration tests: a fast in-process deployment
 //! (instant provisioning, short burst intervals) hosting any service.
 
+// Each test binary compiles this module separately and uses a subset of it.
+#![allow(dead_code)]
+
 use std::sync::Arc;
 
 use elasticrmi::{ElasticPool, PoolConfig, PoolDeps, ServiceFactory};
-use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::TraceHandle;
 use erm_sim::SystemClock;
 use erm_transport::InProcNetwork;
-use parking_lot::Mutex;
 
 /// A ready-to-use set of substrates with instant provisioning.
 pub fn fast_deps() -> PoolDeps {
     PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             nodes: 64,
             slices_per_node: 1,
             provisioning: LatencyModel::instant(),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: Arc::new(InProcNetwork::new()),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     }
 }
 

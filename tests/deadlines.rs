@@ -1,0 +1,443 @@
+//! End-to-end deadline semantics: the `InvocationContext` created in
+//! `Stub::invoke` travels through the wire, the skeleton, and every retry or
+//! redirect, and no hop ever runs past it. The virtual-clock tests pin the
+//! arithmetic exactly; the real-pool tests exercise the same paths under
+//! `InProcNetwork` fault injection (lost links, delivery latency).
+
+mod common;
+
+use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::wait_until;
+use elasticrmi::{
+    encode_result, ClientLb, ElasticPool, ElasticService, InvocationContext, MethodCallStats,
+    PoolConfig, PoolDeps, RemoteError, RmiError, RmiMessage, ScalingPolicy, ServiceContext,
+};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
+use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::{TraceEvent, TraceHandle};
+use erm_sim::{Clock, SimDuration, SimTime, SystemClock, VirtualClock};
+use erm_transport::{EndpointId, Host, InProcNetwork, Mailbox, Network};
+
+/// A hand-driven pool member: serves discovery and lets the test script
+/// each reply while capturing the request's wire-level context.
+struct ScriptedMember {
+    net: InProcNetwork,
+    endpoint: EndpointId,
+    mailbox: Mailbox,
+}
+
+impl ScriptedMember {
+    fn new(net: &InProcNetwork) -> Self {
+        let (endpoint, mailbox) = net.open();
+        ScriptedMember {
+            net: net.clone(),
+            endpoint,
+            mailbox,
+        }
+    }
+
+    /// Serves one `PoolInfoRequest` with the given membership.
+    fn serve_discovery(&self, members: &[EndpointId]) {
+        let d = self.mailbox.recv().expect("discovery request");
+        let info = RmiMessage::PoolInfo {
+            epoch: 1,
+            sentinel: self.endpoint,
+            members: members.to_vec(),
+        };
+        self.net.send(self.endpoint, d.from, info.encode()).unwrap();
+    }
+
+    /// Receives the next `Request`, returning its call id, context, and the
+    /// requesting endpoint.
+    fn recv_request(&self) -> (u64, InvocationContext, EndpointId) {
+        let d = self
+            .mailbox
+            .recv_timeout(Duration::from_secs(10))
+            .expect("request expected");
+        match RmiMessage::decode(&d.payload).unwrap() {
+            RmiMessage::Request { call, context, .. } => (call, context, d.from),
+            other => panic!("expected Request, got {other:?}"),
+        }
+    }
+
+    fn reply(&self, to: EndpointId, msg: RmiMessage) {
+        self.net.send(self.endpoint, to, msg.encode()).unwrap();
+    }
+}
+
+/// Connects a stub to scripted members over `net`, on `clock`.
+fn scripted_stub(
+    net: &InProcNetwork,
+    sentinel: &ScriptedMember,
+    members: &[EndpointId],
+    clock: Arc<VirtualClock>,
+) -> elasticrmi::Stub {
+    let (client_ep, client_mb) = net.open();
+    let net_arc: Arc<dyn Network> = Arc::new(net.clone());
+    let s_ep = sentinel.endpoint;
+    let handle = std::thread::spawn(move || {
+        elasticrmi::Stub::connect(
+            net_arc,
+            client_ep,
+            client_mb,
+            s_ep,
+            ClientLb::RoundRobin,
+            clock,
+        )
+    });
+    sentinel.serve_discovery(members);
+    handle.join().unwrap().expect("stub connects")
+}
+
+#[test]
+fn virtual_deadline_expires_exactly_at_the_budget() {
+    // Deterministic virtual-time timeout: a member that never answers, a
+    // 100 ms budget, and a clock only the test advances. The invocation
+    // must carry deadline = exactly t0 + 100 ms and expire the moment the
+    // clock reaches it — no real-time sleeps decide anything.
+    let net = InProcNetwork::new();
+    let member = ScriptedMember::new(&net);
+    let clock = Arc::new(VirtualClock::new());
+    let mut stub = scripted_stub(&net, &member, &[member.endpoint], Arc::clone(&clock));
+    stub.set_reply_timeout(SimDuration::from_millis(100));
+    stub.set_invocation_budget(SimDuration::from_millis(100));
+
+    let worker = std::thread::spawn(move || {
+        let r: Result<u32, RmiError> = stub.invoke("m", &());
+        (r, stub.stats())
+    });
+    let (_call, context, _from) = member.recv_request();
+    assert_eq!(context.deadline, SimTime::from_micros(100_000));
+    assert_eq!(context.attempt, 1);
+    assert_eq!(
+        context.remaining(clock.now()),
+        SimDuration::from_millis(100),
+        "full budget remains before any virtual time passes"
+    );
+    // One microsecond short of the deadline nothing may expire; reaching it
+    // must end the invocation.
+    clock.advance_to(SimTime::from_micros(100_000));
+    let (result, stats) = worker.join().unwrap();
+    match result {
+        Err(RmiError::DeadlineExceeded { attempts }) => assert_eq!(attempts, 1),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(stats.expired, 1);
+    assert_eq!(
+        stats.invocations, 0,
+        "an expired invocation never completes"
+    );
+}
+
+#[test]
+fn redirect_preserves_remaining_budget_and_traces_the_lifecycle() {
+    // A redirected attempt inherits (never extends) the deadline: the first
+    // member echoes an earlier deadline with its `Redirected`, and the
+    // follow-up request on the second member must carry that clamped value
+    // with the same invocation id. The shared sink captures the whole
+    // lifecycle: attempt -> redirect -> second attempt -> completion.
+    let net = InProcNetwork::new();
+    let m1 = ScriptedMember::new(&net);
+    let m2 = ScriptedMember::new(&net);
+    let clock = Arc::new(VirtualClock::new());
+    let mut stub = scripted_stub(&net, &m1, &[m1.endpoint], Arc::clone(&clock));
+    stub.set_invocation_budget(SimDuration::from_millis(100));
+    let (trace, sink) = TraceHandle::buffered(64);
+    stub.set_trace(trace);
+
+    let worker = std::thread::spawn(move || {
+        let r: Result<u32, RmiError> = stub.invoke("m", &());
+        r
+    });
+    let (call, first, from) = m1.recv_request();
+    assert_eq!(first.deadline, SimTime::from_micros(100_000));
+    // Pretend 60 ms of the budget were already consumed elsewhere: redirect
+    // with a 40 ms deadline, as a draining skeleton echoes it.
+    m1.reply(
+        from,
+        RmiMessage::Redirected {
+            call,
+            members: vec![m2.endpoint],
+            deadline: SimTime::from_micros(40_000),
+        },
+    );
+    let (call2, second, from2) = m2.recv_request();
+    assert_eq!(second.id, first.id, "one invocation across the redirect");
+    assert_eq!(second.attempt, 2);
+    assert_eq!(
+        second.deadline,
+        SimTime::from_micros(40_000),
+        "the redirected attempt runs under the echoed (smaller) deadline"
+    );
+    m2.reply(
+        from2,
+        RmiMessage::Response {
+            call: call2,
+            outcome: Ok(erm_transport::to_bytes(&7u32).unwrap()),
+        },
+    );
+    assert_eq!(worker.join().unwrap().unwrap(), 7);
+
+    let events: Vec<TraceEvent> = sink.snapshot().into_iter().map(|r| r.event).collect();
+    let lifecycle: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::AttemptStarted { .. }
+                    | TraceEvent::AttemptRedirected { .. }
+                    | TraceEvent::InvocationCompleted { .. }
+            )
+        })
+        .collect();
+    match lifecycle.as_slice() {
+        [TraceEvent::AttemptStarted {
+            attempt: 1,
+            deadline: d1,
+            ..
+        }, TraceEvent::AttemptRedirected { remaining, .. }, TraceEvent::AttemptStarted {
+            attempt: 2,
+            deadline: d2,
+            ..
+        }, TraceEvent::InvocationCompleted {
+            attempts: 2,
+            ok: true,
+            ..
+        }] => {
+            assert_eq!(*d1, SimTime::from_micros(100_000));
+            assert_eq!(*d2, SimTime::from_micros(40_000));
+            assert_eq!(*remaining, SimDuration::from_millis(40));
+        }
+        other => panic!("unexpected lifecycle {other:?}"),
+    }
+}
+
+/// Counts how many times any method body actually ran.
+struct Counting {
+    executed: Arc<AtomicU64>,
+}
+
+impl ElasticService for Counting {
+    fn dispatch(
+        &mut self,
+        _method: &str,
+        _args: &[u8],
+        ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError> {
+        self.executed.fetch_add(1, Ordering::SeqCst);
+        encode_result(&ctx.uid())
+    }
+}
+
+fn traced_deps(net: &InProcNetwork, trace: TraceHandle) -> PoolDeps {
+    PoolDeps {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
+            nodes: 16,
+            slices_per_node: 1,
+            provisioning: LatencyModel::instant(),
+            ..ClusterConfig::default()
+        })),
+        net: Arc::new(net.clone()),
+        store: Arc::new(Store::new(StoreConfig::default())),
+        clock: Arc::new(SystemClock::new()),
+        trace,
+    }
+}
+
+#[test]
+fn skeleton_rejects_requests_that_arrive_expired() {
+    // Delivery latency larger than the whole budget: the request reaches
+    // the member only after its deadline, so the skeleton must refuse to
+    // dispatch it — the method body never runs, and the rejection shows up
+    // as a RequestExpired trace event.
+    let net = InProcNetwork::new();
+    let (trace, sink) = TraceHandle::buffered(256);
+    let deps = traced_deps(&net, trace);
+    let executed = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&executed);
+    let config = PoolConfig::builder("Counting")
+        .min_pool_size(2)
+        .max_pool_size(2)
+        .build()
+        .unwrap();
+    let mut pool = ElasticPool::instantiate(
+        config,
+        Arc::new(move || {
+            Box::new(Counting {
+                executed: Arc::clone(&counter),
+            })
+        }),
+        deps,
+        None,
+    )
+    .unwrap();
+    let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
+    stub.set_reply_timeout(SimDuration::from_millis(500));
+    stub.set_invocation_budget(SimDuration::from_millis(50));
+
+    net.set_delivery_latency(Duration::from_millis(80));
+    let err = stub.invoke::<(), u64>("count", &()).unwrap_err();
+    assert!(
+        matches!(err, RmiError::DeadlineExceeded { .. }),
+        "got {err:?}"
+    );
+    // The skeleton sees the request ~80 ms in, 30 ms past its deadline.
+    assert!(
+        wait_until(5, || sink
+            .snapshot()
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::RequestExpired { .. }))),
+        "the skeleton must record the expired request"
+    );
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        0,
+        "an expired request must never be dispatched"
+    );
+    net.set_delivery_latency(Duration::ZERO);
+    pool.shutdown();
+}
+
+#[test]
+fn hundred_ms_deadline_bounds_retries_under_lost_replies() {
+    // Fault injection on the real pool path: every reply is lost (latency
+    // far beyond any attempt timeout), so the stub retries until the 100 ms
+    // budget is gone and must then give up — it may not keep retrying, and
+    // it may not return success after the deadline.
+    let net = InProcNetwork::new();
+    let deps = traced_deps(&net, TraceHandle::disabled());
+    let clock = Arc::clone(&deps.clock);
+    let executed = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&executed);
+    let config = PoolConfig::builder("Counting")
+        .min_pool_size(2)
+        .max_pool_size(2)
+        .build()
+        .unwrap();
+    let mut pool = ElasticPool::instantiate(
+        config,
+        Arc::new(move || {
+            Box::new(Counting {
+                executed: Arc::clone(&counter),
+            })
+        }),
+        deps,
+        None,
+    )
+    .unwrap();
+    let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
+    stub.set_reply_timeout(SimDuration::from_millis(30));
+    stub.set_invocation_budget(SimDuration::from_millis(100));
+
+    net.set_delivery_latency(Duration::from_secs(5));
+    let t0 = clock.now();
+    let err = stub.invoke::<(), u64>("count", &()).unwrap_err();
+    let elapsed = clock.now().saturating_since(t0);
+    let stats = stub.stats();
+    net.set_delivery_latency(Duration::ZERO);
+
+    match err {
+        RmiError::DeadlineExceeded { attempts } => assert!(attempts >= 2, "got {attempts}"),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert!(stats.retries >= 1, "the stub retried before expiring");
+    assert_eq!(stats.expired, 1);
+    assert!(
+        elapsed >= SimDuration::from_millis(100),
+        "cannot expire before the budget: {elapsed:?}"
+    );
+    assert!(
+        elapsed < SimDuration::from_millis(2_000),
+        "expiry must track the 100 ms deadline, not the 5 s network: {elapsed:?}"
+    );
+    pool.shutdown();
+}
+
+/// Votes for growth so the runtime emits scaling trace events.
+struct Voting {
+    vote: Arc<AtomicI32>,
+}
+
+impl ElasticService for Voting {
+    fn dispatch(
+        &mut self,
+        _method: &str,
+        _args: &[u8],
+        ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError> {
+        encode_result(&ctx.uid())
+    }
+
+    fn change_pool_size(&mut self, _stats: &MethodCallStats, _ctx: &mut ServiceContext) -> i32 {
+        self.vote.load(Ordering::SeqCst)
+    }
+}
+
+#[test]
+fn trace_captures_invocations_and_scaling_decisions() {
+    // One sink, wired through PoolDeps, sees both planes: the data plane
+    // (attempt -> completion of a stub invocation) and the control plane
+    // (members joining at instantiation, then a grow decision).
+    let net = InProcNetwork::new();
+    let (trace, sink) = TraceHandle::buffered(1024);
+    let deps = traced_deps(&net, trace);
+    let vote = Arc::new(AtomicI32::new(0));
+    let fv = Arc::clone(&vote);
+    let config = PoolConfig::builder("Voting")
+        .min_pool_size(2)
+        .max_pool_size(4)
+        .policy(ScalingPolicy::FineGrained)
+        .burst_interval(SimDuration::from_millis(100))
+        .build()
+        .unwrap();
+    let mut pool = ElasticPool::instantiate(
+        config,
+        Arc::new(move || {
+            Box::new(Voting {
+                vote: Arc::clone(&fv),
+            })
+        }),
+        deps,
+        None,
+    )
+    .unwrap();
+    // pool.stub() wires the pool's TraceHandle into the stub.
+    let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
+    let _: u64 = stub.invoke("ping", &()).unwrap();
+
+    vote.store(2, Ordering::SeqCst);
+    assert!(wait_until(10, || pool.size() == 4), "pool must grow");
+    vote.store(0, Ordering::SeqCst);
+
+    let events: Vec<TraceEvent> = sink.snapshot().into_iter().map(|r| r.event).collect();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::AttemptStarted { attempt: 1, .. })),
+        "missing AttemptStarted: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::InvocationCompleted { ok: true, .. })),
+        "missing InvocationCompleted: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::MemberJoined { .. }))
+            .count()
+            >= 4,
+        "2 initial + 2 grown members must be traced: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ScaleDecision { delta, .. } if *delta > 0)),
+        "missing grow ScaleDecision: {events:?}"
+    );
+    pool.shutdown();
+}

@@ -30,11 +30,8 @@ fn figure_rendering_is_deterministic() {
 fn paper_shape_holds_across_seeds() {
     // The qualitative result must not hinge on one lucky seed.
     for seed in [1u64, 99, 2026] {
-        let mut ermi_cfg = ExperimentConfig::paper(
-            AppKind::Hedwig,
-            PatternKind::Abrupt,
-            Deployment::ElasticRmi,
-        );
+        let mut ermi_cfg =
+            ExperimentConfig::paper(AppKind::Hedwig, PatternKind::Abrupt, Deployment::ElasticRmi);
         ermi_cfg.seed = seed;
         let mut cw_cfg = ermi_cfg.clone();
         cw_cfg.deployment = Deployment::CloudWatch;
@@ -112,8 +109,16 @@ fn provisioning_latency_grows_with_workload() {
     let series = r.provisioning.series();
     assert!(series.len() >= 4, "need several provisioning events");
     let mid = erm_sim::SimTime::from_minutes(150);
-    let early: Vec<f64> = series.iter().filter(|&(t, _)| t < mid).map(|(_, v)| v).collect();
-    let late: Vec<f64> = series.iter().filter(|&(t, _)| t >= mid).map(|(_, v)| v).collect();
+    let early: Vec<f64> = series
+        .iter()
+        .filter(|&(t, _)| t < mid)
+        .map(|(_, v)| v)
+        .collect();
+    let late: Vec<f64> = series
+        .iter()
+        .filter(|&(t, _)| t >= mid)
+        .map(|(_, v)| v)
+        .collect();
     if !early.is_empty() && !late.is_empty() {
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(
@@ -184,7 +189,10 @@ fn master_outage_costs_agility() {
         .map(|&(_, v)| v)
         .sum::<f64>()
         / 5.0;
-    assert!(tail < 3.0, "post-recovery agility should settle, tail {tail:.2}");
+    assert!(
+        tail < 3.0,
+        "post-recovery agility should settle, tail {tail:.2}"
+    );
 }
 
 #[test]

@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use common::{pool_with, wait_until};
 use elasticrmi::{
-    decode_args, encode_result, ClientLb, ElasticService, MethodCallStats, PoolConfig,
-    RemoteError, RmiError, ScalingPolicy, ServiceContext,
+    decode_args, encode_result, ClientLb, ElasticService, MethodCallStats, PoolConfig, RemoteError,
+    RmiError, ScalingPolicy, ServiceContext,
 };
 use erm_sim::SimDuration;
 
@@ -46,7 +46,14 @@ impl ElasticService for Fragile {
     }
 }
 
-fn fragile_pool(min: u32, max: u32) -> (elasticrmi::ElasticPool, elasticrmi::PoolDeps, Arc<AtomicI32>) {
+fn fragile_pool(
+    min: u32,
+    max: u32,
+) -> (
+    elasticrmi::ElasticPool,
+    elasticrmi::PoolDeps,
+    Arc<AtomicI32>,
+) {
     let vote = Arc::new(AtomicI32::new(0));
     let fv = Arc::clone(&vote);
     let config = PoolConfig::builder("Fragile")
@@ -58,7 +65,11 @@ fn fragile_pool(min: u32, max: u32) -> (elasticrmi::ElasticPool, elasticrmi::Poo
         .unwrap();
     let (pool, deps) = pool_with(
         config,
-        Arc::new(move || Box::new(Fragile { vote: Arc::clone(&fv) })),
+        Arc::new(move || {
+            Box::new(Fragile {
+                vote: Arc::clone(&fv),
+            })
+        }),
     );
     (pool, deps, vote)
 }
@@ -78,12 +89,13 @@ fn sentinel_crash_triggers_reelection() {
     let (mut pool, _deps, _vote) = fragile_pool(3, 6);
     let old_sentinel = pool.sentinel();
     let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
-    stub.set_reply_timeout(std::time::Duration::from_millis(300));
+    stub.set_reply_timeout(erm_sim::SimDuration::from_millis(300));
 
     // uid 0 is the lowest uid, hence the sentinel.
     crash_member(&mut stub, 3, 0);
     assert!(
-        wait_until(10, || pool.stats().crashed == 1 && pool.sentinel() != old_sentinel),
+        wait_until(10, || pool.stats().crashed == 1
+            && pool.sentinel() != old_sentinel),
         "sentinel should change after the crash (size {}, sentinel {:?})",
         pool.size(),
         pool.sentinel()
@@ -106,7 +118,7 @@ fn non_sentinel_crash_needs_no_election() {
     let (mut pool, _deps, _vote) = fragile_pool(3, 6);
     let sentinel = pool.sentinel();
     let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
-    stub.set_reply_timeout(std::time::Duration::from_millis(300));
+    stub.set_reply_timeout(erm_sim::SimDuration::from_millis(300));
     crash_member(&mut stub, 3, 2); // highest uid: not the sentinel
     assert!(wait_until(10, || pool.stats().crashed == 1));
     assert_eq!(pool.sentinel(), sentinel, "sentinel unchanged");
@@ -118,7 +130,7 @@ fn non_sentinel_crash_needs_no_election() {
 fn crashed_capacity_is_regrown_by_scaling() {
     let (mut pool, _deps, _vote) = fragile_pool(3, 6);
     let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
-    stub.set_reply_timeout(std::time::Duration::from_millis(300));
+    stub.set_reply_timeout(erm_sim::SimDuration::from_millis(300));
     crash_member(&mut stub, 3, 1);
     assert!(wait_until(10, || pool.stats().crashed == 1));
     // The elasticity mechanism (min-size clamp at the next burst), not a
@@ -145,7 +157,7 @@ fn whole_pool_failure_propagates_to_client() {
     // §4.3/§4.4: ElasticRMI does not hide total failures.
     let (mut pool, deps, _vote) = fragile_pool(2, 4);
     let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
-    stub.set_reply_timeout(std::time::Duration::from_millis(100));
+    stub.set_reply_timeout(erm_sim::SimDuration::from_millis(100));
     // Take the whole pool's endpoints off the network.
     let net = deps.net;
     for ep in pool.members() {
@@ -167,7 +179,6 @@ fn master_outage_pauses_scaling_but_not_service() {
     let (mut pool, deps, vote) = fragile_pool(2, 8);
     // Fail the master "forever" (far future on the system clock).
     deps.cluster
-        .lock()
         .fail_master_until(erm_sim::SimTime::from_secs(1_000_000));
     vote.store(3, Ordering::SeqCst);
     std::thread::sleep(std::time::Duration::from_millis(500));
@@ -186,7 +197,7 @@ fn stub_failover_is_transparent_during_member_removal() {
     vote.store(4, Ordering::SeqCst);
     assert!(wait_until(10, || pool.size() == 8));
     let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
-    stub.set_reply_timeout(std::time::Duration::from_millis(300));
+    stub.set_reply_timeout(erm_sim::SimDuration::from_millis(300));
     assert_eq!(stub.members().len(), 8);
     // Shrink hard while the stub holds the 8-member view.
     vote.store(-4, Ordering::SeqCst);
@@ -206,7 +217,7 @@ fn node_failure_kills_members_and_pool_recovers() {
     let (mut pool, deps, _vote) = fragile_pool(4, 8);
     assert_eq!(pool.size(), 4);
     // With 64 nodes x 1 slice in the fixture, members sit on nodes 0..=3.
-    deps.cluster.lock().fail_node(erm_cluster::NodeId(0));
+    deps.cluster.fail_node(erm_cluster::NodeId(0));
     assert!(
         wait_until(10, || pool.stats().crashed >= 1),
         "the member on the failed node must be reaped"

@@ -12,11 +12,11 @@ use elasticrmi::{
     encode_result, ClientLb, ElasticPool, ElasticService, MethodCallStats, PoolConfig, PoolError,
     RemoteError, ScalingPolicy, ServiceContext,
 };
-use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::TraceHandle;
 use erm_sim::{SimDuration, SystemClock};
 use erm_transport::InProcNetwork;
-use parking_lot::Mutex;
 
 /// A service whose fine-grained vote is dictated by the test through a
 /// shared atomic — a puppet `changePoolSize`.
@@ -128,15 +128,16 @@ fn invocations_keep_succeeding_across_scaling() {
 fn degraded_instantiation_l_less_than_k() {
     // Paper §4.2: ask for k, get l < k, run with l.
     let deps = elasticrmi::PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             nodes: 3,
             slices_per_node: 1,
             provisioning: LatencyModel::instant(),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: Arc::new(InProcNetwork::new()),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     };
     let vote = Arc::new(AtomicI32::new(0));
     let fv = Arc::clone(&vote);
@@ -147,7 +148,11 @@ fn degraded_instantiation_l_less_than_k() {
         .unwrap();
     let mut pool = ElasticPool::instantiate(
         config,
-        Arc::new(move || Box::new(Puppet { vote: Arc::clone(&fv) })),
+        Arc::new(move || {
+            Box::new(Puppet {
+                vote: Arc::clone(&fv),
+            })
+        }),
         deps,
         None,
     )
@@ -162,26 +167,30 @@ fn degraded_instantiation_l_less_than_k() {
 #[test]
 fn empty_cluster_fails_instantiation() {
     let deps = elasticrmi::PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             nodes: 1,
             slices_per_node: 1,
             provisioning: LatencyModel::instant(),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: Arc::new(InProcNetwork::new()),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     };
     // Exhaust the only slice first.
     deps.cluster
-        .lock()
         .request_slices(1, erm_sim::SimTime::ZERO)
         .unwrap();
     let config = PoolConfig::builder("Puppet").build().unwrap();
     let vote = Arc::new(AtomicI32::new(0));
     let err = ElasticPool::instantiate(
         config,
-        Arc::new(move || Box::new(Puppet { vote: Arc::clone(&vote) })),
+        Arc::new(move || {
+            Box::new(Puppet {
+                vote: Arc::clone(&vote),
+            })
+        }),
         deps,
         None,
     )
@@ -192,7 +201,7 @@ fn empty_cluster_fails_instantiation() {
 #[test]
 fn shutdown_releases_every_slice() {
     let deps = fast_deps();
-    let total_free = deps.cluster.lock().free_slices();
+    let total_free = deps.cluster.free_slices();
     let vote = Arc::new(AtomicI32::new(0));
     let fv = Arc::clone(&vote);
     let config = PoolConfig::builder("Puppet")
@@ -202,17 +211,21 @@ fn shutdown_releases_every_slice() {
         .unwrap();
     let mut pool = ElasticPool::instantiate(
         config,
-        Arc::new(move || Box::new(Puppet { vote: Arc::clone(&fv) })),
+        Arc::new(move || {
+            Box::new(Puppet {
+                vote: Arc::clone(&fv),
+            })
+        }),
         deps.clone(),
         None,
     )
     .unwrap();
-    assert!(wait_until(5, || deps.cluster.lock().free_slices() == total_free - 4));
+    assert!(wait_until(5, || deps.cluster.free_slices() == total_free - 4));
     pool.shutdown();
     assert!(
-        wait_until(5, || deps.cluster.lock().free_slices() == total_free),
+        wait_until(5, || deps.cluster.free_slices() == total_free),
         "slices must return to the cluster on shutdown ({} of {total_free} free)",
-        deps.cluster.lock().free_slices()
+        deps.cluster.free_slices()
     );
 }
 
@@ -224,8 +237,16 @@ fn slices_are_reusable_by_a_second_pool() {
         let vote = Arc::new(AtomicI32::new(0));
         let fv = Arc::clone(&vote);
         ElasticPool::instantiate(
-            PoolConfig::builder("Puppet").min_pool_size(4).max_pool_size(4).build().unwrap(),
-            Arc::new(move || Box::new(Puppet { vote: Arc::clone(&fv) })),
+            PoolConfig::builder("Puppet")
+                .min_pool_size(4)
+                .max_pool_size(4)
+                .build()
+                .unwrap(),
+            Arc::new(move || {
+                Box::new(Puppet {
+                    vote: Arc::clone(&fv),
+                })
+            }),
             deps.clone(),
             None,
         )
@@ -258,9 +279,8 @@ fn app_level_decider_dictates_pool_size() {
     use std::sync::atomic::AtomicU32 as TargetCell;
     let target = Arc::new(TargetCell::new(2));
     let decider_target = Arc::clone(&target);
-    let decider = move |_sample: &elasticrmi::PoolSample| -> u32 {
-        decider_target.load(Ordering::SeqCst)
-    };
+    let decider =
+        move |_sample: &elasticrmi::PoolSample| -> u32 { decider_target.load(Ordering::SeqCst) };
     let vote = Arc::new(AtomicI32::new(0));
     let fv = Arc::clone(&vote);
     let config = PoolConfig::builder("Puppet")
@@ -273,16 +293,28 @@ fn app_level_decider_dictates_pool_size() {
     let deps = fast_deps();
     let mut pool = ElasticPool::instantiate(
         config,
-        Arc::new(move || Box::new(Puppet { vote: Arc::clone(&fv) })),
+        Arc::new(move || {
+            Box::new(Puppet {
+                vote: Arc::clone(&fv),
+            })
+        }),
         deps,
         Some(Box::new(decider)),
     )
     .unwrap();
     assert_eq!(pool.size(), 2);
     target.store(6, Ordering::SeqCst);
-    assert!(wait_until(10, || pool.size() == 6), "decider target 6, size {}", pool.size());
+    assert!(
+        wait_until(10, || pool.size() == 6),
+        "decider target 6, size {}",
+        pool.size()
+    );
     target.store(3, Ordering::SeqCst);
-    assert!(wait_until(15, || pool.size() == 3), "decider target 3, size {}", pool.size());
+    assert!(
+        wait_until(15, || pool.size() == 3),
+        "decider target 3, size {}",
+        pool.size()
+    );
     pool.shutdown();
 }
 
@@ -296,7 +328,11 @@ fn app_level_without_decider_is_rejected() {
         .unwrap();
     let _ = ElasticPool::instantiate(
         config,
-        Arc::new(move || Box::new(Puppet { vote: Arc::clone(&vote) })),
+        Arc::new(move || {
+            Box::new(Puppet {
+                vote: Arc::clone(&vote),
+            })
+        }),
         fast_deps(),
         None,
     );

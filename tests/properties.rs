@@ -1,6 +1,10 @@
-//! Property-based tests of the core invariants, spanning crates:
-//! codec roundtrips, bin-packing conservation, scaling-engine bounds,
+//! Randomized tests of the core invariants, spanning crates: codec
+//! roundtrips, bin-packing conservation, scaling-engine bounds,
 //! agility-metric identities, lock exclusivity, and workload sanity.
+//!
+//! Formerly proptest properties; now seeded deterministic sweeps (the
+//! offline build environment cannot fetch proptest), preserving the same
+//! invariants over a few hundred random cases each.
 
 mod common;
 
@@ -13,7 +17,8 @@ use erm_metrics::AgilityMeter;
 use erm_sim::{SimDuration, SimTime};
 use erm_transport::EndpointId;
 use erm_workloads::{PatternKind, WorkloadBuilder};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 struct Nested {
@@ -24,83 +29,111 @@ struct Nested {
     map: HashMap<String, u16>,
 }
 
-fn nested_strategy() -> impl Strategy<Value = Nested> {
-    (
-        any::<u64>(),
-        ".{0,32}",
-        proptest::collection::vec(any::<i32>(), 0..16),
-        proptest::option::of((any::<bool>(), any::<char>())),
-        proptest::collection::hash_map(".{0,8}", any::<u16>(), 0..8),
-    )
-        .prop_map(|(id, name, values, tag, map)| Nested {
-            id,
-            name,
-            values,
-            tag,
-            map,
-        })
+fn rand_char(rng: &mut StdRng) -> char {
+    loop {
+        if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10FFFF)) {
+            return c;
+        }
+    }
 }
 
-proptest! {
-    /// The wire codec is lossless for arbitrary nested data.
-    #[test]
-    fn codec_roundtrips_arbitrary_structs(value in nested_strategy()) {
+fn rand_string(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0usize..=max_len);
+    (0..len).map(|_| rand_char(rng)).collect()
+}
+
+fn rand_nested(rng: &mut StdRng) -> Nested {
+    let values: Vec<i32> = (0..rng.gen_range(0usize..16)).map(|_| rng.gen()).collect();
+    let tag = if rng.gen() {
+        Some((rng.gen::<bool>(), rand_char(rng)))
+    } else {
+        None
+    };
+    let map: HashMap<String, u16> = (0..rng.gen_range(0usize..8))
+        .map(|_| (rand_string(rng, 8), rng.gen()))
+        .collect();
+    Nested {
+        id: rng.gen(),
+        name: rand_string(rng, 32),
+        values,
+        tag,
+        map,
+    }
+}
+
+/// The wire codec is lossless for arbitrary nested data.
+#[test]
+fn codec_roundtrips_arbitrary_structs() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC);
+    for _ in 0..200 {
+        let value = rand_nested(&mut rng);
         let bytes = erm_transport::to_bytes(&value).unwrap();
         let back: Nested = erm_transport::from_bytes(&bytes).unwrap();
-        prop_assert_eq!(back, value);
+        assert_eq!(back, value);
     }
+}
 
-    /// Decoding never panics on arbitrary garbage — it returns errors.
-    #[test]
-    fn codec_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Decoding never panics on arbitrary garbage — it returns errors.
+#[test]
+fn codec_decode_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x6A4BA6E);
+    for _ in 0..300 {
+        let len = rng.gen_range(0usize..256);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
         let _ = erm_transport::from_bytes::<Nested>(&bytes);
         let _ = erm_transport::from_bytes::<Vec<String>>(&bytes);
         let _ = elasticrmi::RmiMessage::decode(&bytes);
     }
+}
 
-    /// Bin packing conserves work, never overloads a receiver, and never
-    /// moves work from a member at or under capacity.
-    #[test]
-    fn bin_packing_invariants(
-        pendings in proptest::collection::vec(0u32..60, 2..24),
-        capacity in 1u32..40,
-    ) {
-        let loads: Vec<MemberLoad> = pendings
-            .iter()
-            .enumerate()
-            .map(|(i, &pending)| MemberLoad { endpoint: EndpointId(i as u64), pending })
+/// Bin packing conserves work, never overloads a receiver, and never moves
+/// work from a member at or under capacity.
+#[test]
+fn bin_packing_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xB14);
+    for _ in 0..300 {
+        let n = rng.gen_range(2usize..24);
+        let capacity = rng.gen_range(1u32..40);
+        let loads: Vec<MemberLoad> = (0..n)
+            .map(|i| MemberLoad {
+                endpoint: EndpointId(i as u64),
+                pending: rng.gen_range(0u32..60),
+            })
             .collect();
         let plan = plan_redirects(&loads, capacity);
         let after = apply_plan(&loads, &plan);
         // Conservation.
         let before_total: u64 = loads.iter().map(|m| u64::from(m.pending)).sum();
         let after_total: u64 = after.iter().map(|m| u64::from(m.pending)).sum();
-        prop_assert_eq!(before_total, after_total);
+        assert_eq!(before_total, after_total);
         for (orig, new) in loads.iter().zip(&after) {
             if orig.pending <= capacity {
                 // Underloaded members only ever gain, and never past capacity.
-                prop_assert!(new.pending >= orig.pending);
-                prop_assert!(new.pending <= capacity.max(orig.pending));
+                assert!(new.pending >= orig.pending);
+                assert!(new.pending <= capacity.max(orig.pending));
             } else {
                 // Overloaded members only ever shed, and never below capacity.
-                prop_assert!(new.pending <= orig.pending);
-                prop_assert!(new.pending >= capacity);
+                assert!(new.pending <= orig.pending);
+                assert!(new.pending >= capacity);
             }
         }
     }
+}
 
-    /// Whatever the sample says, the engine never drives the pool outside
-    /// its configured bounds.
-    #[test]
-    fn scaling_engine_respects_bounds(
-        pool_size in 0u32..100,
-        cpu in 0.0f32..100.0,
-        ram in 0.0f32..100.0,
-        votes in proptest::collection::vec(-8i32..8, 0..16),
-        min in 2u32..10,
-        span in 0u32..40,
-    ) {
-        let max = min + span;
+/// Whatever the sample says, the engine never drives the pool outside its
+/// configured bounds.
+#[test]
+fn scaling_engine_respects_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x5CA1E);
+    for _ in 0..200 {
+        let pool_size = rng.gen_range(0u32..100);
+        let cpu = rng.gen_range(0.0f32..100.0);
+        let ram = rng.gen_range(0.0f32..100.0);
+        let votes: Vec<i32> = (0..rng.gen_range(0usize..16))
+            .map(|_| rng.gen_range(-8i32..8))
+            .collect();
+        let min = rng.gen_range(2u32..10);
+        let max = min + rng.gen_range(0u32..40);
         for policy in [
             ScalingPolicy::Implicit,
             ScalingPolicy::FineGrained,
@@ -121,7 +154,7 @@ proptest! {
                 desired_size: Some(pool_size / 2),
             };
             let target = i64::from(pool_size) + engine.decide(&sample).delta();
-            prop_assert!(
+            assert!(
                 (i64::from(min)..=i64::from(max)).contains(&target)
                     // From outside the bounds the engine moves toward them,
                     // never further away.
@@ -131,39 +164,57 @@ proptest! {
             );
         }
     }
+}
 
-    /// Agility is non-negative and equals mean excess + mean shortage.
-    #[test]
-    fn agility_identity(
-        samples in proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0), 1..200),
-    ) {
-        let mut meter = AgilityMeter::new(
-            SimDuration::from_minutes(1),
-            SimDuration::from_minutes(10),
-        );
+/// Agility is non-negative and equals mean excess + mean shortage.
+#[test]
+fn agility_identity() {
+    let mut rng = StdRng::seed_from_u64(0xA611);
+    for case in 0..100 {
+        let n = rng.gen_range(1usize..200);
+        // Every eighth case is perfectly provisioned (req == cap).
+        let perfect = case % 8 == 0;
+        let samples: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                let req = rng.gen_range(0.0f64..50.0);
+                let cap = if perfect {
+                    req
+                } else {
+                    rng.gen_range(0.0f64..50.0)
+                };
+                (req, cap)
+            })
+            .collect();
+        let mut meter =
+            AgilityMeter::new(SimDuration::from_minutes(1), SimDuration::from_minutes(10));
         for (i, &(req, cap)) in samples.iter().enumerate() {
             meter.record(SimTime::from_minutes(i as u64), req, cap);
         }
         let report = meter.finish();
-        prop_assert!(report.mean_agility() >= 0.0);
+        assert!(report.mean_agility() >= 0.0);
         let identity = report.mean_excess() + report.mean_shortage();
-        prop_assert!((report.mean_agility() - identity).abs() < 1e-9);
+        assert!((report.mean_agility() - identity).abs() < 1e-9);
         // Perfect provisioning iff agility is zero.
-        let perfect = samples.iter().all(|&(req, cap)| req == cap);
         if perfect {
-            prop_assert_eq!(report.mean_agility(), 0.0);
+            assert_eq!(report.mean_agility(), 0.0);
         }
     }
+}
 
-    /// At most one owner ever holds a lock, whatever the operation order.
-    #[test]
-    fn lock_exclusivity(ops in proptest::collection::vec((0u64..4, 0u64..3, 0u64..100), 1..64)) {
+/// At most one owner ever holds a lock, whatever the operation order.
+#[test]
+fn lock_exclusivity() {
+    let mut rng = StdRng::seed_from_u64(0x10CC);
+    for _ in 0..100 {
         let store = Store::new(StoreConfig::default());
         let ttl = SimDuration::from_secs(10);
         let mut holder: Option<(u64, u64)> = None; // (owner, acquired_at)
         let mut clock = 0u64;
-        for (owner, action, dt) in ops {
-            clock += dt;
+        let ops = rng.gen_range(1usize..64);
+        for _ in 0..ops {
+            let owner = rng.gen_range(0u64..4);
+            let action = rng.gen_range(0u64..3);
+            clock += rng.gen_range(0u64..100);
             let now = SimTime::from_secs(clock);
             let expired = holder.is_some_and(|(_, at)| clock >= at + 10);
             match action {
@@ -173,14 +224,14 @@ proptest! {
                         None => true,
                         Some((h, _)) => h == owner || expired,
                     };
-                    prop_assert_eq!(got, expect, "owner {} at t={}", owner, clock);
+                    assert_eq!(got, expect, "owner {owner} at t={clock}");
                     if got {
                         holder = Some((owner, clock));
                     }
                 }
                 _ => {
                     let ok = store.unlock("L", LockOwner::new(owner)).is_ok();
-                    prop_assert_eq!(ok, holder.is_some_and(|(h, _)| h == owner));
+                    assert_eq!(ok, holder.is_some_and(|(h, _)| h == owner));
                     if ok {
                         holder = None;
                     }
@@ -188,33 +239,43 @@ proptest! {
             }
         }
     }
+}
 
-    /// Workload patterns are bounded by their peak and non-negative.
-    #[test]
-    fn workload_bounds(
-        peak in 1.0f64..1e6,
-        noise in 0.0f64..0.3,
-        seed in any::<u64>(),
-        minute in 0u64..500,
-    ) {
+/// Workload patterns are bounded by their peak and non-negative.
+#[test]
+fn workload_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xF10F);
+    for _ in 0..200 {
+        let peak = rng.gen_range(1.0f64..1e6);
+        let noise = rng.gen_range(0.0f64..0.3);
+        let seed: u64 = rng.gen();
+        let minute = rng.gen_range(0u64..500);
         for kind in [PatternKind::Abrupt, PatternKind::Cyclic] {
-            let w = WorkloadBuilder::new(kind, peak).noise(noise).seed(seed).build();
+            let w = WorkloadBuilder::new(kind, peak)
+                .noise(noise)
+                .seed(seed)
+                .build();
             let r = w.noisy_rate_at(SimTime::from_minutes(minute));
-            prop_assert!(r >= 0.0);
-            prop_assert!(r <= w.peak() * (1.0 + noise) + 1e-6);
+            assert!(r >= 0.0);
+            assert!(r <= w.peak() * (1.0 + noise) + 1e-6);
         }
     }
+}
 
-    /// Store versions increase by exactly one per successful write.
-    #[test]
-    fn store_version_monotonicity(writes in proptest::collection::vec(".{0,8}", 1..50)) {
+/// Store versions increase by exactly one per successful write.
+#[test]
+fn store_version_monotonicity() {
+    let mut rng = StdRng::seed_from_u64(0x5704E);
+    for _ in 0..50 {
         let store = Store::new(StoreConfig::default());
         let mut expected: HashMap<String, u64> = HashMap::new();
-        for key in writes {
+        let n = rng.gen_range(1usize..50);
+        for _ in 0..n {
+            let key = rand_string(&mut rng, 8);
             let v = store.put(&key, vec![1]);
             let e = expected.entry(key).or_insert(0);
             *e += 1;
-            prop_assert_eq!(v, *e);
+            assert_eq!(v, *e);
         }
     }
 }

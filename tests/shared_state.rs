@@ -28,10 +28,13 @@ impl ElasticService for Account {
             // Lock-free: atomic via compare-and-put retry.
             "deposit_cas" => {
                 let amount: i64 = decode_args(method, args)?;
-                let balance = ctx.shared::<i64>("balance").update(|| 0, |b| {
-                    *b += amount;
-                    *b
-                });
+                let balance = ctx.shared::<i64>("balance").update(
+                    || 0,
+                    |b| {
+                        *b += amount;
+                        *b
+                    },
+                );
                 encode_result(&balance)
             }
             // Synchronized: plain get/set under the class lock (Fig. 6).
@@ -103,8 +106,11 @@ fn concurrent_synchronized_deposits_never_lose_money() {
     for c in 0..4u64 {
         let pool = Arc::clone(&pool);
         clients.push(std::thread::spawn(move || {
-            let mut stub = pool.lock().stub(ClientLb::Random { seed: 100 + c }).unwrap();
-            stub.set_reply_timeout(std::time::Duration::from_secs(5));
+            let mut stub = pool
+                .lock()
+                .stub(ClientLb::Random { seed: 100 + c })
+                .unwrap();
+            stub.set_reply_timeout(erm_sim::SimDuration::from_secs(5));
             for _ in 0..25 {
                 let _: i64 = stub.invoke("deposit_locked", &1i64).unwrap();
             }
@@ -141,7 +147,10 @@ fn random_lb_also_reaches_multiple_members() {
         let uid: u64 = stub.invoke("served_by", &()).unwrap();
         seen.insert(uid);
     }
-    assert!(seen.len() >= 3, "random LB should reach most members, saw {seen:?}");
+    assert!(
+        seen.len() >= 3,
+        "random LB should reach most members, saw {seen:?}"
+    );
     pool.shutdown();
 }
 
@@ -165,13 +174,9 @@ fn state_survives_pool_resize() {
         .max_pool_size(4)
         .build()
         .unwrap();
-    let mut pool2 = elasticrmi::ElasticPool::instantiate(
-        config2,
-        Arc::new(|| Box::new(Account)),
-        deps,
-        None,
-    )
-    .unwrap();
+    let mut pool2 =
+        elasticrmi::ElasticPool::instantiate(config2, Arc::new(|| Box::new(Account)), deps, None)
+            .unwrap();
     let mut stub2 = pool2.stub(ClientLb::RoundRobin).unwrap();
     let balance: i64 = stub2.invoke("balance", &()).unwrap();
     assert_eq!(balance, 77);

@@ -6,7 +6,6 @@ mod common;
 
 use std::sync::Arc;
 
-use common::pool_with;
 use elasticrmi::{
     encode_result, ClientLb, ElasticService, PoolConfig, RemoteError, ServiceContext,
 };
@@ -35,6 +34,7 @@ fn invocations_survive_injected_latency() {
         net: Arc::new(net.clone()),
         store: common::fast_deps().store,
         clock: common::fast_deps().clock,
+        trace: common::fast_deps().trace,
     };
     let config = PoolConfig::builder("Echo")
         .min_pool_size(2)
@@ -45,7 +45,7 @@ fn invocations_survive_injected_latency() {
         elasticrmi::ElasticPool::instantiate(config, Arc::new(|| Box::new(Echo)), deps, None)
             .unwrap();
     let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
-    stub.set_reply_timeout(std::time::Duration::from_secs(2));
+    stub.set_reply_timeout(erm_sim::SimDuration::from_secs(2));
 
     // 20 ms each way: a 40 ms RTT, well within the timeout.
     net.set_delivery_latency(std::time::Duration::from_millis(20));
@@ -71,6 +71,7 @@ fn timeout_turns_into_retry_not_error() {
         net: Arc::new(net.clone()),
         store: common::fast_deps().store,
         clock: common::fast_deps().clock,
+        trace: common::fast_deps().trace,
     };
     let config = PoolConfig::builder("Echo")
         .min_pool_size(2)
@@ -86,14 +87,14 @@ fn timeout_turns_into_retry_not_error() {
     // requests... cannot match the new call id, so success requires the
     // latency to drop. Verify the error path first:
     net.set_delivery_latency(std::time::Duration::from_millis(200));
-    stub.set_reply_timeout(std::time::Duration::from_millis(30));
+    stub.set_reply_timeout(erm_sim::SimDuration::from_millis(30));
     let err = stub.invoke::<(), u64>("ping", &()).unwrap_err();
     assert!(matches!(err, elasticrmi::RmiError::PoolUnreachable { .. }));
     assert!(stub.stats().retries >= 1, "timeouts must drive retries");
 
     // Network heals: the same stub recovers without reconnecting.
     net.set_delivery_latency(std::time::Duration::ZERO);
-    stub.set_reply_timeout(std::time::Duration::from_secs(2));
+    stub.set_reply_timeout(erm_sim::SimDuration::from_secs(2));
     let uid: u64 = stub.invoke("ping", &()).unwrap();
     let _ = uid;
     pool.shutdown();

@@ -9,11 +9,11 @@ use elasticrmi::{
     decode_args, encode_result, ClientLb, ElasticPool, ElasticService, PoolConfig, PoolDeps,
     RegistryClient, RegistryServer, RemoteError, ServiceContext, Stub,
 };
-use erm_cluster::{ClusterConfig, LatencyModel, ResourceManager};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::TraceHandle;
 use erm_sim::SystemClock;
 use erm_transport::{Network, TcpHost};
-use parking_lot::Mutex;
 
 struct Adder;
 impl ElasticService for Adder {
@@ -38,16 +38,21 @@ fn pool_and_registry_work_across_tcp_hosts() {
     // Server machine.
     let server_host = Arc::new(TcpHost::bind("127.0.0.1:0", 0).unwrap());
     let deps = PoolDeps {
-        cluster: Arc::new(Mutex::new(ResourceManager::new(ClusterConfig {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
             provisioning: LatencyModel::instant(),
             ..ClusterConfig::default()
-        }))),
+        })),
         net: server_host.clone(),
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
+        trace: TraceHandle::disabled(),
     };
     let mut pool = ElasticPool::instantiate(
-        PoolConfig::builder("Adder").min_pool_size(2).max_pool_size(4).build().unwrap(),
+        PoolConfig::builder("Adder")
+            .min_pool_size(2)
+            .max_pool_size(4)
+            .build()
+            .unwrap(),
         Arc::new(|| Box::new(Adder)),
         deps,
         None,
@@ -70,7 +75,10 @@ fn pool_and_registry_work_across_tcp_hosts() {
     // (A real deployment exchanges addresses in the frame; the test wires it
     // explicitly.)
     server_host.register_peer(erm_transport::EndpointId(1 << 32), client_host.local_addr());
-    server_host.register_peer(erm_transport::EndpointId((1 << 32) | 1), client_host.local_addr());
+    server_host.register_peer(
+        erm_transport::EndpointId((1 << 32) | 1),
+        client_host.local_addr(),
+    );
 
     let sentinel = lookup.lookup("adder").unwrap().expect("bound name");
     assert_eq!(sentinel, pool.sentinel());
@@ -83,8 +91,15 @@ fn pool_and_registry_work_across_tcp_hosts() {
     let (client_ep, client_mailbox) = client_host.open_endpoint();
     server_host.register_peer(client_ep, client_host.local_addr());
     let net: Arc<dyn Network> = client_host.clone();
-    let mut stub = Stub::connect(net, client_ep, client_mailbox, sentinel, ClientLb::RoundRobin)
-        .expect("stub connects over TCP");
+    let mut stub = Stub::connect(
+        net,
+        client_ep,
+        client_mailbox,
+        sentinel,
+        ClientLb::RoundRobin,
+        Arc::new(SystemClock::new()),
+    )
+    .expect("stub connects over TCP");
 
     for i in 0..20i64 {
         let sum: i64 = stub.invoke("add", &(i, 1000 - i)).unwrap();
@@ -122,6 +137,7 @@ fn registry_over_inproc_reaches_pool() {
         mailbox,
         sentinel,
         ClientLb::RoundRobin,
+        Arc::new(SystemClock::new()),
     )
     .unwrap();
     let sum: i64 = stub.invoke("add", &(40i64, 2i64)).unwrap();

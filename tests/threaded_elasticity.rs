@@ -50,7 +50,11 @@ fn implicit_policy_grows_under_sustained_load() {
     assert_eq!(pool.size(), 2);
 
     let grew = drive_until(&pool, 10, |size| size > 2);
-    assert!(grew, "implicit CPU policy should add capacity, size {}", pool.size());
+    assert!(
+        grew,
+        "implicit CPU policy should add capacity, size {}",
+        pool.size()
+    );
     pool.shutdown();
 }
 
@@ -62,7 +66,7 @@ fn drive_until(pool: &elasticrmi::ElasticPool, secs: u64, done: impl Fn(u32) -> 
     let mut clients = Vec::new();
     for c in 0..8u64 {
         let mut stub = pool.stub(ClientLb::Random { seed: c }).unwrap();
-        stub.set_reply_timeout(std::time::Duration::from_secs(2));
+        stub.set_reply_timeout(erm_sim::SimDuration::from_secs(2));
         let stop = Arc::clone(&stop);
         clients.push(std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
@@ -152,7 +156,7 @@ fn arrival_process_drives_a_real_pool() {
         .unwrap();
     let (mut pool, _deps) = pool_with(config, Arc::new(|| Box::new(SlowEcho)));
     let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
-    stub.set_reply_timeout(std::time::Duration::from_secs(2));
+    stub.set_reply_timeout(erm_sim::SimDuration::from_secs(2));
 
     let workload = Workload::paper_pattern(PatternKind::Abrupt, 40.0); // tiny peak
     let mut arrivals = ArrivalProcess::new(workload, 7);
@@ -165,6 +169,9 @@ fn arrival_process_drives_a_real_pool() {
             served += 1;
         }
     }
-    assert!(served > 0, "the pattern generated traffic and the pool served it");
+    assert!(
+        served > 0,
+        "the pattern generated traffic and the pool served it"
+    );
     pool.shutdown();
 }

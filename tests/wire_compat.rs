@@ -5,7 +5,8 @@
 //! hard-code the expected encodings so any accidental format change fails
 //! loudly instead of corrupting cross-version traffic.
 
-use elasticrmi::{RemoteError, RmiMessage};
+use elasticrmi::{InvocationContext, RemoteError, RmiMessage};
+use erm_sim::SimTime;
 use erm_transport::{to_bytes, EndpointId};
 
 #[test]
@@ -35,10 +36,7 @@ fn string_layout_is_length_prefixed_utf8() {
 
 #[test]
 fn vec_layout_is_length_prefixed_elements() {
-    assert_eq!(
-        to_bytes(&vec![1u16, 2]).unwrap(),
-        [2, 0, 0, 0, 1, 0, 2, 0]
-    );
+    assert_eq!(to_bytes(&vec![1u16, 2]).unwrap(), [2, 0, 0, 0, 1, 0, 2, 0]);
 }
 
 #[test]
@@ -49,26 +47,59 @@ fn float_layout_is_ieee754_le() {
 
 #[test]
 fn enum_variants_are_u32_indices() {
-    // RmiMessage::Ping is variant 10 of the protocol enum; its encoding is
-    // exactly the 4-byte index. Renumbering variants breaks deployed peers.
-    assert_eq!(RmiMessage::Ping.encode(), [10, 0, 0, 0]);
-    assert_eq!(RmiMessage::Pong.encode(), [11, 0, 0, 0]);
+    // RmiMessage::Ping is variant 11 of the protocol enum (format v2, which
+    // inserted Redirected); its encoding is exactly the 4-byte index.
+    // Renumbering variants breaks deployed peers.
+    assert_eq!(RmiMessage::Ping.encode(), [11, 0, 0, 0]);
+    assert_eq!(RmiMessage::Pong.encode(), [12, 0, 0, 0]);
     assert_eq!(RmiMessage::PoolInfoRequest.encode(), [3, 0, 0, 0]);
-    assert_eq!(RmiMessage::Shutdown.encode(), [8, 0, 0, 0]);
+    assert_eq!(RmiMessage::Shutdown.encode(), [9, 0, 0, 0]);
 }
 
 #[test]
 fn request_message_golden_bytes() {
+    // Format v2: Request carries the InvocationContext (id, deadline,
+    // attempt, origin) between `call` and `method`.
     let msg = RmiMessage::Request {
         call: 1,
+        context: InvocationContext {
+            id: 7,
+            deadline: SimTime::from_micros(500_000),
+            attempt: 1,
+            origin: EndpointId(9),
+        },
         method: "m".to_string(),
         args: vec![9],
     };
     let expected: Vec<u8> = [
-        vec![0, 0, 0, 0],             // variant 0: Request
-        vec![1, 0, 0, 0, 0, 0, 0, 0], // call: u64 = 1
-        vec![1, 0, 0, 0, b'm'],       // method: len 1, "m"
-        vec![1, 0, 0, 0, 9],          // args: len 1, [9]
+        vec![0, 0, 0, 0],                      // variant 0: Request
+        vec![1, 0, 0, 0, 0, 0, 0, 0],          // call: u64 = 1
+        vec![7, 0, 0, 0, 0, 0, 0, 0],          // context.id: u64 = 7
+        vec![0x20, 0xa1, 0x07, 0, 0, 0, 0, 0], // context.deadline: 500_000 µs
+        vec![1, 0, 0, 0],                      // context.attempt: u32 = 1
+        vec![9, 0, 0, 0, 0, 0, 0, 0],          // context.origin: EndpointId(9)
+        vec![1, 0, 0, 0, b'm'],                // method: len 1, "m"
+        vec![1, 0, 0, 0, 9],                   // args: len 1, [9]
+    ]
+    .concat();
+    assert_eq!(msg.encode(), expected);
+}
+
+#[test]
+fn redirected_message_golden_bytes() {
+    // Format v2: Redirected echoes the refused request's deadline so the
+    // follow-up attempt runs under the remaining budget.
+    let msg = RmiMessage::Redirected {
+        call: 3,
+        members: vec![EndpointId(5)],
+        deadline: SimTime::from_micros(256),
+    };
+    let expected: Vec<u8> = [
+        vec![2, 0, 0, 0],             // variant 2: Redirected
+        vec![3, 0, 0, 0, 0, 0, 0, 0], // call: u64 = 3
+        vec![1, 0, 0, 0],             // members: len 1
+        vec![5, 0, 0, 0, 0, 0, 0, 0], // EndpointId(5)
+        vec![0, 1, 0, 0, 0, 0, 0, 0], // deadline: 256 µs
     ]
     .concat();
     assert_eq!(msg.encode(), expected);
@@ -97,11 +128,11 @@ fn response_err_golden_bytes() {
         outcome: Err(RemoteError::new("E", "d")),
     };
     let expected: Vec<u8> = [
-        vec![1, 0, 0, 0],             // variant 1: Response
-        vec![0; 8],                   // call 0
-        vec![1, 0, 0, 0],             // Result variant 1: Err
-        vec![1, 0, 0, 0, b'E'],       // kind
-        vec![1, 0, 0, 0, b'd'],       // detail
+        vec![1, 0, 0, 0],       // variant 1: Response
+        vec![0; 8],             // call 0
+        vec![1, 0, 0, 0],       // Result variant 1: Err
+        vec![1, 0, 0, 0, b'E'], // kind
+        vec![1, 0, 0, 0, b'd'], // detail
     ]
     .concat();
     assert_eq!(msg.encode(), expected);
@@ -115,7 +146,7 @@ fn endpoint_id_is_a_bare_u64() {
 #[test]
 fn golden_decodes_roundtrip() {
     // The inverse direction: the pinned bytes decode to the original values.
-    let bytes = [10u8, 0, 0, 0];
+    let bytes = [11u8, 0, 0, 0];
     assert_eq!(RmiMessage::decode(&bytes).unwrap(), RmiMessage::Ping);
     let s: String = erm_transport::from_bytes(&[2, 0, 0, 0, b'h', b'i']).unwrap();
     assert_eq!(s, "hi");
