@@ -1,0 +1,288 @@
+//! Client-side AIMD concurrency limiting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use erm_sim::{SimDuration, SimTime};
+
+/// Tuning knobs for an [`AimdLimiter`].
+///
+/// The window is tracked in thousandths (milli-units) so the additive
+/// increase can be fractional — the classic "+1 per round trip" spread over
+/// several successes — while staying in deterministic integer arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AimdConfig {
+    /// Lower bound on the concurrency window; never backs off below this.
+    pub min_limit: u32,
+    /// Upper bound on the concurrency window; also the starting window.
+    pub max_limit: u32,
+    /// Additive increase per successful invocation, in milli-units
+    /// (1000 = +1 whole slot per success).
+    pub increase_milli: u64,
+    /// Multiplicative decrease factor per congestion signal, in
+    /// milli-units (500 = halve the window).
+    pub backoff_milli: u64,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        AimdConfig {
+            min_limit: 1,
+            max_limit: 64,
+            increase_milli: 200, // +1 slot per 5 successes
+            backoff_milli: 500,  // halve on congestion
+        }
+    }
+}
+
+/// A point-in-time view of a limiter, for metrics and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AimdSnapshot {
+    /// Current whole-slot concurrency window.
+    pub limit: u32,
+    /// Invocations currently holding a slot.
+    pub in_flight: u32,
+    /// Successful invocations observed.
+    pub successes: u64,
+    /// Congestion signals (`Overloaded` replies or deadline expiries)
+    /// observed.
+    pub congestions: u64,
+    /// Acquisition attempts refused (window full or backoff in force).
+    pub throttled: u64,
+}
+
+/// An additive-increase / multiplicative-decrease concurrency limiter.
+///
+/// The stub consults the limiter before sending: while the window is full,
+/// or while a server-supplied `retry_after` backoff is in force, new
+/// invocations are refused locally (`Throttled`) instead of being thrown at
+/// a pool that already said no. Every success widens the window additively;
+/// every congestion signal shrinks it multiplicatively and (when the server
+/// suggested a pause) blocks new acquisitions until the hint elapses.
+///
+/// All state is atomic, so one limiter can be shared (`Arc`) by every stub
+/// of a client process, giving per-process backpressure like a TCP
+/// congestion window shared across connections.
+#[derive(Debug)]
+pub struct AimdLimiter {
+    config: AimdConfig,
+    limit_milli: AtomicU64,
+    in_flight: AtomicU64,
+    blocked_until_us: AtomicU64,
+    successes: AtomicU64,
+    congestions: AtomicU64,
+    throttled: AtomicU64,
+}
+
+impl AimdLimiter {
+    /// Creates a limiter with the window fully open at `max_limit`.
+    pub fn new(config: AimdConfig) -> Self {
+        AimdLimiter {
+            limit_milli: AtomicU64::new(u64::from(config.max_limit) * 1000),
+            in_flight: AtomicU64::new(0),
+            blocked_until_us: AtomicU64::new(0),
+            successes: AtomicU64::new(0),
+            congestions: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The configuration this limiter was built with.
+    pub fn config(&self) -> AimdConfig {
+        self.config
+    }
+
+    /// Current whole-slot window.
+    pub fn current_limit(&self) -> u32 {
+        (self.limit_milli.load(Ordering::SeqCst) / 1000) as u32
+    }
+
+    /// Invocations currently holding a slot.
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight.load(Ordering::SeqCst) as u32
+    }
+
+    /// How much longer acquisitions are blocked by a server `retry_after`
+    /// hint, or zero if not blocked at `now`.
+    pub fn blocked_for(&self, now: SimTime) -> SimDuration {
+        let until = self.blocked_until_us.load(Ordering::SeqCst);
+        SimDuration::from_micros(until.saturating_sub(now.as_micros()))
+    }
+
+    /// Tries to claim a concurrency slot at `now`. Returns `false` (and
+    /// counts a throttle) when a backoff window is in force or the window
+    /// is full; the caller should fail fast with `Throttled` rather than
+    /// send. A `true` return must be paired with [`AimdLimiter::release`].
+    pub fn try_acquire(&self, now: SimTime) -> bool {
+        if !self.blocked_for(now).is_zero() {
+            self.throttled.fetch_add(1, Ordering::SeqCst);
+            return false;
+        }
+        let limit = u64::from(self.current_limit().max(1));
+        let claimed = self
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < limit).then_some(n + 1)
+            })
+            .is_ok();
+        if !claimed {
+            self.throttled.fetch_add(1, Ordering::SeqCst);
+        }
+        claimed
+    }
+
+    /// Returns a slot claimed by [`AimdLimiter::try_acquire`].
+    pub fn release(&self) {
+        let _ = self
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1));
+    }
+
+    /// Records a successful invocation: widens the window additively, up to
+    /// `max_limit`.
+    pub fn on_success(&self) {
+        self.successes.fetch_add(1, Ordering::SeqCst);
+        let cap = u64::from(self.config.max_limit) * 1000;
+        let inc = self.config.increase_milli;
+        let _ = self
+            .limit_milli
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |l| {
+                Some((l + inc).min(cap))
+            });
+    }
+
+    /// Records a congestion signal — an `Overloaded` rejection or a
+    /// deadline expiry: shrinks the window multiplicatively (never below
+    /// `min_limit`) and, when the server supplied a `retry_after` hint,
+    /// blocks new acquisitions until `now + retry_after`.
+    pub fn on_congestion(&self, now: SimTime, retry_after: Option<SimDuration>) {
+        self.congestions.fetch_add(1, Ordering::SeqCst);
+        let floor = u64::from(self.config.min_limit) * 1000;
+        let backoff = self.config.backoff_milli;
+        let _ = self
+            .limit_milli
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |l| {
+                Some((l * backoff / 1000).max(floor))
+            });
+        if let Some(pause) = retry_after {
+            let until = (now + pause).as_micros();
+            let _ = self
+                .blocked_until_us
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| {
+                    (until > b).then_some(until)
+                });
+        }
+    }
+
+    /// A consistent-enough snapshot for metrics and tests.
+    pub fn snapshot(&self) -> AimdSnapshot {
+        AimdSnapshot {
+            limit: self.current_limit(),
+            in_flight: self.in_flight(),
+            successes: self.successes.load(Ordering::SeqCst),
+            congestions: self.congestions.load(Ordering::SeqCst),
+            throttled: self.throttled.load(Ordering::SeqCst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn window_caps_concurrent_acquisitions() {
+        let l = AimdLimiter::new(AimdConfig {
+            max_limit: 2,
+            ..AimdConfig::default()
+        });
+        assert!(l.try_acquire(at(0)));
+        assert!(l.try_acquire(at(0)));
+        assert!(!l.try_acquire(at(0)), "third slot refused");
+        l.release();
+        assert!(l.try_acquire(at(0)), "released slot reusable");
+        assert_eq!(l.snapshot().throttled, 1);
+    }
+
+    #[test]
+    fn congestion_halves_and_success_reopens() {
+        let l = AimdLimiter::new(AimdConfig {
+            min_limit: 1,
+            max_limit: 16,
+            increase_milli: 1000,
+            backoff_milli: 500,
+        });
+        assert_eq!(l.current_limit(), 16);
+        l.on_congestion(at(0), None);
+        assert_eq!(l.current_limit(), 8);
+        l.on_congestion(at(0), None);
+        assert_eq!(l.current_limit(), 4);
+        for _ in 0..12 {
+            l.on_success();
+        }
+        assert_eq!(l.current_limit(), 16, "additive reopen caps at max");
+    }
+
+    #[test]
+    fn backoff_never_drops_below_min() {
+        let l = AimdLimiter::new(AimdConfig {
+            min_limit: 2,
+            max_limit: 4,
+            ..AimdConfig::default()
+        });
+        for _ in 0..10 {
+            l.on_congestion(at(0), None);
+        }
+        assert_eq!(l.current_limit(), 2);
+    }
+
+    #[test]
+    fn retry_after_blocks_until_hint_elapses() {
+        let l = AimdLimiter::new(AimdConfig::default());
+        l.on_congestion(at(10), Some(SimDuration::from_millis(25)));
+        assert!(!l.try_acquire(at(20)));
+        assert_eq!(l.blocked_for(at(20)), SimDuration::from_millis(15));
+        assert!(l.try_acquire(at(35)), "block lifts exactly at the hint");
+        // A later, longer hint extends the block; an earlier one does not
+        // shorten it.
+        l.on_congestion(at(35), Some(SimDuration::from_millis(100)));
+        l.on_congestion(at(36), Some(SimDuration::from_millis(1)));
+        assert_eq!(l.blocked_for(at(36)), SimDuration::from_millis(99));
+    }
+
+    #[test]
+    fn fractional_increase_accumulates() {
+        let l = AimdLimiter::new(AimdConfig {
+            min_limit: 1,
+            max_limit: 8,
+            increase_milli: 200,
+            backoff_milli: 500,
+        });
+        for _ in 0..3 {
+            l.on_congestion(at(0), None);
+        }
+        assert_eq!(l.current_limit(), 1);
+        for _ in 0..4 {
+            l.on_success();
+        }
+        assert_eq!(l.current_limit(), 1, "0.8 of a slot is not a slot");
+        l.on_success();
+        assert_eq!(l.current_limit(), 2, "five successes add one slot");
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let l = AimdLimiter::new(AimdConfig::default());
+        assert!(l.try_acquire(at(0)));
+        l.on_success();
+        l.on_congestion(at(0), None);
+        let s = l.snapshot();
+        assert_eq!(s.in_flight, 1);
+        assert_eq!(s.successes, 1);
+        assert_eq!(s.congestions, 1);
+    }
+}

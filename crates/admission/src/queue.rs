@@ -1,0 +1,434 @@
+//! The bounded per-skeleton run queue.
+
+use erm_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Ordering discipline of an [`AdmissionQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Discipline {
+    /// First-in first-out: arrival order, the legacy mailbox behaviour.
+    Fifo,
+    /// Earliest-deadline-first: the entry whose deadline is nearest runs
+    /// next, which maximizes the number of requests that still finish in
+    /// time when the queue holds more work than one burst interval can
+    /// absorb.
+    Edf,
+}
+
+/// Configuration of one member's admission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Maximum queued (not yet executing) requests before new arrivals are
+    /// rejected with `Overloaded`.
+    pub capacity: u32,
+    /// Run order of admitted requests.
+    pub discipline: Discipline,
+}
+
+impl AdmissionConfig {
+    /// A bounded FIFO queue.
+    pub fn fifo(capacity: u32) -> Self {
+        AdmissionConfig {
+            capacity,
+            discipline: Discipline::Fifo,
+        }
+    }
+
+    /// A bounded deadline-aware (EDF) queue.
+    pub fn edf(capacity: u32) -> Self {
+        AdmissionConfig {
+            capacity,
+            discipline: Discipline::Edf,
+        }
+    }
+}
+
+/// Why an offer was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The queue already holds `capacity` live entries.
+    QueueFull {
+        /// Depth at rejection time (== capacity).
+        depth: u32,
+    },
+    /// The request's deadline had already passed on arrival.
+    Expired {
+        /// How far past its deadline the request was.
+        late_by: SimDuration,
+    },
+}
+
+/// A rejected offer: the item handed back with the reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected<T> {
+    /// The item that was not admitted.
+    pub item: T,
+    /// Why.
+    pub reason: RejectReason,
+}
+
+/// An entry popped from the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admitted<T> {
+    /// The queued item.
+    pub item: T,
+    /// Its absolute deadline.
+    pub deadline: SimTime,
+    /// How long it waited in the queue (pop time − enqueue time).
+    pub queue_delay: SimDuration,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    seq: u64,
+    deadline: SimTime,
+    enqueued_at: SimTime,
+    item: T,
+}
+
+/// A bounded run queue with pluggable discipline and expired-entry culling.
+///
+/// The queue is a pure data structure: every operation takes `now`
+/// explicitly, so the same code is deterministic under a virtual clock and
+/// correct under a system clock.
+///
+/// # Example
+///
+/// ```
+/// use erm_admission::{AdmissionConfig, AdmissionQueue, RejectReason};
+/// use erm_sim::{SimDuration, SimTime};
+///
+/// let mut q = AdmissionQueue::new(AdmissionConfig::edf(2));
+/// let t0 = SimTime::ZERO;
+/// let dl = |ms| SimTime::ZERO + SimDuration::from_millis(ms);
+/// q.offer(t0, dl(30), "late").unwrap();
+/// q.offer(t0, dl(10), "urgent").unwrap();
+/// // Full: the third offer is rejected with the current depth.
+/// let rejected = q.offer(t0, dl(20), "extra").unwrap_err();
+/// assert_eq!(rejected.reason, RejectReason::QueueFull { depth: 2 });
+/// // EDF pops the nearest deadline first.
+/// assert_eq!(q.pop(t0).unwrap().item, "urgent");
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue<T> {
+    config: AdmissionConfig,
+    entries: Vec<Entry<T>>,
+    next_seq: u64,
+    admitted: u64,
+    rejected: u64,
+    culled: u64,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates an empty queue.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionQueue {
+            config,
+            entries: Vec::new(),
+            next_seq: 0,
+            admitted: 0,
+            rejected: 0,
+            culled: 0,
+        }
+    }
+
+    /// An effectively unbounded FIFO queue: the legacy (pre-admission)
+    /// skeleton behaviour, expressed through the same code path.
+    pub fn unbounded_fifo() -> Self {
+        AdmissionQueue::new(AdmissionConfig::fifo(u32::MAX))
+    }
+
+    /// The queue's configuration.
+    pub fn config(&self) -> AdmissionConfig {
+        self.config
+    }
+
+    /// Queued entries, expired ones included.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Queued entries whose deadline has not passed at `now` — the work
+    /// that is still worth moving or counting as pending.
+    pub fn live_len(&self, now: SimTime) -> u32 {
+        self.entries.iter().filter(|e| now < e.deadline).count() as u32
+    }
+
+    /// Lifetime (admitted, rejected, culled) counters.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (self.admitted, self.rejected, self.culled)
+    }
+
+    /// Offers an item with an absolute `deadline`. Admits it unless it is
+    /// already expired or the queue is full of live entries (expired
+    /// entries are culled before counting, so dead work never causes a
+    /// rejection — callers collect them via [`AdmissionQueue::cull`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back with a [`RejectReason`]. A `QueueFull`
+    /// rejection reports the live depth at rejection time.
+    pub fn offer(&mut self, now: SimTime, deadline: SimTime, item: T) -> Result<u32, Rejected<T>> {
+        if now >= deadline {
+            self.rejected += 1;
+            return Err(Rejected {
+                item,
+                reason: RejectReason::Expired {
+                    late_by: now.saturating_since(deadline),
+                },
+            });
+        }
+        let live = self.live_len(now);
+        if live >= self.config.capacity {
+            self.rejected += 1;
+            return Err(Rejected {
+                item,
+                reason: RejectReason::QueueFull { depth: live },
+            });
+        }
+        self.entries.push(Entry {
+            seq: self.next_seq,
+            deadline,
+            enqueued_at: now,
+            item,
+        });
+        self.next_seq += 1;
+        self.admitted += 1;
+        Ok(live + 1)
+    }
+
+    /// Admits an item regardless of capacity — for work the member already
+    /// accepted before a drain began, which must finish or fail by deadline
+    /// but never be refused for queue space.
+    ///
+    /// # Errors
+    ///
+    /// Still rejects items whose deadline has already passed.
+    pub fn force(&mut self, now: SimTime, deadline: SimTime, item: T) -> Result<u32, Rejected<T>> {
+        if now >= deadline {
+            self.rejected += 1;
+            return Err(Rejected {
+                item,
+                reason: RejectReason::Expired {
+                    late_by: now.saturating_since(deadline),
+                },
+            });
+        }
+        self.entries.push(Entry {
+            seq: self.next_seq,
+            deadline,
+            enqueued_at: now,
+            item,
+        });
+        self.next_seq += 1;
+        self.admitted += 1;
+        Ok(self.live_len(now))
+    }
+
+    /// Removes and returns every queued entry whose deadline has passed at
+    /// `now`, oldest first — the expired-head cull. The caller answers each
+    /// with its deadline rejection instead of dispatching it.
+    pub fn cull(&mut self, now: SimTime) -> Vec<Admitted<T>> {
+        let mut dead = Vec::new();
+        let mut i = 0;
+        while i < self.entries.len() {
+            if now >= self.entries[i].deadline {
+                let e = self.entries.remove(i);
+                self.culled += 1;
+                dead.push(Admitted {
+                    item: e.item,
+                    deadline: e.deadline,
+                    queue_delay: now.saturating_since(e.enqueued_at),
+                });
+            } else {
+                i += 1;
+            }
+        }
+        dead
+    }
+
+    /// Pops the next runnable entry per the discipline, skipping (and
+    /// retaining — see [`AdmissionQueue::cull`]) nothing: expired entries
+    /// are culled first so the popped entry is always live at `now`.
+    pub fn pop(&mut self, now: SimTime) -> Option<Admitted<T>> {
+        // Never dispatch dead work: drop expired entries from the books
+        // (the caller is expected to have culled already if it wants to
+        // answer them; anything left here is silently counted).
+        let mut culled = 0u64;
+        self.entries.retain(|e| {
+            if now >= e.deadline {
+                culled += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.culled += culled;
+        let idx = match self.config.discipline {
+            Discipline::Fifo => self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(i, _)| i)?,
+            Discipline::Edf => self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.deadline, e.seq))
+                .map(|(i, _)| i)?,
+        };
+        let e = self.entries.remove(idx);
+        Some(Admitted {
+            item: e.item,
+            deadline: e.deadline,
+            queue_delay: now.saturating_since(e.enqueued_at),
+        })
+    }
+}
+
+/// A retry hint for an `Overloaded` rejection: roughly the time to drain
+/// half the queue at the member's measured mean service time, clamped to
+/// [1 ms, 5 s] so a cold or idle estimate still yields a sane backoff.
+pub fn suggest_retry_after(queue_depth: u32, mean_service: SimDuration) -> SimDuration {
+    const FLOOR: SimDuration = SimDuration::from_millis(1);
+    const CEIL: SimDuration = SimDuration::from_secs(5);
+    let per = mean_service.as_micros().max(100); // assume ≥100 µs service
+    let micros = per.saturating_mul(u64::from(queue_depth / 2 + 1));
+    SimDuration::from_micros(micros).clamp(FLOOR, CEIL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn fifo_pops_in_arrival_order() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::fifo(8));
+        for (i, dl) in [50u64, 10, 30].iter().enumerate() {
+            q.offer(ms(0), ms(*dl), i).unwrap();
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop(ms(0)).map(|a| a.item)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn edf_pops_nearest_deadline_first() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::edf(8));
+        for (i, dl) in [50u64, 10, 30].iter().enumerate() {
+            q.offer(ms(0), ms(*dl), i).unwrap();
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop(ms(0)).map(|a| a.item)).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn edf_breaks_deadline_ties_by_arrival() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::edf(8));
+        q.offer(ms(0), ms(10), "first").unwrap();
+        q.offer(ms(0), ms(10), "second").unwrap();
+        assert_eq!(q.pop(ms(0)).unwrap().item, "first");
+        assert_eq!(q.pop(ms(0)).unwrap().item, "second");
+    }
+
+    #[test]
+    fn full_queue_rejects_with_depth() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::fifo(2));
+        q.offer(ms(0), ms(100), 0).unwrap();
+        q.offer(ms(0), ms(100), 1).unwrap();
+        let r = q.offer(ms(0), ms(100), 2).unwrap_err();
+        assert_eq!(r.item, 2);
+        assert_eq!(r.reason, RejectReason::QueueFull { depth: 2 });
+        assert_eq!(q.totals(), (2, 1, 0));
+    }
+
+    #[test]
+    fn expired_offer_is_rejected_with_lateness() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::fifo(2));
+        let r = q.offer(ms(10), ms(8), "late").unwrap_err();
+        assert_eq!(
+            r.reason,
+            RejectReason::Expired {
+                late_by: SimDuration::from_millis(2)
+            }
+        );
+    }
+
+    #[test]
+    fn expired_entries_do_not_hold_capacity() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::edf(2));
+        q.offer(ms(0), ms(5), "dies").unwrap();
+        q.offer(ms(0), ms(100), "lives").unwrap();
+        // At t=10 the first entry is dead: a new offer is admitted because
+        // only one live entry occupies the queue.
+        assert_eq!(q.live_len(ms(10)), 1);
+        q.offer(ms(10), ms(100), "fresh").unwrap();
+        let culled = q.cull(ms(10));
+        assert_eq!(culled.len(), 1);
+        assert_eq!(culled[0].item, "dies");
+        assert_eq!(culled[0].queue_delay, SimDuration::from_millis(10));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_never_returns_expired_work() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::fifo(8));
+        q.offer(ms(0), ms(5), "dead").unwrap();
+        q.offer(ms(0), ms(50), "live").unwrap();
+        let got = q.pop(ms(20)).unwrap();
+        assert_eq!(got.item, "live");
+        assert_eq!(got.queue_delay, SimDuration::from_millis(20));
+        assert!(q.pop(ms(20)).is_none());
+        let (_, _, culled) = q.totals();
+        assert_eq!(culled, 1);
+    }
+
+    #[test]
+    fn queue_delay_is_measured_per_entry() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::fifo(8));
+        q.offer(ms(3), ms(100), ()).unwrap();
+        assert_eq!(
+            q.pop(ms(7)).unwrap().queue_delay,
+            SimDuration::from_millis(4)
+        );
+    }
+
+    #[test]
+    fn unbounded_fifo_never_rejects_live_work() {
+        let mut q = AdmissionQueue::unbounded_fifo();
+        for i in 0..10_000u32 {
+            q.offer(ms(0), ms(1_000), i).unwrap();
+        }
+        assert_eq!(q.len(), 10_000);
+    }
+
+    #[test]
+    fn force_bypasses_capacity_but_not_expiry() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::fifo(1));
+        q.offer(ms(0), ms(100), "a").unwrap();
+        assert!(q.offer(ms(0), ms(100), "b").is_err());
+        q.force(ms(0), ms(100), "b").unwrap();
+        assert_eq!(q.len(), 2);
+        let r = q.force(ms(10), ms(5), "late").unwrap_err();
+        assert!(matches!(r.reason, RejectReason::Expired { .. }));
+    }
+
+    #[test]
+    fn retry_hint_scales_with_depth_and_clamps() {
+        let short = suggest_retry_after(0, SimDuration::from_micros(10));
+        assert_eq!(short, SimDuration::from_millis(1), "clamped to floor");
+        let mid = suggest_retry_after(10, SimDuration::from_millis(2));
+        assert_eq!(mid, SimDuration::from_millis(12)); // (10/2 + 1) * 2ms
+        let long = suggest_retry_after(10_000, SimDuration::from_secs(1));
+        assert_eq!(long, SimDuration::from_secs(5), "clamped to ceiling");
+    }
+}

@@ -31,6 +31,7 @@ fn bench_scaling_engine(c: &mut Criterion) {
         avg_ram: 51.0,
         fine_votes: (0..20).map(|i| (i % 5) - 2).collect(),
         desired_size: None,
+        ..PoolSample::default()
     };
     group.bench_function("fine_grained_decide_20_votes", |b| {
         b.iter(|| engine.decide(black_box(&sample)))

@@ -6,6 +6,8 @@
 //! figures --table            # the §5.5 summary grid (T1)
 //! figures --ablation         # design-choice ablations (burst interval,
 //!                            # policy, provisioning latency)
+//! figures --overload         # admission control vs unbounded FIFO under
+//!                            # a 2x burst with the pool pinned
 //! figures --seed 42          # change the experiment seed
 //! figures --dump-traces      # control-plane trace of one run per
 //!                            # app x pattern (scale decisions, joins,
@@ -23,6 +25,7 @@ fn main() {
     let mut fig: Option<String> = None;
     let mut table = false;
     let mut ablation = false;
+    let mut overload = false;
     let mut dump_traces = false;
     let mut i = 0;
     while i < args.len() {
@@ -44,6 +47,7 @@ fn main() {
             }
             "--table" => table = true,
             "--ablation" => ablation = true,
+            "--overload" => overload = true,
             "--dump-traces" => dump_traces = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
@@ -66,6 +70,10 @@ fn main() {
         print_ablations(seed);
         return;
     }
+    if overload {
+        print!("{}", erm_harness::render_overload(seed));
+        return;
+    }
     if dump_traces {
         print_traces(seed);
         return;
@@ -85,7 +93,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: figures [--fig 7a..7j|8a|8b] [--table] [--ablation] [--dump-traces] [--seed N]"
+        "usage: figures [--fig 7a..7j|8a|8b] [--table] [--ablation] [--overload] \
+         [--dump-traces] [--seed N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -8,6 +8,7 @@
 //! choosing [`ScalingPolicy::FineGrained`] disables the CPU/RAM thresholds,
 //! because the thresholds only exist inside the coarse-grained variants.
 
+use erm_admission::{AdmissionConfig, Discipline};
 use erm_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -121,6 +122,8 @@ pub enum ConfigError {
     EmptyThresholds,
     /// The class name is empty (it keys shared state and locks).
     EmptyClassName,
+    /// An overload capacity of zero would reject every invocation.
+    ZeroOverloadCapacity,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -146,6 +149,9 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "coarse-grained policy requires at least one threshold")
             }
             ConfigError::EmptyClassName => write!(f, "class name must not be empty"),
+            ConfigError::ZeroOverloadCapacity => {
+                write!(f, "overload capacity must be positive")
+            }
         }
     }
 }
@@ -160,6 +166,9 @@ pub struct PoolConfig {
     max_pool_size: u32,
     burst_interval: SimDuration,
     policy: ScalingPolicy,
+    overload_capacity: Option<u32>,
+    admission: Option<Discipline>,
+    queue_delay_grow_above: Option<SimDuration>,
 }
 
 impl PoolConfig {
@@ -171,6 +180,9 @@ impl PoolConfig {
             max_pool_size: 8,
             burst_interval: SimDuration::from_secs(60),
             policy: ScalingPolicy::Implicit,
+            overload_capacity: None,
+            admission: None,
+            queue_delay_grow_above: None,
         }
     }
 
@@ -198,6 +210,36 @@ impl PoolConfig {
     /// The scaling policy.
     pub fn policy(&self) -> ScalingPolicy {
         self.policy
+    }
+
+    /// Per-member overload capacity, if configured. When set it bounds the
+    /// admission queue and serves as the sentinel balancer's per-member
+    /// target; when `None` the balancer falls back to its legacy
+    /// mean-pending heuristic.
+    pub fn overload_capacity(&self) -> Option<u32> {
+        self.overload_capacity
+    }
+
+    /// Default admission-queue bound used when admission control is on but
+    /// no explicit [`PoolConfig::overload_capacity`] was configured.
+    pub const DEFAULT_OVERLOAD_CAPACITY: u32 = 64;
+
+    /// The skeletons' admission-queue configuration, or `None` when
+    /// admission control is off (the legacy unbounded-FIFO behaviour).
+    pub fn admission_config(&self) -> Option<AdmissionConfig> {
+        self.admission.map(|discipline| AdmissionConfig {
+            capacity: self
+                .overload_capacity
+                .unwrap_or(Self::DEFAULT_OVERLOAD_CAPACITY),
+            discipline,
+        })
+    }
+
+    /// Queue-delay p99 above which the scaling engine votes to grow,
+    /// regardless of CPU/RAM — the queueing-delay fine metric. `None`
+    /// disables the signal.
+    pub fn queue_delay_grow_above(&self) -> Option<SimDuration> {
+        self.queue_delay_grow_above
     }
 
     /// Clamps a desired size into `[min, max]`.
@@ -240,6 +282,9 @@ pub struct PoolConfigBuilder {
     max_pool_size: u32,
     burst_interval: SimDuration,
     policy: ScalingPolicy,
+    overload_capacity: Option<u32>,
+    admission: Option<Discipline>,
+    queue_delay_grow_above: Option<SimDuration>,
 }
 
 impl PoolConfigBuilder {
@@ -265,6 +310,29 @@ impl PoolConfigBuilder {
     /// or application-level).
     pub fn policy(mut self, policy: ScalingPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the per-member overload capacity: the admission-queue bound and
+    /// the balancer's per-member pending target. Unset, the balancer uses
+    /// its mean-pending heuristic and the admission queue (when enabled)
+    /// defaults to [`PoolConfig::DEFAULT_OVERLOAD_CAPACITY`].
+    pub fn overload_capacity(mut self, capacity: u32) -> Self {
+        self.overload_capacity = Some(capacity);
+        self
+    }
+
+    /// Enables skeleton-side admission control with the given run-queue
+    /// discipline. Off by default (unbounded FIFO, the legacy behaviour).
+    pub fn admission(mut self, discipline: Discipline) -> Self {
+        self.admission = Some(discipline);
+        self
+    }
+
+    /// Grows the pool whenever a member's admission-queue delay p99 exceeds
+    /// this over a burst interval, independent of CPU/RAM thresholds.
+    pub fn queue_delay_grow_above(mut self, delay: SimDuration) -> Self {
+        self.queue_delay_grow_above = Some(delay);
         self
     }
 
@@ -294,12 +362,18 @@ impl PoolConfigBuilder {
         if let ScalingPolicy::Coarse(t) = &self.policy {
             t.validate()?;
         }
+        if self.overload_capacity == Some(0) {
+            return Err(ConfigError::ZeroOverloadCapacity);
+        }
         Ok(PoolConfig {
             class_name: self.class_name,
             min_pool_size: self.min_pool_size,
             max_pool_size: self.max_pool_size,
             burst_interval: self.burst_interval,
             policy: self.policy,
+            overload_capacity: self.overload_capacity,
+            admission: self.admission,
+            queue_delay_grow_above: self.queue_delay_grow_above,
         })
     }
 }
@@ -391,6 +465,48 @@ mod tests {
             PoolConfig::builder("").build().unwrap_err(),
             ConfigError::EmptyClassName
         );
+    }
+
+    #[test]
+    fn admission_defaults_off_and_configures_on() {
+        let legacy = PoolConfig::builder("C1").build().unwrap();
+        assert_eq!(legacy.admission_config(), None);
+        assert_eq!(legacy.overload_capacity(), None);
+        assert_eq!(legacy.queue_delay_grow_above(), None);
+
+        let tuned = PoolConfig::builder("C1")
+            .admission(Discipline::Edf)
+            .overload_capacity(32)
+            .queue_delay_grow_above(SimDuration::from_millis(50))
+            .build()
+            .unwrap();
+        assert_eq!(
+            tuned.admission_config(),
+            Some(AdmissionConfig::edf(32)),
+            "explicit capacity bounds the admission queue"
+        );
+        assert_eq!(
+            tuned.queue_delay_grow_above(),
+            Some(SimDuration::from_millis(50))
+        );
+
+        let defaulted = PoolConfig::builder("C1")
+            .admission(Discipline::Fifo)
+            .build()
+            .unwrap();
+        assert_eq!(
+            defaulted.admission_config(),
+            Some(AdmissionConfig::fifo(PoolConfig::DEFAULT_OVERLOAD_CAPACITY))
+        );
+    }
+
+    #[test]
+    fn zero_overload_capacity_rejected() {
+        let err = PoolConfig::builder("C1")
+            .overload_capacity(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroOverloadCapacity);
     }
 
     #[test]

@@ -98,6 +98,21 @@ pub enum RmiError {
         /// How many member endpoints were attempted before expiry.
         attempts: u32,
     },
+    /// Every attempted member refused the invocation with an `Overloaded`
+    /// rejection: the pool is saturated and asked the client to back off.
+    Overloaded {
+        /// How many member endpoints were attempted.
+        attempts: u32,
+        /// The smallest `retry_after` hint among the rejections.
+        retry_after: erm_sim::SimDuration,
+    },
+    /// The stub's AIMD limiter refused the invocation locally — the
+    /// concurrency window is full or a server backoff is in force — so
+    /// nothing was sent.
+    Throttled {
+        /// How long the limiter suggests waiting before retrying.
+        retry_after: erm_sim::SimDuration,
+    },
 }
 
 impl fmt::Display for RmiError {
@@ -112,6 +127,21 @@ impl fmt::Display for RmiError {
             RmiError::SentinelUnreachable(id) => write!(f, "sentinel {id} unreachable"),
             RmiError::DeadlineExceeded { attempts } => {
                 write!(f, "invocation deadline exceeded after {attempts} attempts")
+            }
+            RmiError::Overloaded {
+                attempts,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "pool overloaded after {attempts} attempts; retry in {retry_after}"
+                )
+            }
+            RmiError::Throttled { retry_after } => {
+                write!(
+                    f,
+                    "throttled by client-side limiter; retry in {retry_after}"
+                )
             }
         }
     }
@@ -171,6 +201,17 @@ mod tests {
         assert!(RmiError::DeadlineExceeded { attempts: 2 }
             .to_string()
             .contains("deadline"));
+        assert!(RmiError::Overloaded {
+            attempts: 3,
+            retry_after: erm_sim::SimDuration::from_millis(40),
+        }
+        .to_string()
+        .contains("overloaded"));
+        assert!(RmiError::Throttled {
+            retry_after: erm_sim::SimDuration::from_millis(5),
+        }
+        .to_string()
+        .contains("limiter"));
         let expired = RemoteError::deadline_exceeded("put", "15ms");
         assert!(expired.is_deadline_exceeded());
         assert!(expired.to_string().contains("15ms"));

@@ -94,6 +94,16 @@ pub struct LoadReport {
     pub expired: u32,
     /// Per-method call statistics for the interval.
     pub method_stats: Vec<(String, MethodStat)>,
+    /// Requests refused with `Overloaded` during the interval because the
+    /// admission queue was full (wire v3).
+    pub rejected: u32,
+    /// Median admission-queue delay over the interval, in microseconds
+    /// (wire v3).
+    pub queue_delay_p50_us: u64,
+    /// 99th-percentile admission-queue delay over the interval, in
+    /// microseconds — the queueing-delay signal the scaling engine grows on
+    /// (wire v3).
+    pub queue_delay_p99_us: u64,
 }
 
 /// All messages of the ElasticRMI protocol.
@@ -180,6 +190,19 @@ pub enum RmiMessage {
     Ping,
     /// Liveness reply.
     Pong,
+
+    /// Skeleton → stub: the admission queue is full, so the request was
+    /// refused *before* queueing (wire v3). Cheaper for everyone than
+    /// letting it die by deadline: the stub's AIMD limiter backs off for
+    /// `retry_after` and the pool keeps its capacity for admitted work.
+    Overloaded {
+        /// Correlation id of the refused request.
+        call: CallId,
+        /// Live admission-queue depth at rejection time.
+        queue_depth: u32,
+        /// Server's suggested pause before retrying this pool.
+        retry_after: SimDuration,
+    },
 }
 
 impl RmiMessage {
@@ -242,6 +265,11 @@ mod tests {
             members: vec![EndpointId(1), EndpointId(2)],
             deadline: SimTime::from_micros(900_000),
         });
+        roundtrip(RmiMessage::Overloaded {
+            call: 10,
+            queue_depth: 64,
+            retry_after: SimDuration::from_micros(12_000),
+        });
     }
 
     #[test]
@@ -286,6 +314,9 @@ mod tests {
                     mean_latency_us: 350,
                 },
             )],
+            rejected: 5,
+            queue_delay_p50_us: 1_200,
+            queue_delay_p99_us: 48_000,
         }));
         roundtrip(RmiMessage::StateBroadcast {
             epoch: 5,

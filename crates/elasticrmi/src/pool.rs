@@ -91,6 +91,9 @@ pub struct PoolStats {
     pub epoch: u64,
     /// Provisioning latencies (request → member serving) observed.
     pub provisioning_latencies: Vec<SimDuration>,
+    /// `Overloaded` rejections reported by members across all burst
+    /// intervals.
+    pub rejected: u64,
 }
 
 #[derive(Debug)]
@@ -389,6 +392,9 @@ impl Runtime {
                         }
                     }
                 }
+                if report.rejected > 0 {
+                    self.shared.stats.lock().rejected += u64::from(report.rejected);
+                }
                 self.reports.insert(report.uid, report);
             }
             RmiMessage::ShutdownReady { uid } => {
@@ -421,6 +427,7 @@ impl Runtime {
             (self.factory)(),
             ctx,
             self.deps.trace.clone(),
+            self.config.admission_config(),
         );
         let join = std::thread::Builder::new()
             .name(format!("erm-member-{uid}"))
@@ -608,6 +615,13 @@ impl Runtime {
             avg_ram: live.iter().map(|r| r.ram).sum::<f32>() / n,
             fine_votes: live.iter().filter_map(|r| r.fine_vote).collect(),
             desired_size: None,
+            // Queueing delay is a worst-member signal: one saturated member
+            // is enough reason to grow, since bin packing can only shuffle
+            // load that fits somewhere.
+            queue_delay_p99: SimDuration::from_micros(
+                live.iter().map(|r| r.queue_delay_p99_us).max().unwrap_or(0),
+            ),
+            rejected: live.iter().map(|r| r.rejected).sum(),
         };
         if let Some(decider) = self.decider.as_mut() {
             sample.desired_size = Some(decider.desired_pool_size(&sample));
@@ -685,8 +699,12 @@ impl Runtime {
         if loads.len() < 2 {
             return;
         }
-        let total: u32 = loads.iter().map(|l| l.pending).sum();
-        let capacity = total.div_ceil(loads.len() as u32);
+        // Per-member target: the configured overload capacity when set,
+        // otherwise the legacy mean-pending heuristic.
+        let capacity = self.config.overload_capacity().unwrap_or_else(|| {
+            let total: u32 = loads.iter().map(|l| l.pending).sum();
+            total.div_ceil(loads.len() as u32)
+        });
         for entry in plan_redirects(&loads, capacity.max(1)) {
             let _ = self.deps.net.send(
                 self.ctl,

@@ -6,7 +6,7 @@
 //! which is what makes the reproduced agility figures evidence about the
 //! middleware rather than about a reimplementation of it.
 
-use erm_sim::SimTime;
+use erm_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{PoolConfig, ScalingPolicy, Thresholds};
@@ -26,6 +26,11 @@ pub struct PoolSample {
     pub fine_votes: Vec<i32>,
     /// Desired absolute size from an application-level `Decider`.
     pub desired_size: Option<u32>,
+    /// Worst per-member 99th-percentile admission-queue delay over the
+    /// interval. Zero when admission control is off or the pool is idle.
+    pub queue_delay_p99: SimDuration,
+    /// `Overloaded` rejections across all members during the interval.
+    pub rejected: u32,
 }
 
 /// What the pool should do this burst interval.
@@ -111,6 +116,15 @@ impl ScalingEngine {
                 Some(desired) => i64::from(desired) - i64::from(sample.pool_size),
                 None => 0,
             },
+        };
+        // Queueing delay overrides everything except an explicit shrink-free
+        // growth: a member whose admitted work waits longer than the
+        // configured bound means the pool is under-provisioned *now*, even
+        // if averaged CPU looks calm (the paper's `changePoolSize` spirit:
+        // scale on the metric the application actually feels).
+        let raw_delta = match self.config.queue_delay_grow_above() {
+            Some(bound) if sample.queue_delay_p99 > bound => raw_delta.max(1),
+            _ => raw_delta,
         };
         let target = self
             .config
@@ -302,6 +316,41 @@ mod tests {
             e.poll(SimTime::from_secs(120), &hot),
             ScalingDecision::Grow(1)
         );
+    }
+
+    #[test]
+    fn queue_delay_forces_growth_when_configured() {
+        let config = PoolConfig::builder("C1")
+            .min_pool_size(2)
+            .max_pool_size(10)
+            .policy(ScalingPolicy::Implicit)
+            .queue_delay_grow_above(SimDuration::from_millis(50))
+            .build()
+            .unwrap();
+        let e = ScalingEngine::new(config, SimTime::ZERO);
+        // CPU is calm, but queued work waits 100 ms at p99: grow anyway.
+        let mut s = sample(5, 70.0, 0.0);
+        s.queue_delay_p99 = SimDuration::from_millis(100);
+        assert_eq!(e.decide(&s), ScalingDecision::Grow(1));
+        // Below the bound the CPU-only policy rules (70% -> hold).
+        s.queue_delay_p99 = SimDuration::from_millis(10);
+        assert_eq!(e.decide(&s), ScalingDecision::Hold);
+        // The override never vetoes a larger growth already decided.
+        let mut hot = sample(5, 99.0, 0.0);
+        hot.queue_delay_p99 = SimDuration::from_millis(100);
+        assert_eq!(e.decide(&hot), ScalingDecision::Grow(1));
+        // Still clamped by max_pool_size.
+        let mut full = sample(10, 10.0, 0.0);
+        full.queue_delay_p99 = SimDuration::from_millis(100);
+        assert_eq!(e.decide(&full), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn queue_delay_ignored_when_unconfigured() {
+        let e = engine(ScalingPolicy::Implicit, 2, 10);
+        let mut s = sample(5, 70.0, 0.0);
+        s.queue_delay_p99 = SimDuration::from_secs(5);
+        assert_eq!(e.decide(&s), ScalingDecision::Hold);
     }
 
     #[test]

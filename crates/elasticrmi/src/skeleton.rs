@@ -11,14 +11,24 @@
 //!   incoming invocations to designated members, and
 //! * executes the two-phase shutdown drain of §2.5: finish what is pending,
 //!   redirect everything newer, then acknowledge readiness.
+//!
+//! Request intake and execution are split into two halves: [`Skeleton::ingest`]
+//! runs the admission decision (shed, reject expired, refuse `Overloaded`, or
+//! enqueue into the bounded [`AdmissionQueue`]) and [`Skeleton::step`] executes
+//! one admitted request per the configured discipline, culling anything whose
+//! deadline expired while queued. The event loop batch-drains the mailbox
+//! through `ingest` before stepping, so under a burst the queue bound and
+//! EDF ordering apply across the whole backlog rather than one message at a
+//! time.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use erm_metrics::{TraceEvent, TraceHandle};
-use erm_sim::{SharedClock, SimTime};
-use erm_transport::{EndpointId, Mailbox, Network, RecvError};
+use erm_admission::{suggest_retry_after, AdmissionConfig, AdmissionQueue, RejectReason};
+use erm_metrics::{AdmissionCounters, AdmissionStats, LatencyTracker, TraceEvent, TraceHandle};
+use erm_sim::{SharedClock, SimDuration, SimTime};
+use erm_transport::{Datagram, EndpointId, Mailbox, Network, RecvError};
 
 use crate::api::{ElasticService, MethodCallStats, ServiceContext};
 use crate::error::RemoteError;
@@ -27,11 +37,23 @@ use crate::message::{InvocationContext, LoadReport, MemberState, MethodStat, Rmi
 /// How long the receive loop blocks before re-checking control state.
 const POLL_TICK: Duration = Duration::from_millis(5);
 
+/// An admitted invocation waiting in the run queue.
+#[derive(Debug, Clone)]
+struct QueuedRequest {
+    from: EndpointId,
+    call: u64,
+    context: InvocationContext,
+    method: String,
+    args: Vec<u8>,
+}
+
 #[derive(Debug, Default)]
 struct IntervalStats {
     methods: HashMap<String, (u64, u64)>, // (calls, total latency µs)
     busy_micros: u64,
     expired: u32,
+    rejected: u32,
+    queue_delay: LatencyTracker,
     started_at: Option<SimTime>,
 }
 
@@ -83,10 +105,14 @@ pub struct Skeleton {
     interval: IntervalStats,
     served_since_start: u64,
     trace: TraceHandle,
+    queue: AdmissionQueue<QueuedRequest>,
+    counters: Arc<AdmissionCounters>,
 }
 
 impl Skeleton {
     /// Assembles a skeleton for member `uid` listening on `endpoint`.
+    /// `admission` bounds the run queue; `None` keeps the legacy unbounded
+    /// FIFO behaviour (no `Overloaded` rejections).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         uid: u64,
@@ -97,6 +123,7 @@ impl Skeleton {
         service: Box<dyn ElasticService>,
         ctx: ServiceContext,
         trace: TraceHandle,
+        admission: Option<AdmissionConfig>,
     ) -> Self {
         Skeleton {
             uid,
@@ -116,6 +143,8 @@ impl Skeleton {
             redirect_quota: Vec::new(),
             interval: IntervalStats::default(),
             served_since_start: 0,
+            queue: admission.map_or_else(AdmissionQueue::unbounded_fifo, AdmissionQueue::new),
+            counters: Arc::new(AdmissionCounters::new()),
         }
     }
 
@@ -129,6 +158,16 @@ impl Skeleton {
         self.served_since_start
     }
 
+    /// Requests currently admitted and waiting in the run queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admission decisions taken since start.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.counters.snapshot()
+    }
+
     /// Runs the event loop until shutdown completes or the mailbox closes.
     /// This is the thread body of a pool member.
     pub fn run(mut self, mailbox: Mailbox) {
@@ -137,16 +176,25 @@ impl Skeleton {
         loop {
             match mailbox.recv_timeout(POLL_TICK) {
                 Ok(datagram) => {
-                    let Ok(msg) = RmiMessage::decode(&datagram.payload) else {
-                        continue; // malformed datagrams are dropped
-                    };
-                    if self.handle(datagram.from, msg, &mailbox) {
+                    let mut exit = self.ingest_datagram(datagram, &mailbox);
+                    // Batch-drain every queued arrival before executing, so
+                    // the admission bound and run-queue discipline apply
+                    // across the whole backlog of a burst.
+                    while let Ok(d) = mailbox.try_recv() {
+                        exit |= self.ingest_datagram(d, &mailbox);
+                    }
+                    while self.step() {}
+                    if exit || self.finished {
                         break;
                     }
                 }
                 Err(RecvError::Timeout) => {
-                    if self.draining && mailbox.is_empty() {
-                        // Queue drained with no pending work: finish shutdown.
+                    while self.step() {}
+                    if self.finished {
+                        break;
+                    }
+                    if self.draining && mailbox.is_empty() && self.queue.is_empty() {
+                        // Drained with no pending work: finish shutdown.
                         self.finish_shutdown();
                         break;
                     }
@@ -156,9 +204,29 @@ impl Skeleton {
         }
     }
 
-    /// Handles one message; returns `true` when the skeleton should exit.
-    /// Exposed for deterministic unit tests.
+    fn ingest_datagram(&mut self, datagram: Datagram, mailbox: &Mailbox) -> bool {
+        match RmiMessage::decode(&datagram.payload) {
+            Ok(msg) => self.ingest(datagram.from, msg, mailbox),
+            Err(_) => false, // malformed datagrams are dropped
+        }
+    }
+
+    /// Handles one message to completion: admits it via [`Skeleton::ingest`]
+    /// and then pumps [`Skeleton::step`] until the run queue is empty.
+    /// Returns `true` when the skeleton should exit. Exposed for
+    /// deterministic unit tests.
     pub fn handle(&mut self, from: EndpointId, msg: RmiMessage, mailbox: &Mailbox) -> bool {
+        let exit = self.ingest(from, msg, mailbox);
+        while self.step() {}
+        exit || self.finished
+    }
+
+    /// The intake half of the skeleton: control messages are applied
+    /// immediately; a `Request` gets its admission decision (drain
+    /// redirect, rebalance shed, expired rejection, `Overloaded` refusal,
+    /// or enqueue) but is **not** executed. Returns `true` when the
+    /// skeleton should exit.
+    pub fn ingest(&mut self, from: EndpointId, msg: RmiMessage, mailbox: &Mailbox) -> bool {
         match msg {
             RmiMessage::Request {
                 call,
@@ -166,7 +234,7 @@ impl Skeleton {
                 method,
                 args,
             } => {
-                self.on_request(from, call, context, &method, &args);
+                self.on_request(from, call, context, method, args);
                 self.finished
             }
             RmiMessage::PoolInfoRequest => {
@@ -187,7 +255,11 @@ impl Skeleton {
                 false
             }
             RmiMessage::PollLoad => {
-                let report = self.make_load_report(mailbox.len() as u32);
+                // Pending = undrained mailbox plus *live* queued work;
+                // deadline-expired entries are excluded so the sentinel's
+                // redirect planner never moves dead work.
+                let pending = mailbox.len() as u32 + self.queue.live_len(self.clock.now());
+                let report = self.make_load_report(pending);
                 self.send(from, RmiMessage::Load(report));
                 false
             }
@@ -209,10 +281,14 @@ impl Skeleton {
             }
             RmiMessage::Shutdown => {
                 // §2.5: acknowledge, finish pending invocations (those
-                // already queued), then notify readiness.
+                // already queued in the mailbox or admitted to the run
+                // queue), then notify readiness.
                 self.draining = true;
+                // Budget covers requests still in the mailbox (they pass
+                // through `on_request` on arrival); work already admitted to
+                // the run queue executes via `step` without consuming it.
                 self.drain_budget = mailbox.len();
-                if self.drain_budget == 0 {
+                if self.drain_budget == 0 && self.queue.is_empty() {
                     self.finish_shutdown();
                     return true;
                 }
@@ -225,6 +301,7 @@ impl Skeleton {
             // Messages a skeleton never consumes.
             RmiMessage::Response { .. }
             | RmiMessage::Redirected { .. }
+            | RmiMessage::Overloaded { .. }
             | RmiMessage::PoolInfo { .. }
             | RmiMessage::Load(_)
             | RmiMessage::ShutdownReady { .. }
@@ -237,21 +314,36 @@ impl Skeleton {
         from: EndpointId,
         call: u64,
         context: InvocationContext,
-        method: &str,
-        args: &[u8],
+        method: String,
+        args: Vec<u8>,
     ) {
+        let now = self.clock.now();
+        let request = QueuedRequest {
+            from,
+            call,
+            context,
+            method,
+            args,
+        };
         if self.draining {
             if self.drain_budget > 0 {
-                // Pending at shutdown time: still executed (§2.5).
+                // Pending at shutdown time: still executed (§2.5), so it
+                // bypasses the capacity check — but not the deadline.
                 self.drain_budget -= 1;
+                if let Err(rejected) = self.queue.force(now, context.deadline, request) {
+                    self.reject_expired(now, rejected.item, rejected.reason);
+                }
             } else {
+                self.counters.shed();
                 self.redirect(from, call, &context);
-                return;
             }
-        } else if let Some(target) = self.take_redirect_quota() {
+            return;
+        }
+        if let Some(target) = self.take_redirect_quota() {
             // Sentinel told us to shed a portion of incoming invocations.
+            self.counters.shed();
             self.trace.emit(
-                self.clock.now(),
+                now,
                 TraceEvent::RequestShed {
                     uid: self.uid,
                     invocation: context.id,
@@ -267,34 +359,145 @@ impl Skeleton {
             );
             return;
         }
-        let start = self.clock.now();
-        // A request whose deadline already passed is never dispatched: the
-        // stub has given up, so executing it would only burn capacity.
-        let outcome = if context.is_expired(start) {
-            let late_by = start.saturating_since(context.deadline);
+        match self.queue.offer(now, context.deadline, request) {
+            Ok(depth) => {
+                self.counters.admit();
+                self.trace.emit(
+                    now,
+                    TraceEvent::RequestAdmitted {
+                        uid: self.uid,
+                        invocation: context.id,
+                        depth,
+                    },
+                );
+            }
+            Err(rejected) => match rejected.reason {
+                RejectReason::Expired { .. } => {
+                    self.reject_expired(now, rejected.item, rejected.reason);
+                }
+                RejectReason::QueueFull { depth } => {
+                    // Refuse *before* queueing: an early, explicit rejection
+                    // with a retry hint beats letting the request die by
+                    // deadline behind a full queue.
+                    self.interval.rejected += 1;
+                    self.counters.reject();
+                    let retry_after = suggest_retry_after(depth, self.mean_service());
+                    self.trace.emit(
+                        now,
+                        TraceEvent::RequestOverloaded {
+                            uid: self.uid,
+                            invocation: context.id,
+                            queue_depth: depth,
+                            retry_after,
+                        },
+                    );
+                    self.send(
+                        from,
+                        RmiMessage::Overloaded {
+                            call,
+                            queue_depth: depth,
+                            retry_after,
+                        },
+                    );
+                }
+            },
+        }
+    }
+
+    /// Executes at most one admitted request: culls (and answers) every
+    /// queued entry whose deadline passed, then pops the next runnable one
+    /// per the discipline and dispatches it. Returns `true` if any work was
+    /// done (a cull or a dispatch), `false` when the queue is idle.
+    pub fn step(&mut self) -> bool {
+        let now = self.clock.now();
+        let culled = self.queue.cull(now);
+        let did_work = !culled.is_empty();
+        for dead in culled {
+            let late_by = now.saturating_since(dead.deadline);
             self.interval.expired += 1;
+            self.counters.cull();
             self.trace.emit(
-                start,
+                now,
                 TraceEvent::RequestExpired {
                     uid: self.uid,
-                    invocation: context.id,
+                    invocation: dead.item.context.id,
                     late_by,
                 },
             );
-            Err(RemoteError::deadline_exceeded(method, late_by))
-        } else {
-            self.ctx.set_invocation(Some(context));
-            let outcome = self.service.dispatch(method, args, &mut self.ctx);
-            self.ctx.set_invocation(None);
-            let latency = self.clock.now().saturating_since(start);
-            self.interval.record(method, latency.as_micros());
-            self.served_since_start += 1;
-            outcome
+            self.send(
+                dead.item.from,
+                RmiMessage::Response {
+                    call: dead.item.call,
+                    outcome: Err(RemoteError::deadline_exceeded(&dead.item.method, late_by)),
+                },
+            );
+        }
+        let Some(admitted) = self.queue.pop(now) else {
+            if did_work {
+                self.check_drain_done();
+            }
+            return did_work;
         };
-        self.send(from, RmiMessage::Response { call, outcome });
-        if self.draining && self.drain_budget == 0 {
+        self.interval.queue_delay.observe(admitted.queue_delay);
+        let request = admitted.item;
+        let start = self.clock.now();
+        self.ctx.set_invocation(Some(request.context));
+        let outcome = self
+            .service
+            .dispatch(&request.method, &request.args, &mut self.ctx);
+        self.ctx.set_invocation(None);
+        let latency = self.clock.now().saturating_since(start);
+        self.interval.record(&request.method, latency.as_micros());
+        self.served_since_start += 1;
+        self.send(
+            request.from,
+            RmiMessage::Response {
+                call: request.call,
+                outcome,
+            },
+        );
+        self.check_drain_done();
+        true
+    }
+
+    fn reject_expired(&mut self, now: SimTime, request: QueuedRequest, reason: RejectReason) {
+        let late_by = match reason {
+            RejectReason::Expired { late_by } => late_by,
+            RejectReason::QueueFull { .. } => now.saturating_since(request.context.deadline),
+        };
+        self.interval.expired += 1;
+        self.trace.emit(
+            now,
+            TraceEvent::RequestExpired {
+                uid: self.uid,
+                invocation: request.context.id,
+                late_by,
+            },
+        );
+        self.send(
+            request.from,
+            RmiMessage::Response {
+                call: request.call,
+                outcome: Err(RemoteError::deadline_exceeded(&request.method, late_by)),
+            },
+        );
+        self.check_drain_done();
+    }
+
+    fn check_drain_done(&mut self) {
+        if self.draining && self.drain_budget == 0 && self.queue.is_empty() {
             self.finish_shutdown();
         }
+    }
+
+    /// Mean service latency over the current burst interval, used to size
+    /// `Overloaded` retry hints.
+    fn mean_service(&self) -> SimDuration {
+        let calls: u64 = self.interval.methods.values().map(|&(c, _)| c).sum();
+        self.interval
+            .busy_micros
+            .checked_div(calls)
+            .map_or(SimDuration::ZERO, SimDuration::from_micros)
     }
 
     fn take_redirect_quota(&mut self) -> Option<EndpointId> {
@@ -358,6 +561,17 @@ impl Skeleton {
             fine_vote: Some(vote),
             expired: self.interval.expired,
             method_stats: stats_vec,
+            rejected: self.interval.rejected,
+            queue_delay_p50_us: self
+                .interval
+                .queue_delay
+                .quantile(0.5)
+                .map_or(0, SimDuration::as_micros),
+            queue_delay_p99_us: self
+                .interval
+                .queue_delay
+                .quantile(0.99)
+                .map_or(0, SimDuration::as_micros),
         };
         // Burst interval rolls over after each poll.
         self.interval = IntervalStats {
@@ -419,6 +633,7 @@ mod tests {
 
     struct Rig {
         net: InProcNetwork,
+        clock: Arc<VirtualClock>,
         skeleton: Skeleton,
         skeleton_mailbox: Mailbox,
         client: EndpointId,
@@ -428,17 +643,21 @@ mod tests {
     }
 
     fn rig() -> Rig {
+        rig_with_admission(None)
+    }
+
+    fn rig_with_admission(admission: Option<AdmissionConfig>) -> Rig {
         let net = InProcNetwork::new();
         let (skel_ep, skel_mb) = net.open();
         let (client, client_mb) = net.open();
         let (runtime, runtime_mb) = net.open();
-        let clock: SharedClock = Arc::new(VirtualClock::new());
+        let clock = Arc::new(VirtualClock::new());
         let store = Arc::new(Store::new(StoreConfig::default()));
         let ctx = ServiceContext::new(
             store,
             "Echo",
             0,
-            Arc::clone(&clock),
+            Arc::<VirtualClock>::clone(&clock) as SharedClock,
             Arc::new(AtomicU32::new(1)),
         );
         let skeleton = Skeleton::new(
@@ -446,13 +665,15 @@ mod tests {
             skel_ep,
             runtime,
             Arc::new(net.clone()),
-            clock,
+            Arc::<VirtualClock>::clone(&clock) as SharedClock,
             Box::new(Echo),
             ctx,
             TraceHandle::disabled(),
+            admission,
         );
         Rig {
             net,
+            clock,
             skeleton,
             skeleton_mailbox: skel_mb,
             client,
@@ -865,5 +1086,162 @@ mod tests {
         r.skeleton
             .handle(r.client, RmiMessage::Ping, &r.skeleton_mailbox);
         assert!(matches!(recv(&r.client_mailbox), RmiMessage::Pong));
+    }
+
+    fn request(call: u64, deadline: SimTime) -> RmiMessage {
+        RmiMessage::Request {
+            call,
+            context: InvocationContext {
+                id: call,
+                deadline,
+                attempt: 1,
+                origin: EndpointId(500),
+            },
+            method: "echo".into(),
+            args: erm_transport::to_bytes(&"x".to_string()).unwrap(),
+        }
+    }
+
+    #[test]
+    fn full_queue_is_refused_with_overloaded() {
+        let mut r = rig_with_admission(Some(AdmissionConfig::fifo(2)));
+        for call in 0..3 {
+            r.skeleton.ingest(
+                r.client,
+                request(call, SimTime::from_secs(1_000)),
+                &r.skeleton_mailbox,
+            );
+        }
+        // Third arrival refused before queueing, with a retry hint.
+        match recv(&r.client_mailbox) {
+            RmiMessage::Overloaded {
+                call,
+                queue_depth,
+                retry_after,
+            } => {
+                assert_eq!(call, 2);
+                assert_eq!(queue_depth, 2);
+                assert!(!retry_after.is_zero());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The two admitted requests still execute.
+        while r.skeleton.step() {}
+        let mut ok = 0;
+        while let Ok(d) = r.client_mailbox.try_recv() {
+            match RmiMessage::decode(&d.payload).unwrap() {
+                RmiMessage::Response { outcome: Ok(_), .. } => ok += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(ok, 2);
+        let stats = r.skeleton.admission_stats();
+        assert_eq!((stats.admitted, stats.rejected), (2, 1));
+        // The rejection lands in the next load report.
+        r.skeleton
+            .handle(r.runtime, RmiMessage::PollLoad, &r.skeleton_mailbox);
+        match recv(&r.runtime_mailbox) {
+            RmiMessage::Load(report) => assert_eq!(report.rejected, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edf_discipline_dispatches_nearest_deadline_first() {
+        let mut r = rig_with_admission(Some(AdmissionConfig::edf(8)));
+        for (call, deadline_s) in [(0, 300u64), (1, 10), (2, 50)] {
+            r.skeleton.ingest(
+                r.client,
+                request(call, SimTime::from_secs(deadline_s)),
+                &r.skeleton_mailbox,
+            );
+        }
+        while r.skeleton.step() {}
+        let mut order = Vec::new();
+        while let Ok(d) = r.client_mailbox.try_recv() {
+            match RmiMessage::decode(&d.payload).unwrap() {
+                RmiMessage::Response { call, .. } => order.push(call),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(order, vec![1, 2, 0], "EDF runs the most urgent first");
+    }
+
+    #[test]
+    fn expired_queued_work_is_culled_not_dispatched() {
+        let mut r = rig_with_admission(Some(AdmissionConfig::edf(8)));
+        r.skeleton.ingest(
+            r.client,
+            request(0, SimTime::ZERO + SimDuration::from_millis(10)),
+            &r.skeleton_mailbox,
+        );
+        r.skeleton.ingest(
+            r.client,
+            request(1, SimTime::from_secs(1_000)),
+            &r.skeleton_mailbox,
+        );
+        r.clock.advance(SimDuration::from_millis(20));
+        while r.skeleton.step() {}
+        let first = recv(&r.client_mailbox);
+        match first {
+            RmiMessage::Response {
+                call: 0,
+                outcome: Err(e),
+            } => assert!(e.is_deadline_exceeded()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            recv(&r.client_mailbox),
+            RmiMessage::Response {
+                call: 1,
+                outcome: Ok(_),
+            }
+        ));
+        assert_eq!(r.skeleton.served(), 1, "culled work is never dispatched");
+        assert_eq!(r.skeleton.admission_stats().culled, 1);
+    }
+
+    #[test]
+    fn pending_count_excludes_expired_queued_requests() {
+        let mut r = rig_with_admission(Some(AdmissionConfig::fifo(8)));
+        r.skeleton.ingest(
+            r.client,
+            request(0, SimTime::ZERO + SimDuration::from_millis(10)),
+            &r.skeleton_mailbox,
+        );
+        r.skeleton.ingest(
+            r.client,
+            request(1, SimTime::from_secs(1_000)),
+            &r.skeleton_mailbox,
+        );
+        r.clock.advance(SimDuration::from_millis(20));
+        // Poll without pumping the queue: only the live request counts.
+        r.skeleton
+            .ingest(r.runtime, RmiMessage::PollLoad, &r.skeleton_mailbox);
+        match recv(&r.runtime_mailbox) {
+            RmiMessage::Load(report) => assert_eq!(report.pending, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_report_carries_queue_delay_percentiles() {
+        let mut r = rig_with_admission(Some(AdmissionConfig::fifo(8)));
+        r.skeleton.ingest(
+            r.client,
+            request(0, SimTime::from_secs(1_000)),
+            &r.skeleton_mailbox,
+        );
+        r.clock.advance(SimDuration::from_millis(8));
+        while r.skeleton.step() {}
+        r.skeleton
+            .handle(r.runtime, RmiMessage::PollLoad, &r.skeleton_mailbox);
+        match recv(&r.runtime_mailbox) {
+            RmiMessage::Load(report) => {
+                assert_eq!(report.queue_delay_p50_us, 8_000);
+                assert_eq!(report.queue_delay_p99_us, 8_000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -14,6 +14,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use erm_admission::AimdLimiter;
 use erm_metrics::{TraceEvent, TraceHandle};
 use erm_sim::{seeded_rng, SharedClock, SimDuration, SimTime};
 use erm_transport::{EndpointId, Mailbox, Network, RecvError};
@@ -61,6 +62,10 @@ pub struct StubStats {
     pub refreshes: u64,
     /// Invocations abandoned because their deadline passed.
     pub expired: u64,
+    /// `Overloaded` rejections received from members.
+    pub overloaded: u64,
+    /// Invocations refused locally by the AIMD limiter before any send.
+    pub throttled: u64,
 }
 
 /// A stub bound to one elastic object pool.
@@ -83,6 +88,7 @@ pub struct Stub {
     invocation_budget: SimDuration,
     trace: TraceHandle,
     stats: StubStats,
+    limiter: Option<Arc<AimdLimiter>>,
 }
 
 impl std::fmt::Debug for Stub {
@@ -136,6 +142,7 @@ impl Stub {
             invocation_budget: SimDuration::from_secs(30),
             trace: TraceHandle::disabled(),
             stats: StubStats::default(),
+            limiter: None,
         };
         stub.refresh_members()?;
         Ok(stub)
@@ -158,6 +165,23 @@ impl Stub {
     /// Routes this stub's trace events into `trace`.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Installs a client-side AIMD concurrency limiter. Every `invoke` must
+    /// then acquire a slot before sending: when the limiter's window is full
+    /// or it is inside a backoff period the call fails fast with
+    /// [`RmiError::Throttled`] instead of adding to a pool that is already
+    /// refusing work. `Overloaded` rejections and deadline expiries shrink
+    /// the window multiplicatively; completed invocations re-open it
+    /// additively. Sharing one `Arc` across a process's stubs gives the
+    /// process a single congestion view of the pool.
+    pub fn set_limiter(&mut self, limiter: Arc<AimdLimiter>) {
+        self.limiter = Some(limiter);
+    }
+
+    /// The installed AIMD limiter, if any.
+    pub fn limiter(&self) -> Option<&Arc<AimdLimiter>> {
+        self.limiter.as_ref()
     }
 
     /// The member endpoints the stub currently knows.
@@ -200,16 +224,53 @@ impl Stub {
     ///
     /// # Errors
     ///
-    /// As for [`Stub::invoke`], minus `Decode`.
+    /// As for [`Stub::invoke`], minus `Decode`, plus
+    /// [`RmiError::Throttled`] (limiter refused the slot locally) and
+    /// [`RmiError::Overloaded`] (every attempted member rejected with a
+    /// full admission queue).
     pub fn invoke_raw(&mut self, method: &str, args: Vec<u8>) -> Result<Vec<u8>, RmiError> {
+        let invocation = self.next_invocation;
+        self.next_invocation += 1;
+        let Some(limiter) = self.limiter.clone() else {
+            return self.drive(invocation, method, args);
+        };
+        let now = self.clock.now();
+        if !limiter.try_acquire(now) {
+            let retry_after = limiter.blocked_for(now);
+            self.stats.throttled += 1;
+            self.trace.emit(
+                now,
+                TraceEvent::InvocationThrottled {
+                    invocation,
+                    retry_after,
+                },
+            );
+            return Err(RmiError::Throttled { retry_after });
+        }
+        let result = self.drive(invocation, method, args);
+        limiter.release();
+        // A completed round trip — even one that raised an application
+        // error — proves the pool had capacity: widen the window. Congestion
+        // signals (Overloaded, deadline expiry) already shrank it inside the
+        // retry loop, closest to the evidence.
+        if matches!(&result, Ok(_) | Err(RmiError::Remote(_))) {
+            limiter.on_success();
+        }
+        result
+    }
+
+    /// The retry loop behind [`Stub::invoke_raw`]: builds the
+    /// [`InvocationContext`] and walks the target order until the invocation
+    /// completes, expires, or runs out of members.
+    fn drive(&mut self, invocation: u64, method: &str, args: Vec<u8>) -> Result<Vec<u8>, RmiError> {
         let now = self.clock.now();
         let mut context = InvocationContext {
-            id: self.next_invocation,
+            id: invocation,
             deadline: now + self.invocation_budget,
             attempt: 0,
             origin: self.endpoint,
         };
-        self.next_invocation += 1;
+        let mut overload_hint: Option<SimDuration> = None;
         let mut targets = self.target_order();
         let mut attempts = 0u32;
         let mut refreshed = false;
@@ -292,6 +353,25 @@ impl Stub {
                         }
                     }
                 }
+                AttemptOutcome::Overloaded { retry_after } => {
+                    self.stats.overloaded += 1;
+                    self.trace.emit(
+                        self.clock.now(),
+                        TraceEvent::AttemptOverloaded {
+                            invocation: context.id,
+                            attempt: attempts,
+                            target: target.0,
+                            retry_after,
+                        },
+                    );
+                    if let Some(limiter) = &self.limiter {
+                        limiter.on_congestion(self.clock.now(), Some(retry_after));
+                    }
+                    // Another member may still have queue room, so keep
+                    // walking the target order; remember the soonest
+                    // retry hint in case they are all full.
+                    overload_hint = Some(overload_hint.map_or(retry_after, |h| h.min(retry_after)));
+                }
                 AttemptOutcome::Expired => {
                     return self.expire(&context, attempts);
                 }
@@ -300,12 +380,23 @@ impl Stub {
         if context.is_expired(self.clock.now()) {
             return self.expire(&context, attempts);
         }
-        Err(RmiError::PoolUnreachable { attempts })
+        match overload_hint {
+            Some(retry_after) => Err(RmiError::Overloaded {
+                attempts,
+                retry_after,
+            }),
+            None => Err(RmiError::PoolUnreachable { attempts }),
+        }
     }
 
     /// Records and reports deadline expiry for `context`.
     fn expire(&mut self, context: &InvocationContext, attempts: u32) -> Result<Vec<u8>, RmiError> {
         self.stats.expired += 1;
+        // An invocation that ran out its whole budget is congestion too:
+        // the pool could not serve it in time.
+        if let Some(limiter) = &self.limiter {
+            limiter.on_congestion(self.clock.now(), None);
+        }
         self.trace.emit(
             self.clock.now(),
             TraceEvent::InvocationExpired {
@@ -401,6 +492,13 @@ impl Stub {
                             deadline,
                         };
                     }
+                    Ok(RmiMessage::Overloaded {
+                        call: c,
+                        retry_after,
+                        ..
+                    }) if c == call => {
+                        return AttemptOutcome::Overloaded { retry_after };
+                    }
                     // Stale replies to earlier timed-out calls, pool info
                     // broadcasts, etc.: skip.
                     _ => continue,
@@ -491,6 +589,9 @@ enum AttemptOutcome {
     Redirected {
         suggested: Vec<EndpointId>,
         deadline: SimTime,
+    },
+    Overloaded {
+        retry_after: SimDuration,
     },
     Failed,
     Expired,
@@ -728,6 +829,127 @@ mod tests {
         )
         .unwrap();
         assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn overloaded_member_is_skipped_for_the_next_one() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let m1 = FakeMember::new(&net);
+        let m2 = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&m1, &m2]);
+        let h = std::thread::spawn(move || {
+            let v: u32 = stub.invoke("m", &()).unwrap();
+            (v, stub.stats())
+        });
+        m1.answer(|call| RmiMessage::Overloaded {
+            call,
+            queue_depth: 8,
+            retry_after: SimDuration::from_millis(20),
+        });
+        m2.answer(|call| RmiMessage::Response {
+            call,
+            outcome: Ok(erm_transport::to_bytes(&3u32).unwrap()),
+        });
+        let (v, stats) = h.join().unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(stats.overloaded, 1);
+        assert_eq!(stats.retries, 1, "overload rejection costs one retry");
+    }
+
+    #[test]
+    fn all_members_overloaded_surfaces_soonest_retry_hint() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let m1 = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&m1, &sentinel]);
+        let h = std::thread::spawn(move || stub.invoke::<(), u32>("m", &()));
+        m1.answer(|call| RmiMessage::Overloaded {
+            call,
+            queue_depth: 8,
+            retry_after: SimDuration::from_millis(50),
+        });
+        sentinel.answer(|call| RmiMessage::Overloaded {
+            call,
+            queue_depth: 3,
+            retry_after: SimDuration::from_millis(20),
+        });
+        let err = h.join().unwrap().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RmiError::Overloaded {
+                    attempts: 2,
+                    retry_after
+                } if retry_after == SimDuration::from_millis(20)
+            ),
+            "unexpected {err:?}"
+        );
+    }
+
+    #[test]
+    fn limiter_backs_off_on_overloaded_then_throttles() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&sentinel]);
+        let limiter = Arc::new(erm_admission::AimdLimiter::new(
+            erm_admission::AimdConfig::default(),
+        ));
+        stub.set_limiter(Arc::clone(&limiter));
+        let limit_before = limiter.current_limit();
+        let h = std::thread::spawn(move || {
+            let first = stub.invoke::<(), u32>("m", &());
+            // The Overloaded reply set blocked_until one minute out; the
+            // real-time test clock cannot get there, so the gate refuses
+            // the second invocation locally without touching the network.
+            let second = stub.invoke::<(), u32>("m", &());
+            (first, second, stub.stats())
+        });
+        sentinel.answer(|call| RmiMessage::Overloaded {
+            call,
+            queue_depth: 64,
+            retry_after: SimDuration::from_secs(60),
+        });
+        let (first, second, stats) = h.join().unwrap();
+        assert!(matches!(first, Err(RmiError::Overloaded { .. })));
+        assert!(matches!(second, Err(RmiError::Throttled { .. })));
+        assert_eq!(stats.throttled, 1);
+        assert!(
+            limiter.current_limit() < limit_before,
+            "congestion must shrink the window ({} -> {})",
+            limit_before,
+            limiter.current_limit()
+        );
+        assert_eq!(limiter.in_flight(), 0, "slots released on every path");
+    }
+
+    #[test]
+    fn limiter_reopens_on_success() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&sentinel]);
+        let limiter = Arc::new(erm_admission::AimdLimiter::new(erm_admission::AimdConfig {
+            min_limit: 1,
+            max_limit: 4,
+            increase_milli: 1_000,
+            backoff_milli: 500,
+        }));
+        // Start from a congested window.
+        limiter.on_congestion(SimTime::ZERO, None);
+        limiter.on_congestion(SimTime::ZERO, None);
+        let shrunk = limiter.current_limit();
+        stub.set_limiter(Arc::clone(&limiter));
+        let h = std::thread::spawn(move || stub.invoke::<(), u32>("m", &()));
+        sentinel.answer(|call| RmiMessage::Response {
+            call,
+            outcome: Ok(erm_transport::to_bytes(&1u32).unwrap()),
+        });
+        h.join().unwrap().unwrap();
+        assert!(
+            limiter.current_limit() > shrunk,
+            "success must re-open the window ({shrunk} -> {})",
+            limiter.current_limit()
+        );
     }
 
     #[test]

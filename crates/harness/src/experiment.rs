@@ -274,6 +274,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
                     })
                     .collect(),
                 desired_size: None,
+                ..PoolSample::default()
             };
             match engine.poll(now, &sample) {
                 ScalingDecision::Grow(k) => {

@@ -16,6 +16,7 @@
 pub mod deployment;
 pub mod experiment;
 pub mod figures;
+pub mod overload;
 pub mod scalability;
 pub mod summary;
 pub mod tiered;
@@ -23,6 +24,7 @@ pub mod tiered;
 pub use deployment::Deployment;
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use figures::{agility_results, sparkline, FigureId};
+pub use overload::{render_overload, run_overload, OverloadConfig, OverloadResult};
 pub use scalability::{
     render_scalability, scalability_curve, ScalabilityPoint, SharedStateProfile,
 };

@@ -207,6 +207,7 @@ pub fn run_tiered(coordination: TierCoordination, seed: u64) -> TieredResult {
                     tier.ready.len().max(1)
                 ],
                 desired_size: None,
+                ..PoolSample::default()
             };
             match tier.engine.poll(now, &sample) {
                 ScalingDecision::Grow(k) => {

@@ -23,5 +23,5 @@ mod trace;
 
 pub use agility::{AgilityMeter, AgilityReport};
 pub use provisioning::{ProvisioningRecorder, ProvisioningReport};
-pub use qos::{LatencyTracker, ThroughputTracker};
+pub use qos::{AdmissionCounters, AdmissionStats, LatencyTracker, ThroughputTracker};
 pub use trace::{TraceEvent, TraceHandle, TraceRecord, TraceSink};

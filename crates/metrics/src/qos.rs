@@ -5,6 +5,8 @@
 //! runtime's skeletons (per-method stats feeding `getMethodCallStats`) and by
 //! the application tests.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use erm_sim::{SimDuration, SimTime, TimeSeries};
 
 /// Counts events per fixed window and exposes a rate series.
@@ -209,6 +211,78 @@ impl Default for LatencyTracker {
     }
 }
 
+/// Thread-safe counters of admission-control decisions — one per component
+/// (skeleton, pool, experiment) that admits, rejects, culls or sheds work.
+///
+/// # Example
+///
+/// ```
+/// use erm_metrics::AdmissionCounters;
+///
+/// let counters = AdmissionCounters::new();
+/// counters.admit();
+/// counters.reject();
+/// let stats = counters.snapshot();
+/// assert_eq!((stats.admitted, stats.rejected), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct AdmissionCounters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    culled: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// A point-in-time copy of [`AdmissionCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdmissionStats {
+    /// Requests admitted into a run queue.
+    pub admitted: u64,
+    /// Requests refused with `Overloaded` (queue full).
+    pub rejected: u64,
+    /// Admitted requests culled from a queue after their deadline passed.
+    pub culled: u64,
+    /// Requests shed sideways (rebalance redirect or shutdown drain).
+    pub shed: u64,
+}
+
+impl AdmissionCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        AdmissionCounters::default()
+    }
+
+    /// Counts one admission.
+    pub fn admit(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `Overloaded` rejection.
+    pub fn reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one expired-in-queue cull.
+    pub fn cull(&self) {
+        self.culled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one shed (redirect).
+    pub fn shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            culled: self.culled.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +361,24 @@ mod tests {
     fn quantile_validates_range() {
         let l = LatencyTracker::new();
         let _ = l.quantile(1.5);
+    }
+
+    #[test]
+    fn admission_counters_tally_each_decision() {
+        let c = AdmissionCounters::new();
+        c.admit();
+        c.admit();
+        c.reject();
+        c.cull();
+        c.shed();
+        assert_eq!(
+            c.snapshot(),
+            AdmissionStats {
+                admitted: 2,
+                rejected: 1,
+                culled: 1,
+                shed: 1,
+            }
+        );
     }
 }

@@ -89,6 +89,47 @@ pub enum TraceEvent {
         /// Invocation id from the request's context.
         invocation: u64,
     },
+    /// A skeleton admitted a request into its bounded run queue.
+    RequestAdmitted {
+        /// The admitting member's uid.
+        uid: u64,
+        /// Invocation id from the request's context.
+        invocation: u64,
+        /// Queue depth after admission.
+        depth: u32,
+    },
+    /// A skeleton refused a request with `Overloaded`: the admission queue
+    /// was full of live work.
+    RequestOverloaded {
+        /// The refusing member's uid.
+        uid: u64,
+        /// Invocation id from the request's context.
+        invocation: u64,
+        /// Live queue depth at rejection time.
+        queue_depth: u32,
+        /// The retry pause suggested to the stub.
+        retry_after: SimDuration,
+    },
+    /// A stub attempt was answered with `Overloaded`; the stub backs off
+    /// and tries elsewhere if budget remains.
+    AttemptOverloaded {
+        /// Invocation id.
+        invocation: u64,
+        /// The attempt that was refused.
+        attempt: u32,
+        /// The member that refused.
+        target: u64,
+        /// The server's suggested retry pause.
+        retry_after: SimDuration,
+    },
+    /// The stub's client-side limiter refused an invocation locally —
+    /// nothing was sent to the pool.
+    InvocationThrottled {
+        /// Invocation id.
+        invocation: u64,
+        /// How long the limiter suggests waiting.
+        retry_after: SimDuration,
+    },
     /// A member joined the pool.
     MemberJoined {
         /// The new member's uid.
@@ -178,6 +219,42 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::RequestShed { uid, invocation } => {
                 write!(f, "member {uid} shed inv {invocation}")
+            }
+            TraceEvent::RequestAdmitted {
+                uid,
+                invocation,
+                depth,
+            } => {
+                write!(f, "member {uid} admitted inv {invocation} (depth {depth})")
+            }
+            TraceEvent::RequestOverloaded {
+                uid,
+                invocation,
+                queue_depth,
+                retry_after,
+            } => write!(
+                f,
+                "member {uid} overloaded: refused inv {invocation} \
+                 (depth {queue_depth}, retry in {retry_after})"
+            ),
+            TraceEvent::AttemptOverloaded {
+                invocation,
+                attempt,
+                target,
+                retry_after,
+            } => write!(
+                f,
+                "inv {invocation} attempt {attempt} refused by overloaded \
+                 endpoint {target} (retry in {retry_after})"
+            ),
+            TraceEvent::InvocationThrottled {
+                invocation,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "inv {invocation} throttled locally (retry in {retry_after})"
+                )
             }
             TraceEvent::MemberJoined { uid } => write!(f, "member {uid} joined"),
             TraceEvent::MemberDrained { uid } => write!(f, "member {uid} drained"),

@@ -152,6 +152,7 @@ fn scaling_engine_respects_bounds() {
                 avg_ram: ram,
                 fine_votes: votes.clone(),
                 desired_size: Some(pool_size / 2),
+                ..PoolSample::default()
             };
             let target = i64::from(pool_size) + engine.decide(&sample).delta();
             assert!(
@@ -277,5 +278,182 @@ fn store_version_monotonicity() {
             *e += 1;
             assert_eq!(v, *e);
         }
+    }
+}
+
+/// No invocation is lost or duplicated when `Overloaded` rejections,
+/// rebalance sheds, drain redirects, and deadline expiries interleave:
+/// every request the client sends gets exactly one terminal reply
+/// (`Response`, `Redirected`, or `Overloaded`).
+#[test]
+fn skeleton_conserves_invocations_under_overload() {
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    use elasticrmi::{
+        AdmissionConfig, InvocationContext, MemberState, RmiMessage, ServiceContext, Skeleton,
+    };
+    use erm_metrics::TraceHandle;
+    use erm_sim::{Clock, SharedClock, VirtualClock};
+    use erm_transport::{Host, InProcNetwork};
+
+    struct Null;
+    impl elasticrmi::ElasticService for Null {
+        fn dispatch(
+            &mut self,
+            _method: &str,
+            _args: &[u8],
+            _ctx: &mut ServiceContext,
+        ) -> Result<Vec<u8>, elasticrmi::RemoteError> {
+            Ok(Vec::new())
+        }
+    }
+
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0xADC0 ^ (seed.wrapping_mul(0x9E37_79B9)));
+        let net = InProcNetwork::new();
+        let (skel_ep, skel_mb) = net.open();
+        let (client_ep, client_mb) = net.open();
+        let (runtime_ep, _runtime_mb) = net.open();
+        let (peer_ep, _peer_mb) = net.open();
+        let clock = Arc::new(VirtualClock::new());
+        let ctx = ServiceContext::new(
+            Arc::new(Store::new(StoreConfig::default())),
+            "P",
+            0,
+            Arc::<VirtualClock>::clone(&clock) as SharedClock,
+            Arc::new(AtomicU32::new(1)),
+        );
+        let capacity = rng.gen_range(1u32..6);
+        let admission = if rng.gen() {
+            AdmissionConfig::fifo(capacity)
+        } else {
+            AdmissionConfig::edf(capacity)
+        };
+        let mut sk = Skeleton::new(
+            0,
+            skel_ep,
+            runtime_ep,
+            Arc::new(net.clone()),
+            Arc::<VirtualClock>::clone(&clock) as SharedClock,
+            Box::new(Null),
+            ctx,
+            TraceHandle::disabled(),
+            Some(admission),
+        );
+        // A peer so drain-time redirects have somewhere to point.
+        sk.ingest(
+            client_ep,
+            RmiMessage::StateBroadcast {
+                epoch: 1,
+                sentinel_uid: 0,
+                members: vec![
+                    MemberState {
+                        endpoint: skel_ep,
+                        uid: 0,
+                        pending: 0,
+                    },
+                    MemberState {
+                        endpoint: peer_ep,
+                        uid: 1,
+                        pending: 0,
+                    },
+                ],
+            },
+            &skel_mb,
+        );
+
+        let mut sent: Vec<u64> = Vec::new();
+        let mut next_call = 0u64;
+        let ops = rng.gen_range(20usize..120);
+        for _ in 0..ops {
+            match rng.gen_range(0u32..10) {
+                // Mostly requests, some born expired, some with tight
+                // deadlines that lapse mid-run.
+                0..=5 => {
+                    let call = next_call;
+                    next_call += 1;
+                    let now = clock.now();
+                    let deadline = if rng.gen_range(0u32..8) == 0 {
+                        now // dead on arrival
+                    } else {
+                        now + SimDuration::from_millis(rng.gen_range(1u64..500))
+                    };
+                    sent.push(call);
+                    sk.ingest(
+                        client_ep,
+                        RmiMessage::Request {
+                            call,
+                            context: InvocationContext {
+                                id: call,
+                                deadline,
+                                attempt: 1,
+                                origin: client_ep,
+                            },
+                            method: "noop".into(),
+                            args: Vec::new(),
+                        },
+                        &skel_mb,
+                    );
+                }
+                // Rebalance quota: the next few requests are shed.
+                6 => {
+                    sk.ingest(
+                        client_ep,
+                        RmiMessage::Rebalance {
+                            to: peer_ep,
+                            count: rng.gen_range(1u32..4),
+                        },
+                        &skel_mb,
+                    );
+                }
+                // Time passes; queued work may expire.
+                7 => {
+                    clock.advance(SimDuration::from_millis(rng.gen_range(1u64..400)));
+                }
+                // Execute or cull a bit.
+                8 => {
+                    let steps = rng.gen_range(1usize..4);
+                    for _ in 0..steps {
+                        sk.step();
+                    }
+                }
+                // Rarely, a drain starts mid-stream; later requests are
+                // redirected away, queued work still completes.
+                _ => {
+                    if rng.gen_range(0u32..4) == 0 {
+                        sk.ingest(client_ep, RmiMessage::Shutdown, &skel_mb);
+                    }
+                }
+            }
+        }
+        // Drain everything still queued.
+        while sk.step() {}
+        clock.advance(SimDuration::from_secs(600));
+        while sk.step() {}
+
+        let mut replies: HashMap<u64, u32> = HashMap::new();
+        while let Ok(d) = client_mb.try_recv() {
+            match elasticrmi::RmiMessage::decode(&d.payload).unwrap() {
+                RmiMessage::Response { call, .. }
+                | RmiMessage::Redirected { call, .. }
+                | RmiMessage::Overloaded { call, .. } => {
+                    *replies.entry(call).or_insert(0) += 1;
+                }
+                _ => {}
+            }
+        }
+        for call in &sent {
+            assert_eq!(
+                replies.get(call).copied().unwrap_or(0),
+                1,
+                "seed {seed}: call {call} must get exactly one terminal reply"
+            );
+        }
+        assert_eq!(
+            replies.len(),
+            sent.len(),
+            "seed {seed}: replies for calls never sent"
+        );
     }
 }

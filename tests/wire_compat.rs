@@ -5,8 +5,8 @@
 //! hard-code the expected encodings so any accidental format change fails
 //! loudly instead of corrupting cross-version traffic.
 
-use elasticrmi::{InvocationContext, RemoteError, RmiMessage};
-use erm_sim::SimTime;
+use elasticrmi::{InvocationContext, LoadReport, RemoteError, RmiMessage};
+use erm_sim::{SimDuration, SimTime};
 use erm_transport::{to_bytes, EndpointId};
 
 #[test]
@@ -49,7 +49,8 @@ fn float_layout_is_ieee754_le() {
 fn enum_variants_are_u32_indices() {
     // RmiMessage::Ping is variant 11 of the protocol enum (format v2, which
     // inserted Redirected); its encoding is exactly the 4-byte index.
-    // Renumbering variants breaks deployed peers.
+    // Renumbering variants breaks deployed peers. Format v3 appended
+    // Overloaded as variant 13 — earlier indices are frozen.
     assert_eq!(RmiMessage::Ping.encode(), [11, 0, 0, 0]);
     assert_eq!(RmiMessage::Pong.encode(), [12, 0, 0, 0]);
     assert_eq!(RmiMessage::PoolInfoRequest.encode(), [3, 0, 0, 0]);
@@ -136,6 +137,61 @@ fn response_err_golden_bytes() {
     ]
     .concat();
     assert_eq!(msg.encode(), expected);
+}
+
+#[test]
+fn overloaded_message_golden_bytes() {
+    // Format v3: Overloaded is the appended variant 13 — an explicit
+    // admission rejection carrying the refusing member's queue depth and a
+    // retry hint.
+    let msg = RmiMessage::Overloaded {
+        call: 4,
+        queue_depth: 16,
+        retry_after: SimDuration::from_micros(2_000),
+    };
+    let expected: Vec<u8> = [
+        vec![13, 0, 0, 0],                  // variant 13: Overloaded
+        vec![4, 0, 0, 0, 0, 0, 0, 0],       // call: u64 = 4
+        vec![16, 0, 0, 0],                  // queue_depth: u32 = 16
+        vec![0xd0, 0x07, 0, 0, 0, 0, 0, 0], // retry_after: 2_000 µs
+    ]
+    .concat();
+    assert_eq!(msg.encode(), expected);
+    assert_eq!(RmiMessage::decode(&expected).unwrap(), msg);
+}
+
+#[test]
+fn load_report_v3_golden_bytes() {
+    // Format v3: LoadReport appends rejected and the queue-delay
+    // percentiles after method_stats. Existing fields keep their v2 layout.
+    let msg = RmiMessage::Load(LoadReport {
+        uid: 1,
+        pending: 2,
+        busy: 0.5,
+        ram: 0.25,
+        fine_vote: Some(1),
+        expired: 3,
+        method_stats: Vec::new(),
+        rejected: 4,
+        queue_delay_p50_us: 1_000,
+        queue_delay_p99_us: 2_000,
+    });
+    let expected: Vec<u8> = [
+        vec![6, 0, 0, 0],                // variant 6: Load
+        vec![1, 0, 0, 0, 0, 0, 0, 0],    // uid: u64 = 1
+        vec![2, 0, 0, 0],                // pending: u32 = 2
+        0.5f32.to_le_bytes().to_vec(),   // busy
+        0.25f32.to_le_bytes().to_vec(),  // ram
+        vec![1, 1, 0, 0, 0],             // fine_vote: Some(1)
+        vec![3, 0, 0, 0],                // expired: u32 = 3
+        vec![0, 0, 0, 0],                // method_stats: len 0
+        vec![4, 0, 0, 0],                // rejected: u32 = 4 (v3)
+        vec![0xe8, 3, 0, 0, 0, 0, 0, 0], // queue_delay_p50_us (v3)
+        vec![0xd0, 7, 0, 0, 0, 0, 0, 0], // queue_delay_p99_us (v3)
+    ]
+    .concat();
+    assert_eq!(msg.encode(), expected);
+    assert_eq!(RmiMessage::decode(&expected).unwrap(), msg);
 }
 
 #[test]
