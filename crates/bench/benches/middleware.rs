@@ -12,7 +12,7 @@ use elasticrmi::{
 };
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
-use erm_metrics::TraceHandle;
+use erm_metrics::{MetricsHandle, TraceHandle};
 use erm_sim::{SimTime, SystemClock};
 use erm_transport::{EndpointId, InProcNetwork};
 
@@ -106,6 +106,7 @@ fn bench_full_rmi_path(c: &mut Criterion) {
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
         trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
     };
     let config = PoolConfig::builder("Echo")
         .min_pool_size(3)
@@ -138,6 +139,7 @@ fn bench_lb_policies(c: &mut Criterion) {
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
         trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
     };
     let config = PoolConfig::builder("Echo")
         .min_pool_size(4)

@@ -7,11 +7,15 @@
 //! figures --ablation         # design-choice ablations (burst interval,
 //!                            # policy, provisioning latency)
 //! figures --overload         # admission control vs unbounded FIFO under
-//!                            # a 2x burst with the pool pinned
+//!                            # a 2x burst with the pool pinned, then the
+//!                            # instrumented elastic run + why-scaled report
 //! figures --seed 42          # change the experiment seed
 //! figures --dump-traces      # control-plane trace of one run per
 //!                            # app x pattern (scale decisions, joins,
 //!                            # drains, in virtual time)
+//! figures --overload --export-trace t.json --export-metrics m.csv
+//!                            # also write the elastic run's Perfetto/Chrome
+//!                            # trace_event JSON and metrics-registry CSV
 //! ```
 
 use erm_apps::AppKind;
@@ -27,6 +31,8 @@ fn main() {
     let mut ablation = false;
     let mut overload = false;
     let mut dump_traces = false;
+    let mut export_trace: Option<String> = None;
+    let mut export_metrics: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,6 +49,22 @@ fn main() {
                     args.get(i)
                         .cloned()
                         .unwrap_or_else(|| usage("--fig needs an id")),
+                );
+            }
+            "--export-trace" => {
+                i += 1;
+                export_trace = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--export-trace needs a path")),
+                );
+            }
+            "--export-metrics" => {
+                i += 1;
+                export_metrics = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--export-metrics needs a path")),
                 );
             }
             "--table" => table = true,
@@ -72,7 +94,11 @@ fn main() {
     }
     if overload {
         print!("{}", erm_harness::render_overload(seed));
+        print_elastic_telemetry(seed, export_trace.as_deref(), export_metrics.as_deref());
         return;
+    }
+    if export_trace.is_some() || export_metrics.is_some() {
+        usage("--export-trace/--export-metrics only apply with --overload");
     }
     if dump_traces {
         print_traces(seed);
@@ -94,7 +120,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: figures [--fig 7a..7j|8a|8b] [--table] [--ablation] [--overload] \
-         [--dump-traces] [--seed N]"
+         [--dump-traces] [--seed N] \
+         [--export-trace PATH] [--export-metrics PATH]  (exports need --overload)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -124,6 +151,35 @@ fn print_summary(seed: u64) {
     }
 }
 
+/// The instrumented elastic overload run: prints the why-scaled report and
+/// optionally writes the Perfetto trace and the metrics CSV.
+fn print_elastic_telemetry(seed: u64, trace_path: Option<&str>, metrics_path: Option<&str>) {
+    let run = erm_harness::run_elastic_overload(seed);
+    println!("\n================ Elastic run telemetry (seed {seed}) ================");
+    print!("{}", run.report);
+    if let Some(path) = trace_path {
+        if let Err(e) = std::fs::write(path, &run.trace_json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {path}: {} invocation + {} decision spans \
+             (load in Perfetto / chrome://tracing)",
+            run.invocations, run.decisions
+        );
+    }
+    if let Some(path) = metrics_path {
+        if let Err(e) = std::fs::write(path, &run.metrics_csv) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {path}: {} metric-registry snapshot rows",
+            run.metrics_csv.lines().count().saturating_sub(1)
+        );
+    }
+}
+
 /// One ElasticRMI run per application x pattern with control-plane tracing
 /// on, dumped one record per line in virtual time.
 fn print_traces(seed: u64) {
@@ -137,6 +193,13 @@ fn print_traces(seed: u64) {
                 "================ Trace: {app} / {pattern} ({} events) ================",
                 r.trace.len()
             );
+            if r.trace_dropped > 0 {
+                println!(
+                    "WARNING: ring buffer dropped {} oldest records; \
+                     this trace is incomplete",
+                    r.trace_dropped
+                );
+            }
             for record in &r.trace {
                 println!("{record}");
             }

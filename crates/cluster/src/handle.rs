@@ -48,6 +48,15 @@ impl ClusterHandle {
         f(&mut self.inner.lock())
     }
 
+    /// See [`ResourceManager::set_telemetry`].
+    pub fn set_telemetry(
+        &self,
+        trace: erm_metrics::TraceHandle,
+        metrics: &erm_metrics::MetricsHandle,
+    ) {
+        self.inner.lock().set_telemetry(trace, metrics);
+    }
+
     /// See [`ResourceManager::request_slices`].
     pub fn request_slices(&self, n: u32, now: SimTime) -> Result<RequestOutcome, ClusterError> {
         self.inner.lock().request_slices(n, now)

@@ -3,6 +3,7 @@
 use std::collections::HashSet;
 use std::fmt;
 
+use erm_metrics::{Histogram, MetricsHandle, TraceEvent, TraceHandle};
 use erm_sim::{derive_seed, seeded_rng, EventQueue, SimTime};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -137,6 +138,7 @@ impl Default for ClusterConfig {
 struct PendingGrant {
     slice: SliceId,
     request_id: u64,
+    requested_at: SimTime,
 }
 
 /// The cluster resource manager. See the [crate docs](crate) for an overview.
@@ -158,6 +160,8 @@ pub struct ResourceManager {
     above_high: bool,
     below_low: bool,
     alerts: Vec<AdminAlert>,
+    trace: TraceHandle,
+    provision_latency: Histogram,
 }
 
 impl ResourceManager {
@@ -192,7 +196,16 @@ impl ResourceManager {
             above_high: false,
             below_low: false,
             alerts: Vec::new(),
+            trace: TraceHandle::disabled(),
+            provision_latency: Histogram::disabled(),
         }
+    }
+
+    /// Enables telemetry: offer request/outcome trace events and the
+    /// `cluster.provision.latency` histogram (request → slice ready).
+    pub fn set_telemetry(&mut self, trace: TraceHandle, metrics: &MetricsHandle) {
+        self.trace = trace;
+        self.provision_latency = metrics.histogram("cluster.provision.latency");
     }
 
     /// The node a slice belongs to.
@@ -233,6 +246,13 @@ impl ResourceManager {
         self.check_master(now)?;
         let request_id = self.next_request;
         self.next_request += 1;
+        self.trace.emit(
+            now,
+            TraceEvent::OfferRequested {
+                request_id,
+                count: n,
+            },
+        );
         let load = self.utilization();
         let mut granted = 0u32;
         let mut skipped: Vec<SliceId> = Vec::new();
@@ -244,14 +264,28 @@ impl ResourceManager {
             }
             let latency = self.config.provisioning.sample(&mut self.rng, load);
             self.pending_count += 1;
-            self.provisioning
-                .schedule(now + latency, PendingGrant { slice, request_id });
+            self.provisioning.schedule(
+                now + latency,
+                PendingGrant {
+                    slice,
+                    request_id,
+                    requested_at: now,
+                },
+            );
             granted += 1;
         }
         // Slices on failed nodes stay in the pool (they come back with the
         // node) but cannot be granted now.
         self.free.extend(skipped);
         self.refresh_alerts(now);
+        self.trace.emit(
+            now,
+            TraceEvent::OfferOutcome {
+                request_id,
+                granted,
+                requested: n,
+            },
+        );
         Ok(RequestOutcome {
             request_id,
             granted,
@@ -265,6 +299,8 @@ impl ResourceManager {
         while let Some((ready_at, pending)) = self.provisioning.pop_one_due(now) {
             self.pending_count -= 1;
             self.in_use.insert(pending.slice);
+            self.provision_latency
+                .record(ready_at.saturating_since(pending.requested_at));
             ready.push(SliceGrant {
                 slice: pending.slice,
                 node: self.node_of(pending.slice),
@@ -467,6 +503,45 @@ mod tests {
         c.request_slices(2, SimTime::ZERO).unwrap();
         assert!(c.poll_ready(SimTime::from_secs(19)).is_empty());
         assert_eq!(c.poll_ready(SimTime::from_secs(20)).len(), 2);
+    }
+
+    #[test]
+    fn telemetry_records_offers_and_provision_latency() {
+        use erm_metrics::{MetricsHandle, TraceHandle, TraceSink};
+        let sink = std::sync::Arc::new(TraceSink::new(64));
+        let (metrics, registry) = MetricsHandle::shared();
+        let mut c = small_cluster(LatencyModel::Fixed(SimDuration::from_secs(20)));
+        c.set_telemetry(TraceHandle::new(std::sync::Arc::clone(&sink)), &metrics);
+
+        c.request_slices(2, SimTime::ZERO).unwrap();
+        assert_eq!(c.poll_ready(SimTime::from_secs(20)).len(), 2);
+
+        let events: Vec<_> = sink.snapshot().into_iter().map(|r| r.event).collect();
+        let requested = events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::OfferRequested { count: 2, .. }));
+        let resolved = events.iter().any(|e| {
+            matches!(
+                e,
+                TraceEvent::OfferOutcome {
+                    granted: 2,
+                    requested: 2,
+                    ..
+                }
+            )
+        });
+        assert!(requested, "missing OfferRequested: {events:?}");
+        assert!(resolved, "missing OfferOutcome: {events:?}");
+
+        let snap = registry.snapshot(SimTime::from_secs(20));
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|(name, _)| *name == "cluster.provision.latency")
+            .map(|(_, h)| h.clone())
+            .expect("provision latency histogram registered");
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.max(), Some(SimDuration::from_secs(20)));
     }
 
     #[test]

@@ -68,6 +68,7 @@
 //!     store: Arc::new(Store::new(StoreConfig::default())),
 //!     clock: Arc::new(SystemClock::new()),
 //!     trace: erm_metrics::TraceHandle::disabled(),
+//!     metrics: erm_metrics::MetricsHandle::disabled(),
 //! };
 //! let config = PoolConfig::builder("Counter").build()?;
 //! let mut pool = ElasticPool::instantiate(config, Arc::new(|| Box::new(Counter)), deps, None)?;
@@ -111,7 +112,7 @@ pub use error::{PoolError, RemoteError, RmiError};
 pub use message::{InvocationContext, LoadReport, MemberState, MethodStat, RmiMessage};
 pub use pool::{Decider, ElasticPool, PoolDeps, PoolStats, ServiceFactory};
 pub use registry::{RegistryClient, RegistryServer};
-pub use scaling::{PoolSample, ScalingDecision, ScalingEngine};
+pub use scaling::{DecisionExplanation, PoolSample, ScalingDecision, ScalingEngine};
 pub use skeleton::Skeleton;
 pub use state::{field_key, SharedField};
 pub use stub::{ClientLb, Stub, StubStats};

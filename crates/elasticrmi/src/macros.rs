@@ -282,7 +282,7 @@ mod stub_macro_tests {
     use crate::{ClientLb, ElasticPool, PoolConfig, PoolDeps};
     use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
     use erm_kvstore::{Store, StoreConfig};
-    use erm_metrics::TraceHandle;
+    use erm_metrics::{MetricsHandle, TraceHandle};
     use erm_sim::SystemClock;
     use erm_transport::InProcNetwork;
     use std::sync::Arc;
@@ -323,6 +323,7 @@ mod stub_macro_tests {
             store: Arc::new(Store::new(StoreConfig::default())),
             clock: Arc::new(SystemClock::new()),
             trace: TraceHandle::disabled(),
+            metrics: MetricsHandle::disabled(),
         };
         let config = PoolConfig::builder("Greeter").build().unwrap();
         let mut pool =

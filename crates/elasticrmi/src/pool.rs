@@ -24,7 +24,7 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use erm_cluster::{ClusterHandle, SliceGrant, SliceId};
 use erm_kvstore::Store;
-use erm_metrics::{TraceEvent, TraceHandle};
+use erm_metrics::{MetricsHandle, TraceEvent, TraceHandle};
 use erm_sim::{SharedClock, SimDuration, SimTime};
 use erm_transport::{EndpointId, Host, Mailbox, Network};
 use parking_lot::{Mutex, RwLock};
@@ -68,6 +68,10 @@ pub struct PoolDeps {
     /// Trace sink for invocation and elasticity events (disabled by
     /// default; see [`erm_metrics::TraceSink`]).
     pub trace: TraceHandle,
+    /// Metrics registry the pool's skeletons register their instruments on
+    /// (`skeleton.queue.delay`, `skeleton.service.time`). Disabled by
+    /// default; see [`erm_metrics::Registry`].
+    pub metrics: MetricsHandle,
 }
 
 impl std::fmt::Debug for PoolDeps {
@@ -418,7 +422,7 @@ impl Runtime {
             Arc::clone(&self.shared.size),
         );
         let net: Arc<dyn Network> = Arc::clone(&self.deps.net) as Arc<dyn Network>;
-        let skeleton = crate::skeleton::Skeleton::new(
+        let mut skeleton = crate::skeleton::Skeleton::new(
             uid,
             endpoint,
             self.ctl,
@@ -429,6 +433,7 @@ impl Runtime {
             self.deps.trace.clone(),
             self.config.admission_config(),
         );
+        skeleton.set_metrics(&self.deps.metrics);
         let join = std::thread::Builder::new()
             .name(format!("erm-member-{uid}"))
             .spawn(move || skeleton.run(mailbox))
@@ -627,11 +632,23 @@ impl Runtime {
             sample.desired_size = Some(decider.desired_pool_size(&sample));
         }
         *self.shared.last_reports.lock() = self.reports.values().cloned().collect();
-        let decision = self
+        let (decision, why) = self
             .engine
             .as_mut()
             .expect("engine initialized")
-            .poll(now, &sample);
+            .poll_explained(now, &sample);
+        // The rule explanation precedes the decision in the trace so span
+        // reconstruction can pair each ScaleDecision with its cause.
+        if let Some(why) = why {
+            self.deps.trace.emit(
+                now,
+                TraceEvent::RuleFired {
+                    rule: why.rule,
+                    observed_milli: why.observed_milli,
+                    threshold_milli: why.threshold_milli,
+                },
+            );
+        }
         match decision {
             ScalingDecision::Grow(k) => {
                 self.deps.trace.emit(

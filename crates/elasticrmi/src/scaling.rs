@@ -55,6 +55,29 @@ impl ScalingDecision {
     }
 }
 
+/// Why a decision came out the way it did: the rule that fired plus the
+/// observation and threshold it compared, in milli-units (percent × 1000,
+/// milliseconds, or milli-votes) so the explanation stays `Eq`-comparable
+/// and fits the `RuleFired` trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct DecisionExplanation {
+    /// Stable identifier of the rule that determined the decision, e.g.
+    /// `"cpu-above-increase-threshold"` or `"queue-delay-above-bound"`.
+    pub rule: &'static str,
+    /// The observed value the rule compared, in milli-units.
+    pub observed_milli: i64,
+    /// The configured threshold it was compared against, in milli-units.
+    pub threshold_milli: i64,
+}
+
+fn pct_milli(pct: f32) -> i64 {
+    (f64::from(pct) * 1000.0).round() as i64
+}
+
+fn dur_milli(d: SimDuration) -> i64 {
+    (d.as_micros() / 1000) as i64
+}
+
 /// The per-pool scaling engine: burst-interval pacing plus the four decision
 /// mechanisms.
 #[derive(Debug, Clone)]
@@ -90,17 +113,36 @@ impl ScalingEngine {
     /// consuming the interval. This is the method the runtime calls every
     /// tick.
     pub fn poll(&mut self, now: SimTime, sample: &PoolSample) -> ScalingDecision {
+        self.poll_explained(now, sample).0
+    }
+
+    /// Like [`ScalingEngine::poll`], but also reports *why*: the rule whose
+    /// comparison determined a non-`Hold` decision. `None` when nothing was
+    /// due, nothing fired, or clamping cancelled the step.
+    pub fn poll_explained(
+        &mut self,
+        now: SimTime,
+        sample: &PoolSample,
+    ) -> (ScalingDecision, Option<DecisionExplanation>) {
         if !self.is_due(now) {
-            return ScalingDecision::Hold;
+            return (ScalingDecision::Hold, None);
         }
         self.next_due = now + self.config.burst_interval();
-        self.decide(sample)
+        self.decide_explained(sample)
     }
 
     /// The pure decision function, ignoring pacing. Exposed for tests and
     /// for harnesses that do their own scheduling.
     pub fn decide(&self, sample: &PoolSample) -> ScalingDecision {
-        let raw_delta: i64 = match self.config.policy() {
+        self.decide_explained(sample).0
+    }
+
+    /// [`ScalingEngine::decide`] plus the explanation of which rule fired.
+    pub fn decide_explained(
+        &self,
+        sample: &PoolSample,
+    ) -> (ScalingDecision, Option<DecisionExplanation>) {
+        let (raw_delta, mut why): (i64, Option<DecisionExplanation>) = match self.config.policy() {
             ScalingPolicy::Implicit => threshold_step(
                 sample,
                 &Thresholds {
@@ -111,10 +153,31 @@ impl ScalingEngine {
                 },
             ),
             ScalingPolicy::Coarse(t) => threshold_step(sample, &t),
-            ScalingPolicy::FineGrained => average_vote(&sample.fine_votes),
+            ScalingPolicy::FineGrained => {
+                let votes = &sample.fine_votes;
+                let delta = average_vote(votes);
+                let why = (delta != 0).then(|| DecisionExplanation {
+                    rule: "fine-vote-average",
+                    observed_milli: if votes.is_empty() {
+                        0
+                    } else {
+                        votes.iter().map(|&v| i64::from(v)).sum::<i64>() * 1000 / votes.len() as i64
+                    },
+                    threshold_milli: 0,
+                });
+                (delta, why)
+            }
             ScalingPolicy::AppLevel => match sample.desired_size {
-                Some(desired) => i64::from(desired) - i64::from(sample.pool_size),
-                None => 0,
+                Some(desired) => {
+                    let delta = i64::from(desired) - i64::from(sample.pool_size);
+                    let why = (delta != 0).then(|| DecisionExplanation {
+                        rule: "app-level-desired",
+                        observed_milli: i64::from(sample.pool_size) * 1000,
+                        threshold_milli: i64::from(desired) * 1000,
+                    });
+                    (delta, why)
+                }
+                None => (0, None),
             },
         };
         // Queueing delay overrides everything except an explicit shrink-free
@@ -123,36 +186,78 @@ impl ScalingEngine {
         // if averaged CPU looks calm (the paper's `changePoolSize` spirit:
         // scale on the metric the application actually feels).
         let raw_delta = match self.config.queue_delay_grow_above() {
-            Some(bound) if sample.queue_delay_p99 > bound => raw_delta.max(1),
+            Some(bound) if sample.queue_delay_p99 > bound => {
+                if raw_delta < 1 {
+                    why = Some(DecisionExplanation {
+                        rule: "queue-delay-above-bound",
+                        observed_milli: dur_milli(sample.queue_delay_p99),
+                        threshold_milli: dur_milli(bound),
+                    });
+                }
+                raw_delta.max(1)
+            }
             _ => raw_delta,
         };
         let target = self
             .config
             .clamp_size(i64::from(sample.pool_size) + raw_delta);
-        match i64::from(target) - i64::from(sample.pool_size) {
+        let decision = match i64::from(target) - i64::from(sample.pool_size) {
             0 => ScalingDecision::Hold,
             d if d > 0 => ScalingDecision::Grow(d as u32),
             d => ScalingDecision::Shrink((-d) as u32),
+        };
+        // A rule may have fired and still produced no change (clamped at a
+        // bound): report no explanation, since there is no step to explain.
+        if decision == ScalingDecision::Hold {
+            why = None;
         }
+        (decision, why)
     }
 }
 
 /// Coarse-grained step: +1 when any configured increase threshold is
 /// exceeded (logical OR, §3.3), −1 when every configured decrease threshold
 /// is satisfied; growth wins conflicts.
-fn threshold_step(sample: &PoolSample, t: &Thresholds) -> i64 {
+fn threshold_step(sample: &PoolSample, t: &Thresholds) -> (i64, Option<DecisionExplanation>) {
     let cpu_hot = t.cpu_incr.is_some_and(|th| sample.avg_cpu > th);
     let ram_hot = t.ram_incr.is_some_and(|th| sample.avg_ram > th);
-    if cpu_hot || ram_hot {
-        return 1;
+    if cpu_hot {
+        let why = DecisionExplanation {
+            rule: "cpu-above-increase-threshold",
+            observed_milli: pct_milli(sample.avg_cpu),
+            threshold_milli: pct_milli(t.cpu_incr.unwrap_or(0.0)),
+        };
+        return (1, Some(why));
+    }
+    if ram_hot {
+        let why = DecisionExplanation {
+            rule: "ram-above-increase-threshold",
+            observed_milli: pct_milli(sample.avg_ram),
+            threshold_milli: pct_milli(t.ram_incr.unwrap_or(0.0)),
+        };
+        return (1, Some(why));
     }
     let decr_configured = t.cpu_decr.is_some() || t.ram_decr.is_some();
     let cpu_cold = t.cpu_decr.is_none_or(|th| sample.avg_cpu < th);
     let ram_cold = t.ram_decr.is_none_or(|th| sample.avg_ram < th);
     if decr_configured && cpu_cold && ram_cold {
-        return -1;
+        // Report the CPU comparison when configured (the commoner policy),
+        // else the RAM one — both held, only one fits the explanation.
+        let why = match t.cpu_decr {
+            Some(th) => DecisionExplanation {
+                rule: "cpu-ram-below-decrease-thresholds",
+                observed_milli: pct_milli(sample.avg_cpu),
+                threshold_milli: pct_milli(th),
+            },
+            None => DecisionExplanation {
+                rule: "cpu-ram-below-decrease-thresholds",
+                observed_milli: pct_milli(sample.avg_ram),
+                threshold_milli: pct_milli(t.ram_decr.unwrap_or(0.0)),
+            },
+        };
+        return (-1, Some(why));
     }
-    0
+    (0, None)
 }
 
 /// Fine-grained aggregation: "the values returned by the various objects in
@@ -351,6 +456,72 @@ mod tests {
         let mut s = sample(5, 70.0, 0.0);
         s.queue_delay_p99 = SimDuration::from_secs(5);
         assert_eq!(e.decide(&s), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn explained_reports_the_firing_rule() {
+        let e = engine(ScalingPolicy::Implicit, 2, 10);
+        let (d, why) = e.decide_explained(&sample(5, 95.0, 0.0));
+        assert_eq!(d, ScalingDecision::Grow(1));
+        let why = why.expect("growth has an explanation");
+        assert_eq!(why.rule, "cpu-above-increase-threshold");
+        assert_eq!(why.observed_milli, 95_000);
+        assert_eq!(why.threshold_milli, 90_000);
+
+        let (d, why) = e.decide_explained(&sample(5, 40.0, 0.0));
+        assert_eq!(d, ScalingDecision::Shrink(1));
+        assert_eq!(why.unwrap().rule, "cpu-ram-below-decrease-thresholds");
+
+        // Hold carries no explanation.
+        assert_eq!(e.decide_explained(&sample(5, 75.0, 0.0)).1, None);
+        // Clamped at max: rule fired but nothing changed, so no explanation.
+        assert_eq!(e.decide_explained(&sample(10, 99.0, 0.0)).1, None);
+    }
+
+    #[test]
+    fn explained_queue_delay_override_names_its_rule() {
+        let config = PoolConfig::builder("C1")
+            .min_pool_size(2)
+            .max_pool_size(10)
+            .policy(ScalingPolicy::Implicit)
+            .queue_delay_grow_above(SimDuration::from_millis(50))
+            .build()
+            .unwrap();
+        let e = ScalingEngine::new(config, SimTime::ZERO);
+        let mut s = sample(5, 70.0, 0.0);
+        s.queue_delay_p99 = SimDuration::from_millis(100);
+        let (d, why) = e.decide_explained(&s);
+        assert_eq!(d, ScalingDecision::Grow(1));
+        let why = why.unwrap();
+        assert_eq!(why.rule, "queue-delay-above-bound");
+        assert_eq!(why.observed_milli, 100);
+        assert_eq!(why.threshold_milli, 50);
+        // When CPU already decided to grow, the CPU rule keeps the credit.
+        let mut hot = sample(5, 99.0, 0.0);
+        hot.queue_delay_p99 = SimDuration::from_millis(100);
+        let (_, why) = e.decide_explained(&hot);
+        assert_eq!(why.unwrap().rule, "cpu-above-increase-threshold");
+    }
+
+    #[test]
+    fn explained_fine_votes_and_app_level() {
+        let e = engine(ScalingPolicy::FineGrained, 2, 50);
+        let mut s = sample(5, 0.0, 0.0);
+        s.fine_votes = vec![2, 2, 2];
+        let (d, why) = e.decide_explained(&s);
+        assert_eq!(d, ScalingDecision::Grow(2));
+        let why = why.unwrap();
+        assert_eq!(why.rule, "fine-vote-average");
+        assert_eq!(why.observed_milli, 2_000);
+
+        let e = engine(ScalingPolicy::AppLevel, 2, 50);
+        let mut s = sample(5, 0.0, 0.0);
+        s.desired_size = Some(12);
+        let (d, why) = e.decide_explained(&s);
+        assert_eq!(d, ScalingDecision::Grow(7));
+        let why = why.unwrap();
+        assert_eq!(why.rule, "app-level-desired");
+        assert_eq!(why.threshold_milli, 12_000);
     }
 
     #[test]

@@ -26,7 +26,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use erm_admission::{suggest_retry_after, AdmissionConfig, AdmissionQueue, RejectReason};
-use erm_metrics::{AdmissionCounters, AdmissionStats, LatencyTracker, TraceEvent, TraceHandle};
+use erm_metrics::{
+    AdmissionCounters, AdmissionStats, Histogram, LatencyTracker, MetricsHandle, TraceEvent,
+    TraceHandle,
+};
 use erm_sim::{SharedClock, SimDuration, SimTime};
 use erm_transport::{Datagram, EndpointId, Mailbox, Network, RecvError};
 
@@ -107,6 +110,9 @@ pub struct Skeleton {
     trace: TraceHandle,
     queue: AdmissionQueue<QueuedRequest>,
     counters: Arc<AdmissionCounters>,
+    // Registry instruments; disabled (no-op) unless `set_metrics` was called.
+    queue_delay_hist: Histogram,
+    service_time_hist: Histogram,
 }
 
 impl Skeleton {
@@ -145,7 +151,17 @@ impl Skeleton {
             served_since_start: 0,
             queue: admission.map_or_else(AdmissionQueue::unbounded_fifo, AdmissionQueue::new),
             counters: Arc::new(AdmissionCounters::new()),
+            queue_delay_hist: Histogram::disabled(),
+            service_time_hist: Histogram::disabled(),
         }
+    }
+
+    /// Registers this skeleton's instruments (`skeleton.queue.delay`,
+    /// `skeleton.service.time`) on `metrics`. All pool members share the
+    /// same named histograms, so the registry aggregates across the pool.
+    pub fn set_metrics(&mut self, metrics: &MetricsHandle) {
+        self.queue_delay_hist = metrics.histogram("skeleton.queue.delay");
+        self.service_time_hist = metrics.histogram("skeleton.service.time");
     }
 
     /// This member's uid.
@@ -439,6 +455,7 @@ impl Skeleton {
             return did_work;
         };
         self.interval.queue_delay.observe(admitted.queue_delay);
+        self.queue_delay_hist.record(admitted.queue_delay);
         let request = admitted.item;
         let start = self.clock.now();
         self.ctx.set_invocation(Some(request.context));
@@ -446,9 +463,22 @@ impl Skeleton {
             .service
             .dispatch(&request.method, &request.args, &mut self.ctx);
         self.ctx.set_invocation(None);
-        let latency = self.clock.now().saturating_since(start);
+        let end = self.clock.now();
+        let latency = end.saturating_since(start);
         self.interval.record(&request.method, latency.as_micros());
+        self.service_time_hist.record(latency);
         self.served_since_start += 1;
+        // Server-side span anchor: lets trace consumers reconstruct the
+        // queue-wait and execute children of this attempt.
+        self.trace.emit(
+            end,
+            TraceEvent::RequestExecuted {
+                uid: self.uid,
+                invocation: request.context.id,
+                queued_for: admitted.queue_delay,
+                ran_for: latency,
+            },
+        );
         self.send(
             request.from,
             RmiMessage::Response {

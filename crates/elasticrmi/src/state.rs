@@ -122,21 +122,26 @@ pub fn synchronized<R>(
         backoff_us = (backoff_us * 2).min(5_000);
     }
     // Run the body and always release, even if it panics, so a poisoned
-    // member cannot wedge the whole class.
+    // member cannot wedge the whole class. Releasing through `unlock_at`
+    // records the hold time when lock metrics are installed.
     struct Unlock<'a> {
         store: &'a Store,
         class: &'a str,
         owner: LockOwner,
+        clock: &'a dyn Clock,
     }
     impl Drop for Unlock<'_> {
         fn drop(&mut self) {
-            let _ = self.store.unlock(self.class, self.owner);
+            let _ = self
+                .store
+                .unlock_at(self.class, self.owner, self.clock.now());
         }
     }
     let _guard = Unlock {
         store,
         class,
         owner,
+        clock,
     };
     body()
 }

@@ -90,6 +90,10 @@ pub struct ExperimentResult {
     /// Control-plane trace (empty unless [`ExperimentConfig::trace`] was
     /// set): every scale decision, member join, and drain, in virtual time.
     pub trace: Vec<TraceRecord>,
+    /// Trace records evicted from the ring buffer because it filled up.
+    /// Non-zero means [`ExperimentResult::trace`] is missing its oldest
+    /// events and downstream span reconstruction may be incomplete.
+    pub trace_dropped: u64,
 }
 
 impl ExperimentResult {
@@ -340,6 +344,7 @@ pub fn run_experiment(config: &ExperimentConfig) -> ExperimentResult {
         capacity_series,
         req_min_series: req_series,
         workload_series: load_series,
+        trace_dropped: trace_sink.as_ref().map_or(0, |sink| sink.dropped()),
         trace: trace_sink.map_or_else(Vec::new, |sink| sink.snapshot()),
     }
 }

@@ -19,6 +19,7 @@ pub mod figures;
 pub mod overload;
 pub mod scalability;
 pub mod summary;
+pub mod telemetry;
 pub mod tiered;
 
 pub use deployment::Deployment;
@@ -29,4 +30,5 @@ pub use scalability::{
     render_scalability, scalability_curve, ScalabilityPoint, SharedStateProfile,
 };
 pub use summary::{format_summary, summary_table, SummaryRow};
+pub use telemetry::{render_why_scaled, run_elastic_overload, ElasticOverloadRun};
 pub use tiered::{render_tiered, run_tiered, TierCoordination, TieredResult};

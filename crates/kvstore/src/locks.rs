@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
+use erm_metrics::{Histogram, MetricsHandle};
 use erm_sim::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -76,6 +78,24 @@ impl LockStats {
 struct Holder {
     owner: LockOwner,
     expires_at: SimTime,
+    acquired_at: SimTime,
+}
+
+/// Both maps live under one mutex so wait bookkeeping can never race the
+/// holder table.
+#[derive(Debug, Default)]
+struct Tables {
+    holders: HashMap<String, Holder>,
+    /// When each `(lock, owner)` pair first failed to acquire — the start of
+    /// its wait, cleared on success.
+    waiting: HashMap<(String, LockOwner), SimTime>,
+}
+
+/// Registry instruments for lock contention, installed once per manager.
+#[derive(Debug)]
+struct LockTelemetry {
+    wait: Histogram,
+    hold: Histogram,
 }
 
 /// The lock table. Embedded in [`crate::Store`]; usable standalone in tests.
@@ -86,10 +106,11 @@ struct Holder {
 /// the lock.
 #[derive(Debug, Default)]
 pub struct LockManager {
-    table: Mutex<HashMap<String, Holder>>,
+    table: Mutex<Tables>,
     attempts: AtomicU64,
     failures: AtomicU64,
     expirations: AtomicU64,
+    telemetry: OnceLock<LockTelemetry>,
 }
 
 impl LockManager {
@@ -98,56 +119,111 @@ impl LockManager {
         Self::default()
     }
 
+    /// Registers `kv.lock.wait` and `kv.lock.hold` histograms with
+    /// `metrics`, making shared-state contention (§4.1) visible in the
+    /// registry rather than only as end-to-end latency. Later installs on
+    /// the same manager are ignored.
+    pub fn install_metrics(&self, metrics: &MetricsHandle) {
+        let _ = self.telemetry.set(LockTelemetry {
+            wait: metrics.histogram("kv.lock.wait"),
+            hold: metrics.histogram("kv.lock.hold"),
+        });
+    }
+
     /// Attempts to acquire `name` for `owner` until `now + ttl`.
     ///
     /// Succeeds when the lock is free, expired, or already held by `owner`
     /// (refreshing the TTL). Returns `false` when held by another live
     /// owner.
+    ///
+    /// When metrics are installed, every successful acquisition records the
+    /// acquire-wait time: zero for an uncontended first try, otherwise the
+    /// span since this owner's first failed attempt on the lock.
     pub fn try_lock(&self, name: &str, owner: LockOwner, now: SimTime, ttl: SimDuration) -> bool {
         self.attempts.fetch_add(1, Ordering::Relaxed);
-        let mut table = self.table.lock();
-        match table.get(name) {
+        let mut tables = self.table.lock();
+        match tables.holders.get(name) {
             Some(holder) if holder.owner != owner && holder.expires_at > now => {
                 self.failures.fetch_add(1, Ordering::Relaxed);
+                tables
+                    .waiting
+                    .entry((name.to_string(), owner))
+                    .or_insert(now);
                 false
             }
             other => {
                 if matches!(other, Some(h) if h.owner != owner) {
                     self.expirations.fetch_add(1, Ordering::Relaxed);
                 }
-                table.insert(
+                // A TTL refresh by the current holder keeps its original
+                // acquisition time so hold measurement spans the whole
+                // critical section.
+                let acquired_at = match other {
+                    Some(h) if h.owner == owner => h.acquired_at,
+                    _ => now,
+                };
+                tables.holders.insert(
                     name.to_string(),
                     Holder {
                         owner,
                         expires_at: now + ttl,
+                        acquired_at,
                     },
                 );
+                let waited = tables
+                    .waiting
+                    .remove(&(name.to_string(), owner))
+                    .map_or(SimDuration::ZERO, |since| now.saturating_since(since));
+                if let Some(telemetry) = self.telemetry.get() {
+                    telemetry.wait.record(waited);
+                }
                 true
             }
         }
     }
 
-    /// Releases `name` if held by `owner`.
+    /// Releases `name` if held by `owner`, recording the hold time (from
+    /// first acquisition to `now`) when metrics are installed.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::NotHeld`] if nobody holds the lock,
+    /// [`LockError::HeldByOther`] if another owner does.
+    pub fn unlock_at(&self, name: &str, owner: LockOwner, now: SimTime) -> Result<(), LockError> {
+        let acquired_at = self.release(name, owner)?;
+        if let Some(telemetry) = self.telemetry.get() {
+            telemetry.hold.record(now.saturating_since(acquired_at));
+        }
+        Ok(())
+    }
+
+    /// Releases `name` if held by `owner`. Prefer [`LockManager::unlock_at`]
+    /// when a clock is available — this variant cannot record hold time.
     ///
     /// # Errors
     ///
     /// [`LockError::NotHeld`] if nobody holds the lock,
     /// [`LockError::HeldByOther`] if another owner does.
     pub fn unlock(&self, name: &str, owner: LockOwner) -> Result<(), LockError> {
-        let mut table = self.table.lock();
-        match table.get(name) {
+        self.release(name, owner).map(|_| ())
+    }
+
+    fn release(&self, name: &str, owner: LockOwner) -> Result<SimTime, LockError> {
+        let mut tables = self.table.lock();
+        match tables.holders.get(name) {
             None => Err(LockError::NotHeld),
             Some(h) if h.owner != owner => Err(LockError::HeldByOther(h.owner)),
-            Some(_) => {
-                table.remove(name);
-                Ok(())
+            Some(h) => {
+                let acquired_at = h.acquired_at;
+                tables.holders.remove(name);
+                Ok(acquired_at)
             }
         }
     }
 
     /// The current holder of `name`, if any (ignoring expiry).
     pub fn holder(&self, name: &str) -> Option<LockOwner> {
-        self.table.lock().get(name).map(|h| h.owner)
+        self.table.lock().holders.get(name).map(|h| h.owner)
     }
 
     /// Snapshot of contention counters.
@@ -239,5 +315,59 @@ mod tests {
     #[test]
     fn failure_rate_of_empty_stats_is_zero() {
         assert_eq!(LockStats::default().failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn metrics_record_wait_and_hold_time() {
+        let locks = LockManager::new();
+        let (metrics, registry) = MetricsHandle::shared();
+        locks.install_metrics(&metrics);
+        let (a, b) = (LockOwner::new(1), LockOwner::new(2));
+
+        // a acquires uncontended at t=0 (zero wait), holds 10s.
+        assert!(locks.try_lock("C1", a, SimTime::ZERO, TTL));
+        // b fails at t=2, fails again, finally gets it at t=12: 10s wait.
+        assert!(!locks.try_lock("C1", b, SimTime::from_secs(2), TTL));
+        assert!(!locks.try_lock("C1", b, SimTime::from_secs(6), TTL));
+        locks.unlock_at("C1", a, SimTime::from_secs(10)).unwrap();
+        assert!(locks.try_lock("C1", b, SimTime::from_secs(12), TTL));
+
+        let snap = registry.snapshot(SimTime::from_secs(12));
+        let wait = &snap
+            .histograms
+            .iter()
+            .find(|(name, _)| *name == "kv.lock.wait")
+            .expect("wait histogram registered")
+            .1;
+        assert_eq!(wait.count(), 2, "one per successful acquisition");
+        assert_eq!(wait.max(), Some(SimDuration::from_secs(10)));
+        let hold = &snap
+            .histograms
+            .iter()
+            .find(|(name, _)| *name == "kv.lock.hold")
+            .expect("hold histogram registered")
+            .1;
+        assert_eq!(hold.count(), 1);
+        assert_eq!(hold.max(), Some(SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn ttl_refresh_keeps_original_acquisition_time() {
+        let locks = LockManager::new();
+        let (metrics, registry) = MetricsHandle::shared();
+        locks.install_metrics(&metrics);
+        let a = LockOwner::new(1);
+        assert!(locks.try_lock("C1", a, SimTime::ZERO, TTL));
+        assert!(locks.try_lock("C1", a, SimTime::from_secs(20), TTL));
+        locks.unlock_at("C1", a, SimTime::from_secs(25)).unwrap();
+        let snap = registry.snapshot(SimTime::from_secs(25));
+        let hold = &snap
+            .histograms
+            .iter()
+            .find(|(name, _)| *name == "kv.lock.hold")
+            .unwrap()
+            .1;
+        // Hold spans the whole critical section, not just since the refresh.
+        assert_eq!(hold.max(), Some(SimDuration::from_secs(25)));
     }
 }

@@ -218,6 +218,22 @@ impl Store {
         self.locks.unlock(name, owner)
     }
 
+    /// Releases the named lock, recording hold time (acquire → `now`) when
+    /// lock metrics are installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError`] if `owner` does not hold the lock.
+    pub fn unlock_at(&self, name: &str, owner: LockOwner, now: SimTime) -> Result<(), LockError> {
+        self.locks.unlock_at(name, owner, now)
+    }
+
+    /// Registers `kv.lock.wait` / `kv.lock.hold` histograms for this store's
+    /// lock table.
+    pub fn install_lock_metrics(&self, metrics: &erm_metrics::MetricsHandle) {
+        self.locks.install_metrics(metrics);
+    }
+
     /// Lock contention statistics (fed into fine-grained scaling metrics).
     pub fn lock_stats(&self) -> LockStats {
         self.locks.stats()

@@ -14,14 +14,32 @@
 //!   [`ProvisioningRecorder`].
 //!
 //! The crate also provides the QoS trackers (throughput / latency) used by
-//! the threaded runtime and application tests.
+//! the threaded runtime and application tests, plus the telemetry layer:
+//!
+//! * a [`Registry`] of named counters, gauges and log-linear histograms that
+//!   every component reaches through a cheap [`MetricsHandle`] (disabled by
+//!   default, like [`TraceHandle`]);
+//! * a [`SpanBuilder`] that folds the flat trace ring back into
+//!   per-invocation span trees and per-decision control-plane spans, with
+//!   Chrome/Perfetto export via [`chrome_trace`] and CSV snapshots via
+//!   [`snapshots_to_csv`].
 
 mod agility;
 mod provisioning;
 mod qos;
+mod registry;
+mod span;
 mod trace;
 
 pub use agility::{AgilityMeter, AgilityReport};
 pub use provisioning::{ProvisioningRecorder, ProvisioningReport};
 pub use qos::{AdmissionCounters, AdmissionStats, LatencyTracker, ThroughputTracker};
+pub use registry::{
+    snapshots_to_csv, Counter, Gauge, Histogram, HistogramSnapshot, MetricsHandle, Registry,
+    RegistrySnapshot, CSV_HEADER,
+};
+pub use span::{
+    chrome_trace, DecisionSpan, InvocationOutcome, InvocationSpan, OfferInfo, PathSegment,
+    RuleInfo, Span, SpanBuilder,
+};
 pub use trace::{TraceEvent, TraceHandle, TraceRecord, TraceSink};

@@ -104,7 +104,29 @@ pub struct LatencyTracker {
     max: SimDuration,
 }
 
-const BUCKETS: usize = 64;
+pub(crate) const BUCKETS: usize = 64;
+
+/// Log-linear bucket index for a duration: two buckets per power of two
+/// (≈ √2 resolution) starting at 1 µs. Shared by [`LatencyTracker`] and the
+/// registry's atomic histograms so their quantiles agree.
+pub(crate) fn bucket_index(d: SimDuration) -> usize {
+    let micros = d.as_micros().max(1);
+    let log2 = 63 - micros.leading_zeros() as usize;
+    let half = usize::from(micros >= (1u64 << log2) + (1u64 << log2.saturating_sub(1)));
+    (2 * log2 + half).min(BUCKETS - 1)
+}
+
+/// Upper bound of a log-linear bucket, the value quantiles report.
+pub(crate) fn bucket_upper_bound(index: usize) -> SimDuration {
+    let log2 = index / 2;
+    let base = 1u64 << log2;
+    let bound = if index.is_multiple_of(2) {
+        base + base / 2
+    } else {
+        base * 2
+    };
+    SimDuration::from_micros(bound)
+}
 
 impl LatencyTracker {
     /// Creates an empty tracker.
@@ -117,28 +139,9 @@ impl LatencyTracker {
         }
     }
 
-    fn bucket_index(d: SimDuration) -> usize {
-        let micros = d.as_micros().max(1);
-        // Two buckets per power of two (≈ √2 resolution).
-        let log2 = 63 - micros.leading_zeros() as usize;
-        let half = usize::from(micros >= (1u64 << log2) + (1u64 << log2.saturating_sub(1)));
-        (2 * log2 + half).min(BUCKETS - 1)
-    }
-
-    fn bucket_upper_bound(index: usize) -> SimDuration {
-        let log2 = index / 2;
-        let base = 1u64 << log2;
-        let bound = if index.is_multiple_of(2) {
-            base + base / 2
-        } else {
-            base * 2
-        };
-        SimDuration::from_micros(bound)
-    }
-
     /// Records one latency observation.
     pub fn observe(&mut self, latency: SimDuration) {
-        self.buckets[Self::bucket_index(latency)] += 1;
+        self.buckets[bucket_index(latency)] += 1;
         self.count += 1;
         self.sum_micros += u128::from(latency.as_micros());
         if latency > self.max {
@@ -185,7 +188,7 @@ impl LatencyTracker {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(Self::bucket_upper_bound(i).min(self.max));
+                return Some(bucket_upper_bound(i).min(self.max));
             }
         }
         Some(self.max)

@@ -1,0 +1,1090 @@
+//! Span reconstruction: folding the flat [`TraceEvent`] ring back into
+//! per-invocation span trees and per-decision control-plane spans.
+//!
+//! The trace ring records *events*; debugging elasticity needs *intervals*:
+//! how long each attempt ran, how much of it was queue wait versus execution,
+//! and how long the pool took from a symptom (a rule crossing its threshold)
+//! to new capacity serving. [`SpanBuilder`] performs that fold in one pass
+//! and the result exports to Chrome/Perfetto `trace_event` JSON via
+//! [`chrome_trace`], so any experiment run opens in `ui.perfetto.dev`.
+//!
+//! Reconstruction rules:
+//!
+//! * An **invocation span** opens at its first `AttemptStarted` (or
+//!   `InvocationThrottled`) and closes at `InvocationCompleted` /
+//!   `InvocationExpired` — or, for clients that do not retry, at the
+//!   terminal event of their only attempt.
+//! * Each **attempt span** is closed by exactly one terminal event
+//!   (`AttemptFailed`, `AttemptRedirected`, `AttemptOverloaded`, or the
+//!   invocation-level completion); terminal events with no open attempt are
+//!   counted in [`InvocationSpan::stray_events`] instead of being guessed at.
+//! * A skeleton's `RequestExecuted` event back-fills **queue-wait** and
+//!   **execute** child spans inside the attempt it answered.
+//! * A **decision span** pairs `RuleFired` → `ScaleDecision` →
+//!   `OfferRequested`/`OfferOutcome` → `MemberJoined`, which is everything
+//!   the `why-scaled` report needs.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use erm_sim::{SimDuration, SimTime};
+
+use crate::trace::{TraceEvent, TraceRecord};
+
+/// One reconstructed interval, possibly with nested children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Display name (e.g. `inv 42`, `attempt 2`, `queue wait`).
+    pub name: String,
+    /// Coarse kind: `invoke`, `attempt`, `queue`, `execute` or `control`.
+    pub category: &'static str,
+    /// When the interval began.
+    pub start: SimTime,
+    /// When the interval ended (`>= start`).
+    pub end: SimTime,
+    /// Key/value annotations (attempt target, close status, …).
+    pub args: Vec<(String, String)>,
+    /// Nested sub-intervals, in start order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// The interval's length.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+
+    /// The value of annotation `key`, if present.
+    pub fn arg(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// How an invocation ended, as far as the trace shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvocationOutcome {
+    /// A response arrived and the remote method returned normally.
+    Completed,
+    /// A response arrived carrying a remote error.
+    RemoteError,
+    /// The deadline passed before any member answered.
+    Expired,
+    /// The client-side limiter refused it before any send.
+    Throttled,
+    /// The last attempt was refused with `Overloaded` and never retried.
+    Rejected,
+    /// The trace ended with the invocation still in flight.
+    Incomplete,
+}
+
+/// One invocation's reconstructed span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvocationSpan {
+    /// The invocation id all events were keyed on.
+    pub invocation: u64,
+    /// How the invocation ended.
+    pub outcome: InvocationOutcome,
+    /// The root `invoke` span; attempts are its children, queue/execute
+    /// phases are the attempts' children.
+    pub root: Span,
+    /// Terminal or server events that arrived with no open attempt to close
+    /// (zero on a well-formed trace).
+    pub stray_events: u32,
+}
+
+/// One labelled segment of an invocation's critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSegment {
+    /// What the time went to.
+    pub label: &'static str,
+    /// How much of the invocation's wall clock it accounts for.
+    pub duration: SimDuration,
+}
+
+impl InvocationSpan {
+    /// The attempt spans, in order.
+    pub fn attempts(&self) -> Vec<&Span> {
+        self.root
+            .children
+            .iter()
+            .filter(|s| s.category == "attempt")
+            .collect()
+    }
+
+    /// Decomposes the invocation's latency into the segments that determined
+    /// it: time burned on earlier attempts and backoff, then — inside the
+    /// deciding attempt — transport/ingest, queue wait, execution, and the
+    /// reply. Zero-length segments are omitted (except `execute`, which is
+    /// kept as the anchor).
+    pub fn critical_path(&self) -> Vec<PathSegment> {
+        let mut path = Vec::new();
+        let attempts = self.attempts();
+        let Some(last) = attempts.last() else {
+            path.push(PathSegment {
+                label: "throttled",
+                duration: self.root.duration(),
+            });
+            return path;
+        };
+        fn push(path: &mut Vec<PathSegment>, label: &'static str, duration: SimDuration) {
+            if !duration.is_zero() {
+                path.push(PathSegment { label, duration });
+            }
+        }
+        push(
+            &mut path,
+            "earlier attempts & backoff",
+            last.start.saturating_since(self.root.start),
+        );
+        let queue = last.children.iter().find(|s| s.category == "queue");
+        let execute = last.children.iter().find(|s| s.category == "execute");
+        match (queue, execute) {
+            (Some(q), Some(x)) => {
+                push(
+                    &mut path,
+                    "network & ingest",
+                    q.start.saturating_since(last.start),
+                );
+                push(&mut path, "queue wait", q.duration());
+                path.push(PathSegment {
+                    label: "execute",
+                    duration: x.duration(),
+                });
+                push(&mut path, "reply", last.end.saturating_since(x.end));
+            }
+            _ => push(&mut path, "attempt (no server breakdown)", last.duration()),
+        }
+        push(
+            &mut path,
+            "after last attempt",
+            self.root.end.saturating_since(last.end),
+        );
+        path
+    }
+}
+
+/// The rule crossing that triggered a scaling decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleInfo {
+    /// Rule identifier (see [`TraceEvent::RuleFired`]).
+    pub rule: &'static str,
+    /// Sampled value, milli-units.
+    pub observed_milli: i64,
+    /// Configured threshold, milli-units.
+    pub threshold_milli: i64,
+    /// When the sample was taken.
+    pub at: SimTime,
+}
+
+/// The resource-offer round trip a grow decision went through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OfferInfo {
+    /// Cluster request id.
+    pub request_id: u64,
+    /// Slices requested.
+    pub requested: u32,
+    /// Slices granted (zero = denied).
+    pub granted: u32,
+    /// When the offer was requested.
+    pub requested_at: SimTime,
+    /// When the cluster resolved it.
+    pub resolved_at: SimTime,
+}
+
+/// One pool-size change, stitched to its cause and its effect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionSpan {
+    /// When the scaling engine decided.
+    pub at: SimTime,
+    /// Pool size the decision was made at.
+    pub pool_size: u32,
+    /// Members added (positive) or removed (negative).
+    pub delta: i64,
+    /// The threshold crossing that triggered it, when traced.
+    pub rule: Option<RuleInfo>,
+    /// The slice-request round trip (grow decisions only).
+    pub offer: Option<OfferInfo>,
+    /// `(uid, at)` of each member that came up to satisfy this decision.
+    pub members_up: Vec<(u64, SimTime)>,
+}
+
+impl DecisionSpan {
+    /// When the symptom was observed: the rule's sample time, falling back
+    /// to the decision time.
+    pub fn symptom_at(&self) -> SimTime {
+        self.rule.as_ref().map_or(self.at, |r| r.at)
+    }
+
+    /// When the decided capacity change was fully in effect: the last member
+    /// up for a grow (once every granted slice joined), the decision time
+    /// for a shrink. `None` while a grow is still provisioning (or was
+    /// denied outright).
+    pub fn capacity_at(&self) -> Option<SimTime> {
+        if self.delta < 0 {
+            return Some(self.at);
+        }
+        let granted = self.offer.as_ref().map_or(0, |o| o.granted) as usize;
+        if granted > 0 && self.members_up.len() >= granted {
+            self.members_up.last().map(|&(_, at)| at)
+        } else {
+            None
+        }
+    }
+
+    /// Symptom-to-capacity lag: how long the workload felt the symptom
+    /// before the capacity it demanded existed.
+    pub fn lag(&self) -> Option<SimDuration> {
+        self.capacity_at()
+            .map(|t| t.saturating_since(self.symptom_at()))
+    }
+}
+
+/// Folds a trace-record stream into span trees. See the module docs for the
+/// reconstruction rules.
+#[derive(Debug, Clone)]
+pub struct SpanBuilder {
+    records: Vec<TraceRecord>,
+}
+
+struct AttemptState {
+    attempt: u32,
+    target: u64,
+    start: SimTime,
+    deadline: SimTime,
+    children: Vec<Span>,
+    notes: Vec<(String, String)>,
+}
+
+struct InvState {
+    start: SimTime,
+    last_seen: SimTime,
+    attempts: Vec<Span>,
+    open: Option<AttemptState>,
+    outcome: Option<InvocationOutcome>,
+    end: Option<SimTime>,
+    notes: Vec<(String, String)>,
+    stray_events: u32,
+}
+
+impl InvState {
+    fn new(at: SimTime) -> Self {
+        InvState {
+            start: at,
+            last_seen: at,
+            attempts: Vec::new(),
+            open: None,
+            outcome: None,
+            end: None,
+            notes: Vec::new(),
+            stray_events: 0,
+        }
+    }
+
+    fn close_attempt(&mut self, at: SimTime, status: &str) {
+        let Some(open) = self.open.take() else {
+            self.stray_events += 1;
+            return;
+        };
+        let mut args = vec![
+            ("target".to_string(), format!("endpoint {}", open.target)),
+            ("status".to_string(), status.to_string()),
+            ("deadline".to_string(), open.deadline.to_string()),
+        ];
+        args.extend(open.notes);
+        self.attempts.push(Span {
+            name: format!("attempt {}", open.attempt),
+            category: "attempt",
+            start: open.start,
+            end: at,
+            args,
+            children: open.children,
+        });
+    }
+
+    fn note(&mut self, key: String, value: String) {
+        match &mut self.open {
+            Some(open) => open.notes.push((key, value)),
+            None => self.notes.push((key, value)),
+        }
+    }
+}
+
+/// Fetches (creating on first sight) the state for `invocation`, refreshing
+/// its last-seen time.
+fn touch<'a>(
+    by_id: &'a mut HashMap<u64, InvState>,
+    order: &mut Vec<u64>,
+    invocation: u64,
+    at: SimTime,
+) -> &'a mut InvState {
+    let inv = by_id.entry(invocation).or_insert_with(|| {
+        order.push(invocation);
+        InvState::new(at)
+    });
+    inv.last_seen = at;
+    inv
+}
+
+impl SpanBuilder {
+    /// Wraps a record stream (oldest first, as [`crate::TraceSink::snapshot`]
+    /// returns it).
+    pub fn new(records: Vec<TraceRecord>) -> Self {
+        SpanBuilder { records }
+    }
+
+    /// Reconstructs every invocation seen in the stream, in first-seen order.
+    pub fn invocations(&self) -> Vec<InvocationSpan> {
+        let mut order: Vec<u64> = Vec::new();
+        let mut by_id: HashMap<u64, InvState> = HashMap::new();
+        for rec in &self.records {
+            let at = rec.at;
+            match &rec.event {
+                TraceEvent::AttemptStarted {
+                    invocation,
+                    attempt,
+                    target,
+                    deadline,
+                } => {
+                    let inv = touch(&mut by_id, &mut order, *invocation, at);
+                    if inv.open.is_some() {
+                        // A new attempt with the prior one unclosed: the
+                        // stream is missing a terminal event.
+                        inv.close_attempt(at, "superseded");
+                        inv.stray_events += 1;
+                    }
+                    inv.open = Some(AttemptState {
+                        attempt: *attempt,
+                        target: *target,
+                        start: at,
+                        deadline: *deadline,
+                        children: Vec::new(),
+                        notes: Vec::new(),
+                    });
+                }
+                TraceEvent::AttemptFailed { invocation, .. } => {
+                    touch(&mut by_id, &mut order, *invocation, at).close_attempt(at, "failed");
+                }
+                TraceEvent::AttemptRedirected {
+                    invocation,
+                    remaining,
+                    ..
+                } => {
+                    let inv = touch(&mut by_id, &mut order, *invocation, at);
+                    if let Some(open) = &mut inv.open {
+                        open.notes
+                            .push(("budget_left".to_string(), remaining.to_string()));
+                    }
+                    inv.close_attempt(at, "redirected");
+                }
+                TraceEvent::AttemptOverloaded {
+                    invocation,
+                    retry_after,
+                    ..
+                } => {
+                    let inv = touch(&mut by_id, &mut order, *invocation, at);
+                    if let Some(open) = &mut inv.open {
+                        open.notes
+                            .push(("retry_after".to_string(), retry_after.to_string()));
+                    }
+                    inv.close_attempt(at, "overloaded");
+                }
+                TraceEvent::RequestAdmitted {
+                    invocation, depth, ..
+                } => {
+                    touch(&mut by_id, &mut order, *invocation, at)
+                        .note("admitted_depth".to_string(), depth.to_string());
+                }
+                TraceEvent::RequestExecuted {
+                    invocation,
+                    queued_for,
+                    ran_for,
+                    uid,
+                } => {
+                    let inv = touch(&mut by_id, &mut order, *invocation, at);
+                    let exec_start = at - *ran_for;
+                    let queue_start = exec_start - *queued_for;
+                    let queue = Span {
+                        name: "queue wait".to_string(),
+                        category: "queue",
+                        start: queue_start,
+                        end: exec_start,
+                        args: vec![("member".to_string(), uid.to_string())],
+                        children: Vec::new(),
+                    };
+                    let execute = Span {
+                        name: "execute".to_string(),
+                        category: "execute",
+                        start: exec_start,
+                        end: at,
+                        args: vec![("member".to_string(), uid.to_string())],
+                        children: Vec::new(),
+                    };
+                    match &mut inv.open {
+                        Some(open) => open.children.extend([queue, execute]),
+                        None => inv.stray_events += 1,
+                    }
+                }
+                TraceEvent::RequestExpired {
+                    invocation,
+                    late_by,
+                    uid,
+                } => {
+                    touch(&mut by_id, &mut order, *invocation, at).note(
+                        format!("server_expired@{uid}"),
+                        format!("{late_by} past deadline"),
+                    );
+                }
+                TraceEvent::RequestShed { invocation, uid } => {
+                    touch(&mut by_id, &mut order, *invocation, at)
+                        .note(format!("shed@{uid}"), at.to_string());
+                }
+                TraceEvent::RequestOverloaded {
+                    invocation,
+                    uid,
+                    queue_depth,
+                    ..
+                } => {
+                    touch(&mut by_id, &mut order, *invocation, at).note(
+                        format!("refused@{uid}"),
+                        format!("queue depth {queue_depth}"),
+                    );
+                }
+                TraceEvent::InvocationCompleted { invocation, ok, .. } => {
+                    let inv = touch(&mut by_id, &mut order, *invocation, at);
+                    inv.close_attempt(at, if *ok { "ok" } else { "error" });
+                    inv.outcome = Some(if *ok {
+                        InvocationOutcome::Completed
+                    } else {
+                        InvocationOutcome::RemoteError
+                    });
+                    inv.end = Some(at);
+                }
+                TraceEvent::InvocationExpired { invocation, .. } => {
+                    let inv = touch(&mut by_id, &mut order, *invocation, at);
+                    inv.close_attempt(at, "expired");
+                    inv.outcome = Some(InvocationOutcome::Expired);
+                    inv.end = Some(at);
+                }
+                TraceEvent::InvocationThrottled {
+                    invocation,
+                    retry_after,
+                } => {
+                    let inv = touch(&mut by_id, &mut order, *invocation, at);
+                    inv.notes
+                        .push(("retry_after".to_string(), retry_after.to_string()));
+                    if inv.outcome.is_none() {
+                        inv.outcome = Some(InvocationOutcome::Throttled);
+                        inv.end = Some(at);
+                    }
+                }
+                // Pool-membership and control-plane events belong to
+                // decision spans, not invocations.
+                _ => {}
+            }
+        }
+        order
+            .into_iter()
+            .map(|id| {
+                let mut inv = by_id.remove(&id).expect("ordered id present");
+                if inv.open.is_some() {
+                    inv.close_attempt(inv.last_seen, "unclosed");
+                }
+                let outcome = inv.outcome.unwrap_or_else(|| {
+                    match inv.attempts.last().and_then(|a| a.arg("status")) {
+                        Some("overloaded") => InvocationOutcome::Rejected,
+                        Some("expired") => InvocationOutcome::Expired,
+                        _ => InvocationOutcome::Incomplete,
+                    }
+                });
+                let end = inv
+                    .end
+                    .or_else(|| inv.attempts.last().map(|a| a.end))
+                    .unwrap_or(inv.last_seen);
+                let mut args = vec![
+                    ("outcome".to_string(), format!("{outcome:?}")),
+                    ("attempts".to_string(), inv.attempts.len().to_string()),
+                ];
+                args.extend(inv.notes);
+                InvocationSpan {
+                    invocation: id,
+                    outcome,
+                    stray_events: inv.stray_events,
+                    root: Span {
+                        name: format!("inv {id}"),
+                        category: "invoke",
+                        start: inv.start,
+                        end,
+                        args,
+                        children: inv.attempts,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Reconstructs every scaling decision, pairing each with its triggering
+    /// rule, its offer round trip, and the members that came up for it.
+    pub fn decisions(&self) -> Vec<DecisionSpan> {
+        let mut decisions: Vec<DecisionSpan> = Vec::new();
+        let mut pending_rule: Option<RuleInfo> = None;
+        for rec in &self.records {
+            let at = rec.at;
+            match &rec.event {
+                TraceEvent::RuleFired {
+                    rule,
+                    observed_milli,
+                    threshold_milli,
+                } => {
+                    pending_rule = Some(RuleInfo {
+                        rule,
+                        observed_milli: *observed_milli,
+                        threshold_milli: *threshold_milli,
+                        at,
+                    });
+                }
+                TraceEvent::ScaleDecision { pool_size, delta } => {
+                    decisions.push(DecisionSpan {
+                        at,
+                        pool_size: *pool_size,
+                        delta: *delta,
+                        rule: pending_rule.take(),
+                        offer: None,
+                        members_up: Vec::new(),
+                    });
+                }
+                TraceEvent::OfferRequested { request_id, count } => {
+                    if let Some(d) = decisions
+                        .iter_mut()
+                        .rev()
+                        .find(|d| d.delta > 0 && d.offer.is_none())
+                    {
+                        d.offer = Some(OfferInfo {
+                            request_id: *request_id,
+                            requested: *count,
+                            granted: 0,
+                            requested_at: at,
+                            resolved_at: at,
+                        });
+                    }
+                }
+                TraceEvent::OfferOutcome {
+                    request_id,
+                    granted,
+                    ..
+                } => {
+                    if let Some(offer) = decisions
+                        .iter_mut()
+                        .rev()
+                        .filter_map(|d| d.offer.as_mut())
+                        .find(|o| o.request_id == *request_id)
+                    {
+                        offer.granted = *granted;
+                        offer.resolved_at = at;
+                    }
+                }
+                TraceEvent::MemberJoined { uid } => {
+                    if let Some(d) = decisions.iter_mut().find(|d| {
+                        let granted = d.offer.as_ref().map_or(0, |o| o.granted) as usize;
+                        granted > 0 && d.members_up.len() < granted
+                    }) {
+                        d.members_up.push((*uid, at));
+                    }
+                }
+                _ => {}
+            }
+        }
+        decisions
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    out: &mut Vec<String>,
+    name: &str,
+    cat: &str,
+    pid: u32,
+    tid: u64,
+    ts: SimTime,
+    dur: SimDuration,
+    args: &[(String, String)],
+) {
+    let args_json: Vec<String> = args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    out.push(format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+         \"pid\":{pid},\"tid\":{tid},\"args\":{{{}}}}}",
+        escape_json(name),
+        escape_json(cat),
+        ts.as_micros(),
+        dur.as_micros().max(1),
+        args_json.join(",")
+    ));
+}
+
+fn push_span(out: &mut Vec<String>, span: &Span, pid: u32, tid: u64) {
+    push_event(
+        out,
+        &span.name,
+        span.category,
+        pid,
+        tid,
+        span.start,
+        span.duration(),
+        &span.args,
+    );
+    for child in &span.children {
+        push_span(out, child, pid, tid);
+    }
+}
+
+const INVOCATION_PID: u32 = 1;
+const CONTROL_PID: u32 = 2;
+
+/// Renders span trees as Chrome `trace_event` JSON (the format
+/// `ui.perfetto.dev` and `chrome://tracing` load directly). Invocations get
+/// one track each under the "invocations" process; decision spans share the
+/// "control plane" process, each spanning symptom to capacity.
+pub fn chrome_trace(invocations: &[InvocationSpan], decisions: &[DecisionSpan]) -> String {
+    let mut events: Vec<String> = vec![
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{INVOCATION_PID},\
+             \"args\":{{\"name\":\"invocations\"}}}}"
+        ),
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{CONTROL_PID},\
+             \"args\":{{\"name\":\"control plane\"}}}}"
+        ),
+    ];
+    for inv in invocations {
+        push_span(&mut events, &inv.root, INVOCATION_PID, inv.invocation);
+    }
+    for d in decisions {
+        let start = d.symptom_at();
+        let end = d.capacity_at().unwrap_or(d.at);
+        let mut args = vec![
+            ("pool_size".to_string(), d.pool_size.to_string()),
+            ("delta".to_string(), format!("{:+}", d.delta)),
+        ];
+        if let Some(rule) = &d.rule {
+            args.push(("rule".to_string(), rule.rule.to_string()));
+            args.push((
+                "observed_vs_threshold_milli".to_string(),
+                format!("{} vs {}", rule.observed_milli, rule.threshold_milli),
+            ));
+        }
+        if let Some(lag) = d.lag() {
+            args.push(("symptom_to_capacity".to_string(), lag.to_string()));
+        }
+        push_event(
+            &mut events,
+            &format!("scale {:+}", d.delta),
+            "control",
+            CONTROL_PID,
+            0,
+            start,
+            end.saturating_since(start),
+            &args,
+        );
+        if let Some(offer) = &d.offer {
+            push_event(
+                &mut events,
+                &format!(
+                    "offer {} ({}/{})",
+                    offer.request_id, offer.granted, offer.requested
+                ),
+                "control",
+                CONTROL_PID,
+                1,
+                offer.requested_at,
+                offer.resolved_at.saturating_since(offer.requested_at),
+                &[],
+            );
+        }
+        for &(uid, at) in &d.members_up {
+            events.push(format!(
+                "{{\"name\":\"member {uid} up\",\"cat\":\"control\",\"ph\":\"i\",\"s\":\"p\",\
+                 \"ts\":{},\"pid\":{CONTROL_PID},\"tid\":0}}",
+                at.as_micros()
+            ));
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        events.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent as E;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_micros(ms * 1_000)
+    }
+
+    fn rec(ms: u64, event: E) -> TraceRecord {
+        TraceRecord { at: t(ms), event }
+    }
+
+    /// The satellite golden test: retry after a failure, a redirect hop, and
+    /// an overload shed, folded into the expected tree.
+    #[test]
+    fn golden_retry_redirect_overload_tree() {
+        let records = vec![
+            // Attempt 1 fails outright.
+            rec(
+                0,
+                E::AttemptStarted {
+                    invocation: 7,
+                    attempt: 1,
+                    target: 10,
+                    deadline: t(250),
+                },
+            ),
+            rec(
+                20,
+                E::AttemptFailed {
+                    invocation: 7,
+                    attempt: 1,
+                    target: 10,
+                },
+            ),
+            // Attempt 2 is refused by an overloaded member.
+            rec(
+                25,
+                E::AttemptStarted {
+                    invocation: 7,
+                    attempt: 2,
+                    target: 11,
+                    deadline: t(250),
+                },
+            ),
+            rec(
+                30,
+                E::RequestOverloaded {
+                    uid: 1,
+                    invocation: 7,
+                    queue_depth: 8,
+                    retry_after: SimDuration::from_millis(10),
+                },
+            ),
+            rec(
+                30,
+                E::AttemptOverloaded {
+                    invocation: 7,
+                    attempt: 2,
+                    target: 11,
+                    retry_after: SimDuration::from_millis(10),
+                },
+            ),
+            // Attempt 3 is shed sideways (rebalance redirect).
+            rec(
+                45,
+                E::AttemptStarted {
+                    invocation: 7,
+                    attempt: 3,
+                    target: 12,
+                    deadline: t(250),
+                },
+            ),
+            rec(
+                50,
+                E::RequestShed {
+                    uid: 2,
+                    invocation: 7,
+                },
+            ),
+            rec(
+                50,
+                E::AttemptRedirected {
+                    invocation: 7,
+                    attempt: 3,
+                    remaining: SimDuration::from_millis(200),
+                },
+            ),
+            // Attempt 4 is admitted, waits, executes, completes.
+            rec(
+                55,
+                E::AttemptStarted {
+                    invocation: 7,
+                    attempt: 4,
+                    target: 13,
+                    deadline: t(250),
+                },
+            ),
+            rec(
+                60,
+                E::RequestAdmitted {
+                    uid: 3,
+                    invocation: 7,
+                    depth: 2,
+                },
+            ),
+            rec(
+                100,
+                E::RequestExecuted {
+                    uid: 3,
+                    invocation: 7,
+                    queued_for: SimDuration::from_millis(30),
+                    ran_for: SimDuration::from_millis(10),
+                },
+            ),
+            rec(
+                105,
+                E::InvocationCompleted {
+                    invocation: 7,
+                    attempts: 4,
+                    ok: true,
+                },
+            ),
+        ];
+        let spans = SpanBuilder::new(records).invocations();
+        assert_eq!(spans.len(), 1);
+        let inv = &spans[0];
+        assert_eq!(inv.invocation, 7);
+        assert_eq!(inv.outcome, InvocationOutcome::Completed);
+        assert_eq!(inv.stray_events, 0);
+        assert_eq!(inv.root.start, SimTime::ZERO);
+        assert_eq!(inv.root.end, t(105));
+
+        let attempts = inv.attempts();
+        assert_eq!(attempts.len(), 4);
+        let statuses: Vec<&str> = attempts.iter().filter_map(|a| a.arg("status")).collect();
+        assert_eq!(statuses, ["failed", "overloaded", "redirected", "ok"]);
+        assert!(attempts[1].arg("refused@1").is_some(), "overload note kept");
+        assert!(attempts[2].arg("shed@2").is_some(), "shed note kept");
+
+        // The winning attempt carries the server-side breakdown.
+        let winner = attempts[3];
+        assert_eq!(winner.children.len(), 2);
+        let queue = &winner.children[0];
+        let execute = &winner.children[1];
+        assert_eq!(queue.category, "queue");
+        assert_eq!(queue.start, t(60));
+        assert_eq!(queue.end, t(90));
+        assert_eq!(execute.category, "execute");
+        assert_eq!(execute.start, t(90));
+        assert_eq!(execute.end, t(100));
+
+        // Critical path: 55 ms of earlier attempts, 5 ms transport, 30 ms
+        // queue, 10 ms execute, 5 ms reply = the root's 105 ms.
+        let path = inv.critical_path();
+        let total: u64 = path.iter().map(|s| s.duration.as_micros()).sum();
+        assert_eq!(total, inv.root.duration().as_micros());
+        assert_eq!(
+            path.iter().map(|s| s.label).collect::<Vec<_>>(),
+            [
+                "earlier attempts & backoff",
+                "network & ingest",
+                "queue wait",
+                "execute",
+                "reply"
+            ]
+        );
+        assert_eq!(path[2].duration, SimDuration::from_millis(30));
+        assert_eq!(path[3].duration, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn throttled_invocation_has_zero_attempts() {
+        let spans = SpanBuilder::new(vec![rec(
+            5,
+            E::InvocationThrottled {
+                invocation: 1,
+                retry_after: SimDuration::from_millis(4),
+            },
+        )])
+        .invocations();
+        assert_eq!(spans[0].outcome, InvocationOutcome::Throttled);
+        assert!(spans[0].attempts().is_empty());
+        assert_eq!(spans[0].critical_path()[0].label, "throttled");
+    }
+
+    #[test]
+    fn unretried_overload_is_a_rejection() {
+        let spans = SpanBuilder::new(vec![
+            rec(
+                0,
+                E::AttemptStarted {
+                    invocation: 3,
+                    attempt: 1,
+                    target: 9,
+                    deadline: t(100),
+                },
+            ),
+            rec(
+                2,
+                E::AttemptOverloaded {
+                    invocation: 3,
+                    attempt: 1,
+                    target: 9,
+                    retry_after: SimDuration::from_millis(20),
+                },
+            ),
+        ])
+        .invocations();
+        assert_eq!(spans[0].outcome, InvocationOutcome::Rejected);
+        assert_eq!(spans[0].root.end, t(2));
+        assert_eq!(spans[0].stray_events, 0);
+    }
+
+    #[test]
+    fn truncated_trace_yields_unclosed_attempt_not_panic() {
+        let spans = SpanBuilder::new(vec![rec(
+            0,
+            E::AttemptStarted {
+                invocation: 4,
+                attempt: 1,
+                target: 9,
+                deadline: t(100),
+            },
+        )])
+        .invocations();
+        assert_eq!(spans[0].outcome, InvocationOutcome::Incomplete);
+        assert_eq!(spans[0].attempts()[0].arg("status"), Some("unclosed"));
+    }
+
+    #[test]
+    fn decision_span_pairs_rule_offer_and_member() {
+        let records = vec![
+            rec(
+                1000,
+                E::RuleFired {
+                    rule: "queue-delay-above-bound",
+                    observed_milli: 132,
+                    threshold_milli: 50,
+                },
+            ),
+            rec(
+                1000,
+                E::ScaleDecision {
+                    pool_size: 1,
+                    delta: 1,
+                },
+            ),
+            rec(
+                1001,
+                E::OfferRequested {
+                    request_id: 4,
+                    count: 1,
+                },
+            ),
+            rec(
+                1002,
+                E::OfferOutcome {
+                    request_id: 4,
+                    granted: 1,
+                    requested: 1,
+                },
+            ),
+            rec(1500, E::MemberJoined { uid: 1 }),
+        ];
+        let decisions = SpanBuilder::new(records).decisions();
+        assert_eq!(decisions.len(), 1);
+        let d = &decisions[0];
+        assert_eq!(d.delta, 1);
+        assert_eq!(d.rule.as_ref().unwrap().rule, "queue-delay-above-bound");
+        let offer = d.offer.as_ref().unwrap();
+        assert_eq!((offer.granted, offer.requested), (1, 1));
+        assert_eq!(d.members_up, vec![(1, t(1500))]);
+        assert_eq!(d.capacity_at(), Some(t(1500)));
+        assert_eq!(d.lag(), Some(SimDuration::from_millis(500)));
+    }
+
+    #[test]
+    fn shrink_capacity_is_immediate_and_denied_offer_has_no_lag() {
+        let records = vec![
+            rec(
+                2000,
+                E::ScaleDecision {
+                    pool_size: 4,
+                    delta: -1,
+                },
+            ),
+            rec(
+                3000,
+                E::ScaleDecision {
+                    pool_size: 3,
+                    delta: 2,
+                },
+            ),
+            rec(
+                3001,
+                E::OfferRequested {
+                    request_id: 9,
+                    count: 2,
+                },
+            ),
+            rec(
+                3001,
+                E::OfferOutcome {
+                    request_id: 9,
+                    granted: 0,
+                    requested: 2,
+                },
+            ),
+        ];
+        let decisions = SpanBuilder::new(records).decisions();
+        assert_eq!(decisions[0].lag(), Some(SimDuration::ZERO));
+        assert_eq!(decisions[1].capacity_at(), None, "denied offer never lands");
+    }
+
+    #[test]
+    fn chrome_trace_is_loadable_shaped_json() {
+        let records = vec![
+            rec(
+                0,
+                E::AttemptStarted {
+                    invocation: 1,
+                    attempt: 1,
+                    target: 5,
+                    deadline: t(100),
+                },
+            ),
+            rec(
+                10,
+                E::InvocationCompleted {
+                    invocation: 1,
+                    attempts: 1,
+                    ok: true,
+                },
+            ),
+        ];
+        let builder = SpanBuilder::new(records);
+        let json = chrome_trace(&builder.invocations(), &builder.decisions());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"inv 1\""));
+        assert!(json.contains("\"name\":\"attempt 1\""));
+        // Balanced braces/brackets — a cheap structural check that the
+        // hand-rolled JSON is well-formed.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_json_specials() {
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

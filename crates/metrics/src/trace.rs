@@ -159,6 +159,51 @@ pub enum TraceEvent {
         /// Members to add (positive) or remove (negative).
         delta: i64,
     },
+    /// A skeleton finished executing an admitted request. Emitted at
+    /// completion time so span reconstruction can place the queue-wait and
+    /// execute phases inside the client's attempt.
+    RequestExecuted {
+        /// The executing member's uid.
+        uid: u64,
+        /// Invocation id from the request's context.
+        invocation: u64,
+        /// Time the request spent admitted but waiting in the run queue.
+        queued_for: SimDuration,
+        /// Time the service spent executing it.
+        ran_for: SimDuration,
+    },
+    /// A scaling rule crossed its threshold, triggering the decision emitted
+    /// immediately after as [`TraceEvent::ScaleDecision`]. Observed value and
+    /// threshold are in milli-units of whatever the rule measures (ms of
+    /// queue delay, milli-percent of CPU, milli-votes) so the event stays
+    /// `Eq`-comparable.
+    RuleFired {
+        /// Which rule fired (e.g. `queue-delay-above-bound`,
+        /// `cpu-above-increase-threshold`).
+        rule: &'static str,
+        /// The sampled value, in milli-units.
+        observed_milli: i64,
+        /// The configured threshold it crossed, in milli-units.
+        threshold_milli: i64,
+    },
+    /// The pool asked the cluster manager for slices (a resource offer).
+    OfferRequested {
+        /// Cluster-assigned request id, matching the eventual outcome.
+        request_id: u64,
+        /// Slices asked for.
+        count: u32,
+    },
+    /// The cluster manager resolved a slice request. `granted == 0` means
+    /// the offer was denied (no capacity, or every free slice on a failed
+    /// node).
+    OfferOutcome {
+        /// The request this outcome resolves.
+        request_id: u64,
+        /// Slices granted (provisioning starts now).
+        granted: u32,
+        /// Slices originally requested.
+        requested: u32,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -265,6 +310,34 @@ impl fmt::Display for TraceEvent {
             TraceEvent::ScaleDecision { pool_size, delta } => {
                 write!(f, "scale decision at size {pool_size}: delta {delta:+}")
             }
+            TraceEvent::RequestExecuted {
+                uid,
+                invocation,
+                queued_for,
+                ran_for,
+            } => write!(
+                f,
+                "member {uid} executed inv {invocation} (queued {queued_for}, ran {ran_for})"
+            ),
+            TraceEvent::RuleFired {
+                rule,
+                observed_milli,
+                threshold_milli,
+            } => write!(
+                f,
+                "rule {rule} fired ({observed_milli} vs threshold {threshold_milli}, milli-units)"
+            ),
+            TraceEvent::OfferRequested { request_id, count } => {
+                write!(f, "offer {request_id} requested for {count} slice(s)")
+            }
+            TraceEvent::OfferOutcome {
+                request_id,
+                granted,
+                requested,
+            } => write!(
+                f,
+                "offer {request_id} resolved: {granted}/{requested} granted"
+            ),
         }
     }
 }
@@ -310,6 +383,7 @@ pub struct TraceSink {
 struct Ring {
     records: VecDeque<TraceRecord>,
     dropped: u64,
+    drop_warned: bool,
 }
 
 impl TraceSink {
@@ -321,30 +395,40 @@ impl TraceSink {
         }
     }
 
-    /// Appends a record, evicting the oldest when full.
+    // A panicking emitter must not poison tracing for every other component
+    // that shares the sink: recover the (always-consistent) ring state.
+    fn ring(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends a record, evicting the oldest when full. The first eviction
+    /// warns on stderr once, so a truncated trace is never silently mistaken
+    /// for a complete one.
     pub fn record(&self, at: SimTime, event: TraceEvent) {
-        let mut ring = self.buf.lock().expect("trace sink lock");
+        let mut ring = self.ring();
         if ring.records.len() == self.capacity {
             ring.records.pop_front();
             ring.dropped += 1;
+            if !ring.drop_warned {
+                ring.drop_warned = true;
+                eprintln!(
+                    "warning: trace ring full at {} records; oldest events are being dropped \
+                     (the trace is now truncated — see TraceSink::dropped())",
+                    self.capacity
+                );
+            }
         }
         ring.records.push_back(TraceRecord { at, event });
     }
 
     /// A copy of the retained records, oldest first.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
-        self.buf
-            .lock()
-            .expect("trace sink lock")
-            .records
-            .iter()
-            .cloned()
-            .collect()
+        self.ring().records.iter().cloned().collect()
     }
 
     /// Records currently retained.
     pub fn len(&self) -> usize {
-        self.buf.lock().expect("trace sink lock").records.len()
+        self.ring().records.len()
     }
 
     /// Whether nothing has been recorded (or everything was cleared).
@@ -354,12 +438,12 @@ impl TraceSink {
 
     /// Records evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
-        self.buf.lock().expect("trace sink lock").dropped
+        self.ring().dropped
     }
 
     /// Discards all retained records (the dropped counter is kept).
     pub fn clear(&self) {
-        self.buf.lock().expect("trace sink lock").records.clear();
+        self.ring().records.clear();
     }
 
     /// Renders the retained records one per line, for experiment dumps.
@@ -482,6 +566,26 @@ mod tests {
         assert_eq!(dump.lines().count(), 2);
         assert!(dump.contains("member 7 joined"));
         assert!(dump.contains("delta -1"));
+    }
+
+    #[test]
+    fn poisoned_sink_keeps_working() {
+        let sink = Arc::new(TraceSink::new(8));
+        sink.record(SimTime::ZERO, TraceEvent::MemberJoined { uid: 0 });
+        // Poison the mutex by panicking while holding it.
+        let poisoner = Arc::clone(&sink);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.buf.lock().unwrap();
+            panic!("emitter panicked mid-record");
+        })
+        .join();
+        // Every accessor recovers instead of cascading the panic.
+        sink.record(SimTime::ZERO, TraceEvent::MemberJoined { uid: 1 });
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.snapshot().len(), 2);
+        sink.clear();
+        assert!(sink.is_empty());
     }
 
     #[test]

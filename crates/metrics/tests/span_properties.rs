@@ -1,0 +1,219 @@
+//! Property test for span reconstruction: generated well-formed invocation
+//! traces (modelled on the stub's state machine) always fold into span trees
+//! where every `AttemptStarted` is closed by exactly one terminal event.
+
+use erm_metrics::{SpanBuilder, TraceEvent, TraceRecord};
+use erm_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One invocation's event stream plus the number of attempts it started.
+struct GeneratedInvocation {
+    records: Vec<TraceRecord>,
+    attempts_started: usize,
+}
+
+/// Generates a well-formed invocation the way the stub emits one: zero or
+/// more non-final attempts (failed / overloaded / redirected, possibly with
+/// server-side markers), then a final attempt closed by completion or
+/// expiry — or a local throttle with no attempts at all.
+fn generate_invocation(rng: &mut StdRng, invocation: u64, mut now_ms: u64) -> GeneratedInvocation {
+    let mut records = Vec::new();
+    let mut rec = |at_ms: u64, event: TraceEvent| {
+        records.push(TraceRecord {
+            at: SimTime::from_micros(at_ms * 1_000),
+            event,
+        });
+    };
+    if rng.gen_bool(0.1) {
+        rec(
+            now_ms,
+            TraceEvent::InvocationThrottled {
+                invocation,
+                retry_after: SimDuration::from_millis(rng.gen_range(1..50u64)),
+            },
+        );
+        return GeneratedInvocation {
+            records,
+            attempts_started: 0,
+        };
+    }
+    let total_attempts = rng.gen_range(1..=5u32);
+    for attempt in 1..=total_attempts {
+        let target = rng.gen_range(1..10u64);
+        let deadline = SimTime::from_micros((now_ms + 250) * 1_000);
+        rec(
+            now_ms,
+            TraceEvent::AttemptStarted {
+                invocation,
+                attempt,
+                target,
+                deadline,
+            },
+        );
+        now_ms += rng.gen_range(1..20u64);
+        let last = attempt == total_attempts;
+        if !last {
+            // A non-final attempt ends in a retryable way.
+            match rng.gen_range(0..3u32) {
+                0 => rec(
+                    now_ms,
+                    TraceEvent::AttemptFailed {
+                        invocation,
+                        attempt,
+                        target,
+                    },
+                ),
+                1 => {
+                    if rng.gen_bool(0.5) {
+                        rec(
+                            now_ms,
+                            TraceEvent::RequestOverloaded {
+                                uid: target,
+                                invocation,
+                                queue_depth: rng.gen_range(1..32u32),
+                                retry_after: SimDuration::from_millis(5),
+                            },
+                        );
+                    }
+                    rec(
+                        now_ms,
+                        TraceEvent::AttemptOverloaded {
+                            invocation,
+                            attempt,
+                            target,
+                            retry_after: SimDuration::from_millis(5),
+                        },
+                    );
+                }
+                _ => {
+                    if rng.gen_bool(0.5) {
+                        rec(
+                            now_ms,
+                            TraceEvent::RequestShed {
+                                uid: target,
+                                invocation,
+                            },
+                        );
+                    }
+                    rec(
+                        now_ms,
+                        TraceEvent::AttemptRedirected {
+                            invocation,
+                            attempt,
+                            remaining: SimDuration::from_millis(100),
+                        },
+                    );
+                }
+            }
+            now_ms += rng.gen_range(1..10u64);
+            continue;
+        }
+        // The final attempt: either served (admit → execute → complete) or
+        // the deadline expires.
+        if rng.gen_bool(0.8) {
+            rec(
+                now_ms,
+                TraceEvent::RequestAdmitted {
+                    uid: target,
+                    invocation,
+                    depth: rng.gen_range(1..8u32),
+                },
+            );
+            let queued = rng.gen_range(0..30u64);
+            let ran = rng.gen_range(1..20u64);
+            now_ms += queued + ran;
+            rec(
+                now_ms,
+                TraceEvent::RequestExecuted {
+                    uid: target,
+                    invocation,
+                    queued_for: SimDuration::from_millis(queued),
+                    ran_for: SimDuration::from_millis(ran),
+                },
+            );
+            now_ms += rng.gen_range(1..5u64);
+            rec(
+                now_ms,
+                TraceEvent::InvocationCompleted {
+                    invocation,
+                    attempts: attempt,
+                    ok: rng.gen_bool(0.9),
+                },
+            );
+        } else {
+            now_ms += rng.gen_range(1..50u64);
+            rec(
+                now_ms,
+                TraceEvent::InvocationExpired {
+                    invocation,
+                    attempts: attempt,
+                },
+            );
+        }
+    }
+    GeneratedInvocation {
+        records,
+        attempts_started: total_attempts as usize,
+    }
+}
+
+/// Randomly interleaves several per-invocation streams, preserving each
+/// stream's internal order (the only ordering the emitters guarantee).
+fn interleave(rng: &mut StdRng, mut streams: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
+    let mut merged = Vec::new();
+    while !streams.is_empty() {
+        let pick = rng.gen_range(0..streams.len());
+        merged.push(streams[pick].remove(0));
+        if streams[pick].is_empty() {
+            streams.remove(pick);
+        }
+    }
+    merged
+}
+
+#[test]
+fn every_started_attempt_is_closed_exactly_once() {
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_invocations = rng.gen_range(1..8usize);
+        let mut streams = Vec::new();
+        let mut expected_attempts = Vec::new();
+        for inv_id in 0..n_invocations as u64 {
+            let start_ms = rng.gen_range(0..1000u64);
+            let generated = generate_invocation(&mut rng, inv_id, start_ms);
+            expected_attempts.push(generated.attempts_started);
+            streams.push(generated.records);
+        }
+        let records = interleave(&mut rng, streams);
+        let spans = SpanBuilder::new(records).invocations();
+        assert_eq!(spans.len(), n_invocations, "seed {seed}");
+        for span in &spans {
+            let expected = expected_attempts[span.invocation as usize];
+            let attempts = span.attempts();
+            // Exactly one attempt span per AttemptStarted: none lost, none
+            // double-closed (a double close would surface as a stray event
+            // or a superseded/unclosed status).
+            assert_eq!(
+                attempts.len(),
+                expected,
+                "seed {seed} inv {}: attempt count",
+                span.invocation
+            );
+            assert_eq!(
+                span.stray_events, 0,
+                "seed {seed} inv {}: stray terminal events",
+                span.invocation
+            );
+            for attempt in &attempts {
+                let status = attempt.arg("status").expect("every attempt has a status");
+                assert!(
+                    !matches!(status, "unclosed" | "superseded"),
+                    "seed {seed} inv {}: attempt closed abnormally ({status})",
+                    span.invocation
+                );
+                assert!(attempt.start <= attempt.end, "spans never run backwards");
+            }
+        }
+    }
+}

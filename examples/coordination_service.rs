@@ -15,7 +15,7 @@ use erm_apps::dcs::{Dcs, ZNode};
 use erm_apps::paxos::{PaxosReplica, ProposeResult};
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
-use erm_metrics::TraceHandle;
+use erm_metrics::{MetricsHandle, TraceHandle};
 use erm_sim::SystemClock;
 use erm_transport::InProcNetwork;
 
@@ -35,6 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         store,
         clock: clock.clone(),
         trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
     };
 
     // Paxos pool: quorum of 3, fine-grained scaling.

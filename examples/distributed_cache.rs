@@ -20,7 +20,7 @@ use elasticrmi::{
 };
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
-use erm_metrics::TraceHandle;
+use erm_metrics::{MetricsHandle, TraceHandle};
 use erm_sim::{SimDuration, SystemClock};
 use erm_transport::InProcNetwork;
 
@@ -89,6 +89,7 @@ fn deps() -> PoolDeps {
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
         trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
     }
 }
 

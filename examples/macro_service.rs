@@ -9,7 +9,7 @@ use std::sync::Arc;
 use elasticrmi::{elastic_class, ClientLb, ElasticPool, PoolConfig, PoolDeps, RemoteError};
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
-use erm_metrics::TraceHandle;
+use erm_metrics::{MetricsHandle, TraceHandle};
 use erm_sim::SystemClock;
 use erm_transport::InProcNetwork;
 
@@ -47,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
         trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
     };
     let config = PoolConfig::builder("Leaderboard")
         .min_pool_size(3)

@@ -10,7 +10,7 @@ use elasticrmi::{ClientLb, ElasticPool, PoolConfig, PoolDeps, ScalingPolicy};
 use erm_apps::marketcetera::{Order, OrderRouter, RouteAck, Side};
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
-use erm_metrics::TraceHandle;
+use erm_metrics::{MetricsHandle, TraceHandle};
 use erm_sim::SystemClock;
 use erm_transport::InProcNetwork;
 use parking_lot::Mutex;
@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
         trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
     };
 
     let config = PoolConfig::builder(OrderRouter::CLASS)

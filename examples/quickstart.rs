@@ -15,7 +15,7 @@ use elasticrmi::{
 };
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
-use erm_metrics::TraceHandle;
+use erm_metrics::{MetricsHandle, TraceHandle};
 use erm_sim::SystemClock;
 use erm_transport::InProcNetwork;
 
@@ -59,6 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
         trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
     };
 
     // An elastic pool of 3..8 Counter objects, implicit elasticity.

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use elasticrmi::{ElasticPool, PoolConfig, PoolDeps, ServiceFactory};
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
-use erm_metrics::TraceHandle;
+use erm_metrics::{MetricsHandle, TraceHandle};
 use erm_sim::SystemClock;
 use erm_transport::InProcNetwork;
 
@@ -26,6 +26,7 @@ pub fn fast_deps() -> PoolDeps {
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
         trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
     }
 }
 

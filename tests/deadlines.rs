@@ -17,7 +17,7 @@ use elasticrmi::{
 };
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
-use erm_metrics::{TraceEvent, TraceHandle};
+use erm_metrics::{MetricsHandle, TraceEvent, TraceHandle};
 use erm_sim::{Clock, SimDuration, SimTime, SystemClock, VirtualClock};
 use erm_transport::{EndpointId, Host, InProcNetwork, Mailbox, Network};
 
@@ -244,6 +244,7 @@ fn traced_deps(net: &InProcNetwork, trace: TraceHandle) -> PoolDeps {
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
         trace,
+        metrics: MetricsHandle::disabled(),
     }
 }
 

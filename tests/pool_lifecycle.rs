@@ -14,7 +14,7 @@ use elasticrmi::{
 };
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
-use erm_metrics::TraceHandle;
+use erm_metrics::{MetricsHandle, TraceHandle};
 use erm_sim::{SimDuration, SystemClock};
 use erm_transport::InProcNetwork;
 
@@ -138,6 +138,7 @@ fn degraded_instantiation_l_less_than_k() {
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
         trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
     };
     let vote = Arc::new(AtomicI32::new(0));
     let fv = Arc::clone(&vote);
@@ -177,6 +178,7 @@ fn empty_cluster_fails_instantiation() {
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
         trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
     };
     // Exhaust the only slice first.
     deps.cluster

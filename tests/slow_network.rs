@@ -35,6 +35,7 @@ fn invocations_survive_injected_latency() {
         store: common::fast_deps().store,
         clock: common::fast_deps().clock,
         trace: common::fast_deps().trace,
+        metrics: common::fast_deps().metrics,
     };
     let config = PoolConfig::builder("Echo")
         .min_pool_size(2)
@@ -72,6 +73,7 @@ fn timeout_turns_into_retry_not_error() {
         store: common::fast_deps().store,
         clock: common::fast_deps().clock,
         trace: common::fast_deps().trace,
+        metrics: common::fast_deps().metrics,
     };
     let config = PoolConfig::builder("Echo")
         .min_pool_size(2)

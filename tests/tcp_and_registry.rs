@@ -11,7 +11,7 @@ use elasticrmi::{
 };
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
-use erm_metrics::TraceHandle;
+use erm_metrics::{MetricsHandle, TraceHandle};
 use erm_sim::SystemClock;
 use erm_transport::{Network, TcpHost};
 
@@ -46,6 +46,7 @@ fn pool_and_registry_work_across_tcp_hosts() {
         store: Arc::new(Store::new(StoreConfig::default())),
         clock: Arc::new(SystemClock::new()),
         trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
     };
     let mut pool = ElasticPool::instantiate(
         PoolConfig::builder("Adder")
