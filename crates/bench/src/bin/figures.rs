@@ -9,6 +9,9 @@
 //! figures --overload         # admission control vs unbounded FIFO under
 //!                            # a 2x burst with the pool pinned, then the
 //!                            # instrumented elastic run + why-scaled report
+//! figures --churn            # the member-crash churn harness: scripted +
+//!                            # seeded node failures, master outage, lock
+//!                            # reclamation, and the why-recovered report
 //! figures --seed 42          # change the experiment seed
 //! figures --dump-traces      # control-plane trace of one run per
 //!                            # app x pattern (scale decisions, joins,
@@ -30,6 +33,7 @@ fn main() {
     let mut table = false;
     let mut ablation = false;
     let mut overload = false;
+    let mut churn = false;
     let mut dump_traces = false;
     let mut export_trace: Option<String> = None;
     let mut export_metrics: Option<String> = None;
@@ -70,6 +74,7 @@ fn main() {
             "--table" => table = true,
             "--ablation" => ablation = true,
             "--overload" => overload = true,
+            "--churn" => churn = true,
             "--dump-traces" => dump_traces = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
@@ -97,8 +102,12 @@ fn main() {
         print_elastic_telemetry(seed, export_trace.as_deref(), export_metrics.as_deref());
         return;
     }
+    if churn {
+        print_churn(seed, export_metrics.as_deref());
+        return;
+    }
     if export_trace.is_some() || export_metrics.is_some() {
-        usage("--export-trace/--export-metrics only apply with --overload");
+        usage("--export-trace/--export-metrics only apply with --overload or --churn");
     }
     if dump_traces {
         print_traces(seed);
@@ -119,9 +128,9 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: figures [--fig 7a..7j|8a|8b] [--table] [--ablation] [--overload] \
+        "usage: figures [--fig 7a..7j|8a|8b] [--table] [--ablation] [--overload] [--churn] \
          [--dump-traces] [--seed N] \
-         [--export-trace PATH] [--export-metrics PATH]  (exports need --overload)"
+         [--export-trace PATH] [--export-metrics PATH]  (exports need --overload or --churn)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -168,6 +177,24 @@ fn print_elastic_telemetry(seed: u64, trace_path: Option<&str>, metrics_path: Op
             run.invocations, run.decisions
         );
     }
+    if let Some(path) = metrics_path {
+        if let Err(e) = std::fs::write(path, &run.metrics_csv) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {path}: {} metric-registry snapshot rows",
+            run.metrics_csv.lines().count().saturating_sub(1)
+        );
+    }
+}
+
+/// The churn harness: prints the why-recovered report and optionally
+/// writes the metrics CSV (with the quiesce leak gauges) for CI to check.
+fn print_churn(seed: u64, metrics_path: Option<&str>) {
+    let run = erm_harness::run_churn(seed);
+    println!("================ Churn / crash-recovery run (seed {seed}) ================");
+    print!("{}", run.report);
     if let Some(path) = metrics_path {
         if let Err(e) = std::fs::write(path, &run.metrics_csv) {
             eprintln!("error: cannot write {path}: {e}");

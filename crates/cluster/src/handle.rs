@@ -92,6 +92,11 @@ impl ClusterHandle {
         self.inner.lock().slices_in_use()
     }
 
+    /// See [`ResourceManager::pending_slices`].
+    pub fn pending_slices(&self) -> usize {
+        self.inner.lock().pending_slices()
+    }
+
     /// See [`ResourceManager::utilization`].
     pub fn utilization(&self) -> f64 {
         self.inner.lock().utilization()

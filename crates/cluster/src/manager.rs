@@ -1,6 +1,6 @@
 //! The resource manager: slices, grants, provisioning, failures, alerts.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
 use erm_metrics::{Histogram, MetricsHandle, TraceEvent, TraceHandle};
@@ -147,7 +147,9 @@ pub struct ResourceManager {
     config: ClusterConfig,
     free: Vec<SliceId>,
     provisioning: EventQueue<PendingGrant>,
-    in_use: HashSet<SliceId>,
+    // Ordered so failure paths (fail_node's revocation sweep) visit slices
+    // in slice-id order: crash recovery must be deterministic per seed.
+    in_use: BTreeSet<SliceId>,
     failed_nodes: HashSet<NodeId>,
     revoked: Vec<SliceId>,
     pending_count: usize,
@@ -183,7 +185,7 @@ impl ResourceManager {
             config,
             free,
             provisioning: EventQueue::new(),
-            in_use: HashSet::new(),
+            in_use: BTreeSet::new(),
             failed_nodes: HashSet::new(),
             revoked: Vec::new(),
             pending_count: 0,
@@ -226,6 +228,12 @@ impl ResourceManager {
     /// Slices currently granted and ready.
     pub fn slices_in_use(&self) -> usize {
         self.in_use.len()
+    }
+
+    /// Slices granted but still provisioning (not yet collectable with
+    /// [`ResourceManager::poll_ready`]).
+    pub fn pending_slices(&self) -> usize {
+        self.pending_count
     }
 
     /// Fraction of the cluster that is granted or provisioning.

@@ -15,7 +15,7 @@
 //! * plans server-side rebalancing with first-fit bin packing, and
 //! * detects member crashes, re-electing the sentinel by lowest uid.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -23,8 +23,8 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use erm_cluster::{ClusterHandle, SliceGrant, SliceId};
-use erm_kvstore::Store;
-use erm_metrics::{MetricsHandle, TraceEvent, TraceHandle};
+use erm_kvstore::{LockOwner, Store};
+use erm_metrics::{Histogram, MetricsHandle, TraceEvent, TraceHandle};
 use erm_sim::{SharedClock, SimDuration, SimTime};
 use erm_transport::{EndpointId, Host, Mailbox, Network};
 use parking_lot::{Mutex, RwLock};
@@ -196,6 +196,8 @@ impl ElasticPool {
             collect_until: None,
             grant_times: BTreeMap::new(),
             last_broadcast: SimTime::ZERO,
+            revoked_slices: BTreeSet::new(),
+            recovery: RecoveryTracker::new(&deps.metrics),
         };
         runtime.grant_times.insert(outcome.request_id, now);
         let handle = std::thread::Builder::new()
@@ -295,6 +297,50 @@ struct Member {
     draining: bool,
     requested_at: Option<SimTime>,
     first_served: bool,
+    /// When this member's endpoint was taken down by a slice revocation
+    /// (node failure). A draining member with `crashed_at` set is reaped as
+    /// crashed rather than waiting for a drain ack that can never arrive.
+    crashed_at: Option<SimTime>,
+}
+
+/// Tracks open crash-recovery windows and records their lags (§4.4: a
+/// failure should "affect the cluster only during the outage window" — these
+/// histograms measure that window).
+struct RecoveryTracker {
+    /// `pool.recovery.reelection.lag`: sentinel crash → new sentinel elected.
+    reelection_lag: Histogram,
+    /// `pool.recovery.capacity.lag`: crash → live size back at the pre-crash
+    /// target (clamped to `min_pool_size`, the level the scaling engine is
+    /// obliged to restore).
+    capacity_lag: Histogram,
+    /// Earliest unrecovered crash and the live size that closes the window.
+    pending_capacity: Option<(SimTime, u32)>,
+}
+
+impl RecoveryTracker {
+    fn new(metrics: &MetricsHandle) -> Self {
+        RecoveryTracker {
+            reelection_lag: metrics.histogram("pool.recovery.reelection.lag"),
+            capacity_lag: metrics.histogram("pool.recovery.capacity.lag"),
+            pending_capacity: None,
+        }
+    }
+
+    fn on_crash(&mut self, crashed_at: SimTime, target_live: u32) {
+        match &mut self.pending_capacity {
+            Some((_, target)) => *target = (*target).max(target_live),
+            None => self.pending_capacity = Some((crashed_at, target_live)),
+        }
+    }
+
+    fn check_capacity(&mut self, live: u32, now: SimTime) {
+        if let Some((crashed_at, target)) = self.pending_capacity {
+            if live >= target {
+                self.capacity_lag.record(now.saturating_since(crashed_at));
+                self.pending_capacity = None;
+            }
+        }
+    }
 }
 
 struct Runtime {
@@ -313,6 +359,13 @@ struct Runtime {
     collect_until: Option<std::time::Instant>,
     grant_times: BTreeMap<u64, SimTime>,
     last_broadcast: SimTime,
+    /// Slices the cluster revoked (node failure) that we have not finalized
+    /// yet. `finalize_member` must not `release()` these: the cluster
+    /// already took them back, and by finalize time the slice may have been
+    /// re-granted — releasing it again would free it underneath its new
+    /// owner.
+    revoked_slices: BTreeSet<SliceId>,
+    recovery: RecoveryTracker,
 }
 
 const TICK: Duration = Duration::from_millis(2);
@@ -347,6 +400,8 @@ impl Runtime {
             // (node failures) kill their members too.
             let revoked = self.deps.cluster.drain_revocations();
             if !revoked.is_empty() {
+                let at = self.deps.clock.now();
+                self.revoked_slices.extend(revoked.iter().copied());
                 let victims: Vec<u64> = self
                     .members
                     .iter()
@@ -354,9 +409,10 @@ impl Runtime {
                     .map(|(&uid, _)| uid)
                     .collect();
                 for uid in victims {
-                    if let Some(m) = self.members.get(&uid) {
+                    if let Some(m) = self.members.get_mut(&uid) {
                         // Take the endpoint down; the skeleton thread exits
                         // on its closed mailbox and reaping does the rest.
+                        m.crashed_at = Some(at);
                         self.deps.net.close(m.endpoint);
                     }
                 }
@@ -368,6 +424,12 @@ impl Runtime {
             }
             // 5. Periodic broadcast (the JGroups substitute).
             let now = self.deps.clock.now();
+            let live = self
+                .members
+                .values()
+                .filter(|m| !m.draining && m.crashed_at.is_none())
+                .count() as u32;
+            self.recovery.check_capacity(live, now);
             if now.saturating_since(self.last_broadcast) >= BROADCAST_EVERY {
                 self.broadcast();
             }
@@ -411,6 +473,9 @@ impl Runtime {
     }
 
     fn spawn_member(&mut self, grant: SliceGrant) {
+        // A fresh grant supersedes any old revocation marker for the slice:
+        // from here on, finalizing its member must release it normally.
+        self.revoked_slices.remove(&grant.slice);
         let uid = self.next_uid;
         self.next_uid += 1;
         let (endpoint, mailbox) = self.deps.net.open();
@@ -448,6 +513,7 @@ impl Runtime {
                 draining: false,
                 requested_at,
                 first_served: false,
+                crashed_at: None,
             },
         );
         self.deps
@@ -457,21 +523,32 @@ impl Runtime {
     }
 
     /// Removes a member from all books; `crashed` distinguishes failure from
-    /// orderly drain.
+    /// orderly drain. Exactly-once: a member already finalized (by either
+    /// path — drain ack or crash reap) is gone from `members`, so a second
+    /// call is a no-op.
     fn finalize_member(&mut self, uid: u64, crashed: bool) {
         let Some(member) = self.members.remove(&uid) else {
             return;
         };
         self.deps.net.close(member.endpoint);
-        let _ = self
-            .deps
-            .cluster
-            .release(member.slice, self.deps.clock.now());
+        let now = self.deps.clock.now();
+        // A revoked slice is already back in the cluster's inventory;
+        // releasing it again would free a slice that may since have been
+        // re-granted to another member.
+        if !self.revoked_slices.remove(&member.slice) {
+            let _ = self.deps.cluster.release(member.slice, now);
+        }
         if !crashed {
             let _ = member.join.join();
         }
+        if crashed {
+            // Reclaim the dead member's kv locks and fence its owner, so
+            // `synchronized` methods stop stalling on a holder that will
+            // never unlock (§4.4) and a stale resurrected member cannot
+            // unlock what it no longer owns.
+            let _ = self.deps.store.release_owner(LockOwner::new(uid), now);
+        }
         self.reports.remove(&uid);
-        let now = self.deps.clock.now();
         if crashed {
             self.deps.trace.emit(now, TraceEvent::MemberCrashed { uid });
         } else if member.draining {
@@ -486,26 +563,45 @@ impl Runtime {
     }
 
     fn reap_crashed(&mut self) -> bool {
+        // A draining member normally finalizes through its ShutdownReady
+        // ack — but one whose slice was revoked mid-drain lost its endpoint
+        // and can never ack, so it must be reaped here (as crashed) too.
         let dead: Vec<u64> = self
             .members
             .iter()
-            .filter(|(_, m)| m.join.is_finished() && !m.draining)
+            .filter(|(_, m)| m.join.is_finished() && (!m.draining || m.crashed_at.is_some()))
             .map(|(&uid, _)| uid)
             .collect();
         if dead.is_empty() {
             return false;
         }
+        let now = self.deps.clock.now();
         let old_sentinel = self.sentinel_uid();
+        let live_before = self.members.values().filter(|m| !m.draining).count() as u32;
+        // Revocation-killed members carry their actual crash time; for
+        // panic-killed members detection time is the best bound we have.
+        let crashed_at = dead
+            .iter()
+            .filter_map(|uid| self.members.get(uid).and_then(|m| m.crashed_at))
+            .min()
+            .unwrap_or(now);
         for uid in dead {
             self.finalize_member(uid, true);
         }
+        self.recovery.on_crash(
+            crashed_at,
+            live_before.min(self.config.min_pool_size().max(1)),
+        );
         if self.sentinel_uid() != old_sentinel {
             // §4.4: sentinel failure triggers leader election; lowest uid
             // (the royal hierarchy) wins, which BTreeMap order gives us.
             self.shared.stats.lock().elections += 1;
             if let Some(uid) = self.sentinel_uid() {
+                self.recovery
+                    .reelection_lag
+                    .record(now.saturating_since(crashed_at));
                 self.deps.trace.emit(
-                    self.deps.clock.now(),
+                    now,
                     TraceEvent::SentinelElected {
                         uid,
                         epoch: self.epoch + 1,
@@ -770,5 +866,274 @@ impl Runtime {
         }
         self.deps.net.close(self.ctl);
         self.publish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RemoteError;
+    use erm_cluster::{ClusterConfig, LatencyModel, NodeId, ResourceManager};
+    use erm_kvstore::StoreConfig;
+    use erm_sim::{Clock, VirtualClock};
+    use erm_transport::InProcNetwork;
+
+    struct Idle;
+    impl ElasticService for Idle {
+        fn dispatch(
+            &mut self,
+            method: &str,
+            _args: &[u8],
+            _ctx: &mut ServiceContext,
+        ) -> Result<Vec<u8>, RemoteError> {
+            Err(RemoteError::no_such_method(method))
+        }
+    }
+
+    /// A tiny cluster (1 node unless asked otherwise) with instant
+    /// provisioning, so grants are collectable immediately.
+    fn cluster(nodes: u32) -> ClusterHandle {
+        ClusterHandle::new(ResourceManager::new(ClusterConfig {
+            nodes,
+            slices_per_node: 1,
+            provisioning: LatencyModel::instant(),
+            ..ClusterConfig::default()
+        }))
+    }
+
+    /// Builds a `Runtime` directly (no control-loop thread), with a virtual
+    /// clock, so finalize/reap logic is testable deterministically.
+    fn runtime(cluster: ClusterHandle, clock: VirtualClock, metrics: MetricsHandle) -> Runtime {
+        let net: Arc<InProcNetwork> = Arc::new(InProcNetwork::new());
+        let deps = PoolDeps {
+            cluster,
+            net,
+            store: Arc::new(Store::new(StoreConfig::default())),
+            clock: Arc::new(clock),
+            trace: TraceHandle::disabled(),
+            metrics: metrics.clone(),
+        };
+        let config = PoolConfig::builder("Churn").build().unwrap();
+        Runtime {
+            config,
+            recovery: RecoveryTracker::new(&metrics),
+            deps: deps.clone(),
+            factory: Arc::new(|| Box::new(Idle)),
+            decider: None,
+            shared: Arc::new(PoolShared {
+                sentinel: RwLock::new(EndpointId(u64::MAX)),
+                members: RwLock::new(Vec::new()),
+                size: Arc::new(AtomicU32::new(0)),
+                stats: Mutex::new(PoolStats::default()),
+                last_reports: Mutex::new(Vec::new()),
+            }),
+            ctl: deps.net.open().0,
+            cmd_rx: unbounded().1,
+            members: BTreeMap::new(),
+            next_uid: 0,
+            epoch: 0,
+            reports: BTreeMap::new(),
+            engine: None,
+            collect_until: None,
+            grant_times: BTreeMap::new(),
+            last_broadcast: SimTime::ZERO,
+            revoked_slices: BTreeSet::new(),
+        }
+    }
+
+    /// A member whose skeleton thread has already exited — as after a crash.
+    fn dead_member(rt: &Runtime, slice: SliceId) -> Member {
+        let (endpoint, _mailbox) = rt.deps.net.open();
+        let join = std::thread::spawn(|| {});
+        while !join.is_finished() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Member {
+            endpoint,
+            slice,
+            join,
+            draining: false,
+            requested_at: None,
+            first_served: false,
+            crashed_at: None,
+        }
+    }
+
+    fn grant_one(cluster: &ClusterHandle, at: SimTime) -> SliceId {
+        cluster.request_slices(1, at).unwrap();
+        cluster.poll_ready(at).pop().expect("instant grant").slice
+    }
+
+    #[test]
+    fn finalize_skips_release_for_revoked_slice() {
+        // Regression: a crashed member's slice was revoked by fail_node and
+        // immediately re-granted after repair. Releasing it again during
+        // finalize would free the new member's slice underneath it.
+        let cluster = cluster(1);
+        let slice = grant_one(&cluster, SimTime::ZERO);
+        let mut rt = runtime(
+            cluster.clone(),
+            VirtualClock::new(),
+            MetricsHandle::disabled(),
+        );
+        rt.members.insert(0, dead_member(&rt, slice));
+
+        cluster.fail_node(NodeId(0));
+        rt.revoked_slices.extend(cluster.drain_revocations());
+        cluster.repair_node(NodeId(0));
+        let regrant = grant_one(&cluster, SimTime::from_secs(1));
+        assert_eq!(regrant, slice, "the sole slice is granted again");
+
+        rt.finalize_member(0, true);
+        assert_eq!(
+            cluster.slices_in_use(),
+            1,
+            "finalize must not release a slice the cluster already revoked"
+        );
+        assert!(rt.revoked_slices.is_empty(), "marker consumed");
+    }
+
+    #[test]
+    fn finalize_releases_unrevoked_slices_normally() {
+        let cluster = cluster(1);
+        let slice = grant_one(&cluster, SimTime::ZERO);
+        let mut rt = runtime(
+            cluster.clone(),
+            VirtualClock::new(),
+            MetricsHandle::disabled(),
+        );
+        rt.members.insert(0, dead_member(&rt, slice));
+        rt.finalize_member(0, true);
+        assert_eq!(cluster.slices_in_use(), 0);
+        assert_eq!(cluster.free_slices(), 1);
+    }
+
+    #[test]
+    fn draining_and_revoked_member_is_reaped_exactly_once() {
+        // A member mid scale-in whose node dies: it can never ack its drain,
+        // so the crash path must finalize it — once.
+        let cluster = cluster(1);
+        let slice = grant_one(&cluster, SimTime::ZERO);
+        let mut rt = runtime(
+            cluster.clone(),
+            VirtualClock::new(),
+            MetricsHandle::disabled(),
+        );
+        let mut member = dead_member(&rt, slice);
+        member.draining = true;
+        member.crashed_at = Some(SimTime::ZERO);
+        rt.members.insert(0, member);
+        cluster.fail_node(NodeId(0));
+        rt.revoked_slices.extend(cluster.drain_revocations());
+
+        assert!(rt.reap_crashed(), "draining+revoked member must be reaped");
+        assert!(rt.members.is_empty());
+        assert!(!rt.reap_crashed(), "second reap finds nothing");
+        // A drain ack arriving after the reap must be a no-op.
+        rt.finalize_member(0, false);
+        let stats = rt.shared.stats.lock().clone();
+        assert_eq!((stats.crashed, stats.shrunk), (1, 0));
+    }
+
+    #[test]
+    fn draining_member_without_revocation_waits_for_its_ack() {
+        // The two-phase drain stays intact: a drained member whose thread
+        // has exited but whose slice was not revoked finalizes through its
+        // ShutdownReady ack, not the crash path.
+        let cluster = cluster(1);
+        let slice = grant_one(&cluster, SimTime::ZERO);
+        let mut rt = runtime(
+            cluster.clone(),
+            VirtualClock::new(),
+            MetricsHandle::disabled(),
+        );
+        let mut member = dead_member(&rt, slice);
+        member.draining = true;
+        rt.members.insert(0, member);
+        assert!(!rt.reap_crashed());
+        assert_eq!(rt.members.len(), 1);
+    }
+
+    #[test]
+    fn reap_reclaims_crashed_members_locks() {
+        let cluster = cluster(1);
+        let slice = grant_one(&cluster, SimTime::ZERO);
+        let clock = VirtualClock::new();
+        let mut rt = runtime(cluster, clock.clone(), MetricsHandle::disabled());
+        let store = Arc::clone(&rt.deps.store);
+        let ttl = SimDuration::from_secs(3600);
+        // The member dies holding its class lock, TTL far in the future.
+        assert!(store.try_lock("Churn", LockOwner::new(0), clock.now(), ttl));
+        rt.members.insert(0, dead_member(&rt, slice));
+
+        assert!(rt.reap_crashed());
+        assert!(store.held_locks().is_empty(), "orphaned lock reclaimed");
+        // Waiters proceed immediately; the ghost is fenced out.
+        assert!(store.try_lock("Churn", LockOwner::new(1), clock.now(), ttl));
+        assert!(!store.try_lock("Churn", LockOwner::new(0), clock.now(), ttl));
+    }
+
+    #[test]
+    fn recovery_lags_are_recorded() {
+        let cluster = cluster(2);
+        let (metrics, registry) = MetricsHandle::shared();
+        let clock = VirtualClock::new();
+        let mut rt = runtime(cluster.clone(), clock.clone(), metrics);
+        let s0 = grant_one(&cluster, SimTime::ZERO);
+        let s1 = grant_one(&cluster, SimTime::ZERO);
+        // Sentinel (uid 0) crashed at t=0; reaped at t=2s with uid 1 alive.
+        let mut sentinel = dead_member(&rt, s0);
+        sentinel.crashed_at = Some(SimTime::ZERO);
+        rt.members.insert(0, sentinel);
+        let (survivor_ep, _mb) = rt.deps.net.open();
+        rt.members.insert(
+            1,
+            Member {
+                endpoint: survivor_ep,
+                slice: s1,
+                join: std::thread::spawn(|| std::thread::sleep(Duration::from_secs(2))),
+                draining: false,
+                requested_at: None,
+                first_served: false,
+                crashed_at: None,
+            },
+        );
+        clock.advance(SimDuration::from_secs(2));
+        assert!(rt.reap_crashed());
+        // Capacity is restored once the live count is back at the pre-crash
+        // target (min_pool_size, here 2): one second later the replacement
+        // member is up.
+        clock.advance(SimDuration::from_secs(1));
+        rt.recovery.check_capacity(1, clock.now());
+        assert_eq!(
+            registry
+                .snapshot(clock.now())
+                .histograms
+                .iter()
+                .find(|(n, _)| *n == "pool.recovery.capacity.lag")
+                .unwrap()
+                .1
+                .count(),
+            0,
+            "window stays open below the pre-crash target"
+        );
+        rt.recovery.check_capacity(2, clock.now());
+
+        let snap = registry.snapshot(clock.now());
+        let find = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("{name} registered"))
+                .1
+                .clone()
+        };
+        let reelection = find("pool.recovery.reelection.lag");
+        assert_eq!(reelection.count(), 1);
+        assert_eq!(reelection.max(), Some(SimDuration::from_secs(2)));
+        let capacity = find("pool.recovery.capacity.lag");
+        assert_eq!(capacity.count(), 1);
+        assert_eq!(capacity.max(), Some(SimDuration::from_secs(3)));
+        assert_eq!(rt.shared.stats.lock().elections, 1);
     }
 }

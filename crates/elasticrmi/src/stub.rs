@@ -66,6 +66,9 @@ pub struct StubStats {
     pub overloaded: u64,
     /// Invocations refused locally by the AIMD limiter before any send.
     pub throttled: u64,
+    /// Attempts that failed fast because the target endpoint was closed
+    /// (member crash), rather than waiting out the reply timeout.
+    pub connections_closed: u64,
 }
 
 /// A stub bound to one elastic object pool.
@@ -353,6 +356,34 @@ impl Stub {
                         }
                     }
                 }
+                AttemptOutcome::ConnectionClosed => {
+                    // The member's endpoint is definitively gone (crash):
+                    // no reply timeout was burned, fail over immediately.
+                    self.stats.connections_closed += 1;
+                    self.trace.emit(
+                        self.clock.now(),
+                        TraceEvent::AttemptFailed {
+                            invocation: context.id,
+                            attempt: attempts,
+                            target: target.0,
+                        },
+                    );
+                    if !refreshed && self.refresh_members().is_ok() {
+                        refreshed = true;
+                        for m in self.members.clone() {
+                            if !targets.contains(&m) {
+                                targets.push(m);
+                            }
+                        }
+                    }
+                    // Fast failover is a stampede risk: every client that
+                    // was waiting on the dead member retries at once.
+                    // Jittered backoff spreads the herd before it hits the
+                    // survivors.
+                    if i < targets.len() {
+                        self.backoff_before_retry(attempts, &context);
+                    }
+                }
                 AttemptOutcome::Overloaded { retry_after } => {
                     self.stats.overloaded += 1;
                     self.trace.emit(
@@ -386,6 +417,22 @@ impl Stub {
                 retry_after,
             }),
             None => Err(RmiError::PoolUnreachable { attempts }),
+        }
+    }
+
+    /// Sleeps a seeded, jittered, exponentially growing interval (1 ms base,
+    /// 16 ms cap, uniform in `[step/2, step]`) before retrying after a
+    /// connection-closed failure, bounded by the invocation deadline. The
+    /// wait runs on the injected clock with a short real-time backstop so a
+    /// virtual clock nobody advances cannot wedge the caller.
+    fn backoff_before_retry(&mut self, attempt: u32, context: &InvocationContext) {
+        let step_us = (1_000u64 << u64::from(attempt.min(4))).min(16_000);
+        let wait_us = self.rng.gen_range(step_us / 2..=step_us);
+        let deadline = (self.clock.now() + SimDuration::from_micros(wait_us)).min(context.deadline);
+        let backstop = Duration::from_micros(wait_us).min(Duration::from_millis(50));
+        let mut wait = ClockWait::with_backstop(deadline, backstop);
+        while matches!(wait.poll(self.clock.as_ref()), WaitState::Waiting) {
+            std::thread::sleep(POLL_TICK);
         }
     }
 
@@ -457,7 +504,9 @@ impl Stub {
             },
         );
         if self.net.send(self.endpoint, target, msg.encode()).is_err() {
-            return AttemptOutcome::Failed;
+            // The transport knows the endpoint is gone — not a silent
+            // timeout, an immediate failover signal.
+            return AttemptOutcome::ConnectionClosed;
         }
         // The attempt waits until its reply timeout or the invocation's
         // deadline, whichever comes first — on the injected clock.
@@ -473,6 +522,12 @@ impl Stub {
                         AttemptOutcome::Failed
                     };
                 }
+            }
+            // A member that died *after* accepting the request never
+            // replies; detecting the closed endpoint here fails over
+            // immediately instead of burning the whole reply timeout.
+            if !self.net.endpoint_open(target) {
+                return AttemptOutcome::ConnectionClosed;
             }
             match self.mailbox.recv_timeout(POLL_TICK) {
                 Ok(datagram) => match RmiMessage::decode(&datagram.payload) {
@@ -568,9 +623,16 @@ enum WaitState {
 
 impl ClockWait {
     fn new(deadline: SimTime) -> Self {
+        Self::with_backstop(deadline, REAL_TIME_BACKSTOP)
+    }
+
+    /// A wait with a custom real-time backstop — for short sleeps (retry
+    /// backoff) where wedging for the full 10 s backstop under a stalled
+    /// virtual clock would be worse than cutting the wait short.
+    fn with_backstop(deadline: SimTime, backstop: Duration) -> Self {
         ClockWait {
             deadline,
-            backstop: std::time::Instant::now() + REAL_TIME_BACKSTOP,
+            backstop: std::time::Instant::now() + backstop,
         }
     }
 
@@ -593,6 +655,10 @@ enum AttemptOutcome {
     Overloaded {
         retry_after: SimDuration,
     },
+    /// Send failed or the endpoint closed mid-wait: the member is
+    /// definitively gone, retry immediately (with jittered backoff).
+    ConnectionClosed,
+    /// Silent timeout: the member may be slow, mute, or partitioned.
     Failed,
     Expired,
 }
@@ -736,6 +802,65 @@ mod tests {
         let (v, stats) = h.join().unwrap();
         assert_eq!(v, 9);
         assert!(stats.retries >= 1, "failover must count as retry");
+        assert_eq!(
+            stats.connections_closed, 1,
+            "a dead endpoint is a connection-closed failure, not a timeout"
+        );
+    }
+
+    #[test]
+    fn endpoint_closed_mid_wait_fails_over_without_burning_reply_timeout() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let m1 = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&m1, &sentinel]);
+        // A timeout long enough that burning it would fail the elapsed
+        // assertion below by an order of magnitude.
+        stub.set_reply_timeout(SimDuration::from_secs(10));
+        let h = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let v: u32 = stub.invoke("m", &()).unwrap();
+            (v, start.elapsed(), stub.stats())
+        });
+        // m1 accepts the request, then crashes before replying.
+        let d = m1.mailbox.recv().expect("request reaches m1");
+        assert!(matches!(
+            RmiMessage::decode(&d.payload).unwrap(),
+            RmiMessage::Request { .. }
+        ));
+        net.close_endpoint(m1.endpoint);
+        sentinel.answer(|call| RmiMessage::Response {
+            call,
+            outcome: Ok(erm_transport::to_bytes(&4u32).unwrap()),
+        });
+        let (v, elapsed, stats) = h.join().unwrap();
+        assert_eq!(v, 4);
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "fail-fast, not a 10 s timeout burn: {elapsed:?}"
+        );
+        assert_eq!(stats.connections_closed, 1);
+        assert!(stats.retries >= 1);
+    }
+
+    #[test]
+    fn retry_backoff_is_jittered_and_seed_deterministic() {
+        let draws = |seed: u64| {
+            let mut rng = seeded_rng(seed);
+            // Mirror backoff_before_retry's draw for the first 4 attempts.
+            (1..=4u32)
+                .map(|attempt| {
+                    let step_us = (1_000u64 << u64::from(attempt.min(4))).min(16_000);
+                    rng.gen_range(step_us / 2..=step_us)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draws(7), draws(7), "same seed, same backoff schedule");
+        assert_ne!(draws(7), draws(8), "different seeds de-synchronize");
+        for (attempt, wait) in draws(7).iter().enumerate() {
+            let step = (1_000u64 << (attempt as u64 + 1)).min(16_000);
+            assert!((step / 2..=step).contains(wait));
+        }
     }
 
     #[test]

@@ -1,0 +1,1328 @@
+//! Deterministic churn/chaos harness: member-crash recovery end to end.
+//!
+//! Where [`crate::telemetry`] stresses the *scaling* path, this module
+//! stresses the *failure* path of paper §4.4: a pool of real [`Skeleton`]s
+//! served from a real [`ResourceManager`] is driven through scripted and
+//! seeded-random node failures, a cluster-master outage window, and
+//! crash-mid-critical-section lock loss, while a steady client workload
+//! keeps running. The run verifies the whole recovery chain:
+//!
+//! * **in-flight failover** — clients fail fast on closed endpoints
+//!   (the stub's `ConnectionClosed` path) and retry elsewhere after a
+//!   seeded, jittered backoff, instead of burning the reply timeout;
+//! * **orphaned-lock reclamation** — a member that dies holding the class
+//!   lock is fenced with [`Store::release_owner`], so `synchronized`
+//!   waiters unblock at crash *detection*, not at TTL expiry;
+//! * **crash-aware slice accounting** — revoked slices are never
+//!   double-released, so the cluster books balance at quiesce;
+//! * **recovery telemetry** — crash-to-reelection and
+//!   crash-to-capacity-restored lags land in the
+//!   `pool.recovery.reelection.lag` / `pool.recovery.capacity.lag`
+//!   histograms and the why-recovered report.
+//!
+//! The run is a single-threaded discrete-event simulation on a
+//! [`VirtualClock`], deterministic for a given seed: same seed, same
+//! report, same CSV, byte for byte.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use elasticrmi::{
+    AdmissionConfig, ElasticService, InvocationContext, RemoteError, RmiMessage, ServiceContext,
+    Skeleton,
+};
+use erm_cluster::{ClusterConfig, LatencyModel, NodeId, ResourceManager, SliceGrant, SliceId};
+use erm_kvstore::{LockOwner, Store, StoreConfig};
+use erm_metrics::{
+    snapshots_to_csv, MetricsHandle, RegistrySnapshot, TraceEvent, TraceHandle, TraceRecord,
+    TraceSink,
+};
+use erm_sim::{seeded_rng, Clock, SharedClock, SimDuration, SimTime, VirtualClock};
+use erm_transport::{EndpointId, InProcNetwork, Mailbox};
+use rand::Rng;
+
+/// Class name shared by every skeleton, the store lock, and the report.
+const CLASS: &str = "Churn";
+
+/// Members the control plane keeps the pool at.
+const TARGET_POOL: u32 = 4;
+
+/// Control-plane tick: crash detection, reclamation, re-election,
+/// replacement requests, and client membership refresh all happen here.
+const TICK: SimDuration = SimDuration::from_millis(200);
+
+/// Deadline budget each invocation runs under.
+const DEADLINE_BUDGET: SimDuration = SimDuration::from_millis(400);
+
+/// Bound on the synchronized method's lock wait before it gives up and
+/// returns `LockBusy` (the client retries).
+const LOCK_WAIT_MAX: SimDuration = SimDuration::from_millis(30);
+
+/// TTL a dying member leaves on the class lock. Deliberately far beyond
+/// the run: only [`Store::release_owner`] can free it in time.
+const CRASH_TTL: SimDuration = SimDuration::from_secs(120);
+
+/// Attempts a client invests in one invocation before giving up.
+const MAX_ATTEMPTS: u32 = 5;
+
+/// Every Nth invocation calls the `synchronized` method.
+const SYNC_EVERY: u64 = 5;
+
+/// Pad appended to each disruption window so requests overlapping its
+/// tail are excused from the availability bar.
+const WINDOW_PAD: SimDuration = SimDuration::from_millis(500);
+
+/// Artifacts and tallies of one churn run.
+#[derive(Debug, Clone)]
+pub struct ChurnRun {
+    /// The why-recovered report: crash chain, lags, availability, quiesce.
+    pub report: String,
+    /// Metrics-registry snapshot time series as CSV (includes the
+    /// `churn.locks.leaked` / `churn.slices.leaked` quiesce gauges).
+    pub metrics_csv: String,
+    /// The complete trace, for property checks over terminal events.
+    pub trace: Vec<TraceRecord>,
+    /// Invocations accepted into the workload.
+    pub invocations: usize,
+    /// Invocations that completed `Ok` within their deadline.
+    pub completed_ok: usize,
+    /// Invocations that ended with a remote error.
+    pub completed_err: usize,
+    /// Invocations that expired without a usable answer.
+    pub expired: usize,
+    /// Fraction of disruption-free invocations that completed `Ok`.
+    pub availability: f64,
+    /// Invocations whose `[start, deadline]` missed every disruption
+    /// window (the availability denominator).
+    pub eligible: usize,
+    /// Members lost to node failures.
+    pub crashes: usize,
+    /// Crashes that took the sentinel with them.
+    pub sentinel_crashes: usize,
+    /// Sentinel re-elections (initial election excluded).
+    pub reelections: usize,
+    /// Locks reclaimed from crashed owners via `release_owner`.
+    pub locks_reclaimed: usize,
+    /// Locks still held at quiesce (must be zero).
+    pub leaked_locks: usize,
+    /// Slices still granted or pending at quiesce (must be zero).
+    pub leaked_slices: usize,
+    /// Cluster slice total at quiesce.
+    pub slices_total: usize,
+    /// Free slices at quiesce.
+    pub slices_free: usize,
+    /// Trace records evicted from the ring (zero means complete).
+    pub dropped: u64,
+}
+
+/// The hosted service. `work` burns a jittered service time; `sync`
+/// additionally serializes on the class lock with a bounded wait, so a
+/// crashed holder surfaces as `LockBusy` until reclamation frees it.
+struct ChurnService {
+    clock: Arc<VirtualClock>,
+    rng: rand::rngs::StdRng,
+    mean: SimDuration,
+    owner: LockOwner,
+    store: Arc<Store>,
+}
+
+impl ElasticService for ChurnService {
+    fn dispatch(
+        &mut self,
+        method: &str,
+        _args: &[u8],
+        _ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError> {
+        let factor: f64 = self.rng.gen_range(0.8..=1.2);
+        let busy = SimDuration::from_micros((self.mean.as_micros() as f64 * factor) as u64);
+        if method == "sync" {
+            // Spin on the class lock advancing *virtual* time with a hard
+            // bound: a lock orphaned by a crash must fail the request (the
+            // client retries) rather than stall the pool until TTL expiry.
+            let start = self.clock.now();
+            let ttl = SimDuration::from_secs(1);
+            while !self
+                .store
+                .try_lock(CLASS, self.owner, self.clock.now(), ttl)
+            {
+                if self.clock.now().saturating_since(start) >= LOCK_WAIT_MAX {
+                    return Err(RemoteError::new(
+                        "LockBusy",
+                        "class lock held past the bounded wait",
+                    ));
+                }
+                self.clock.advance(SimDuration::from_micros(100));
+            }
+            self.clock.advance(busy);
+            let _ = self.store.unlock_at(CLASS, self.owner, self.clock.now());
+        } else {
+            self.clock.advance(busy);
+        }
+        Ok(Vec::new())
+    }
+}
+
+/// One live pool member: its grant, transport identity, and skeleton.
+struct Member {
+    grant: SliceGrant,
+    ep: EndpointId,
+    mb: Mailbox,
+    skeleton: Skeleton,
+}
+
+/// A member lost to a node failure, awaiting control-plane detection.
+struct CrashRec {
+    uid: u64,
+    node: NodeId,
+    slice: SliceId,
+    at: SimTime,
+    detected: Option<SimTime>,
+    locks_reclaimed: Vec<String>,
+    was_sentinel: bool,
+}
+
+/// Scripted chaos: what to do when the event comes due. Node repairs are
+/// scheduled dynamically (the node is only known at injection time).
+enum Chaos {
+    /// Fail the node hosting the current sentinel.
+    CrashSentinel,
+    /// Fail the node hosting a seeded-random live member.
+    CrashRandom,
+    /// Take the cluster master down until the given time.
+    MasterOutage(SimTime),
+}
+
+/// How an invocation ended.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Ok,
+    Err,
+    Expired,
+}
+
+/// Client-side invocation record for availability accounting.
+struct InvRec {
+    start: SimTime,
+    deadline: SimTime,
+    outcome: Option<Outcome>,
+}
+
+/// A client attempt awaiting its reply.
+struct Pending {
+    invocation: u64,
+    attempt: u32,
+    deadline: SimTime,
+    target: EndpointId,
+}
+
+/// One contiguous recovery window: from the first crash until the pool
+/// is back at target capacity.
+struct Episode {
+    opened: SimTime,
+    restored: Option<SimTime>,
+    capacity_lag: Option<SimDuration>,
+}
+
+/// Runs the churn scenario to completion. Deterministic per `seed`.
+///
+/// Timeline (all virtual): bootstrap to four members, then a steady
+/// 120 req/s workload from t=1 s to t=25 s while the harness injects, in
+/// order: a sentinel-node crash at 5 s (mid-critical-section), a master
+/// outage from 10 s to 13 s with a member crash inside it at 10.4 s, and
+/// two seeded-random crashes in [15 s, 21 s]. Every failed node heals a
+/// few seconds later; the run then drains, restores capacity, and
+/// quiesces with leak checks.
+#[allow(clippy::too_many_lines)]
+pub fn run_churn(seed: u64) -> ChurnRun {
+    let net = InProcNetwork::new();
+    let clock = Arc::new(VirtualClock::new());
+    let sink = Arc::new(TraceSink::new(1 << 17));
+    let trace = TraceHandle::new(Arc::clone(&sink));
+    let (metrics, registry) = MetricsHandle::shared();
+    let reelection_lag = metrics.histogram("pool.recovery.reelection.lag");
+    let capacity_lag = metrics.histogram("pool.recovery.capacity.lag");
+
+    let store = Arc::new(Store::new(StoreConfig::default()));
+    store.install_lock_metrics(&metrics);
+
+    let mut cluster = ResourceManager::new(ClusterConfig {
+        nodes: 8,
+        slices_per_node: 2,
+        provisioning: LatencyModel::Fixed(SimDuration::from_millis(500)),
+        ..ClusterConfig::default()
+    });
+    cluster.set_telemetry(trace.clone(), &metrics);
+
+    let pool_size = Arc::new(AtomicU32::new(0));
+    let (client_ep, client_mb) = net.open_endpoint();
+    let (runtime_ep, _runtime_mb) = net.open_endpoint();
+
+    let mut chaos_rng = seeded_rng(seed ^ 0x000c_4a05_u64);
+    let mut client_rng = seeded_rng(seed ^ 0x11e7_u64);
+    let mut arrival_rng = seeded_rng(seed);
+
+    // Scripted chaos plus the seeded-random phase, sorted by due time.
+    let mut chaos: Vec<(SimTime, Chaos)> = vec![
+        (SimTime::from_secs(5), Chaos::CrashSentinel),
+        (
+            SimTime::from_secs(10),
+            Chaos::MasterOutage(SimTime::from_secs(13)),
+        ),
+        (
+            SimTime::ZERO + SimDuration::from_millis(10_400),
+            Chaos::CrashRandom,
+        ),
+    ];
+    let r1 = SimTime::from_secs(15) + SimDuration::from_millis(chaos_rng.gen_range(0..3_000));
+    let r2 = r1
+        + SimDuration::from_millis(1_500)
+        + SimDuration::from_millis(chaos_rng.gen_range(0..3_000));
+    chaos.push((r1, Chaos::CrashRandom));
+    chaos.push((r2, Chaos::CrashRandom));
+    chaos.sort_by_key(|&(at, _)| at);
+    let mut chaos = std::collections::VecDeque::from(chaos);
+    // Repairs are scheduled dynamically once the crashed node is known.
+    let mut repairs: Vec<(SimTime, NodeId)> = Vec::new();
+
+    let spawn_service = |uid: u64, clock: &Arc<VirtualClock>, store: &Arc<Store>| ChurnService {
+        clock: Arc::clone(clock),
+        rng: seeded_rng(seed ^ uid.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        mean: SimDuration::from_micros(300),
+        owner: LockOwner::new(uid),
+        store: Arc::clone(store),
+    };
+
+    let mut members: BTreeMap<u64, Member> = BTreeMap::new();
+    let mut next_uid: u64 = 0;
+    let spawn_member = |grant: SliceGrant,
+                        next_uid: &mut u64,
+                        members: &mut BTreeMap<u64, Member>,
+                        now: SimTime| {
+        let uid = *next_uid;
+        *next_uid += 1;
+        let (ep, mb) = net.open_endpoint();
+        let ctx = ServiceContext::new(
+            Arc::clone(&store),
+            CLASS,
+            uid,
+            Arc::<VirtualClock>::clone(&clock) as SharedClock,
+            Arc::clone(&pool_size),
+        );
+        let service = spawn_service(uid, &clock, &store);
+        let mut skeleton = Skeleton::new(
+            uid,
+            ep,
+            runtime_ep,
+            Arc::new(net.clone()),
+            Arc::<VirtualClock>::clone(&clock) as SharedClock,
+            Box::new(service),
+            ctx,
+            trace.clone(),
+            Some(AdmissionConfig::edf(32)),
+        );
+        skeleton.set_metrics(&metrics);
+        trace.emit(now, TraceEvent::MemberJoined { uid });
+        members.insert(
+            uid,
+            Member {
+                grant,
+                ep,
+                mb,
+                skeleton,
+            },
+        );
+        uid
+    };
+
+    // Bootstrap: provision the target pool before traffic starts.
+    cluster
+        .request_slices(TARGET_POOL, clock.now())
+        .expect("bootstrap slices");
+    clock.advance_to(SimTime::ZERO + SimDuration::from_millis(500));
+    for grant in cluster.poll_ready(clock.now()) {
+        spawn_member(grant, &mut next_uid, &mut members, clock.now());
+    }
+    assert_eq!(members.len() as u32, TARGET_POOL, "bootstrap pool");
+    pool_size.store(members.len() as u32, Ordering::SeqCst);
+
+    // Initial sentinel election: lowest uid, epoch 1 (paper §4.4).
+    let mut sentinel_uid: Option<u64> = members.keys().next().copied();
+    let mut election_epoch: u64 = 1;
+    if let Some(uid) = sentinel_uid {
+        trace.emit(
+            clock.now(),
+            TraceEvent::SentinelElected {
+                uid,
+                epoch: election_epoch,
+            },
+        );
+    }
+
+    // Pre-computed steady arrival schedule: 120 req/s, ±50 % jitter.
+    let start = SimTime::from_secs(1);
+    let end = SimTime::from_secs(25);
+    let mut schedule: Vec<SimTime> = Vec::new();
+    let mut t = start;
+    loop {
+        let gap: f64 = 1_000_000.0 / 120.0 * arrival_rng.gen_range(0.5..=1.5);
+        t += SimDuration::from_micros(gap as u64);
+        if t >= end {
+            break;
+        }
+        schedule.push(t);
+    }
+    let mut arrivals = schedule.into_iter().peekable();
+
+    // Client state. The membership view refreshes only at control ticks,
+    // so it goes stale the instant a member crashes — exactly the window
+    // the fast-fail path must cover.
+    let mut view: Vec<(u64, EndpointId)> = members.iter().map(|(&u, m)| (u, m.ep)).collect();
+    let mut pending: HashMap<u64, Pending> = HashMap::new();
+    let mut retries: Vec<(SimTime, u64, u32, SimTime)> = Vec::new();
+    let mut recs: BTreeMap<u64, InvRec> = BTreeMap::new();
+    let mut next_call: u64 = 0;
+    let mut next_invocation: u64 = 0;
+
+    // Control-plane state.
+    let mut crashed: Vec<CrashRec> = Vec::new();
+    let mut episodes: Vec<Episode> = Vec::new();
+    let mut open_episode: Option<usize> = None;
+    let mut master_delayed_ticks: u64 = 0;
+    let mut reelections: Vec<(u64, SimTime, SimDuration)> = Vec::new();
+    let mut next_tick = SimTime::ZERO + SimDuration::from_millis(700);
+    let mut next_snapshot = SimTime::from_secs(1);
+    let mut snapshots: Vec<RegistrySnapshot> = vec![registry.snapshot(clock.now())];
+    let hard_stop = SimTime::from_secs(60);
+
+    loop {
+        let now = clock.now();
+        if now >= hard_stop {
+            break; // backstop against a wedged schedule; checks will flag it
+        }
+
+        // 1. Chaos events due now.
+        if chaos.front().is_some_and(|&(at, _)| at <= now) {
+            let (_, event) = chaos.pop_front().expect("checked non-empty");
+            match &event {
+                Chaos::MasterOutage(until) => cluster.fail_master_until(*until),
+                Chaos::CrashSentinel | Chaos::CrashRandom => {
+                    let victim = match event {
+                        Chaos::CrashSentinel => sentinel_uid,
+                        _ => {
+                            let live: Vec<u64> = members.keys().copied().collect();
+                            if live.is_empty() {
+                                None
+                            } else {
+                                Some(live[chaos_rng.gen_range(0..live.len())])
+                            }
+                        }
+                    };
+                    if let Some(victim) = victim {
+                        let node = members[&victim].grant.node;
+                        cluster.fail_node(node);
+                        // Every member on the node dies with it. The first
+                        // casualty dies *holding the class lock* (a crash
+                        // mid-critical-section): only reclamation frees it.
+                        let dead: Vec<u64> = members
+                            .iter()
+                            .filter(|(_, m)| m.grant.node == node)
+                            .map(|(&u, _)| u)
+                            .collect();
+                        let mut took_lock = false;
+                        for uid in dead {
+                            if !took_lock
+                                && store.try_lock(CLASS, LockOwner::new(uid), now, CRASH_TTL)
+                            {
+                                took_lock = true;
+                            }
+                            let m = members.remove(&uid).expect("listed above");
+                            net.close_endpoint(m.ep);
+                            trace.emit(now, TraceEvent::MemberCrashed { uid });
+                            crashed.push(CrashRec {
+                                uid,
+                                node,
+                                slice: m.grant.slice,
+                                at: now,
+                                detected: None,
+                                locks_reclaimed: Vec::new(),
+                                was_sentinel: sentinel_uid == Some(uid),
+                            });
+                        }
+                        pool_size.store(members.len() as u32, Ordering::SeqCst);
+                        repairs.push((
+                            now + SimDuration::from_millis(
+                                2_000 + chaos_rng.gen_range(0..1_500u64),
+                            ),
+                            node,
+                        ));
+                        if open_episode.is_none() {
+                            open_episode = Some(episodes.len());
+                            episodes.push(Episode {
+                                opened: now,
+                                restored: None,
+                                capacity_lag: None,
+                            });
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        if let Some(idx) = repairs.iter().position(|&(at, _)| at <= now) {
+            let (_, node) = repairs.swap_remove(idx);
+            cluster.repair_node(node);
+            continue;
+        }
+
+        // 2. Drain client replies.
+        let mut drained = false;
+        while let Ok(d) = client_mb.try_recv() {
+            drained = true;
+            match RmiMessage::decode(&d.payload) {
+                Ok(RmiMessage::Response { call, outcome }) => {
+                    if let Some(p) = pending.remove(&call) {
+                        let at = clock.now();
+                        match outcome {
+                            Ok(_) if at <= p.deadline => {
+                                trace.emit(
+                                    at,
+                                    TraceEvent::InvocationCompleted {
+                                        invocation: p.invocation,
+                                        attempts: p.attempt,
+                                        ok: true,
+                                    },
+                                );
+                                finish(&mut recs, p.invocation, Outcome::Ok);
+                            }
+                            Ok(_) => {
+                                trace.emit(
+                                    at,
+                                    TraceEvent::InvocationExpired {
+                                        invocation: p.invocation,
+                                        attempts: p.attempt,
+                                    },
+                                );
+                                finish(&mut recs, p.invocation, Outcome::Expired);
+                            }
+                            Err(e) if e.is_deadline_exceeded() => {
+                                trace.emit(
+                                    at,
+                                    TraceEvent::InvocationExpired {
+                                        invocation: p.invocation,
+                                        attempts: p.attempt,
+                                    },
+                                );
+                                finish(&mut recs, p.invocation, Outcome::Expired);
+                            }
+                            Err(_) => {
+                                // Transient server-side error (e.g. LockBusy
+                                // behind a crashed holder): retry on budget.
+                                let backoff = jitter(&mut client_rng, p.attempt);
+                                let due = at + backoff;
+                                if p.attempt < MAX_ATTEMPTS
+                                    && due + SimDuration::from_millis(5) < p.deadline
+                                {
+                                    retries.push((due, p.invocation, p.attempt + 1, p.deadline));
+                                } else {
+                                    dead_end(&trace, &mut recs, &p, at);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(RmiMessage::Overloaded {
+                    call, retry_after, ..
+                }) => {
+                    if let Some(p) = pending.remove(&call) {
+                        let at = clock.now();
+                        trace.emit(
+                            at,
+                            TraceEvent::AttemptOverloaded {
+                                invocation: p.invocation,
+                                attempt: p.attempt,
+                                target: p.target.0,
+                                retry_after,
+                            },
+                        );
+                        let due = at + retry_after;
+                        if p.attempt < MAX_ATTEMPTS
+                            && due + SimDuration::from_millis(5) < p.deadline
+                        {
+                            retries.push((due, p.invocation, p.attempt + 1, p.deadline));
+                        } else {
+                            dead_end(&trace, &mut recs, &p, at);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if drained {
+            continue;
+        }
+
+        // 3. Fast-fail sweep: pending attempts aimed at endpoints the
+        //    crash closed. This is the stub's ConnectionClosed path — the
+        //    client learns in one poll, not one reply timeout.
+        let closed: Vec<u64> = pending
+            .iter()
+            .filter(|(_, p)| !net.is_open(p.target))
+            .map(|(&call, _)| call)
+            .collect();
+        if !closed.is_empty() {
+            let mut calls = closed;
+            calls.sort_unstable();
+            for call in calls {
+                let p = pending.remove(&call).expect("listed above");
+                trace.emit(
+                    now,
+                    TraceEvent::AttemptFailed {
+                        invocation: p.invocation,
+                        attempt: p.attempt,
+                        target: p.target.0,
+                    },
+                );
+                let due = now + jitter(&mut client_rng, p.attempt);
+                if p.attempt < MAX_ATTEMPTS && due + SimDuration::from_millis(5) < p.deadline {
+                    retries.push((due, p.invocation, p.attempt + 1, p.deadline));
+                } else {
+                    dead_end(&trace, &mut recs, &p, now);
+                }
+            }
+            continue;
+        }
+
+        // 4. Client-side expiry sweep: no answer and the deadline passed.
+        let expired_calls: Vec<u64> = {
+            let mut v: Vec<u64> = pending
+                .iter()
+                .filter(|(_, p)| p.deadline < now)
+                .map(|(&call, _)| call)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        if !expired_calls.is_empty() {
+            for call in expired_calls {
+                let p = pending.remove(&call).expect("listed above");
+                trace.emit(
+                    now,
+                    TraceEvent::InvocationExpired {
+                        invocation: p.invocation,
+                        attempts: p.attempt,
+                    },
+                );
+                finish(&mut recs, p.invocation, Outcome::Expired);
+            }
+            continue;
+        }
+
+        // 5. Control tick: detection, reclamation, re-election,
+        //    replacement, capacity accounting, membership refresh.
+        if now >= next_tick {
+            next_tick += TICK;
+            // 5a. Detect revocations and finish the crashed members:
+            //     reclaim their locks with epoch fencing.
+            for slice in cluster.drain_revocations() {
+                if let Some(rec) = crashed
+                    .iter_mut()
+                    .find(|r| r.slice == slice && r.detected.is_none())
+                {
+                    rec.detected = Some(now);
+                    rec.locks_reclaimed = store.release_owner(LockOwner::new(rec.uid), now);
+                }
+            }
+            // 5b. Sentinel re-election by lowest uid if the sentinel died.
+            let sentinel_dead = sentinel_uid.is_some_and(|uid| !members.contains_key(&uid));
+            if sentinel_dead {
+                let dead_uid = sentinel_uid.expect("checked above");
+                let crash_at = crashed
+                    .iter()
+                    .find(|r| r.uid == dead_uid)
+                    .map_or(now, |r| r.at);
+                sentinel_uid = members.keys().next().copied();
+                if let Some(uid) = sentinel_uid {
+                    election_epoch += 1;
+                    trace.emit(
+                        now,
+                        TraceEvent::SentinelElected {
+                            uid,
+                            epoch: election_epoch,
+                        },
+                    );
+                    let lag = now.saturating_since(crash_at);
+                    reelection_lag.record(lag);
+                    reelections.push((uid, now, lag));
+                }
+            }
+            // 5c. Replacement capacity, retried across master outages.
+            let live = members.len() as u32;
+            let pending_slices = cluster.pending_slices() as u32;
+            let deficit = TARGET_POOL.saturating_sub(live + pending_slices);
+            if deficit > 0 {
+                if cluster.master_available(now) {
+                    let _ = cluster.request_slices(deficit, now);
+                } else {
+                    master_delayed_ticks += 1;
+                }
+            }
+            // 5d. Replacements that finished provisioning come up.
+            for grant in cluster.poll_ready(now) {
+                spawn_member(grant, &mut next_uid, &mut members, now);
+            }
+            pool_size.store(members.len() as u32, Ordering::SeqCst);
+            if sentinel_uid.is_none() {
+                sentinel_uid = members.keys().next().copied();
+                if let Some(uid) = sentinel_uid {
+                    election_epoch += 1;
+                    trace.emit(
+                        now,
+                        TraceEvent::SentinelElected {
+                            uid,
+                            epoch: election_epoch,
+                        },
+                    );
+                }
+            }
+            // 5e. Close the recovery window once capacity is back.
+            if let Some(i) = open_episode {
+                if members.len() as u32 >= TARGET_POOL {
+                    let lag = now.saturating_since(episodes[i].opened);
+                    capacity_lag.record(lag);
+                    episodes[i].capacity_lag = Some(lag);
+                    episodes[i].restored = Some(now);
+                    open_episode = None;
+                }
+            }
+            // 5f. Clients refresh their membership view.
+            view = members.iter().map(|(&u, m)| (u, m.ep)).collect();
+            if now >= next_snapshot {
+                next_snapshot += SimDuration::from_secs(1);
+                snapshots.push(registry.snapshot(now));
+            }
+            continue;
+        }
+
+        // 6. Due retries re-enter ahead of fresh arrivals, targeting the
+        //    *current* membership (failure triggered a refresh).
+        if let Some(idx) = retries.iter().position(|&(due, ..)| due <= now) {
+            let (_, invocation, attempt, deadline) = retries.swap_remove(idx);
+            let fresh: Vec<(u64, EndpointId)> = members.iter().map(|(&u, m)| (u, m.ep)).collect();
+            send_attempt(
+                &net,
+                &mut members,
+                &fresh,
+                &mut client_rng,
+                &trace,
+                &mut pending,
+                &mut retries,
+                &mut recs,
+                &mut next_call,
+                client_ep,
+                now,
+                invocation,
+                attempt,
+                deadline,
+            );
+            continue;
+        }
+
+        // 7. Arrivals due now enter, targeting the (possibly stale) view.
+        if arrivals.peek().is_some_and(|&at| at <= now) {
+            arrivals.next();
+            let invocation = next_invocation;
+            next_invocation += 1;
+            recs.insert(
+                invocation,
+                InvRec {
+                    start: now,
+                    deadline: now + DEADLINE_BUDGET,
+                    outcome: None,
+                },
+            );
+            send_attempt(
+                &net,
+                &mut members,
+                &view,
+                &mut client_rng,
+                &trace,
+                &mut pending,
+                &mut retries,
+                &mut recs,
+                &mut next_call,
+                client_ep,
+                now,
+                invocation,
+                1,
+                now + DEADLINE_BUDGET,
+            );
+            continue;
+        }
+
+        // 8. Let every live member execute one admitted request.
+        let uids: Vec<u64> = members.keys().copied().collect();
+        let mut worked = false;
+        for uid in uids {
+            if let Some(m) = members.get_mut(&uid) {
+                worked |= m.skeleton.step();
+            }
+        }
+        if worked {
+            continue;
+        }
+
+        // 9. Idle: jump to the next event, or finish.
+        let workload_done = arrivals.peek().is_none() && retries.is_empty() && pending.is_empty();
+        if workload_done
+            && open_episode.is_none()
+            && members.len() as u32 >= TARGET_POOL
+            && chaos.is_empty()
+            && repairs.is_empty()
+        {
+            break;
+        }
+        let mut targets = vec![next_tick];
+        if let Some(&at) = arrivals.peek() {
+            targets.push(at);
+        }
+        if let Some(&(due, ..)) = retries.iter().min_by_key(|&&(due, ..)| due) {
+            targets.push(due);
+        }
+        if let Some(&(at, _)) = chaos.front() {
+            targets.push(at);
+        }
+        if let Some(&(at, _)) = repairs.iter().min_by_key(|&&(at, _)| at) {
+            targets.push(at);
+        }
+        let target = targets.into_iter().min().expect("next_tick always present");
+        clock.advance_to(target.max(now + SimDuration::from_micros(1)));
+    }
+
+    // Quiesce: release every live member's slice (revoked slices were
+    // already reabsorbed by fail_node — releasing them again is exactly
+    // the double-release bug this harness guards against).
+    let quiesce_at = clock.now();
+    let live_uids: Vec<u64> = members.keys().copied().collect();
+    for uid in live_uids {
+        let m = members.remove(&uid).expect("listed above");
+        let _ = cluster.release(m.grant.slice, quiesce_at);
+        net.close_endpoint(m.ep);
+        trace.emit(quiesce_at, TraceEvent::MemberDrained { uid });
+    }
+    let leaked_locks = store.held_locks().len();
+    let leaked_slices = cluster.slices_in_use() + cluster.pending_slices();
+    metrics.gauge("churn.locks.leaked").set(leaked_locks as i64);
+    metrics
+        .gauge("churn.slices.leaked")
+        .set(leaked_slices as i64);
+    snapshots.push(registry.snapshot(quiesce_at));
+
+    // Availability over invocations untouched by any disruption window.
+    let windows: Vec<(SimTime, SimTime)> = episodes
+        .iter()
+        .map(|e| (e.opened, e.restored.map_or(quiesce_at, |r| r + WINDOW_PAD)))
+        .collect();
+    let mut eligible = 0usize;
+    let mut eligible_ok = 0usize;
+    let mut completed_ok = 0usize;
+    let mut completed_err = 0usize;
+    let mut expired = 0usize;
+    for rec in recs.values() {
+        match rec.outcome {
+            Some(Outcome::Ok) => completed_ok += 1,
+            Some(Outcome::Err) => completed_err += 1,
+            Some(Outcome::Expired) | None => expired += 1,
+        }
+        let disrupted = windows
+            .iter()
+            .any(|&(from, to)| rec.start <= to && rec.deadline >= from);
+        if !disrupted {
+            eligible += 1;
+            if rec.outcome == Some(Outcome::Ok) {
+                eligible_ok += 1;
+            }
+        }
+    }
+    let availability = if eligible == 0 {
+        1.0
+    } else {
+        eligible_ok as f64 / eligible as f64
+    };
+
+    let locks_reclaimed: usize = crashed.iter().map(|r| r.locks_reclaimed.len()).sum();
+    let sentinel_crashes = crashed.iter().filter(|r| r.was_sentinel).count();
+    let report = render_report(
+        seed,
+        &recs,
+        &crashed,
+        &episodes,
+        &reelections,
+        availability,
+        eligible,
+        eligible_ok,
+        completed_ok,
+        completed_err,
+        expired,
+        master_delayed_ticks,
+        leaked_locks,
+        leaked_slices,
+        &cluster,
+        sink.dropped(),
+    );
+
+    ChurnRun {
+        report,
+        metrics_csv: snapshots_to_csv(&snapshots),
+        trace: sink.snapshot(),
+        invocations: recs.len(),
+        completed_ok,
+        completed_err,
+        expired,
+        availability,
+        eligible,
+        crashes: crashed.len(),
+        sentinel_crashes,
+        reelections: reelections.len(),
+        locks_reclaimed,
+        leaked_locks,
+        leaked_slices,
+        slices_total: cluster.total_slices(),
+        slices_free: cluster.free_slices(),
+        dropped: sink.dropped(),
+    }
+}
+
+/// Seeded exponential backoff with jitter: `[step/2, step]` where the
+/// step doubles per attempt from 2 ms, capped at 16 ms. Mirrors the
+/// stub's `backoff_before_retry` so failover storms decorrelate.
+fn jitter(rng: &mut rand::rngs::StdRng, attempt: u32) -> SimDuration {
+    let step_us = (2_000u64 << u64::from(attempt.min(3))).min(16_000);
+    SimDuration::from_micros(rng.gen_range(step_us / 2..=step_us))
+}
+
+/// Records the invocation's terminal outcome exactly once.
+fn finish(recs: &mut BTreeMap<u64, InvRec>, invocation: u64, outcome: Outcome) {
+    if let Some(rec) = recs.get_mut(&invocation) {
+        debug_assert!(rec.outcome.is_none(), "double terminal for {invocation}");
+        rec.outcome = Some(outcome);
+    }
+}
+
+/// No more retry budget: emit the single terminal event for the attempt.
+fn dead_end(trace: &TraceHandle, recs: &mut BTreeMap<u64, InvRec>, p: &Pending, now: SimTime) {
+    if now >= p.deadline {
+        trace.emit(
+            now,
+            TraceEvent::InvocationExpired {
+                invocation: p.invocation,
+                attempts: p.attempt,
+            },
+        );
+        finish(recs, p.invocation, Outcome::Expired);
+    } else {
+        trace.emit(
+            now,
+            TraceEvent::InvocationCompleted {
+                invocation: p.invocation,
+                attempts: p.attempt,
+                ok: false,
+            },
+        );
+        finish(recs, p.invocation, Outcome::Err);
+    }
+}
+
+/// Emits the `AttemptStarted` anchor, then either ingests the request at
+/// the chosen member or fast-fails into the retry queue (closed endpoint
+/// or stale membership entry).
+#[allow(clippy::too_many_arguments)]
+fn send_attempt(
+    net: &InProcNetwork,
+    members: &mut BTreeMap<u64, Member>,
+    view: &[(u64, EndpointId)],
+    rng: &mut rand::rngs::StdRng,
+    trace: &TraceHandle,
+    pending: &mut HashMap<u64, Pending>,
+    retries: &mut Vec<(SimTime, u64, u32, SimTime)>,
+    recs: &mut BTreeMap<u64, InvRec>,
+    next_call: &mut u64,
+    client_ep: EndpointId,
+    now: SimTime,
+    invocation: u64,
+    attempt: u32,
+    deadline: SimTime,
+) {
+    if view.is_empty() {
+        // Total blackout: park the attempt for one backoff, or give up.
+        let due = now + jitter(rng, attempt);
+        if attempt < MAX_ATTEMPTS && due + SimDuration::from_millis(5) < deadline {
+            retries.push((due, invocation, attempt + 1, deadline));
+        } else {
+            trace.emit(
+                now,
+                TraceEvent::InvocationExpired {
+                    invocation,
+                    attempts: attempt,
+                },
+            );
+            finish(recs, invocation, Outcome::Expired);
+        }
+        return;
+    }
+    let (uid, ep) = view[rng.gen_range(0..view.len())];
+    trace.emit(
+        now,
+        TraceEvent::AttemptStarted {
+            invocation,
+            attempt,
+            target: ep.0,
+            deadline,
+        },
+    );
+    let open = net.is_open(ep) && members.contains_key(&uid);
+    if !open {
+        // The stub's ConnectionClosed fast path: fail immediately,
+        // decorrelate with jitter, retry against fresh membership.
+        trace.emit(
+            now,
+            TraceEvent::AttemptFailed {
+                invocation,
+                attempt,
+                target: ep.0,
+            },
+        );
+        let due = now + jitter(rng, attempt);
+        if attempt < MAX_ATTEMPTS && due + SimDuration::from_millis(5) < deadline {
+            retries.push((due, invocation, attempt + 1, deadline));
+        } else {
+            let p = Pending {
+                invocation,
+                attempt,
+                deadline,
+                target: ep,
+            };
+            dead_end(trace, recs, &p, now);
+        }
+        return;
+    }
+    let call = *next_call;
+    *next_call += 1;
+    pending.insert(
+        call,
+        Pending {
+            invocation,
+            attempt,
+            deadline,
+            target: ep,
+        },
+    );
+    let method = if invocation.is_multiple_of(SYNC_EVERY) {
+        "sync"
+    } else {
+        "work"
+    };
+    let m = members.get_mut(&uid).expect("checked above");
+    m.skeleton.ingest(
+        client_ep,
+        RmiMessage::Request {
+            call,
+            context: InvocationContext {
+                id: invocation,
+                deadline,
+                attempt,
+                origin: client_ep,
+            },
+            method: method.into(),
+            args: Vec::new(),
+        },
+        &m.mb,
+    );
+}
+
+fn ms(d: SimDuration) -> f64 {
+    d.as_micros() as f64 / 1000.0
+}
+
+/// Renders the why-recovered report: one block per crash, each carrying
+/// detection, reclamation, re-election, and capacity-restore facts.
+#[allow(clippy::too_many_arguments)]
+fn render_report(
+    seed: u64,
+    recs: &BTreeMap<u64, InvRec>,
+    crashed: &[CrashRec],
+    episodes: &[Episode],
+    reelections: &[(u64, SimTime, SimDuration)],
+    availability: f64,
+    eligible: usize,
+    eligible_ok: usize,
+    completed_ok: usize,
+    completed_err: usize,
+    expired: usize,
+    master_delayed_ticks: u64,
+    leaked_locks: usize,
+    leaked_slices: usize,
+    cluster: &ResourceManager,
+    dropped: u64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Churn run (seed {seed}): {} invocations (ok {completed_ok}, \
+         remote-error {completed_err}, expired {expired})",
+        recs.len(),
+    );
+    let _ = writeln!(
+        out,
+        "availability outside disruption windows: {:.2}% ({eligible_ok}/{eligible})",
+        availability * 100.0,
+    );
+    let _ = writeln!(
+        out,
+        "crashes: {} members across {} recovery episodes; sentinel re-elections: {}",
+        crashed.len(),
+        episodes.len(),
+        reelections.len(),
+    );
+    let _ = writeln!(
+        out,
+        "replacement requests deferred by master outage: {master_delayed_ticks} ticks"
+    );
+    out.push('\n');
+    let _ = writeln!(out, "Why the pool recovered ({} crashes):", crashed.len());
+    for (i, rec) in crashed.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "#{} member {} ({}, {}) crashed t={:.2}s{}",
+            i + 1,
+            rec.uid,
+            rec.node,
+            rec.slice,
+            rec.at.as_secs_f64(),
+            if rec.was_sentinel { " [sentinel]" } else { "" },
+        );
+        match rec.detected {
+            Some(at) => {
+                let _ = writeln!(
+                    out,
+                    "    detected t={:.2}s (+{:.0}ms); locks reclaimed: {} {:?}",
+                    at.as_secs_f64(),
+                    ms(at.saturating_since(rec.at)),
+                    rec.locks_reclaimed.len(),
+                    rec.locks_reclaimed,
+                );
+            }
+            None => {
+                let _ = writeln!(out, "    NEVER DETECTED (revocation lost)");
+            }
+        }
+        if rec.was_sentinel {
+            if let Some((uid, at, lag)) = reelections.iter().find(|(_, at, _)| *at >= rec.at) {
+                let _ = writeln!(
+                    out,
+                    "    sentinel re-elected: member {uid} t={:.2}s \
+                     (crash-to-reelection lag {:.0}ms)",
+                    at.as_secs_f64(),
+                    ms(*lag),
+                );
+            }
+        }
+    }
+    out.push('\n');
+    let _ = writeln!(out, "Recovery episodes ({}):", episodes.len());
+    for (i, e) in episodes.iter().enumerate() {
+        match (e.restored, e.capacity_lag) {
+            (Some(restored), Some(lag)) => {
+                let _ = writeln!(
+                    out,
+                    "#{} opened t={:.2}s, capacity restored t={:.2}s \
+                     (crash-to-capacity lag {:.0}ms)",
+                    i + 1,
+                    e.opened.as_secs_f64(),
+                    restored.as_secs_f64(),
+                    ms(lag),
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "#{} opened t={:.2}s, NEVER CLOSED (capacity not restored)",
+                    i + 1,
+                    e.opened.as_secs_f64(),
+                );
+            }
+        }
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "quiesce: leaked locks {leaked_locks}, leaked slices {leaked_slices} \
+         (free {}/{}, in-use {}, pending {})",
+        cluster.free_slices(),
+        cluster.total_slices(),
+        cluster.slices_in_use(),
+        cluster.pending_slices(),
+    );
+    if dropped > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: trace ring dropped {dropped} records; property checks may be blind"
+        );
+    } else {
+        let _ = writeln!(out, "trace ring dropped 0 records (lossless)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terminal_counts(run: &ChurnRun) -> BTreeMap<u64, usize> {
+        let mut terminals: BTreeMap<u64, usize> = BTreeMap::new();
+        for r in &run.trace {
+            match r.event {
+                TraceEvent::InvocationCompleted { invocation, .. }
+                | TraceEvent::InvocationExpired { invocation, .. } => {
+                    *terminals.entry(invocation).or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+        terminals
+    }
+
+    #[test]
+    fn run_is_deterministic_for_a_seed() {
+        let a = run_churn(7);
+        let b = run_churn(7);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.metrics_csv, b.metrics_csv);
+        assert_eq!(a.trace.len(), b.trace.len());
+    }
+
+    #[test]
+    fn every_accepted_invocation_has_exactly_one_terminal_event() {
+        let run = run_churn(7);
+        assert_eq!(run.dropped, 0, "ring must be lossless for this check");
+        let terminals = terminal_counts(&run);
+        let mut started: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for r in &run.trace {
+            if let TraceEvent::AttemptStarted { invocation, .. } = r.event {
+                started.insert(invocation);
+            }
+        }
+        for inv in &started {
+            assert_eq!(
+                terminals.get(inv).copied().unwrap_or(0),
+                1,
+                "invocation {inv} must terminate exactly once"
+            );
+        }
+        for (inv, n) in &terminals {
+            assert_eq!(*n, 1, "invocation {inv} terminated {n} times");
+        }
+    }
+
+    #[test]
+    fn books_and_locks_balance_at_quiesce_across_seeds() {
+        for seed in [7u64, 99, 2026] {
+            let run = run_churn(seed);
+            assert_eq!(run.leaked_locks, 0, "seed {seed}: locks leaked");
+            assert_eq!(run.leaked_slices, 0, "seed {seed}: slices leaked");
+            assert_eq!(
+                run.slices_free, run.slices_total,
+                "seed {seed}: every slice must be free at quiesce"
+            );
+        }
+    }
+
+    #[test]
+    fn sentinel_reelections_match_sentinel_crashes() {
+        for seed in [7u64, 99, 2026] {
+            let run = run_churn(seed);
+            assert_eq!(
+                run.reelections, run.sentinel_crashes,
+                "seed {seed}: one re-election per sentinel crash"
+            );
+            let elected = run
+                .trace
+                .iter()
+                .filter(|r| matches!(r.event, TraceEvent::SentinelElected { .. }))
+                .count();
+            assert_eq!(
+                elected,
+                run.sentinel_crashes + 1,
+                "seed {seed}: initial election plus one per sentinel crash"
+            );
+        }
+    }
+
+    #[test]
+    fn availability_holds_outside_disruption_windows() {
+        for seed in [7u64, 99, 2026] {
+            let run = run_churn(seed);
+            assert!(
+                run.eligible > 500,
+                "seed {seed}: workload too small ({} eligible)",
+                run.eligible
+            );
+            assert!(
+                run.availability >= 0.99,
+                "seed {seed}: availability {:.4} below 99% ({}/{})\n{}",
+                run.availability,
+                run.completed_ok,
+                run.eligible,
+                run.report
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_holders_locks_are_reclaimed_not_leaked() {
+        let run = run_churn(7);
+        assert!(
+            run.locks_reclaimed >= 1,
+            "the mid-critical-section crash must exercise reclamation:\n{}",
+            run.report
+        );
+        assert_eq!(run.leaked_locks, 0);
+        assert!(run.crashes >= 3, "the schedule injects at least 3 crashes");
+        assert!(
+            run.sentinel_crashes >= 1,
+            "the 5s crash targets the sentinel"
+        );
+    }
+
+    #[test]
+    fn report_and_csv_carry_the_recovery_telemetry() {
+        let run = run_churn(7);
+        for needle in [
+            "Why the pool recovered",
+            "crash-to-reelection lag",
+            "crash-to-capacity lag",
+            "locks reclaimed",
+            "quiesce: leaked locks 0, leaked slices 0",
+        ] {
+            assert!(
+                run.report.contains(needle),
+                "report missing {needle}:\n{}",
+                run.report
+            );
+        }
+        for name in [
+            "pool.recovery.reelection.lag",
+            "pool.recovery.capacity.lag",
+            "kv.lock.wait",
+            "churn.locks.leaked",
+            "churn.slices.leaked",
+        ] {
+            assert!(
+                run.metrics_csv.contains(name),
+                "CSV missing {name}:\n{}",
+                run.metrics_csv
+            );
+        }
+    }
+}

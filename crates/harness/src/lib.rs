@@ -13,6 +13,7 @@
 //! request execution is fluid-modelled so a 500-minute experiment runs in
 //! milliseconds. See DESIGN.md for the substitution table.
 
+pub mod churn;
 pub mod deployment;
 pub mod experiment;
 pub mod figures;
@@ -22,6 +23,7 @@ pub mod summary;
 pub mod telemetry;
 pub mod tiered;
 
+pub use churn::{run_churn, ChurnRun};
 pub use deployment::Deployment;
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use figures::{agility_results, sparkline, FigureId};

@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Identifies a lock holder (one elastic object / skeleton).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LockOwner(u64);
 
 impl LockOwner {
@@ -39,6 +39,9 @@ pub enum LockError {
     NotHeld,
     /// The lock is held by a different owner.
     HeldByOther(LockOwner),
+    /// The owner was fenced at the given epoch (its locks were force-released
+    /// after a crash) and may no longer act on the lock table.
+    Fenced(u64),
 }
 
 impl fmt::Display for LockError {
@@ -46,6 +49,7 @@ impl fmt::Display for LockError {
         match self {
             LockError::NotHeld => write!(f, "lock is not held"),
             LockError::HeldByOther(o) => write!(f, "lock is held by {o}"),
+            LockError::Fenced(epoch) => write!(f, "owner fenced at epoch {epoch}"),
         }
     }
 }
@@ -61,6 +65,9 @@ pub struct LockStats {
     pub failures: u64,
     /// Locks reclaimed after their TTL lapsed (crashed holders).
     pub expirations: u64,
+    /// Locks force-released by [`LockManager::release_owner`] when their
+    /// holder was reaped (crash reclamation, ahead of TTL expiry).
+    pub reclaimed: u64,
 }
 
 impl LockStats {
@@ -89,6 +96,14 @@ struct Tables {
     /// When each `(lock, owner)` pair first failed to acquire — the start of
     /// its wait, cleared on success.
     waiting: HashMap<(String, LockOwner), SimTime>,
+    /// Owners whose locks were force-released, mapped to the fencing epoch at
+    /// which that happened. A fenced owner can never touch the table again:
+    /// pool uids are never reused, so a fenced owner is a ghost by
+    /// definition, and rejecting it is what makes force-release safe against
+    /// a stale member resurrected by the cluster.
+    fenced: HashMap<LockOwner, u64>,
+    /// Monotonic fencing epoch, bumped by every force-release.
+    epoch: u64,
 }
 
 /// Registry instruments for lock contention, installed once per manager.
@@ -110,6 +125,7 @@ pub struct LockManager {
     attempts: AtomicU64,
     failures: AtomicU64,
     expirations: AtomicU64,
+    reclaimed: AtomicU64,
     telemetry: OnceLock<LockTelemetry>,
 }
 
@@ -142,6 +158,12 @@ impl LockManager {
     pub fn try_lock(&self, name: &str, owner: LockOwner, now: SimTime, ttl: SimDuration) -> bool {
         self.attempts.fetch_add(1, Ordering::Relaxed);
         let mut tables = self.table.lock();
+        if tables.fenced.contains_key(&owner) {
+            // A fenced owner is a reaped member; it must not re-enter any
+            // critical section under its old identity.
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
         match tables.holders.get(name) {
             Some(holder) if holder.owner != owner && holder.expires_at > now => {
                 self.failures.fetch_add(1, Ordering::Relaxed);
@@ -210,6 +232,12 @@ impl LockManager {
 
     fn release(&self, name: &str, owner: LockOwner) -> Result<SimTime, LockError> {
         let mut tables = self.table.lock();
+        if let Some(&epoch) = tables.fenced.get(&owner) {
+            // A stale member resurrected by the cluster must not unlock a
+            // lock it no longer owns: its release was already performed (and
+            // fenced) by `release_owner`.
+            return Err(LockError::Fenced(epoch));
+        }
         match tables.holders.get(name) {
             None => Err(LockError::NotHeld),
             Some(h) if h.owner != owner => Err(LockError::HeldByOther(h.owner)),
@@ -221,9 +249,67 @@ impl LockManager {
         }
     }
 
+    /// Force-releases every lock held by `owner` and fences the owner so it
+    /// can never lock or unlock again. Called when the pool reaps a crashed
+    /// member: without this, `synchronized` methods stall pool-wide until
+    /// the dead member's TTLs lapse (§4.4).
+    ///
+    /// Returns the names of the reclaimed locks, sorted. Hold times are
+    /// recorded (acquire → `now`) when metrics are installed. Idempotent:
+    /// fencing an already-fenced owner reclaims nothing and keeps its
+    /// original epoch.
+    pub fn release_owner(&self, owner: LockOwner, now: SimTime) -> Vec<String> {
+        let mut tables = self.table.lock();
+        if tables.fenced.contains_key(&owner) {
+            return Vec::new();
+        }
+        tables.epoch += 1;
+        let epoch = tables.epoch;
+        tables.fenced.insert(owner, epoch);
+        let mut names: Vec<String> = tables
+            .holders
+            .iter()
+            .filter(|(_, h)| h.owner == owner)
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        for name in &names {
+            if let Some(holder) = tables.holders.remove(name) {
+                if let Some(telemetry) = self.telemetry.get() {
+                    telemetry
+                        .hold
+                        .record(now.saturating_since(holder.acquired_at));
+                }
+            }
+        }
+        tables.waiting.retain(|(_, waiter), _| *waiter != owner);
+        self.reclaimed
+            .fetch_add(names.len() as u64, Ordering::Relaxed);
+        names
+    }
+
+    /// The fencing epoch at which `owner` was fenced, if it was.
+    pub fn fenced_epoch(&self, owner: LockOwner) -> Option<u64> {
+        self.table.lock().fenced.get(&owner).copied()
+    }
+
     /// The current holder of `name`, if any (ignoring expiry).
     pub fn holder(&self, name: &str) -> Option<LockOwner> {
         self.table.lock().holders.get(name).map(|h| h.owner)
+    }
+
+    /// Every currently held lock as `(name, owner)`, sorted by name — the
+    /// quiesce-time leak check for churn harnesses: after all members have
+    /// drained or been reaped, this must be empty.
+    pub fn held_locks(&self) -> Vec<(String, LockOwner)> {
+        let tables = self.table.lock();
+        let mut held: Vec<(String, LockOwner)> = tables
+            .holders
+            .iter()
+            .map(|(name, h)| (name.clone(), h.owner))
+            .collect();
+        held.sort();
+        held
     }
 
     /// Snapshot of contention counters.
@@ -232,6 +318,7 @@ impl LockManager {
             attempts: self.attempts.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             expirations: self.expirations.load(Ordering::Relaxed),
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
         }
     }
 }
@@ -349,6 +436,86 @@ mod tests {
             .1;
         assert_eq!(hold.count(), 1);
         assert_eq!(hold.max(), Some(SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn release_owner_reclaims_all_locks_and_fences() {
+        let locks = LockManager::new();
+        let (dead, live) = (LockOwner::new(1), LockOwner::new(2));
+        assert!(locks.try_lock("C1", dead, SimTime::ZERO, TTL));
+        assert!(locks.try_lock("C2", dead, SimTime::ZERO, TTL));
+        assert!(locks.try_lock("C3", live, SimTime::ZERO, TTL));
+
+        let reclaimed = locks.release_owner(dead, SimTime::from_secs(1));
+        assert_eq!(reclaimed, vec!["C1".to_string(), "C2".to_string()]);
+        assert_eq!(locks.stats().reclaimed, 2);
+        // The survivor's lock is untouched; the dead owner's are free.
+        assert_eq!(locks.holder("C3"), Some(live));
+        assert!(locks.try_lock("C1", live, SimTime::from_secs(1), TTL));
+        // Well before the dead owner's TTL would have lapsed.
+        assert_eq!(locks.stats().expirations, 0);
+    }
+
+    #[test]
+    fn fenced_owner_cannot_lock_or_unlock() {
+        let locks = LockManager::new();
+        let (dead, live) = (LockOwner::new(1), LockOwner::new(2));
+        assert!(locks.try_lock("C1", dead, SimTime::ZERO, TTL));
+        locks.release_owner(dead, SimTime::from_secs(1));
+        // The stale member resurrects and retries its critical section.
+        assert!(!locks.try_lock("C1", dead, SimTime::from_secs(2), TTL));
+        // It also must not be able to unlock what it no longer owns — even
+        // after a live owner has taken the lock over.
+        assert!(locks.try_lock("C1", live, SimTime::from_secs(2), TTL));
+        assert_eq!(locks.unlock("C1", dead), Err(LockError::Fenced(1)));
+        assert_eq!(locks.holder("C1"), Some(live));
+    }
+
+    #[test]
+    fn release_owner_is_idempotent_and_epochs_are_monotonic() {
+        let locks = LockManager::new();
+        let (a, b) = (LockOwner::new(1), LockOwner::new(2));
+        locks.try_lock("C1", a, SimTime::ZERO, TTL);
+        assert_eq!(locks.release_owner(a, SimTime::ZERO).len(), 1);
+        assert_eq!(locks.release_owner(a, SimTime::ZERO).len(), 0);
+        assert_eq!(locks.fenced_epoch(a), Some(1));
+        locks.release_owner(b, SimTime::ZERO);
+        assert_eq!(locks.fenced_epoch(b), Some(2));
+        assert_eq!(locks.fenced_epoch(LockOwner::new(3)), None);
+        assert_eq!(locks.stats().reclaimed, 1);
+    }
+
+    #[test]
+    fn release_owner_records_hold_time() {
+        let locks = LockManager::new();
+        let (metrics, registry) = MetricsHandle::shared();
+        locks.install_metrics(&metrics);
+        let dead = LockOwner::new(1);
+        locks.try_lock("C1", dead, SimTime::ZERO, TTL);
+        locks.release_owner(dead, SimTime::from_secs(7));
+        let snap = registry.snapshot(SimTime::from_secs(7));
+        let hold = &snap
+            .histograms
+            .iter()
+            .find(|(name, _)| *name == "kv.lock.hold")
+            .unwrap()
+            .1;
+        assert_eq!(hold.max(), Some(SimDuration::from_secs(7)));
+    }
+
+    #[test]
+    fn held_locks_reports_live_holders_sorted() {
+        let locks = LockManager::new();
+        let (a, b) = (LockOwner::new(1), LockOwner::new(2));
+        locks.try_lock("C2", b, SimTime::ZERO, TTL);
+        locks.try_lock("C1", a, SimTime::ZERO, TTL);
+        assert_eq!(
+            locks.held_locks(),
+            vec![("C1".to_string(), a), ("C2".to_string(), b)]
+        );
+        locks.unlock("C1", a).unwrap();
+        locks.unlock("C2", b).unwrap();
+        assert!(locks.held_locks().is_empty());
     }
 
     #[test]

@@ -228,6 +228,26 @@ impl Store {
         self.locks.unlock_at(name, owner, now)
     }
 
+    /// Force-releases every lock held by `owner` and fences the owner so a
+    /// stale resurrected member can never lock or unlock under its old
+    /// identity again. Called by the pool when it reaps a crashed member, so
+    /// `synchronized` methods stop stalling on dead holders (§4.4). Returns
+    /// the reclaimed lock names, sorted.
+    pub fn release_owner(&self, owner: LockOwner, now: SimTime) -> Vec<String> {
+        self.locks.release_owner(owner, now)
+    }
+
+    /// The fencing epoch at which `owner` was fenced, if it was.
+    pub fn fenced_epoch(&self, owner: LockOwner) -> Option<u64> {
+        self.locks.fenced_epoch(owner)
+    }
+
+    /// Every currently held lock as `(name, owner)`, sorted — the
+    /// quiesce-time orphaned-lock check.
+    pub fn held_locks(&self) -> Vec<(String, LockOwner)> {
+        self.locks.held_locks()
+    }
+
     /// Registers `kv.lock.wait` / `kv.lock.hold` histograms for this store's
     /// lock table.
     pub fn install_lock_metrics(&self, metrics: &erm_metrics::MetricsHandle) {

@@ -80,6 +80,17 @@ pub trait Network: Send + Sync {
     /// A successful return means *accepted for delivery*, not processed —
     /// injected message loss looks like success, exactly like UDP.
     fn send(&self, from: EndpointId, to: EndpointId, payload: Vec<u8>) -> Result<(), SendError>;
+
+    /// Whether `id` is known to be reachable. This is a *connection health*
+    /// hint, not a delivery guarantee: `false` means the endpoint is
+    /// definitely gone (a TCP RST, a closed in-proc registry entry) and a
+    /// waiter should fail over immediately instead of burning its reply
+    /// timeout; `true` means nothing stronger than "not known dead" — the
+    /// default for transports that cannot tell.
+    fn endpoint_open(&self, id: EndpointId) -> bool {
+        let _ = id;
+        true
+    }
 }
 
 /// A [`Network`] that can also mint and retire endpoints locally — what a

@@ -187,6 +187,10 @@ impl Network for InProcNetwork {
         }
         Ok(())
     }
+
+    fn endpoint_open(&self, id: EndpointId) -> bool {
+        self.is_open(id)
+    }
 }
 
 fn delay_loop(inner: Arc<Inner>) {
