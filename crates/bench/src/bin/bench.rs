@@ -1,0 +1,77 @@
+//! Throughput baseline: the full RMI stack, inproc vs real TCP loopback,
+//! at 1/4/8 pool members.
+//!
+//! ```text
+//! bench                          # full grid, writes BENCH_throughput.json
+//! bench --quick                  # shortened cells for CI smoke runs
+//! bench --out path.json          # choose the output path
+//! bench --seed 42                # change the LB seed
+//! ```
+//!
+//! The 1-member point is a standalone skeleton — structurally plain RMI,
+//! the baseline the paper compares against; 4 and 8 members run through
+//! the full elastic pool (sentinel + members) pinned at size. Exits
+//! nonzero if any cell completes zero invocations.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 7u64;
+    let mut quick = false;
+    let mut out = "BENCH_throughput.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--out" => {
+                i += 1;
+                out = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    println!(
+        "# Throughput baseline (seed {seed}{}): 4 closed-loop clients, echo service",
+        if quick { ", quick" } else { "" }
+    );
+    let points = erm_harness::run_throughput_grid(seed, quick);
+    print!("{}", erm_harness::format_throughput(&points));
+
+    let empty: Vec<_> = points.iter().filter(|p| p.completed == 0).collect();
+    if !empty.is_empty() {
+        for p in &empty {
+            eprintln!(
+                "error: {} x {} members completed zero invocations",
+                p.transport, p.members
+            );
+        }
+        std::process::exit(1);
+    }
+
+    let json = erm_harness::throughput_json(&points, seed, quick);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}: {} points", points.len());
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: bench [--quick] [--out PATH] [--seed N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

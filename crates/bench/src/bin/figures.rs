@@ -12,6 +12,11 @@
 //! figures --churn            # the member-crash churn harness: scripted +
 //!                            # seeded node failures, master outage, lock
 //!                            # reclamation, and the why-recovered report
+//! figures --tcp              # the overload scenario end-to-end over real
+//!                            # TCP loopback sockets (stub → wire →
+//!                            # skeleton → pool → registry); exits nonzero
+//!                            # if any invocation is lost
+//! figures --tcp --quick      # same, shortened for CI smoke runs
 //! figures --seed 42          # change the experiment seed
 //! figures --dump-traces      # control-plane trace of one run per
 //!                            # app x pattern (scale decisions, joins,
@@ -34,6 +39,8 @@ fn main() {
     let mut ablation = false;
     let mut overload = false;
     let mut churn = false;
+    let mut tcp = false;
+    let mut quick = false;
     let mut dump_traces = false;
     let mut export_trace: Option<String> = None;
     let mut export_metrics: Option<String> = None;
@@ -75,6 +82,8 @@ fn main() {
             "--ablation" => ablation = true,
             "--overload" => overload = true,
             "--churn" => churn = true,
+            "--tcp" => tcp = true,
+            "--quick" => quick = true,
             "--dump-traces" => dump_traces = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
@@ -106,6 +115,13 @@ fn main() {
         print_churn(seed, export_metrics.as_deref());
         return;
     }
+    if tcp {
+        print_tcp_overload(seed, quick);
+        return;
+    }
+    if quick {
+        usage("--quick only applies with --tcp");
+    }
     if export_trace.is_some() || export_metrics.is_some() {
         usage("--export-trace/--export-metrics only apply with --overload or --churn");
     }
@@ -129,7 +145,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: figures [--fig 7a..7j|8a|8b] [--table] [--ablation] [--overload] [--churn] \
-         [--dump-traces] [--seed N] \
+         [--tcp [--quick]] [--dump-traces] [--seed N] \
          [--export-trace PATH] [--export-metrics PATH]  (exports need --overload or --churn)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -204,6 +220,19 @@ fn print_churn(seed: u64, metrics_path: Option<&str>) {
             "wrote {path}: {} metric-registry snapshot rows",
             run.metrics_csv.lines().count().saturating_sub(1)
         );
+    }
+}
+
+/// The overload scenario over real TCP loopback sockets. The run itself is
+/// the assertion: if any invocation fails to reach a terminal outcome the
+/// process exits nonzero, so CI can gate on it.
+fn print_tcp_overload(seed: u64, quick: bool) {
+    let run = erm_harness::run_socket_overload(seed, quick);
+    println!("================ Overload over TCP loopback (seed {seed}) ================");
+    print!("{}", run.report);
+    if run.lost != 0 {
+        eprintln!("error: {} invocations lost over TCP", run.lost);
+        std::process::exit(1);
     }
 }
 

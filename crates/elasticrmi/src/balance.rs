@@ -94,6 +94,25 @@ pub fn plan_redirects(loads: &[MemberLoad], capacity: u32) -> Vec<RedirectPlanEn
         // Leftover excess is dropped from the plan intentionally: nowhere to
         // put it.
     }
+    // Internal consistency: no member may be told to shed more than the
+    // excess it reported in *this* snapshot. (Applying the plan to a fresher
+    // snapshot may still find less pending than planned — that staleness is
+    // the applier's to tolerate, not a planner bug.)
+    if cfg!(debug_assertions) {
+        for m in loads {
+            let shed: u64 = plan
+                .iter()
+                .filter(|e| e.from == m.endpoint)
+                .map(|e| u64::from(e.count))
+                .sum();
+            debug_assert!(
+                shed <= u64::from(m.pending.saturating_sub(capacity)),
+                "plan sheds {shed} from {:?} with excess {}",
+                m.endpoint,
+                m.pending.saturating_sub(capacity)
+            );
+        }
+    }
     plan
 }
 
@@ -104,14 +123,21 @@ pub fn planned_total(plan: &[RedirectPlanEntry]) -> u64 {
 
 /// Applies a plan to a load snapshot, returning post-redirect loads. Used by
 /// tests and the simulation harness to verify/realize plans.
+///
+/// The snapshot need not be the one the plan was computed from: by the time
+/// a plan lands, members have kept serving, so a fresher snapshot can show
+/// *less* pending than the plan moves. Applying is therefore saturating —
+/// a member cannot shed below zero (it redirects what it still has), and a
+/// receiver's queue is clamped rather than wrapped. An earlier version did
+/// unchecked `pending -= count` and underflowed on exactly that staleness.
 pub fn apply_plan(loads: &[MemberLoad], plan: &[RedirectPlanEntry]) -> Vec<MemberLoad> {
     let mut out: Vec<MemberLoad> = loads.to_vec();
     for entry in plan {
         for m in out.iter_mut() {
             if m.endpoint == entry.from {
-                m.pending -= entry.count;
+                m.pending = m.pending.saturating_sub(entry.count);
             } else if m.endpoint == entry.to {
-                m.pending += entry.count;
+                m.pending = m.pending.saturating_add(entry.count);
             }
         }
     }
@@ -204,6 +230,34 @@ mod tests {
         assert_eq!(
             before, after_total,
             "redirection must not create or lose work"
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_application_saturates_instead_of_underflowing() {
+        // Regression: a plan is computed from one load snapshot but applied
+        // when members have already drained part of their queues. The plan
+        // moves 10 off member 1, but the fresher snapshot only shows 4
+        // pending — unchecked subtraction wrapped to ~4 billion here.
+        let planned_from = loads(&[(1, 15), (2, 0), (3, 0)]);
+        let plan = plan_redirects(&planned_from, 5);
+        assert_eq!(planned_total(&plan), 10);
+
+        let fresher = loads(&[(1, 4), (2, 0), (3, 0)]);
+        let after = apply_plan(&fresher, &plan);
+        assert_eq!(
+            after,
+            loads(&[(1, 0), (2, 5), (3, 5)]),
+            "shedding clamps at zero; no wrap-around"
+        );
+
+        // The receiving side clamps too, at the top of the range.
+        let near_max = loads(&[(1, 15), (2, u32::MAX - 3), (3, 0)]);
+        let after = apply_plan(&near_max, &plan);
+        assert_eq!(
+            after[1].pending,
+            u32::MAX,
+            "receiver saturates, never wraps"
         );
     }
 }

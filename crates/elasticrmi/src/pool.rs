@@ -213,10 +213,14 @@ impl ElasticPool {
             cmd_tx,
             runtime: Some(handle),
         };
-        // Wait for the initial members to come up (bounded).
-        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        // Wait for the initial members to come up, bounded on the injected
+        // clock: 30 s of *sim* time. Under the system clock that is 30 real
+        // seconds; under a virtual clock, provisioning failure surfaces
+        // only when the driving harness advances time past the bound —
+        // never because wall time leaked into protocol logic.
+        let deadline = pool.clock.now() + SimDuration::from_secs(30);
         while pool.size() == 0 {
-            if std::time::Instant::now() > deadline {
+            if pool.clock.now() > deadline {
                 return Err(PoolError::Cluster(
                     "initial members failed to provision in time".to_string(),
                 ));
@@ -356,7 +360,9 @@ struct Runtime {
     epoch: u64,
     reports: BTreeMap<u64, LoadReport>,
     engine: Option<ScalingEngine>,
-    collect_until: Option<std::time::Instant>,
+    /// Sim-time deadline for the current load-report collection round;
+    /// `None` when no poll is outstanding.
+    collect_until: Option<SimTime>,
     grant_times: BTreeMap<u64, SimTime>,
     last_broadcast: SimTime,
     /// Slices the cluster revoked (node failure) that we have not finalized
@@ -368,8 +374,11 @@ struct Runtime {
     recovery: RecoveryTracker,
 }
 
+/// Control-loop pacing. Pure thread scheduling (how often the loop wakes to
+/// look at its mailboxes), not protocol semantics — so it stays wall time.
 const TICK: Duration = Duration::from_millis(2);
-const COLLECT_GRACE: Duration = Duration::from_millis(100);
+/// How long (sim time) the sentinel waits for load reports after a poll.
+const COLLECT_GRACE: SimDuration = SimDuration::from_millis(100);
 const BROADCAST_EVERY: SimDuration = SimDuration::from_millis(500);
 
 impl Runtime {
@@ -693,12 +702,12 @@ impl Runtime {
                     for m in self.members.values().filter(|m| !m.draining) {
                         let _ = self.deps.net.send(self.ctl, m.endpoint, poll.clone());
                     }
-                    self.collect_until = Some(std::time::Instant::now() + COLLECT_GRACE);
+                    self.collect_until = Some(now + COLLECT_GRACE);
                 }
             }
             Some(deadline) => {
                 let live = self.members.values().filter(|m| !m.draining).count();
-                if self.reports.len() >= live || std::time::Instant::now() >= deadline {
+                if self.reports.len() >= live || now >= deadline {
                     self.collect_until = None;
                     self.decide_and_act(now);
                 }
@@ -840,8 +849,12 @@ impl Runtime {
                 .send(self.ctl, m.endpoint, RmiMessage::Shutdown.encode());
         }
         self.publish();
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while !self.members.is_empty() && std::time::Instant::now() < deadline {
+        // Drain deadline in sim time: under a virtual clock the pool waits
+        // for its members however long the wall takes, and force-reaps only
+        // if the *harness* lets 5 sim-seconds pass — shutdown can no longer
+        // flake because a paused clock made wall time race the drain.
+        let deadline = self.deps.clock.now() + SimDuration::from_secs(5);
+        while !self.members.is_empty() && self.deps.clock.now() < deadline {
             while let Ok(d) = ctl_mailbox.try_recv() {
                 if let Ok(RmiMessage::ShutdownReady { uid }) = RmiMessage::decode(&d.payload) {
                     self.finalize_member(uid, false);

@@ -104,10 +104,24 @@ impl<T: Serialize + DeserializeOwned> SharedField<T> {
 }
 
 /// Executes `body` under the class-wide lock (`ERMI.lock(class)`), blocking
-/// with exponential backoff until acquired. Mirrors a `synchronized` elastic
-/// method: mutual exclusion with respect to every other synchronized method
-/// of the same class across the whole pool — and, like the paper, *not* an
-/// ACID transaction.
+/// until acquired. Mirrors a `synchronized` elastic method: mutual
+/// exclusion with respect to every other synchronized method of the same
+/// class across the whole pool — and, like the paper, *not* an ACID
+/// transaction.
+///
+/// The wait is clock-aware: it parks on the lock table's condition
+/// variable (woken by every release and by crash reclamation through
+/// [`Store::release_owner`]) and re-reads the injected clock for TTL
+/// expiry. Earlier versions slept real time between `try_lock` attempts
+/// while the TTL was measured on the injected clock — under a
+/// [`erm_sim::VirtualClock`] a crashed owner's lock then never expired and
+/// the waiter livelocked.
+///
+/// # Panics
+///
+/// Panics if `owner` is fenced: a crash-reclaimed member re-entering a
+/// critical section under its old identity is a protocol violation, and
+/// running `body` without the lock would break mutual exclusion.
 pub fn synchronized<R>(
     store: &Store,
     class: &str,
@@ -116,11 +130,10 @@ pub fn synchronized<R>(
     ttl: SimDuration,
     body: impl FnOnce() -> R,
 ) -> R {
-    let mut backoff_us = 10u64;
-    while !store.try_lock(class, owner, clock.now(), ttl) {
-        std::thread::sleep(std::time::Duration::from_micros(backoff_us));
-        backoff_us = (backoff_us * 2).min(5_000);
-    }
+    assert!(
+        store.lock_blocking(class, owner, clock, ttl),
+        "fenced {owner} must not enter synchronized({class})"
+    );
     // Run the body and always release, even if it panics, so a poisoned
     // member cannot wedge the whole class. Releasing through `unlock_at`
     // records the hold time when lock metrics are installed.
@@ -242,6 +255,66 @@ mod tests {
             f.get(),
             Some(800),
             "lost updates imply broken mutual exclusion"
+        );
+    }
+
+    #[test]
+    fn synchronized_waiter_wakes_when_crashed_owner_is_fenced() {
+        // Regression: the waiter used to spin on real `thread::sleep`s while
+        // the lock TTL was measured on the injected clock. Under a paused
+        // VirtualClock a crashed owner's lock never expired, so the waiter
+        // livelocked until the process was killed. The clock-aware wait must
+        // complete as soon as the pool fences the crashed owner, with the
+        // virtual clock never moving at all.
+        let s = store();
+        let clock = VirtualClock::new(); // paused: nobody advances it
+        let ttl = SimDuration::from_secs(3600);
+        let crashed = LockOwner::new(1);
+        assert!(s.try_lock("C1", crashed, clock.now(), ttl));
+        let s2 = Arc::clone(&s);
+        let clock2 = clock.clone();
+        let waiter = std::thread::spawn(move || {
+            synchronized(&s2, "C1", LockOwner::new(2), &clock2, ttl, || 42)
+        });
+        // Let the waiter actually block on the held lock first.
+        while s.lock_stats().failures == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // Crash reclamation: fence the dead owner, free its locks.
+        assert_eq!(
+            s.release_owner(crashed, clock.now()),
+            vec!["C1".to_string()]
+        );
+        assert_eq!(waiter.join().unwrap(), 42);
+        assert!(s.fenced_epoch(crashed).is_some());
+    }
+
+    #[test]
+    fn synchronized_waiter_observes_virtual_ttl_expiry() {
+        // The other half of the clock-awareness contract: no release ever
+        // happens, but advancing the *virtual* clock past the holder's TTL
+        // must unblock the waiter (the old real-time backoff would have
+        // spun forever since it never re-read an advanced clock under a
+        // lock that "expired" only in sim time).
+        let s = store();
+        let clock = VirtualClock::new();
+        let ttl = SimDuration::from_secs(30);
+        let dead = LockOwner::new(1);
+        assert!(s.try_lock("C1", dead, clock.now(), ttl));
+        let s2 = Arc::clone(&s);
+        let clock2 = clock.clone();
+        let waiter = std::thread::spawn(move || {
+            synchronized(&s2, "C1", LockOwner::new(2), &clock2, ttl, || 7)
+        });
+        while s.lock_stats().failures == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        clock.advance(SimDuration::from_secs(31));
+        assert_eq!(waiter.join().unwrap(), 7);
+        assert_eq!(
+            s.lock_stats().expirations,
+            1,
+            "the lock was stolen, not released"
         );
     }
 

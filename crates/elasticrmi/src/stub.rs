@@ -30,11 +30,6 @@ use crate::message::{InvocationContext, RmiMessage};
 /// polling the mailbox.
 const POLL_TICK: Duration = Duration::from_millis(1);
 
-/// Real-time liveness cap on any single wait: if the injected clock is a
-/// virtual clock that nobody advances, waits still terminate after this much
-/// wall time instead of wedging the caller.
-const REAL_TIME_BACKSTOP: Duration = Duration::from_secs(10);
-
 /// Client-side load-balancing discipline (§4.3: "randomly or in a
 /// round-robin fashion").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -423,14 +418,12 @@ impl Stub {
     /// Sleeps a seeded, jittered, exponentially growing interval (1 ms base,
     /// 16 ms cap, uniform in `[step/2, step]`) before retrying after a
     /// connection-closed failure, bounded by the invocation deadline. The
-    /// wait runs on the injected clock with a short real-time backstop so a
-    /// virtual clock nobody advances cannot wedge the caller.
+    /// wait runs entirely on the injected clock.
     fn backoff_before_retry(&mut self, attempt: u32, context: &InvocationContext) {
         let step_us = (1_000u64 << u64::from(attempt.min(4))).min(16_000);
         let wait_us = self.rng.gen_range(step_us / 2..=step_us);
         let deadline = (self.clock.now() + SimDuration::from_micros(wait_us)).min(context.deadline);
-        let backstop = Duration::from_micros(wait_us).min(Duration::from_millis(50));
-        let mut wait = ClockWait::with_backstop(deadline, backstop);
+        let mut wait = ClockWait::new(deadline);
         while matches!(wait.poll(self.clock.as_ref()), WaitState::Waiting) {
             std::thread::sleep(POLL_TICK);
         }
@@ -608,12 +601,17 @@ impl Stub {
     }
 }
 
-/// A wait bounded by a deadline on the injected (possibly virtual) clock,
-/// with a real-time backstop so a never-advanced virtual clock cannot wedge
-/// the waiter forever.
+/// A wait bounded by a deadline on the injected (possibly virtual) clock.
+///
+/// Purely clock-driven: protocol semantics (timeouts, budgets, backoff)
+/// live entirely in sim time, so a run on a `VirtualClock` is decided by
+/// clock advances alone and a run on the `SystemClock` by wall time — the
+/// two domains never mix. (An earlier version kept a wall-clock backstop
+/// "in case nobody advances the virtual clock"; that blurred every
+/// timeout's semantics and made TCP runs nondeterministic, so it is gone:
+/// a harness that pauses its clock forever gets the hang it asked for.)
 struct ClockWait {
     deadline: SimTime,
-    backstop: std::time::Instant,
 }
 
 enum WaitState {
@@ -623,21 +621,11 @@ enum WaitState {
 
 impl ClockWait {
     fn new(deadline: SimTime) -> Self {
-        Self::with_backstop(deadline, REAL_TIME_BACKSTOP)
-    }
-
-    /// A wait with a custom real-time backstop — for short sleeps (retry
-    /// backoff) where wedging for the full 10 s backstop under a stalled
-    /// virtual clock would be worse than cutting the wait short.
-    fn with_backstop(deadline: SimTime, backstop: Duration) -> Self {
-        ClockWait {
-            deadline,
-            backstop: std::time::Instant::now() + backstop,
-        }
+        ClockWait { deadline }
     }
 
     fn poll(&mut self, clock: &dyn erm_sim::Clock) -> WaitState {
-        if clock.now() >= self.deadline || std::time::Instant::now() >= self.backstop {
+        if clock.now() >= self.deadline {
             WaitState::DeadlineReached
         } else {
             WaitState::Waiting

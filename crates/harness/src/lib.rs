@@ -19,6 +19,7 @@ pub mod experiment;
 pub mod figures;
 pub mod overload;
 pub mod scalability;
+pub mod sockets;
 pub mod summary;
 pub mod telemetry;
 pub mod tiered;
@@ -30,6 +31,10 @@ pub use figures::{agility_results, sparkline, FigureId};
 pub use overload::{render_overload, run_overload, OverloadConfig, OverloadResult};
 pub use scalability::{
     render_scalability, scalability_curve, ScalabilityPoint, SharedStateProfile,
+};
+pub use sockets::{
+    format_throughput, run_socket_overload, run_throughput, run_throughput_grid, throughput_json,
+    SocketOverloadRun, ThroughputPoint, TransportKind,
 };
 pub use summary::{format_summary, summary_table, SummaryRow};
 pub use telemetry::{render_why_scaled, run_elastic_overload, ElasticOverloadRun};

@@ -1,0 +1,808 @@
+//! The full stack over real TCP loopback sockets (and, for comparison,
+//! in-process channels): the paper's "performs as well as plain RMI" claim
+//! needs socket-path evidence, not just `InProcNetwork` runs.
+//!
+//! Two entry points:
+//!
+//! * [`run_socket_overload`] — the PR 2 overload scenario (base load, 2x
+//!   burst, recovery) driven end-to-end through stub → wire → skeleton →
+//!   pool → registry over TCP loopback, with the same invariants: zero
+//!   lost invocations and conservation of terminal events. This is
+//!   `figures --tcp`.
+//! * [`run_throughput`] — a closed-loop throughput baseline, inproc vs TCP
+//!   at 1/4/8 members, feeding `BENCH_throughput.json`. The 1-member point
+//!   is a standalone skeleton — the plain-RMI shape the paper compares
+//!   against; 4 and 8 run through the full elastic pool pinned at size.
+//!
+//! Time domains: all protocol semantics (timeouts, budgets, burst
+//! intervals) run on the injected clock — here the [`SystemClock`], since
+//! real sockets run in real time. Wall clock appears only inside the TCP
+//! I/O layer and inside the benched service body (which *is* the
+//! application's work, not protocol logic).
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use elasticrmi::{
+    decode_args, encode_result, ClientLb, Discipline, ElasticPool, ElasticService, PoolConfig,
+    PoolDeps, RegistryClient, RegistryServer, RemoteError, RmiError, RmiMessage, ServiceContext,
+    Skeleton, Stub,
+};
+use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
+use erm_kvstore::{Store, StoreConfig};
+use erm_metrics::{MetricsHandle, TraceHandle};
+use erm_sim::{SharedClock, SimDuration, SystemClock};
+use erm_transport::{EndpointId, Host, InProcNetwork, Network, TcpHost};
+
+/// Which byte-moving substrate a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process channels (`InProcNetwork`) — the no-socket upper bound.
+    Inproc,
+    /// Real TCP loopback sockets (`TcpHost`), one host per "machine".
+    Tcp,
+}
+
+impl fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportKind::Inproc => write!(f, "inproc"),
+            TransportKind::Tcp => write!(f, "tcp"),
+        }
+    }
+}
+
+/// A server "machine" and a client "machine" wired over the chosen
+/// transport. On inproc both are the same network; on TCP they are two
+/// hosts on loopback and the client bootstraps with one `register_host`
+/// call — every further route (members added by scale-out included) is
+/// learned from the advertised addresses on inbound frames.
+struct Fabric {
+    kind: TransportKind,
+    inproc: Option<Arc<InProcNetwork>>,
+    tcp_server: Option<Arc<TcpHost>>,
+    tcp_client: Option<Arc<TcpHost>>,
+}
+
+impl Fabric {
+    fn new(kind: TransportKind) -> Fabric {
+        match kind {
+            TransportKind::Inproc => Fabric {
+                kind,
+                inproc: Some(Arc::new(InProcNetwork::new())),
+                tcp_server: None,
+                tcp_client: None,
+            },
+            TransportKind::Tcp => {
+                let server =
+                    Arc::new(TcpHost::bind("127.0.0.1:0", 0).expect("bind server loopback"));
+                let client =
+                    Arc::new(TcpHost::bind("127.0.0.1:0", 1).expect("bind client loopback"));
+                // The out-of-band bootstrap, as with rmiregistry's
+                // host:port: the client knows where the server listens.
+                client.register_host(0, server.local_addr());
+                Fabric {
+                    kind,
+                    inproc: None,
+                    tcp_server: Some(server),
+                    tcp_client: Some(client),
+                }
+            }
+        }
+    }
+
+    /// The host the pool (and registry) lives on.
+    fn server_host(&self) -> Arc<dyn Host> {
+        match self.kind {
+            TransportKind::Inproc => self.inproc.clone().expect("inproc fabric"),
+            TransportKind::Tcp => self.tcp_server.clone().expect("tcp fabric"),
+        }
+    }
+
+    /// The host client stubs live on.
+    fn client_host(&self) -> Arc<dyn Host> {
+        match self.kind {
+            TransportKind::Inproc => self.inproc.clone().expect("inproc fabric"),
+            TransportKind::Tcp => self.tcp_client.clone().expect("tcp fabric"),
+        }
+    }
+
+    fn client_net(&self) -> Arc<dyn Network> {
+        match self.kind {
+            TransportKind::Inproc => self.inproc.clone().expect("inproc fabric"),
+            TransportKind::Tcp => self.tcp_client.clone().expect("tcp fabric"),
+        }
+    }
+
+    fn shutdown(&self) {
+        if let Some(s) = &self.tcp_server {
+            s.shutdown();
+        }
+        if let Some(c) = &self.tcp_client {
+            c.shutdown();
+        }
+    }
+}
+
+/// The benched/overloaded service: `work` burns the configured service
+/// time (real work on the member's thread, not protocol time) and echoes,
+/// `echo` returns immediately.
+struct SpinService {
+    service: std::time::Duration,
+}
+
+impl ElasticService for SpinService {
+    fn dispatch(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        _ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError> {
+        match method {
+            "work" => {
+                let n: u64 = decode_args(method, args)?;
+                if !self.service.is_zero() {
+                    std::thread::sleep(self.service);
+                }
+                encode_result(&n)
+            }
+            "echo" => {
+                let n: u64 = decode_args(method, args)?;
+                encode_result(&n)
+            }
+            other => Err(RemoteError::no_such_method(other)),
+        }
+    }
+}
+
+/// Terminal-outcome accounting for a batch of client invocations. Every
+/// invocation issued lands in exactly one bucket; anything else is a lost
+/// invocation, and the harness treats that as a failed run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Outcomes {
+    /// Invocations that returned their result.
+    pub ok: u64,
+    /// Application-level remote errors.
+    pub remote_error: u64,
+    /// Refused by every tried member's admission queue.
+    pub overloaded: u64,
+    /// Refused locally by the AIMD limiter.
+    pub throttled: u64,
+    /// Ran out their end-to-end budget.
+    pub expired: u64,
+    /// No member (sentinel included) answered.
+    pub unreachable: u64,
+    /// Marshalling failures (a bug if ever nonzero).
+    pub marshalling: u64,
+}
+
+impl Outcomes {
+    fn add(&mut self, result: &Result<u64, RmiError>) {
+        match result {
+            Ok(_) => self.ok += 1,
+            Err(RmiError::Remote(_)) => self.remote_error += 1,
+            Err(RmiError::Overloaded { .. }) => self.overloaded += 1,
+            Err(RmiError::Throttled { .. }) => self.throttled += 1,
+            Err(RmiError::DeadlineExceeded { .. }) => self.expired += 1,
+            Err(RmiError::PoolUnreachable { .. } | RmiError::SentinelUnreachable(_)) => {
+                self.unreachable += 1;
+            }
+            Err(_) => self.marshalling += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &Outcomes) {
+        self.ok += other.ok;
+        self.remote_error += other.remote_error;
+        self.overloaded += other.overloaded;
+        self.throttled += other.throttled;
+        self.expired += other.expired;
+        self.unreachable += other.unreachable;
+        self.marshalling += other.marshalling;
+    }
+
+    /// Sum over every terminal bucket.
+    pub fn total(&self) -> u64 {
+        self.ok
+            + self.remote_error
+            + self.overloaded
+            + self.throttled
+            + self.expired
+            + self.unreachable
+            + self.marshalling
+    }
+}
+
+/// Result of [`run_socket_overload`].
+#[derive(Debug, Clone)]
+pub struct SocketOverloadRun {
+    /// Invocations issued across all clients and phases.
+    pub offered: u64,
+    /// Where each of them terminated.
+    pub outcomes: Outcomes,
+    /// `offered - outcomes.total()`: must be zero (the invariant).
+    pub lost: u64,
+    /// Members added by scale-out during the run.
+    pub grown: u32,
+    /// Largest pool size observed.
+    pub peak_members: u32,
+    /// Pool size after shutdown-free quiesce (end of recovery).
+    pub final_members: u32,
+    /// Client-observed latency percentiles over successful invocations.
+    pub p50: SimDuration,
+    /// 99th percentile of the same.
+    pub p99: SimDuration,
+    /// Human-readable report (what `figures --tcp` prints).
+    pub report: String,
+}
+
+/// One client thread's contribution to an overload phase.
+struct ClientSlice {
+    outcomes: Outcomes,
+    offered: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Runs the PR 2 overload scenario — base load, a 2x concurrency burst,
+/// recovery — through real TCP loopback sockets: closed-loop clients on
+/// their own `TcpHost` invoking an elastic pool (admission control on,
+/// queue-delay growth signal on) discovered through the RMI registry on
+/// the server host.
+///
+/// `quick` halves every phase for CI smoke runs.
+pub fn run_socket_overload(seed: u64, quick: bool) -> SocketOverloadRun {
+    let fabric = Fabric::new(TransportKind::Tcp);
+    let clock: SharedClock = Arc::new(SystemClock::new());
+    let deps = PoolDeps {
+        cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
+            nodes: 8,
+            provisioning: LatencyModel::instant(),
+            ..ClusterConfig::default()
+        })),
+        net: fabric.server_host(),
+        store: Arc::new(Store::new(StoreConfig::default())),
+        clock: Arc::clone(&clock),
+        trace: TraceHandle::disabled(),
+        metrics: MetricsHandle::disabled(),
+    };
+    let service = std::time::Duration::from_micros(2_500);
+    let mut pool = ElasticPool::instantiate(
+        PoolConfig::builder("SocketOverload")
+            .min_pool_size(2)
+            .max_pool_size(6)
+            .burst_interval(SimDuration::from_millis(250))
+            .overload_capacity(32)
+            .admission(Discipline::Edf)
+            .queue_delay_grow_above(SimDuration::from_millis(5))
+            .build()
+            .expect("valid overload config"),
+        Arc::new(move || Box::new(SpinService { service })),
+        deps,
+        None,
+    )
+    .expect("pool over TCP instantiates");
+
+    // Registry on the server machine; clients look the pool up by name.
+    let registry = RegistryServer::spawn(fabric.server_host());
+    {
+        let mut binder = RegistryClient::connect(fabric.server_host(), registry.endpoint());
+        assert!(binder.bind("overload", pool.sentinel()).expect("bind"));
+    }
+    let mut lookup = RegistryClient::connect(fabric.client_host(), registry.endpoint());
+    let sentinel = lookup
+        .lookup("overload")
+        .expect("registry answers over TCP")
+        .expect("name bound");
+
+    // Phases: base concurrency, then 2x clients for the burst, then base
+    // again. Closed-loop: each client issues the next invocation as soon
+    // as the previous one terminates.
+    let scale = if quick { 1 } else { 2 };
+    let warmup = SimDuration::from_millis(600 * scale);
+    let burst = SimDuration::from_millis(1_200 * scale);
+    let recovery = SimDuration::from_millis(600 * scale);
+    let base_clients = 4u32;
+    let burst_clients = 8u32; // 2x
+
+    let t0 = clock.now();
+    let burst_from = t0 + warmup;
+    let burst_to = burst_from + burst;
+    let end = burst_to + recovery;
+
+    let running = Arc::new(AtomicU32::new(0));
+    let mut handles = Vec::new();
+    for i in 0..burst_clients {
+        let is_burst_only = i >= base_clients;
+        let net = fabric.client_net();
+        let (ep, mailbox) = fabric.client_host().open();
+        let clock = Arc::clone(&clock);
+        let running = Arc::clone(&running);
+        running.fetch_add(1, Ordering::SeqCst);
+        handles.push(std::thread::spawn(move || {
+            let mut slice = ClientSlice {
+                outcomes: Outcomes::default(),
+                offered: 0,
+                latencies_us: Vec::new(),
+            };
+            let mut stub = match Stub::connect(
+                net,
+                ep,
+                mailbox,
+                sentinel,
+                ClientLb::Random {
+                    seed: seed ^ u64::from(i),
+                },
+                Arc::clone(&clock),
+            ) {
+                Ok(s) => s,
+                Err(_) => {
+                    // Connection refused entirely: count nothing — the
+                    // client issued no invocations.
+                    running.fetch_sub(1, Ordering::SeqCst);
+                    return slice;
+                }
+            };
+            stub.set_reply_timeout(SimDuration::from_millis(250));
+            stub.set_invocation_budget(SimDuration::from_secs(1));
+            let mut n = 0u64;
+            loop {
+                let now = clock.now();
+                if now >= end {
+                    break;
+                }
+                if is_burst_only {
+                    if now < burst_from {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        continue;
+                    }
+                    if now >= burst_to {
+                        break;
+                    }
+                }
+                let before = clock.now();
+                let result: Result<u64, RmiError> = stub.invoke("work", &n);
+                slice.offered += 1;
+                if result.is_ok() {
+                    slice
+                        .latencies_us
+                        .push(clock.now().saturating_since(before).as_micros());
+                }
+                slice.outcomes.add(&result);
+                n += 1;
+            }
+            running.fetch_sub(1, Ordering::SeqCst);
+            slice
+        }));
+    }
+
+    // Sample pool size while the clients run, for the growth story.
+    let mut peak = pool.size();
+    while running.load(Ordering::SeqCst) > 0 {
+        peak = peak.max(pool.size());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let mut offered = 0u64;
+    let mut outcomes = Outcomes::default();
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        let slice = h.join().expect("client thread");
+        offered += slice.offered;
+        outcomes.merge(&slice.outcomes);
+        latencies.extend(slice.latencies_us);
+    }
+    let lost = offered - outcomes.total();
+    let stats = pool.stats();
+    let final_members = pool.size();
+    peak = peak.max(final_members);
+    latencies.sort_unstable();
+    let pct = |p: f64| -> SimDuration {
+        if latencies.is_empty() {
+            SimDuration::ZERO
+        } else {
+            let idx = ((latencies.len() - 1) as f64 * p) as usize;
+            SimDuration::from_micros(latencies[idx])
+        }
+    };
+    let (p50, p99) = (pct(0.50), pct(0.99));
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "# Overload over TCP loopback (seed {seed}{}): {base_clients} closed-loop clients, \
+         2x burst to {burst_clients}, 2.5 ms service, pool 2..6 + EDF admission",
+        if quick { ", quick" } else { "" }
+    );
+    let _ = writeln!(report, "  {:<22} {:>10}", "offered", offered);
+    let _ = writeln!(report, "  {:<22} {:>10}", "completed ok", outcomes.ok);
+    let _ = writeln!(
+        report,
+        "  {:<22} {:>10}",
+        "remote errors", outcomes.remote_error
+    );
+    let _ = writeln!(report, "  {:<22} {:>10}", "overloaded", outcomes.overloaded);
+    let _ = writeln!(report, "  {:<22} {:>10}", "throttled", outcomes.throttled);
+    let _ = writeln!(report, "  {:<22} {:>10}", "expired", outcomes.expired);
+    let _ = writeln!(
+        report,
+        "  {:<22} {:>10}",
+        "unreachable", outcomes.unreachable
+    );
+    let _ = writeln!(
+        report,
+        "  {:<22} {:>10}",
+        "marshalling", outcomes.marshalling
+    );
+    let _ = writeln!(report, "  {:<22} {:>10}", "lost invocations", lost);
+    let _ = writeln!(
+        report,
+        "  pool: started 2, grew {} (peak {peak}, final {final_members}); \
+         ok-latency p50 {:.2} ms, p99 {:.2} ms",
+        stats.grown,
+        p50.as_micros() as f64 / 1_000.0,
+        p99.as_micros() as f64 / 1_000.0,
+    );
+    let _ = writeln!(
+        report,
+        "  invariant: conservation of terminal events {} (offered {} == terminals {})",
+        if lost == 0 { "HOLDS" } else { "VIOLATED" },
+        offered,
+        outcomes.total(),
+    );
+
+    pool.shutdown();
+    registry.shutdown();
+    fabric.shutdown();
+
+    SocketOverloadRun {
+        offered,
+        outcomes,
+        lost,
+        grown: stats.grown,
+        peak_members: peak,
+        final_members,
+        p50,
+        p99,
+        report,
+    }
+}
+
+/// One transport x member-count point of the throughput baseline.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Substrate the bytes travelled over.
+    pub transport: TransportKind,
+    /// Pool size (pinned; 1 = standalone skeleton, the plain-RMI shape).
+    pub members: u32,
+    /// Closed-loop client threads.
+    pub clients: u32,
+    /// Measured run length in seconds (on the injected clock).
+    pub seconds: f64,
+    /// Invocations that completed ok.
+    pub completed: u64,
+    /// Invocations that terminated any other way.
+    pub errors: u64,
+    /// `completed / seconds`.
+    pub throughput_rps: f64,
+    /// Median ok-latency, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile ok-latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// Runs one closed-loop no-op-service throughput measurement: `clients`
+/// stubs invoking `echo` as fast as round trips allow for roughly
+/// `duration`, against a pool pinned at `members` (or a standalone
+/// skeleton when `members == 1`).
+pub fn run_throughput(
+    kind: TransportKind,
+    members: u32,
+    clients: u32,
+    duration: SimDuration,
+    seed: u64,
+) -> ThroughputPoint {
+    let fabric = Fabric::new(kind);
+    let clock: SharedClock = Arc::new(SystemClock::new());
+
+    // The serving side: a pinned pool, or a lone skeleton for members == 1
+    // (ElasticPool's paper-faithful minimum is 2 — a singleton *pool* does
+    // not exist; a singleton remote object is exactly plain RMI).
+    enum ServerSide {
+        Standalone {
+            join: std::thread::JoinHandle<()>,
+            ctl: EndpointId,
+            endpoint: EndpointId,
+            net: Arc<dyn Network>,
+        },
+        Pool(ElasticPool),
+    }
+    let server = if members == 1 {
+        let host = fabric.server_host();
+        let (endpoint, mailbox) = host.open();
+        let (ctl, _ctl_mailbox) = host.open();
+        let net: Arc<dyn Network> = match kind {
+            TransportKind::Inproc => fabric.inproc.clone().expect("inproc fabric"),
+            TransportKind::Tcp => fabric.tcp_server.clone().expect("tcp fabric"),
+        };
+        let ctx = ServiceContext::new(
+            Arc::new(Store::new(StoreConfig::default())),
+            "Bench",
+            0,
+            Arc::clone(&clock),
+            Arc::new(AtomicU32::new(1)),
+        );
+        let skeleton = Skeleton::new(
+            0,
+            endpoint,
+            ctl,
+            Arc::clone(&net),
+            Arc::clone(&clock),
+            Box::new(SpinService {
+                service: std::time::Duration::ZERO,
+            }),
+            ctx,
+            TraceHandle::disabled(),
+            None,
+        );
+        let join = std::thread::Builder::new()
+            .name("bench-skeleton".to_string())
+            .spawn(move || skeleton.run(mailbox))
+            .expect("spawn bench skeleton");
+        ServerSide::Standalone {
+            join,
+            ctl,
+            endpoint,
+            net,
+        }
+    } else {
+        let deps = PoolDeps {
+            cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
+                nodes: members,
+                provisioning: LatencyModel::instant(),
+                ..ClusterConfig::default()
+            })),
+            net: fabric.server_host(),
+            store: Arc::new(Store::new(StoreConfig::default())),
+            clock: Arc::clone(&clock),
+            trace: TraceHandle::disabled(),
+            metrics: MetricsHandle::disabled(),
+        };
+        ServerSide::Pool(
+            ElasticPool::instantiate(
+                PoolConfig::builder("Bench")
+                    .min_pool_size(members)
+                    .max_pool_size(members)
+                    .build()
+                    .expect("valid bench config"),
+                Arc::new(|| {
+                    Box::new(SpinService {
+                        service: std::time::Duration::ZERO,
+                    })
+                }),
+                deps,
+                None,
+            )
+            .expect("bench pool instantiates"),
+        )
+    };
+    let sentinel = match &server {
+        ServerSide::Standalone { endpoint, .. } => *endpoint,
+        ServerSide::Pool(pool) => pool.sentinel(),
+    };
+
+    let t0 = clock.now();
+    let end = t0 + duration;
+    let mut handles = Vec::new();
+    for i in 0..clients {
+        let net = fabric.client_net();
+        let (ep, mailbox) = fabric.client_host().open();
+        let clock = Arc::clone(&clock);
+        handles.push(std::thread::spawn(move || {
+            let mut completed = 0u64;
+            let mut errors = 0u64;
+            let mut latencies_us: Vec<u64> = Vec::new();
+            let Ok(mut stub) = Stub::connect(
+                net,
+                ep,
+                mailbox,
+                sentinel,
+                ClientLb::Random {
+                    seed: seed ^ u64::from(i),
+                },
+                Arc::clone(&clock),
+            ) else {
+                return (completed, errors, latencies_us);
+            };
+            stub.set_reply_timeout(SimDuration::from_millis(500));
+            stub.set_invocation_budget(SimDuration::from_secs(2));
+            let mut n = 0u64;
+            while clock.now() < end {
+                let before = clock.now();
+                match stub.invoke::<u64, u64>("echo", &n) {
+                    Ok(_) => {
+                        completed += 1;
+                        latencies_us.push(clock.now().saturating_since(before).as_micros());
+                    }
+                    Err(_) => errors += 1,
+                }
+                n += 1;
+            }
+            (completed, errors, latencies_us)
+        }));
+    }
+
+    let mut completed = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for h in handles {
+        let (c, e, l) = h.join().expect("bench client thread");
+        completed += c;
+        errors += e;
+        latencies.extend(l);
+    }
+    let elapsed = clock.now().saturating_since(t0);
+    let seconds = elapsed.as_micros() as f64 / 1_000_000.0;
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies[((latencies.len() - 1) as f64 * p) as usize]
+        }
+    };
+    let point = ThroughputPoint {
+        transport: kind,
+        members,
+        clients,
+        seconds,
+        completed,
+        errors,
+        throughput_rps: if seconds > 0.0 {
+            completed as f64 / seconds
+        } else {
+            0.0
+        },
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    };
+
+    match server {
+        ServerSide::Standalone {
+            join,
+            ctl,
+            endpoint,
+            net,
+        } => {
+            let _ = net.send(ctl, endpoint, RmiMessage::Shutdown.encode());
+            let _ = join.join();
+        }
+        ServerSide::Pool(mut pool) => pool.shutdown(),
+    }
+    fabric.shutdown();
+    point
+}
+
+/// Standard member counts of the baseline grid.
+pub const BENCH_MEMBER_COUNTS: [u32; 3] = [1, 4, 8];
+
+/// Runs the full inproc-vs-TCP baseline grid (1/4/8 members), returning
+/// one point per cell. `quick` shortens each cell for CI.
+pub fn run_throughput_grid(seed: u64, quick: bool) -> Vec<ThroughputPoint> {
+    let duration = if quick {
+        SimDuration::from_millis(400)
+    } else {
+        SimDuration::from_secs(2)
+    };
+    let mut points = Vec::new();
+    for kind in [TransportKind::Inproc, TransportKind::Tcp] {
+        for members in BENCH_MEMBER_COUNTS {
+            points.push(run_throughput(kind, members, 4, duration, seed));
+        }
+    }
+    points
+}
+
+/// Renders the grid as the table EXPERIMENTS.md embeds.
+pub fn format_throughput(points: &[ThroughputPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<9} {:>8} {:>9} {:>12} {:>10} {:>10}",
+        "transport", "members", "clients", "throughput", "p50", "p99"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "  {:<9} {:>8} {:>9} {:>9.0}/s {:>7} us {:>7} us",
+            p.transport.to_string(),
+            p.members,
+            p.clients,
+            p.throughput_rps,
+            p.p50_us,
+            p.p99_us
+        );
+    }
+    out
+}
+
+/// Serializes the grid as `BENCH_throughput.json` (hand-rolled: the repo
+/// has no JSON serializer dependency).
+pub fn throughput_json(points: &[ThroughputPoint], seed: u64, quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"throughput\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"transport\": \"{}\", \"members\": {}, \"clients\": {}, \
+             \"seconds\": {:.3}, \"completed\": {}, \"errors\": {}, \
+             \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}}",
+            p.transport,
+            p.members,
+            p.clients,
+            p.seconds,
+            p.completed,
+            p.errors,
+            p.throughput_rps,
+            p.p50_us,
+            p.p99_us
+        );
+        out.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inproc_throughput_point_is_sane() {
+        let p = run_throughput(
+            TransportKind::Inproc,
+            1,
+            2,
+            SimDuration::from_millis(150),
+            7,
+        );
+        assert!(p.completed > 0, "closed loop must complete invocations");
+        assert!(p.throughput_rps > 0.0);
+        assert!(p.seconds > 0.0);
+    }
+
+    #[test]
+    fn tcp_throughput_point_is_sane() {
+        let p = run_throughput(TransportKind::Tcp, 2, 2, SimDuration::from_millis(150), 7);
+        assert!(p.completed > 0, "TCP loopback must complete invocations");
+        assert_eq!(p.members, 2);
+    }
+
+    #[test]
+    fn throughput_json_is_parseable_shape() {
+        let points = vec![run_throughput(
+            TransportKind::Inproc,
+            1,
+            1,
+            SimDuration::from_millis(50),
+            7,
+        )];
+        let json = throughput_json(&points, 7, true);
+        assert!(json.contains("\"bench\": \"throughput\""));
+        assert!(json.contains("\"transport\": \"inproc\""));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn socket_overload_conserves_every_invocation() {
+        let run = run_socket_overload(7, true);
+        assert!(run.offered > 0);
+        assert_eq!(run.lost, 0, "every invocation must terminate: {run:?}");
+        assert!(run.outcomes.ok > 0, "some invocations must succeed");
+    }
+}

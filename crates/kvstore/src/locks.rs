@@ -6,9 +6,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use erm_metrics::{Histogram, MetricsHandle};
-use erm_sim::{SimDuration, SimTime};
-use parking_lot::Mutex;
+use erm_sim::{Clock, SimDuration, SimTime};
+use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
+
+/// How long a blocked [`LockManager::lock_blocking`] waiter sleeps before
+/// re-reading the injected clock. Release and crash-reclamation wake it
+/// immediately through the condvar; this bound only covers TTL expiry
+/// driven by a clock advancing with no table change to signal.
+const EXPIRY_POLL: std::time::Duration = std::time::Duration::from_millis(1);
 
 /// Identifies a lock holder (one elastic object / skeleton).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -122,6 +128,9 @@ struct LockTelemetry {
 #[derive(Debug, Default)]
 pub struct LockManager {
     table: Mutex<Tables>,
+    /// Signalled on every release (explicit or crash reclamation) so
+    /// blocked acquirers re-try immediately instead of polling blind.
+    changed: Condvar,
     attempts: AtomicU64,
     failures: AtomicU64,
     expirations: AtomicU64,
@@ -244,7 +253,49 @@ impl LockManager {
             Some(h) => {
                 let acquired_at = h.acquired_at;
                 tables.holders.remove(name);
+                self.changed.notify_all();
                 Ok(acquired_at)
+            }
+        }
+    }
+
+    /// Acquires `name` for `owner`, blocking until the lock is free, its
+    /// holder's TTL (measured on `clock`) lapses, or the holder is
+    /// crash-reclaimed by [`LockManager::release_owner`]. The wait is
+    /// clock-aware: releases and reclamations wake it through a condition
+    /// variable, and the injected clock is re-read at least every
+    /// millisecond of wall time so a `VirtualClock` advanced past the
+    /// holder's TTL unblocks the waiter promptly — there is no real-time
+    /// sleep whose length depends on sim-time quantities.
+    ///
+    /// Returns `false` (never blocks forever) when `owner` is fenced: a
+    /// reaped member must not re-enter critical sections, and spinning on
+    /// `try_lock` would otherwise never terminate.
+    pub fn lock_blocking(
+        &self,
+        name: &str,
+        owner: LockOwner,
+        clock: &dyn Clock,
+        ttl: SimDuration,
+    ) -> bool {
+        loop {
+            if self.try_lock(name, owner, clock.now(), ttl) {
+                return true;
+            }
+            let mut tables = self.table.lock();
+            if tables.fenced.contains_key(&owner) {
+                return false;
+            }
+            // Re-check under the table lock: the holder may have released
+            // between the failed try_lock and here, in which case waiting
+            // for the *next* notification would stall a full poll tick.
+            let now = clock.now();
+            let excluded = tables
+                .holders
+                .get(name)
+                .is_some_and(|h| h.owner != owner && h.expires_at > now);
+            if excluded {
+                self.changed.wait_for(&mut tables, EXPIRY_POLL);
             }
         }
     }
@@ -285,6 +336,9 @@ impl LockManager {
         tables.waiting.retain(|(_, waiter), _| *waiter != owner);
         self.reclaimed
             .fetch_add(names.len() as u64, Ordering::Relaxed);
+        // Wake blocked acquirers: the reclaimed locks are free, and any
+        // waiter that *is* the fenced owner must notice and give up.
+        self.changed.notify_all();
         names
     }
 
@@ -436,6 +490,26 @@ mod tests {
             .1;
         assert_eq!(hold.count(), 1);
         assert_eq!(hold.max(), Some(SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn lock_blocking_acquires_immediately_when_free() {
+        let locks = LockManager::new();
+        let clock = erm_sim::VirtualClock::new();
+        assert!(locks.lock_blocking("C1", LockOwner::new(1), &clock, TTL));
+        assert_eq!(locks.holder("C1"), Some(LockOwner::new(1)));
+    }
+
+    #[test]
+    fn lock_blocking_gives_up_for_fenced_owner() {
+        // A fenced owner spinning on try_lock would never terminate; the
+        // blocking variant must refuse instead.
+        let locks = LockManager::new();
+        let clock = erm_sim::VirtualClock::new();
+        let dead = LockOwner::new(1);
+        assert!(locks.try_lock("C1", dead, SimTime::ZERO, TTL));
+        locks.release_owner(dead, SimTime::ZERO);
+        assert!(!locks.lock_blocking("C1", dead, &clock, TTL));
     }
 
     #[test]

@@ -209,6 +209,20 @@ impl Store {
         self.locks.try_lock(name, owner, now, ttl)
     }
 
+    /// Acquires the named lock for `owner`, blocking until the lock frees
+    /// up, its holder's TTL (measured on `clock`) lapses, or the holder is
+    /// crash-reclaimed. Returns `false` if `owner` itself is fenced. See
+    /// [`LockManager::lock_blocking`] for the clock-awareness contract.
+    pub fn lock_blocking(
+        &self,
+        name: &str,
+        owner: LockOwner,
+        clock: &dyn erm_sim::Clock,
+        ttl: SimDuration,
+    ) -> bool {
+        self.locks.lock_blocking(name, owner, clock, ttl)
+    }
+
     /// Releases the named lock.
     ///
     /// # Errors

@@ -25,5 +25,5 @@ mod tcp;
 
 pub use endpoint::{Datagram, EndpointId, Host, Mailbox, Network, RecvError, SendError};
 pub use inproc::InProcNetwork;
-pub use tcp::TcpHost;
+pub use tcp::{TcpHost, TcpStats};
 pub use wire::{from_bytes, to_bytes, WireError};

@@ -1,8 +1,27 @@
 //! TCP transport: the same [`Network`] contract over real sockets.
 //!
-//! Frame format on the wire: `[u32 length][u64 from][u64 to][payload]`,
-//! all little-endian. Each host binds one listener; outgoing connections are
-//! cached per peer address.
+//! Frame format on the wire (all integers little-endian):
+//!
+//! ```text
+//! [u32 length][u64 from][u64 to][u16 addr_len][addr utf8][payload]
+//! ```
+//!
+//! `length` counts everything after itself (`16 + 2 + addr_len +
+//! payload_len`). `addr` is the sender host's advertised listener address
+//! (e.g. `127.0.0.1:41234`); a receiving host learns it and can route
+//! replies back without any out-of-band registration — the same trick Java
+//! RMI plays by embedding the endpoint in the remote reference.
+//!
+//! Each host binds one listener. Outgoing frames are handed to a per-peer
+//! writer thread which coalesces everything queued into a single
+//! `write_all` (batched writes), reconnects with bounded backoff when the
+//! peer closed the connection, and marks the peer broken when reconnecting
+//! fails — which [`Network::endpoint_open`] surfaces so stubs can fail over
+//! instead of burning reply timeouts.
+//!
+//! This module is the one sanctioned wall-clock domain of the codebase:
+//! protocol semantics run on the injected [`erm_sim::Clock`], but socket
+//! I/O, reconnect backoff, and accept loops are real time by nature.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -10,19 +29,50 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use parking_lot::RwLock;
 
 use crate::endpoint::{Datagram, EndpointId, Mailbox, Network, SendError};
 
+/// Fixed part of a frame after the length word: `from` + `to` + `addr_len`.
+const FRAME_FIXED: usize = 8 + 8 + 2;
+/// Writer threads coalesce at most this many queued frames per syscall.
+const MAX_BATCH_FRAMES: usize = 64;
+/// ... and at most this many bytes.
+const MAX_BATCH_BYTES: usize = 64 * 1024;
+/// Connection attempts per batch before the peer is declared broken.
+const CONNECT_ATTEMPTS: u32 = 5;
+/// Base reconnect backoff, doubled per attempt (wall clock: I/O layer).
+const CONNECT_BACKOFF: Duration = Duration::from_millis(1);
+
+/// Counters a [`TcpHost`] keeps about its socket activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpStats {
+    /// Frames successfully written to a socket.
+    pub frames_sent: u64,
+    /// Frames parsed off inbound connections.
+    pub frames_received: u64,
+    /// Write syscalls issued (each may carry many coalesced frames).
+    pub batches: u64,
+    /// Connections re-established after an established one died.
+    pub reconnects: u64,
+    /// Frames dropped after every connect attempt to the peer failed.
+    pub frames_dropped: u64,
+}
+
 /// A TCP-backed [`Network`] host.
 ///
 /// Each process runs one `TcpHost`; it owns the local endpoints and a
 /// routing table mapping remote endpoint ids to the socket address of the
-/// host serving them (exchanged out-of-band, the way RMI registries hand out
-/// remote references).
+/// host serving them. Routes are learned three ways: explicitly via
+/// [`TcpHost::register_peer`], per host via [`TcpHost::register_host`]
+/// (ids embed their host index, so one entry routes every endpoint of a
+/// host — including ones that do not exist yet, which is what lets a stub
+/// reach members an elastic pool adds later), and automatically from the
+/// advertised address carried in every inbound frame.
 ///
 /// Endpoint id allocation is partitioned by `host_index` (ids are
 /// `host_index * 2^32 + n`) so ids remain unique and ordered across hosts
@@ -35,12 +85,15 @@ use crate::endpoint::{Datagram, EndpointId, Mailbox, Network, SendError};
 ///
 /// let host_a = TcpHost::bind("127.0.0.1:0", 0)?;
 /// let host_b = TcpHost::bind("127.0.0.1:0", 1)?;
-/// let (a, _mail_a) = host_a.open_endpoint();
+/// let (a, mail_a) = host_a.open_endpoint();
 /// let (b, mail_b) = host_b.open_endpoint();
 /// host_a.register_peer(b, host_b.local_addr());
 /// host_a.send(a, b, b"over tcp".to_vec())?;
 /// let got = mail_b.recv()?;
 /// assert_eq!(got.payload, b"over tcp");
+/// // host_b learned host_a's address from the frame: replies just work.
+/// host_b.send(b, a, b"and back".to_vec())?;
+/// assert_eq!(mail_a.recv()?.payload, b"and back");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
@@ -51,12 +104,31 @@ pub struct TcpHost {
 #[derive(Debug)]
 struct HostInner {
     local_addr: SocketAddr,
+    /// `local_addr` rendered once for embedding in outgoing frames.
+    advertised: Vec<u8>,
     host_index: u32,
     next_local: AtomicU64,
     local: RwLock<HashMap<EndpointId, Sender<Datagram>>>,
     peers: RwLock<HashMap<EndpointId, SocketAddr>>,
-    conns: Mutex<HashMap<SocketAddr, TcpStream>>,
+    /// Fallback routes: host index -> listener address. Covers every
+    /// endpoint of that host, present and future.
+    host_routes: RwLock<HashMap<u32, SocketAddr>>,
+    links: Mutex<HashMap<SocketAddr, Link>>,
     shutdown: AtomicBool,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    batches: AtomicU64,
+    reconnects: AtomicU64,
+    frames_dropped: AtomicU64,
+}
+
+/// Handle to one per-peer writer thread.
+#[derive(Debug)]
+struct Link {
+    tx: Sender<Vec<u8>>,
+    /// Set by the writer when a full reconnect cycle failed; cleared on the
+    /// next successful connect. `endpoint_open` reads it.
+    broken: Arc<AtomicBool>,
 }
 
 impl TcpHost {
@@ -71,12 +143,19 @@ impl TcpHost {
         let local_addr = listener.local_addr()?;
         let inner = Arc::new(HostInner {
             local_addr,
+            advertised: local_addr.to_string().into_bytes(),
             host_index,
             next_local: AtomicU64::new(0),
             local: RwLock::new(HashMap::new()),
             peers: RwLock::new(HashMap::new()),
-            conns: Mutex::new(HashMap::new()),
+            host_routes: RwLock::new(HashMap::new()),
+            links: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
+            frames_sent: AtomicU64::new(0),
+            frames_received: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            frames_dropped: AtomicU64::new(0),
         });
         let accept_inner = Arc::clone(&inner);
         thread::Builder::new()
@@ -109,39 +188,59 @@ impl TcpHost {
         self.inner.peers.write().insert(id, addr);
     }
 
-    /// Stops accepting new connections (best-effort; used on drop paths in
-    /// examples).
+    /// Teaches this host that *every* endpoint whose id carries
+    /// `host_index` lives on the host at `addr` — the one line of
+    /// bootstrap a client needs to reach an elastic pool, since members the
+    /// pool adds later share the server's host index.
+    pub fn register_host(&self, host_index: u32, addr: SocketAddr) {
+        self.inner.host_routes.write().insert(host_index, addr);
+    }
+
+    /// Snapshot of the socket counters.
+    pub fn stats(&self) -> TcpStats {
+        TcpStats {
+            frames_sent: self.inner.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.inner.frames_received.load(Ordering::Relaxed),
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            reconnects: self.inner.reconnects.load(Ordering::Relaxed),
+            frames_dropped: self.inner.frames_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new connections and winds down the writer threads
+    /// (best-effort; used on drop paths in examples).
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Dropping the senders disconnects the channels; each writer exits
+        // once it has drained what was already queued.
+        self.inner.links.lock().clear();
         // Poke the accept loop awake.
         let _ = TcpStream::connect(self.inner.local_addr);
     }
 
-    fn send_remote(
-        &self,
-        addr: SocketAddr,
-        from: EndpointId,
-        to: EndpointId,
-        payload: &[u8],
-    ) -> std::io::Result<()> {
-        let mut conns = self.inner.conns.lock();
-        // One write attempt over a cached connection, one over a fresh
-        // connection if the cached one died.
-        for attempt in 0..2 {
-            let stream = match conns.entry(addr) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(e) => e.insert(TcpStream::connect(addr)?),
-            };
-            match write_frame(stream, from, to, payload) {
-                Ok(()) => return Ok(()),
-                Err(e) if attempt == 0 => {
-                    let _ = e;
-                    conns.remove(&addr);
-                }
-                Err(e) => return Err(e),
-            }
+    /// Routes `to` to a listener address, if any route is known.
+    fn route(&self, to: EndpointId) -> Option<SocketAddr> {
+        if let Some(addr) = self.inner.peers.read().get(&to) {
+            return Some(*addr);
         }
-        unreachable!("loop returns on success or final error")
+        let host = (to.0 >> 32) as u32;
+        self.inner.host_routes.read().get(&host).copied()
+    }
+
+    /// Hands a frame to the peer's writer thread, spawning it on first use.
+    fn enqueue(&self, addr: SocketAddr, frame: Vec<u8>) {
+        let mut links = self.inner.links.lock();
+        let link = links.entry(addr).or_insert_with(|| {
+            let (tx, rx) = unbounded();
+            let broken = Arc::new(AtomicBool::new(false));
+            let writer_broken = Arc::clone(&broken);
+            let writer_inner = Arc::clone(&self.inner);
+            let _ = thread::Builder::new()
+                .name(format!("tcp-writer-{addr}"))
+                .spawn(move || writer_loop(addr, rx, writer_broken, writer_inner));
+            Link { tx, broken }
+        });
+        let _ = link.tx.send(frame);
     }
 }
 
@@ -162,29 +261,117 @@ impl Network for TcpHost {
             let _ = tx.send(Datagram { from, payload });
             return Ok(());
         }
-        let addr = {
-            let peers = self.inner.peers.read();
-            *peers.get(&to).ok_or(SendError::Unreachable(to))?
+        let addr = self.route(to).ok_or(SendError::Unreachable(to))?;
+        let frame = encode_frame(from, to, &self.inner.advertised, &payload)
+            .ok_or(SendError::Unreachable(to))?;
+        // Success means "accepted for delivery", like UDP: the writer thread
+        // owns actual delivery, reconnecting as needed.
+        self.enqueue(addr, frame);
+        Ok(())
+    }
+
+    fn endpoint_open(&self, id: EndpointId) -> bool {
+        if (id.0 >> 32) as u32 == self.inner.host_index {
+            return self.inner.local.read().contains_key(&id);
+        }
+        let Some(addr) = self.route(id) else {
+            return false;
         };
-        self.send_remote(addr, from, to, &payload)
-            .map_err(|_| SendError::Unreachable(to))
+        match self.inner.links.lock().get(&addr) {
+            Some(link) => !link.broken.load(Ordering::SeqCst),
+            // No traffic yet: optimistically open.
+            None => true,
+        }
     }
 }
 
-fn write_frame(
-    stream: &mut TcpStream,
+/// Encodes one wire frame; `None` if the payload exceeds the u32 length.
+fn encode_frame(
     from: EndpointId,
     to: EndpointId,
+    advertised: &[u8],
     payload: &[u8],
-) -> std::io::Result<()> {
-    let mut frame = Vec::with_capacity(4 + 16 + payload.len());
-    let len = u32::try_from(16 + payload.len())
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "payload too large"))?;
+) -> Option<Vec<u8>> {
+    let addr_len = u16::try_from(advertised.len()).ok()?;
+    let len = u32::try_from(FRAME_FIXED + advertised.len() + payload.len()).ok()?;
+    let mut frame = Vec::with_capacity(4 + len as usize);
     frame.extend_from_slice(&len.to_le_bytes());
     frame.extend_from_slice(&from.0.to_le_bytes());
     frame.extend_from_slice(&to.0.to_le_bytes());
+    frame.extend_from_slice(&addr_len.to_le_bytes());
+    frame.extend_from_slice(advertised);
     frame.extend_from_slice(payload);
-    stream.write_all(&frame)
+    Some(frame)
+}
+
+/// The per-peer writer: drains the queue, coalescing everything ready into
+/// one buffer per syscall, and reconnects (bounded, backed off) when the
+/// connection died under it. A batch whose every connect attempt failed is
+/// dropped and the peer marked broken — the datagram contract allows loss,
+/// and `endpoint_open` turning false is what lets stubs fail over fast.
+fn writer_loop(
+    addr: SocketAddr,
+    rx: Receiver<Vec<u8>>,
+    broken: Arc<AtomicBool>,
+    inner: Arc<HostInner>,
+) {
+    let mut stream: Option<TcpStream> = None;
+    let mut ever_connected = false;
+    while let Ok(first) = rx.recv() {
+        let mut batch = first;
+        let mut frames = 1u64;
+        while batch.len() < MAX_BATCH_BYTES && (frames as usize) < MAX_BATCH_FRAMES {
+            match rx.try_recv() {
+                Ok(next) => {
+                    batch.extend_from_slice(&next);
+                    frames += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        let mut delivered = false;
+        for attempt in 0..CONNECT_ATTEMPTS {
+            if stream.is_none() {
+                match TcpStream::connect(addr) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        if ever_connected {
+                            inner.reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ever_connected = true;
+                        broken.store(false, Ordering::SeqCst);
+                        stream = Some(s);
+                    }
+                    Err(_) => {
+                        if inner.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        thread::sleep(CONNECT_BACKOFF * 2u32.saturating_pow(attempt));
+                        continue;
+                    }
+                }
+            }
+            match stream.as_mut().expect("connected above").write_all(&batch) {
+                Ok(()) => {
+                    delivered = true;
+                    break;
+                }
+                // The peer closed on us: a partially written frame is torn
+                // off by the receiver's framing; rewriting the whole batch
+                // on a fresh connection trades at-most-once for
+                // at-least-once on this boundary, which the RMI layer's
+                // call-id matching already tolerates.
+                Err(_) => stream = None,
+            }
+        }
+        inner.batches.fetch_add(1, Ordering::Relaxed);
+        if delivered {
+            inner.frames_sent.fetch_add(frames, Ordering::Relaxed);
+        } else {
+            broken.store(true, Ordering::SeqCst);
+            inner.frames_dropped.fetch_add(frames, Ordering::Relaxed);
+        }
+    }
 }
 
 fn accept_loop(listener: TcpListener, inner: Arc<HostInner>) {
@@ -207,7 +394,7 @@ fn read_loop(mut stream: TcpStream, inner: Arc<HostInner>) {
             return;
         }
         let len = u32::from_le_bytes(len_buf) as usize;
-        if len < 16 {
+        if len < FRAME_FIXED {
             return; // malformed frame
         }
         let mut frame = vec![0u8; len];
@@ -218,7 +405,24 @@ fn read_loop(mut stream: TcpStream, inner: Arc<HostInner>) {
         let to = EndpointId(u64::from_le_bytes(
             frame[8..16].try_into().expect("8 bytes"),
         ));
-        let payload = frame[16..].to_vec();
+        let addr_len = u16::from_le_bytes(frame[16..18].try_into().expect("2 bytes")) as usize;
+        if FRAME_FIXED + addr_len > len {
+            return; // malformed frame
+        }
+        // Learn the sender's listener address so replies route without any
+        // out-of-band registration.
+        if addr_len > 0 {
+            if let Some(addr) = std::str::from_utf8(&frame[18..18 + addr_len])
+                .ok()
+                .and_then(|s| s.parse::<SocketAddr>().ok())
+            {
+                let sender_host = (from.0 >> 32) as u32;
+                inner.peers.write().insert(from, addr);
+                inner.host_routes.write().insert(sender_host, addr);
+            }
+        }
+        let payload = frame[FRAME_FIXED + addr_len..].to_vec();
+        inner.frames_received.fetch_add(1, Ordering::Relaxed);
         if let Some(tx) = inner.local.read().get(&to) {
             let _ = tx.send(Datagram { from, payload });
         }
@@ -229,7 +433,6 @@ fn read_loop(mut stream: TcpStream, inner: Arc<HostInner>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     fn pair() -> (TcpHost, TcpHost) {
         let a = TcpHost::bind("127.0.0.1:0", 0).unwrap();
@@ -238,12 +441,12 @@ mod tests {
     }
 
     #[test]
-    fn cross_host_roundtrip() {
+    fn cross_host_roundtrip_learns_reply_route() {
         let (host_a, host_b) = pair();
         let (a, mail_a) = host_a.open_endpoint();
         let (b, mail_b) = host_b.open_endpoint();
+        // Only a -> b is registered; b learns a's address from the frame.
         host_a.register_peer(b, host_b.local_addr());
-        host_b.register_peer(a, host_a.local_addr());
 
         host_a.send(a, b, b"ping".to_vec()).unwrap();
         let got = mail_b.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -256,12 +459,28 @@ mod tests {
     }
 
     #[test]
+    fn host_route_reaches_endpoints_opened_later() {
+        let (host_a, host_b) = pair();
+        let (a, _mail_a) = host_a.open_endpoint();
+        host_a.register_host(1, host_b.local_addr());
+        // Endpoint opened *after* the route was registered: still reachable,
+        // because routing is by host index, not per endpoint.
+        let (b, mail_b) = host_b.open_endpoint();
+        host_a.send(a, b, b"late".to_vec()).unwrap();
+        assert_eq!(
+            mail_b.recv_timeout(Duration::from_secs(5)).unwrap().payload,
+            b"late"
+        );
+    }
+
+    #[test]
     fn local_delivery_skips_sockets() {
         let host = TcpHost::bind("127.0.0.1:0", 0).unwrap();
         let (a, _mail_a) = host.open_endpoint();
         let (b, mail_b) = host.open_endpoint();
         host.send(a, b, vec![42]).unwrap();
         assert_eq!(mail_b.recv().unwrap().payload, vec![42]);
+        assert_eq!(host.stats().batches, 0, "no socket involved");
     }
 
     #[test]
@@ -273,6 +492,7 @@ mod tests {
             host.send(a, ghost, vec![]),
             Err(SendError::Unreachable(ghost))
         );
+        assert!(!host.endpoint_open(ghost), "no route, not open");
     }
 
     #[test]
@@ -282,6 +502,15 @@ mod tests {
         let (b, _mb) = host_b.open_endpoint();
         assert_ne!(a, b);
         assert!(b > a, "host index orders ids");
+    }
+
+    #[test]
+    fn endpoint_open_tracks_local_endpoints() {
+        let host = TcpHost::bind("127.0.0.1:0", 0).unwrap();
+        let (a, _mail) = host.open_endpoint();
+        assert!(host.endpoint_open(a));
+        host.close_endpoint(a);
+        assert!(!host.endpoint_open(a));
     }
 
     #[test]
@@ -297,5 +526,11 @@ mod tests {
             let got = mail_b.recv_timeout(Duration::from_secs(5)).unwrap();
             assert_eq!(got.payload, i.to_le_bytes().to_vec());
         }
+        let stats = host_a.stats();
+        assert_eq!(stats.frames_sent, 200);
+        assert!(
+            stats.batches <= stats.frames_sent,
+            "writer may coalesce but never splits"
+        );
     }
 }

@@ -1,0 +1,262 @@
+//! Wire-level tests for the TCP transport: golden frame bytes on a real
+//! socket, reassembly of split/partial frames, coalesced batches, and
+//! reconnect after the peer closes the connection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use erm_transport::{EndpointId, Network, TcpHost};
+
+/// Fixed frame part after the length word: from + to + addr_len.
+const FRAME_FIXED: usize = 18;
+
+/// Hand-encodes a frame exactly as the transport specifies it.
+fn golden_frame(from: u64, to: u64, addr: &str, payload: &[u8]) -> Vec<u8> {
+    let len = (FRAME_FIXED + addr.len() + payload.len()) as u32;
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&from.to_le_bytes());
+    frame.extend_from_slice(&to.to_le_bytes());
+    frame.extend_from_slice(&(addr.len() as u16).to_le_bytes());
+    frame.extend_from_slice(addr.as_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Reads one frame off a raw socket, returning `(from, to, addr, payload)`.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u64, u64, String, Vec<u8>)> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    assert!(len >= FRAME_FIXED, "malformed frame: len {len}");
+    let mut frame = vec![0u8; len];
+    stream.read_exact(&mut frame)?;
+    let from = u64::from_le_bytes(frame[0..8].try_into().unwrap());
+    let to = u64::from_le_bytes(frame[8..16].try_into().unwrap());
+    let addr_len = u16::from_le_bytes(frame[16..18].try_into().unwrap()) as usize;
+    let addr = String::from_utf8(frame[18..18 + addr_len].to_vec()).unwrap();
+    let payload = frame[18 + addr_len..].to_vec();
+    Ok((from, to, addr, payload))
+}
+
+/// Accepts one connection within `timeout` (the listener is non-blocking so
+/// a hung test fails instead of wedging).
+fn accept_within(listener: &TcpListener, timeout: Duration) -> TcpStream {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(5)))
+                    .unwrap();
+                return stream;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                assert!(
+                    Instant::now() < deadline,
+                    "no connection within {timeout:?}"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => panic!("accept failed: {e}"),
+        }
+    }
+}
+
+#[test]
+fn golden_frame_bytes_on_the_wire() {
+    // A raw listener stands in for the peer so the exact bytes the host
+    // writes are observable.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.set_nonblocking(true).unwrap();
+    let peer_addr: SocketAddr = listener.local_addr().unwrap();
+
+    let host = TcpHost::bind("127.0.0.1:0", 3).unwrap();
+    let (from, _mail) = host.open_endpoint();
+    assert_eq!(from, EndpointId(3 << 32), "first endpoint of host 3");
+    let to = EndpointId((7 << 32) | 5);
+    host.register_peer(to, peer_addr);
+    host.send(from, to, b"hello elastic".to_vec()).unwrap();
+
+    let mut conn = accept_within(&listener, Duration::from_secs(5));
+    let expected = golden_frame(
+        3 << 32,
+        (7 << 32) | 5,
+        &host.local_addr().to_string(),
+        b"hello elastic",
+    );
+    let mut got = vec![0u8; expected.len()];
+    conn.read_exact(&mut got).unwrap();
+    assert_eq!(
+        got, expected,
+        "frame layout is pinned: any change is a wire break"
+    );
+
+    // An empty payload is legal and still carries the advertised address.
+    host.send(from, to, Vec::new()).unwrap();
+    let (f, t, addr, payload) = read_frame(&mut conn).unwrap();
+    assert_eq!((f, t), (3 << 32, (7 << 32) | 5));
+    assert_eq!(addr, host.local_addr().to_string());
+    assert!(payload.is_empty());
+}
+
+#[test]
+fn split_frames_reassemble_across_short_reads_and_writes() {
+    // A raw client dribbles frames at the host byte by byte (worst-case
+    // short writes); the framing layer must reassemble them exactly.
+    let host = TcpHost::bind("127.0.0.1:0", 0).unwrap();
+    let (dest, mailbox) = host.open_endpoint();
+
+    let mut conn = TcpStream::connect(host.local_addr()).unwrap();
+    let frame = golden_frame(9 << 32, dest.0, "127.0.0.1:9999", b"split me");
+    for chunk in frame.chunks(1) {
+        conn.write_all(chunk).unwrap();
+        conn.flush().unwrap();
+    }
+    let got = mailbox.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(got.from, EndpointId(9 << 32));
+    assert_eq!(got.payload, b"split me");
+
+    // Two frames coalesced into one write (what a batching sender emits)
+    // must come out as two datagrams.
+    let mut batch = golden_frame(9 << 32, dest.0, "", b"first");
+    batch.extend_from_slice(&golden_frame(9 << 32, dest.0, "", b"second"));
+    conn.write_all(&batch).unwrap();
+    assert_eq!(
+        mailbox
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .payload,
+        b"first"
+    );
+    assert_eq!(
+        mailbox
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .payload,
+        b"second"
+    );
+
+    // A frame split mid-header across two writes with a pause in between.
+    let frame = golden_frame(9 << 32, dest.0, "", b"mid-header split");
+    conn.write_all(&frame[..10]).unwrap();
+    conn.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    conn.write_all(&frame[10..]).unwrap();
+    assert_eq!(
+        mailbox
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .payload,
+        b"mid-header split"
+    );
+}
+
+#[test]
+fn inbound_frames_teach_the_reply_route() {
+    // The advertised address in a frame is enough for the receiving host to
+    // route a reply — no register_peer in the reverse direction.
+    let server = TcpHost::bind("127.0.0.1:0", 0).unwrap();
+    let client = TcpHost::bind("127.0.0.1:0", 1).unwrap();
+    let (s, server_mail) = server.open_endpoint();
+    let (c, client_mail) = client.open_endpoint();
+    client.register_host(0, server.local_addr());
+
+    client.send(c, s, b"request".to_vec()).unwrap();
+    let req = server_mail.recv_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(req.payload, b"request");
+    // The server never registered the client; the frame taught it.
+    server.send(s, req.from, b"reply".to_vec()).unwrap();
+    assert_eq!(
+        client_mail
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .payload,
+        b"reply"
+    );
+}
+
+#[test]
+fn reconnect_after_peer_close_delivers_later_frames() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.set_nonblocking(true).unwrap();
+    let peer_addr = listener.local_addr().unwrap();
+
+    let host = TcpHost::bind("127.0.0.1:0", 0).unwrap();
+    let (from, _mail) = host.open_endpoint();
+    let to = EndpointId(5 << 32);
+    host.register_peer(to, peer_addr);
+
+    // First connection: receive one frame, then slam the door.
+    host.send(from, to, 0u64.to_le_bytes().to_vec()).unwrap();
+    {
+        let mut conn = accept_within(&listener, Duration::from_secs(5));
+        let (_, _, _, payload) = read_frame(&mut conn).unwrap();
+        assert_eq!(payload, 0u64.to_le_bytes());
+        // Dropping conn closes it; the host's cached connection is now dead.
+    }
+
+    // Keep sending until a frame arrives on a *new* connection. The first
+    // few sends may be swallowed by the dead socket's buffer (datagram
+    // semantics permit loss); what matters is that the writer reconnects
+    // and later frames flow again.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut seq = 1u64;
+    let received = loop {
+        assert!(Instant::now() < deadline, "writer never reconnected");
+        host.send(from, to, seq.to_le_bytes().to_vec()).unwrap();
+        seq += 1;
+        match listener.accept() {
+            Ok((mut conn, _)) => {
+                conn.set_nonblocking(false).unwrap();
+                conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                let (_, _, _, payload) = read_frame(&mut conn).unwrap();
+                break u64::from_le_bytes(payload.try_into().unwrap());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => panic!("accept failed: {e}"),
+        }
+    };
+    assert!(
+        received >= 1,
+        "a post-close frame arrived on the new connection"
+    );
+    let stats = host.stats();
+    assert!(
+        stats.reconnects >= 1,
+        "the connection pool must have reconnected: {stats:?}"
+    );
+}
+
+#[test]
+fn broken_peer_turns_endpoint_open_false_and_drops_frames() {
+    // Bind a listener to reserve a port, then drop it: connects now fail
+    // fast, so after the writer exhausts its attempts the peer is broken.
+    let dead_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let host = TcpHost::bind("127.0.0.1:0", 0).unwrap();
+    let (from, _mail) = host.open_endpoint();
+    let to = EndpointId(5 << 32);
+    host.register_peer(to, dead_addr);
+    assert!(
+        host.endpoint_open(to),
+        "no traffic yet: optimistically open"
+    );
+
+    host.send(from, to, b"into the void".to_vec()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while host.endpoint_open(to) {
+        assert!(
+            Instant::now() < deadline,
+            "writer never marked the unreachable peer broken"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(host.stats().frames_dropped >= 1);
+}

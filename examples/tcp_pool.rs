@@ -71,16 +71,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pool = ElasticPool::instantiate(config, Arc::new(|| Box::new(KvFacade)), deps, None)?;
     println!("pool up with {} members over TCP", pool.size());
 
-    // "Client machine": its own TcpHost; it learns the server's endpoints
-    // out-of-band (the RMI-registry role).
+    // "Client machine": its own TcpHost. One host route to the server's
+    // address covers the sentinel and every member — present and future
+    // (grown members live on the same host); the server learns the route
+    // back to us from the advertised sender address on our frames.
     let client_host = Arc::new(TcpHost::bind("127.0.0.1:0", 1)?);
-    client_host.register_peer(pool.sentinel(), server_host.local_addr());
-    for member in pool.members() {
-        client_host.register_peer(member, server_host.local_addr());
-    }
-    // The server must be able to answer the client's endpoints too.
+    client_host.register_host(0, server_host.local_addr());
     let (client_ep, client_mailbox) = client_host.open_endpoint();
-    server_host.register_peer(client_ep, client_host.local_addr());
 
     let net: Arc<dyn Network> = client_host.clone();
     let mut stub = Stub::connect(

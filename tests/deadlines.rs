@@ -329,6 +329,11 @@ fn hundred_ms_deadline_bounds_retries_under_lost_replies() {
         None,
     )
     .unwrap();
+    // `instantiate` returns once the *first* member is up; connect only
+    // after both exist, or the stub may snapshot a one-member view and
+    // exhaust its whole target order inside the 100 ms budget
+    // (PoolUnreachable instead of the DeadlineExceeded under test).
+    assert!(wait_until(5, || pool.size() == 2), "both members up");
     let mut stub = pool.stub(ClientLb::RoundRobin).unwrap();
     stub.set_reply_timeout(SimDuration::from_millis(30));
     stub.set_invocation_budget(SimDuration::from_millis(100));

@@ -67,30 +67,19 @@ fn pool_and_registry_work_across_tcp_hosts() {
         assert!(binder.bind("adder", pool.sentinel()).unwrap());
     }
 
-    // Client machine: only knows the server's address and the registry
-    // endpoint id (the out-of-band bootstrap, as with rmiregistry's port).
+    // Client machine: the single out-of-band fact it needs is the server's
+    // address (as with rmiregistry's host:port). One host route covers the
+    // registry, the sentinel, and every member the pool ever adds; the
+    // reply route back to us is learned from the advertised sender address
+    // on our own frames.
     let client_host = Arc::new(TcpHost::bind("127.0.0.1:0", 1).unwrap());
-    client_host.register_peer(registry.endpoint(), server_host.local_addr());
+    client_host.register_host(0, server_host.local_addr());
     let mut lookup = RegistryClient::connect(client_host.clone(), registry.endpoint());
-    // The registry's reply must route back: teach the server our address.
-    // (A real deployment exchanges addresses in the frame; the test wires it
-    // explicitly.)
-    server_host.register_peer(erm_transport::EndpointId(1 << 32), client_host.local_addr());
-    server_host.register_peer(
-        erm_transport::EndpointId((1 << 32) | 1),
-        client_host.local_addr(),
-    );
 
     let sentinel = lookup.lookup("adder").unwrap().expect("bound name");
     assert_eq!(sentinel, pool.sentinel());
 
-    // Route all pool members through the server host's address and connect.
-    client_host.register_peer(sentinel, server_host.local_addr());
-    for member in pool.members() {
-        client_host.register_peer(member, server_host.local_addr());
-    }
     let (client_ep, client_mailbox) = client_host.open_endpoint();
-    server_host.register_peer(client_ep, client_host.local_addr());
     let net: Arc<dyn Network> = client_host.clone();
     let mut stub = Stub::connect(
         net,
