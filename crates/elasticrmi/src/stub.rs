@@ -10,20 +10,32 @@
 //!   invocation on other members *including the sentinel*, and
 //! * propagates the failure to the application only when every member has
 //!   been tried.
+//!
+//! Invocations are **pipelined**: [`Stub::invoke_begin`] injects an
+//! invocation and returns its id immediately, and the stub keeps the
+//! retry/failover/deadline state of every outstanding invocation in a
+//! pending map instead of on the call stack, so hundreds of requests can be
+//! in flight on one endpoint at once — the property the open-loop load
+//! harness relies on. [`Stub::poll_complete`] (or [`Stub::drain_completed`])
+//! pumps the mailbox, advances every pending state machine, and surfaces
+//! finished results correlated by invocation id. The blocking
+//! [`Stub::invoke`] is a thin begin-then-wait wrapper over the same engine,
+//! so its semantics (and every pre-existing test) are unchanged.
 
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
 use erm_admission::AimdLimiter;
 use erm_metrics::{TraceEvent, TraceHandle};
 use erm_sim::{seeded_rng, SharedClock, SimDuration, SimTime};
-use erm_transport::{EndpointId, Mailbox, Network, RecvError};
+use erm_transport::{Datagram, EndpointId, Mailbox, Network, RecvError};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
-use crate::error::{RemoteError, RmiError};
+use crate::error::RmiError;
 use crate::message::{InvocationContext, RmiMessage};
 
 /// How often the wait loops re-check the (possibly virtual) clock while
@@ -87,6 +99,17 @@ pub struct Stub {
     trace: TraceHandle,
     stats: StubStats,
     limiter: Option<Arc<AimdLimiter>>,
+    /// Outstanding invocations by id — the call-stack state of the old
+    /// blocking retry loop, one entry per in-flight invocation.
+    pending: BTreeMap<u64, Pending>,
+    /// Wire call id -> invocation id, for correlating replies. An attempt
+    /// that is abandoned (timeout, crash failover) is removed here, which
+    /// is exactly what makes its late reply "stale".
+    calls: HashMap<u64, u64>,
+    /// Finished invocations awaiting [`Stub::poll_complete`].
+    completed: BTreeMap<u64, Result<Vec<u8>, RmiError>>,
+    /// Deadline of the outstanding async membership refresh, if any.
+    refresh_inflight: Option<SimTime>,
 }
 
 impl std::fmt::Debug for Stub {
@@ -141,6 +164,10 @@ impl Stub {
             trace: TraceHandle::disabled(),
             stats: StubStats::default(),
             limiter: None,
+            pending: BTreeMap::new(),
+            calls: HashMap::new(),
+            completed: BTreeMap::new(),
+            refresh_inflight: None,
         };
         stub.refresh_members()?;
         Ok(stub)
@@ -213,12 +240,10 @@ impl Stub {
     }
 
     /// Like [`Stub::invoke`] but with pre-encoded arguments and an encoded
-    /// result — the layer generated stubs would call.
-    ///
-    /// Creates the invocation's [`InvocationContext`] once — id, absolute
-    /// deadline (`now + invocation budget`), attempt counter — and re-sends
-    /// it with every retry and followed redirect, so every skeleton that
-    /// sees the invocation enforces the same deadline.
+    /// result — the layer generated stubs would call. A thin wrapper over
+    /// the pipelined engine: [`Stub::invoke_begin_raw`] plus a blocking
+    /// wait for that one invocation (other outstanding invocations keep
+    /// being driven while it waits).
     ///
     /// # Errors
     ///
@@ -227,224 +252,604 @@ impl Stub {
     /// [`RmiError::Overloaded`] (every attempted member rejected with a
     /// full admission queue).
     pub fn invoke_raw(&mut self, method: &str, args: Vec<u8>) -> Result<Vec<u8>, RmiError> {
-        let invocation = self.next_invocation;
-        self.next_invocation += 1;
-        let Some(limiter) = self.limiter.clone() else {
-            return self.drive(invocation, method, args);
-        };
-        let now = self.clock.now();
-        if !limiter.try_acquire(now) {
-            let retry_after = limiter.blocked_for(now);
-            self.stats.throttled += 1;
-            self.trace.emit(
-                now,
-                TraceEvent::InvocationThrottled {
-                    invocation,
-                    retry_after,
-                },
-            );
-            return Err(RmiError::Throttled { retry_after });
-        }
-        let result = self.drive(invocation, method, args);
-        limiter.release();
-        // A completed round trip — even one that raised an application
-        // error — proves the pool had capacity: widen the window. Congestion
-        // signals (Overloaded, deadline expiry) already shrank it inside the
-        // retry loop, closest to the evidence.
-        if matches!(&result, Ok(_) | Err(RmiError::Remote(_))) {
-            limiter.on_success();
-        }
-        result
+        let invocation = self.invoke_begin_raw(method, args)?;
+        self.wait_complete(invocation)
     }
 
-    /// The retry loop behind [`Stub::invoke_raw`]: builds the
-    /// [`InvocationContext`] and walks the target order until the invocation
-    /// completes, expires, or runs out of members.
-    fn drive(&mut self, invocation: u64, method: &str, args: Vec<u8>) -> Result<Vec<u8>, RmiError> {
+    /// Begins a pipelined invocation and returns its invocation id without
+    /// waiting for the result. The first attempt is sent immediately;
+    /// retries, redirects, failover and deadline enforcement then happen
+    /// inside the engine whenever the stub is pumped ([`Stub::poll_complete`],
+    /// [`Stub::drain_completed`], or a blocking [`Stub::invoke`]). Any
+    /// number of invocations may be outstanding at once — this is what lets
+    /// one connection carry hundreds of in-flight requests.
+    ///
+    /// # Errors
+    ///
+    /// [`RmiError::Encode`] on marshalling failure, [`RmiError::Throttled`]
+    /// when the AIMD limiter refuses the slot (the invocation is not
+    /// injected).
+    pub fn invoke_begin<A>(&mut self, method: &str, args: &A) -> Result<u64, RmiError>
+    where
+        A: Serialize + ?Sized,
+    {
+        let encoded = erm_transport::to_bytes(args).map_err(|e| RmiError::Encode(e.to_string()))?;
+        self.invoke_begin_raw(method, encoded)
+    }
+
+    /// [`Stub::invoke_begin`] with pre-encoded arguments.
+    ///
+    /// Creates the invocation's [`InvocationContext`] once — id, absolute
+    /// deadline (`now + invocation budget`), attempt counter — and re-sends
+    /// it with every retry and followed redirect, so every skeleton that
+    /// sees the invocation enforces the same deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`RmiError::Throttled`] when the AIMD limiter refuses the slot.
+    pub fn invoke_begin_raw(&mut self, method: &str, args: Vec<u8>) -> Result<u64, RmiError> {
+        let invocation = self.next_invocation;
+        self.next_invocation += 1;
+        let mut holds_slot = false;
+        if let Some(limiter) = self.limiter.clone() {
+            let now = self.clock.now();
+            if !limiter.try_acquire(now) {
+                let retry_after = limiter.blocked_for(now);
+                self.stats.throttled += 1;
+                self.trace.emit(
+                    now,
+                    TraceEvent::InvocationThrottled {
+                        invocation,
+                        retry_after,
+                    },
+                );
+                return Err(RmiError::Throttled { retry_after });
+            }
+            holds_slot = true;
+        }
         let now = self.clock.now();
-        let mut context = InvocationContext {
+        let context = InvocationContext {
             id: invocation,
             deadline: now + self.invocation_budget,
             attempt: 0,
             origin: self.endpoint,
         };
-        let mut overload_hint: Option<SimDuration> = None;
-        let mut targets = self.target_order();
-        let mut attempts = 0u32;
-        let mut refreshed = false;
-        let mut i = 0;
-        while i < targets.len() {
-            if context.is_expired(self.clock.now()) {
-                return self.expire(&context, attempts);
+        let targets = self.target_order();
+        self.pending.insert(
+            invocation,
+            Pending {
+                context,
+                method: method.to_string(),
+                args,
+                targets,
+                next_target: 0,
+                attempts: 0,
+                overload_hint: None,
+                refreshed: false,
+                awaiting_refresh: false,
+                holds_slot,
+                state: PendingState::Idle { not_before: now },
+            },
+        );
+        self.advance_one(invocation);
+        Ok(invocation)
+    }
+
+    /// Pumps the engine and takes the result of `invocation` if it has
+    /// finished. `None` means still in flight — keep the (possibly virtual)
+    /// clock moving and poll again.
+    pub fn poll_complete(&mut self, invocation: u64) -> Option<Result<Vec<u8>, RmiError>> {
+        self.pump();
+        self.completed.remove(&invocation)
+    }
+
+    /// Pumps the engine and takes *every* finished invocation as
+    /// `(invocation id, result)` pairs in id order — the bulk-harvest shape
+    /// an open-loop load generator wants.
+    pub fn drain_completed(&mut self) -> Vec<(u64, Result<Vec<u8>, RmiError>)> {
+        self.pump();
+        std::mem::take(&mut self.completed).into_iter().collect()
+    }
+
+    /// Number of invocations begun but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Blocks until `invocation` finishes, sleeping on the mailbox between
+    /// engine turns so a reply wakes the stub immediately.
+    fn wait_complete(&mut self, invocation: u64) -> Result<Vec<u8>, RmiError> {
+        loop {
+            self.pump();
+            if let Some(result) = self.completed.remove(&invocation) {
+                return result;
             }
-            let target = targets[i];
-            i += 1;
-            attempts += 1;
-            if attempts > 1 {
-                self.stats.retries += 1;
+            match self.mailbox.recv_timeout(POLL_TICK) {
+                Ok(datagram) => self.process_datagram(datagram),
+                Err(RecvError::Timeout) => {}
+                // Own endpoint closed: nothing will ever arrive; let the
+                // pending deadlines run out instead of busy-spinning.
+                Err(RecvError::Closed) => std::thread::sleep(POLL_TICK),
             }
-            context.attempt = attempts;
-            match self.attempt(target, method, &args, &context) {
-                AttemptOutcome::Ok(bytes) => {
-                    self.stats.invocations += 1;
-                    self.trace.emit(
-                        self.clock.now(),
-                        TraceEvent::InvocationCompleted {
-                            invocation: context.id,
-                            attempts,
-                            ok: true,
-                        },
-                    );
-                    return Ok(bytes);
+        }
+    }
+
+    /// One engine turn: drain the mailbox, then advance every pending
+    /// invocation's state machine — fire due attempts, fail over from
+    /// closed endpoints, time out mute members, expire blown deadlines.
+    fn pump(&mut self) {
+        while let Ok(datagram) = self.mailbox.try_recv() {
+            self.process_datagram(datagram);
+        }
+        let ids: Vec<u64> = self.pending.keys().copied().collect();
+        for id in ids {
+            self.advance_one(id);
+        }
+        // An async refresh the sentinel never answered. While invocations
+        // are still waiting on it, keep asking (one request per reply
+        // timeout) — they retry until their own deadlines expire, as the
+        // blocking loop did. Only a sentinel the transport refuses outright
+        // ends the wait early (pool unreachable).
+        if self
+            .refresh_inflight
+            .is_some_and(|deadline| self.clock.now() >= deadline)
+        {
+            self.refresh_inflight = None;
+            if self
+                .pending
+                .values()
+                .any(|pending| pending.awaiting_refresh)
+            {
+                self.stats.refreshes += 1;
+                if self
+                    .net
+                    .send(
+                        self.endpoint,
+                        self.sentinel,
+                        RmiMessage::PoolInfoRequest.encode(),
+                    )
+                    .is_ok()
+                {
+                    self.refresh_inflight = Some(self.clock.now() + self.reply_timeout);
+                } else {
+                    for pending in self.pending.values_mut() {
+                        pending.awaiting_refresh = false;
+                    }
                 }
-                AttemptOutcome::RemoteError(e) => {
-                    self.stats.invocations += 1;
-                    self.trace.emit(
-                        self.clock.now(),
-                        TraceEvent::InvocationCompleted {
-                            invocation: context.id,
-                            attempts,
-                            ok: false,
-                        },
-                    );
-                    return Err(RmiError::Remote(e));
+            }
+        }
+    }
+
+    /// Routes one inbound message to the pending invocation it belongs to.
+    /// Replies whose call id is unknown are stale — their attempt was
+    /// already abandoned (timeout, crash failover) — and are dropped,
+    /// exactly as the blocking loop used to skip them.
+    fn process_datagram(&mut self, datagram: Datagram) {
+        let Ok(msg) = RmiMessage::decode(&datagram.payload) else {
+            return;
+        };
+        match msg {
+            RmiMessage::Response { call, outcome } => {
+                let Some(invocation) = self.calls.remove(&call) else {
+                    return;
+                };
+                self.finish_completed(invocation, outcome.map_err(RmiError::Remote));
+            }
+            RmiMessage::Redirected {
+                call,
+                members,
+                deadline,
+            } => {
+                let Some(invocation) = self.calls.remove(&call) else {
+                    return;
+                };
+                self.on_redirected(invocation, members, deadline);
+                self.advance_one(invocation);
+            }
+            RmiMessage::Overloaded {
+                call, retry_after, ..
+            } => {
+                let Some(invocation) = self.calls.remove(&call) else {
+                    return;
+                };
+                self.on_overloaded(invocation, retry_after);
+                self.advance_one(invocation);
+            }
+            RmiMessage::PoolInfo {
+                sentinel, members, ..
+            } => {
+                self.refresh_inflight = None;
+                self.sentinel = sentinel;
+                if !members.is_empty() {
+                    self.members = members;
+                    self.rr_next = 0;
                 }
-                AttemptOutcome::Redirected {
-                    mut suggested,
-                    deadline,
+                // Invocations that asked for this refresh get the fresh
+                // members appended to their remaining walk.
+                let fresh = self.members.clone();
+                for pending in self.pending.values_mut() {
+                    if !pending.awaiting_refresh {
+                        continue;
+                    }
+                    pending.awaiting_refresh = false;
+                    for m in &fresh {
+                        if !pending.targets.contains(m) {
+                            pending.targets.push(*m);
+                        }
+                    }
+                }
+            }
+            // Requests and pool-control traffic: not for a client endpoint.
+            _ => {}
+        }
+    }
+
+    /// Runs `invocation`'s state machine until it blocks (waiting on a
+    /// reply or a backoff) or finishes — the target walk of the old retry
+    /// loop, kept in the pending map instead of on the call stack.
+    fn advance_one(&mut self, invocation: u64) {
+        loop {
+            let now = self.clock.now();
+            let (state, expired, exhausted, awaiting_refresh) = {
+                let Some(pending) = self.pending.get(&invocation) else {
+                    return;
+                };
+                (
+                    pending.state,
+                    pending.context.is_expired(now),
+                    pending.next_target >= pending.targets.len(),
+                    pending.awaiting_refresh,
+                )
+            };
+            match state {
+                PendingState::Waiting {
+                    call,
+                    target,
+                    attempt_deadline,
                 } => {
-                    self.stats.redirects_followed += 1;
-                    // A redirect never extends the budget: the follow-up
-                    // attempt inherits whichever deadline is tighter.
-                    context.deadline = context.deadline.min(deadline);
-                    self.trace.emit(
-                        self.clock.now(),
-                        TraceEvent::AttemptRedirected {
-                            invocation: context.id,
-                            attempt: attempts,
-                            remaining: context.remaining(self.clock.now()),
-                        },
-                    );
-                    // Try the suggested members next (before our stale list).
-                    suggested.retain(|m| !targets[i..].contains(m));
-                    for (k, m) in suggested.into_iter().enumerate() {
-                        targets.insert(i + k, m);
+                    // A member that died *after* accepting the request never
+                    // replies; detecting the closed endpoint here fails over
+                    // immediately instead of burning the whole reply timeout.
+                    if !self.net.endpoint_open(target) {
+                        self.calls.remove(&call);
+                        self.on_connection_closed(invocation, target);
+                        continue;
                     }
-                }
-                AttemptOutcome::Failed => {
-                    self.trace.emit(
-                        self.clock.now(),
-                        TraceEvent::AttemptFailed {
-                            invocation: context.id,
-                            attempt: attempts,
-                            target: target.0,
-                        },
-                    );
-                    // Member gone or mute. Once, mid-sequence, ask the
-                    // sentinel for a fresh view.
-                    if !refreshed && self.refresh_members().is_ok() {
-                        refreshed = true;
-                        for m in self.members.clone() {
-                            if !targets.contains(&m) {
-                                targets.push(m);
-                            }
+                    if now >= attempt_deadline {
+                        self.calls.remove(&call);
+                        if expired {
+                            self.finish_expired(invocation);
+                            return;
                         }
+                        self.on_attempt_timeout(invocation, target);
+                        continue;
                     }
+                    return;
                 }
-                AttemptOutcome::ConnectionClosed => {
-                    // The member's endpoint is definitively gone (crash):
-                    // no reply timeout was burned, fail over immediately.
-                    self.stats.connections_closed += 1;
-                    self.trace.emit(
-                        self.clock.now(),
-                        TraceEvent::AttemptFailed {
-                            invocation: context.id,
-                            attempt: attempts,
-                            target: target.0,
-                        },
-                    );
-                    if !refreshed && self.refresh_members().is_ok() {
-                        refreshed = true;
-                        for m in self.members.clone() {
-                            if !targets.contains(&m) {
-                                targets.push(m);
-                            }
+                PendingState::Idle { not_before } => {
+                    if expired {
+                        self.finish_expired(invocation);
+                        return;
+                    }
+                    if now < not_before {
+                        return;
+                    }
+                    if exhausted {
+                        // A membership refresh is still in flight for this
+                        // invocation: hold on, fresh members may yet extend
+                        // the walk (the blocking loop refreshed before
+                        // declaring the pool unreachable).
+                        if awaiting_refresh && self.refresh_inflight.is_some() {
+                            return;
                         }
+                        self.finish_unreachable(invocation);
+                        return;
                     }
-                    // Fast failover is a stampede risk: every client that
-                    // was waiting on the dead member retries at once.
-                    // Jittered backoff spreads the herd before it hits the
-                    // survivors.
-                    if i < targets.len() {
-                        self.backoff_before_retry(attempts, &context);
-                    }
-                }
-                AttemptOutcome::Overloaded { retry_after } => {
-                    self.stats.overloaded += 1;
-                    self.trace.emit(
-                        self.clock.now(),
-                        TraceEvent::AttemptOverloaded {
-                            invocation: context.id,
-                            attempt: attempts,
-                            target: target.0,
-                            retry_after,
-                        },
-                    );
-                    if let Some(limiter) = &self.limiter {
-                        limiter.on_congestion(self.clock.now(), Some(retry_after));
-                    }
-                    // Another member may still have queue room, so keep
-                    // walking the target order; remember the soonest
-                    // retry hint in case they are all full.
-                    overload_hint = Some(overload_hint.map_or(retry_after, |h| h.min(retry_after)));
-                }
-                AttemptOutcome::Expired => {
-                    return self.expire(&context, attempts);
+                    self.fire_attempt(invocation);
                 }
             }
         }
-        if context.is_expired(self.clock.now()) {
-            return self.expire(&context, attempts);
+    }
+
+    /// Sends the next attempt of `invocation` to its next target.
+    fn fire_attempt(&mut self, invocation: u64) {
+        let now = self.clock.now();
+        let call = self.next_call;
+        self.next_call += 1;
+        let (target, payload, attempt, deadline) = {
+            let Some(pending) = self.pending.get_mut(&invocation) else {
+                return;
+            };
+            let target = pending.targets[pending.next_target];
+            pending.next_target += 1;
+            pending.attempts += 1;
+            pending.context.attempt = pending.attempts;
+            let msg = RmiMessage::Request {
+                call,
+                context: pending.context,
+                method: pending.method.clone(),
+                args: pending.args.clone(),
+            };
+            (
+                target,
+                msg.encode(),
+                pending.attempts,
+                pending.context.deadline,
+            )
+        };
+        if attempt > 1 {
+            self.stats.retries += 1;
         }
-        match overload_hint {
-            Some(retry_after) => Err(RmiError::Overloaded {
-                attempts,
+        self.trace.emit(
+            now,
+            TraceEvent::AttemptStarted {
+                invocation,
+                attempt,
+                target: target.0,
+                deadline,
+            },
+        );
+        if self.net.send(self.endpoint, target, payload).is_err() {
+            // The transport knows the endpoint is gone — not a silent
+            // timeout, an immediate failover signal.
+            self.on_connection_closed(invocation, target);
+            return;
+        }
+        // The attempt waits until its reply timeout or the invocation's
+        // deadline, whichever comes first — on the injected clock.
+        let attempt_deadline = (now + self.reply_timeout).min(deadline);
+        if let Some(pending) = self.pending.get_mut(&invocation) {
+            pending.state = PendingState::Waiting {
+                call,
+                target,
+                attempt_deadline,
+            };
+        }
+        self.calls.insert(call, invocation);
+    }
+
+    /// The target is definitively gone (send refused, or endpoint closed
+    /// mid-wait): fail over immediately, with jittered backoff before the
+    /// next attempt.
+    fn on_connection_closed(&mut self, invocation: u64, target: EndpointId) {
+        self.stats.connections_closed += 1;
+        let attempt = self
+            .pending
+            .get(&invocation)
+            .map_or(0, |pending| pending.attempts);
+        self.trace.emit(
+            self.clock.now(),
+            TraceEvent::AttemptFailed {
+                invocation,
+                attempt,
+                target: target.0,
+            },
+        );
+        self.maybe_refresh(invocation);
+        let now = self.clock.now();
+        let Some(pending) = self.pending.get_mut(&invocation) else {
+            return;
+        };
+        if pending.next_target < pending.targets.len() {
+            // Fast failover is a stampede risk: every client that was
+            // waiting on the dead member retries at once. A seeded,
+            // jittered, exponentially growing delay (1 ms base, 16 ms cap,
+            // uniform in [step/2, step]) spreads the herd before it hits
+            // the survivors — bounded by the invocation deadline, all on
+            // the injected clock.
+            let step_us = (1_000u64 << u64::from(pending.attempts.min(4))).min(16_000);
+            let wait_us = self.rng.gen_range(step_us / 2..=step_us);
+            let not_before =
+                (now + SimDuration::from_micros(wait_us)).min(pending.context.deadline);
+            pending.state = PendingState::Idle { not_before };
+        } else {
+            pending.state = PendingState::Idle { not_before: now };
+        }
+    }
+
+    /// The target stayed mute for the whole reply timeout: move on (no
+    /// backoff — nothing crashed, the member may just be slow).
+    fn on_attempt_timeout(&mut self, invocation: u64, target: EndpointId) {
+        let attempt = self
+            .pending
+            .get(&invocation)
+            .map_or(0, |pending| pending.attempts);
+        self.trace.emit(
+            self.clock.now(),
+            TraceEvent::AttemptFailed {
+                invocation,
+                attempt,
+                target: target.0,
+            },
+        );
+        self.maybe_refresh(invocation);
+        let now = self.clock.now();
+        if let Some(pending) = self.pending.get_mut(&invocation) {
+            pending.state = PendingState::Idle { not_before: now };
+        }
+    }
+
+    /// A member redirected the call: try the suggested members next
+    /// (before our possibly stale list), never extending the budget.
+    fn on_redirected(
+        &mut self,
+        invocation: u64,
+        mut suggested: Vec<EndpointId>,
+        deadline: SimTime,
+    ) {
+        self.stats.redirects_followed += 1;
+        let now = self.clock.now();
+        let (attempt, remaining) = {
+            let Some(pending) = self.pending.get_mut(&invocation) else {
+                return;
+            };
+            // A redirect never extends the budget: the follow-up attempt
+            // inherits whichever deadline is tighter.
+            pending.context.deadline = pending.context.deadline.min(deadline);
+            let i = pending.next_target;
+            suggested.retain(|m| !pending.targets[i..].contains(m));
+            for (k, m) in suggested.into_iter().enumerate() {
+                pending.targets.insert(i + k, m);
+            }
+            pending.state = PendingState::Idle { not_before: now };
+            (pending.attempts, pending.context.remaining(now))
+        };
+        self.trace.emit(
+            now,
+            TraceEvent::AttemptRedirected {
+                invocation,
+                attempt,
+                remaining,
+            },
+        );
+    }
+
+    /// A member rejected the call with a full admission queue: remember the
+    /// soonest retry hint and keep walking — another member may have room.
+    fn on_overloaded(&mut self, invocation: u64, retry_after: SimDuration) {
+        self.stats.overloaded += 1;
+        let now = self.clock.now();
+        if let Some(limiter) = &self.limiter {
+            limiter.on_congestion(now, Some(retry_after));
+        }
+        let (attempt, target) = {
+            let Some(pending) = self.pending.get_mut(&invocation) else {
+                return;
+            };
+            let target = match pending.state {
+                PendingState::Waiting { target, .. } => target.0,
+                PendingState::Idle { .. } => 0,
+            };
+            pending.overload_hint = Some(
+                pending
+                    .overload_hint
+                    .map_or(retry_after, |h| h.min(retry_after)),
+            );
+            pending.state = PendingState::Idle { not_before: now };
+            (pending.attempts, target)
+        };
+        self.trace.emit(
+            now,
+            TraceEvent::AttemptOverloaded {
+                invocation,
+                attempt,
+                target,
                 retry_after,
-            }),
-            None => Err(RmiError::PoolUnreachable { attempts }),
+            },
+        );
+    }
+
+    /// Member gone or mute: once per invocation, ask the sentinel for a
+    /// fresh membership view — asynchronously, so the other pending
+    /// invocations keep flowing while the `PoolInfo` is in flight.
+    /// Concurrent failures share one outstanding request.
+    fn maybe_refresh(&mut self, invocation: u64) {
+        let already = self
+            .pending
+            .get(&invocation)
+            .is_none_or(|pending| pending.refreshed);
+        if already {
+            return;
+        }
+        if self.refresh_inflight.is_none() {
+            self.stats.refreshes += 1;
+            if self
+                .net
+                .send(
+                    self.endpoint,
+                    self.sentinel,
+                    RmiMessage::PoolInfoRequest.encode(),
+                )
+                .is_err()
+            {
+                // Sentinel unreachable: leave `refreshed` false so a later
+                // failure of this invocation may try again.
+                return;
+            }
+            self.refresh_inflight = Some(self.clock.now() + self.reply_timeout);
+        }
+        if let Some(pending) = self.pending.get_mut(&invocation) {
+            pending.refreshed = true;
+            pending.awaiting_refresh = true;
         }
     }
 
-    /// Sleeps a seeded, jittered, exponentially growing interval (1 ms base,
-    /// 16 ms cap, uniform in `[step/2, step]`) before retrying after a
-    /// connection-closed failure, bounded by the invocation deadline. The
-    /// wait runs entirely on the injected clock.
-    fn backoff_before_retry(&mut self, attempt: u32, context: &InvocationContext) {
-        let step_us = (1_000u64 << u64::from(attempt.min(4))).min(16_000);
-        let wait_us = self.rng.gen_range(step_us / 2..=step_us);
-        let deadline = (self.clock.now() + SimDuration::from_micros(wait_us)).min(context.deadline);
-        let mut wait = ClockWait::new(deadline);
-        while matches!(wait.poll(self.clock.as_ref()), WaitState::Waiting) {
-            std::thread::sleep(POLL_TICK);
-        }
+    /// The invocation produced a result (success or application error).
+    fn finish_completed(&mut self, invocation: u64, result: Result<Vec<u8>, RmiError>) {
+        let Some(pending) = self.pending.remove(&invocation) else {
+            return;
+        };
+        self.stats.invocations += 1;
+        self.trace.emit(
+            self.clock.now(),
+            TraceEvent::InvocationCompleted {
+                invocation,
+                attempts: pending.attempts,
+                ok: result.is_ok(),
+            },
+        );
+        // A completed round trip — even one that raised an application
+        // error — proves the pool had capacity: widen the window. Congestion
+        // signals (Overloaded, deadline expiry) already shrank it closest
+        // to the evidence.
+        self.settle_limiter(
+            &pending,
+            matches!(&result, Ok(_) | Err(RmiError::Remote(_))),
+        );
+        self.completed.insert(invocation, result);
     }
 
-    /// Records and reports deadline expiry for `context`.
-    fn expire(&mut self, context: &InvocationContext, attempts: u32) -> Result<Vec<u8>, RmiError> {
+    /// The invocation ran out its whole budget — congestion too: the pool
+    /// could not serve it in time.
+    fn finish_expired(&mut self, invocation: u64) {
+        let Some(pending) = self.pending.remove(&invocation) else {
+            return;
+        };
         self.stats.expired += 1;
-        // An invocation that ran out its whole budget is congestion too:
-        // the pool could not serve it in time.
         if let Some(limiter) = &self.limiter {
             limiter.on_congestion(self.clock.now(), None);
         }
         self.trace.emit(
             self.clock.now(),
             TraceEvent::InvocationExpired {
-                invocation: context.id,
-                attempts,
+                invocation,
+                attempts: pending.attempts,
             },
         );
-        Err(RmiError::DeadlineExceeded { attempts })
+        let attempts = pending.attempts;
+        self.settle_limiter(&pending, false);
+        self.completed
+            .insert(invocation, Err(RmiError::DeadlineExceeded { attempts }));
+    }
+
+    /// Every target (sentinel included) was tried and none answered.
+    fn finish_unreachable(&mut self, invocation: u64) {
+        let Some(pending) = self.pending.remove(&invocation) else {
+            return;
+        };
+        let attempts = pending.attempts;
+        let result = match pending.overload_hint {
+            Some(retry_after) => Err(RmiError::Overloaded {
+                attempts,
+                retry_after,
+            }),
+            None => Err(RmiError::PoolUnreachable { attempts }),
+        };
+        self.settle_limiter(&pending, false);
+        self.completed.insert(invocation, result);
+    }
+
+    /// Returns the invocation's limiter slot; `success` re-opens the window.
+    fn settle_limiter(&self, pending: &Pending, success: bool) {
+        if !pending.holds_slot {
+            return;
+        }
+        if let Some(limiter) = &self.limiter {
+            limiter.release();
+            if success {
+                limiter.on_success();
+            }
+        }
     }
 
     /// The attempt order for one invocation: the LB-chosen member first,
@@ -472,91 +877,6 @@ impl Stub {
         order
     }
 
-    fn attempt(
-        &mut self,
-        target: EndpointId,
-        method: &str,
-        args: &[u8],
-        context: &InvocationContext,
-    ) -> AttemptOutcome {
-        let call = self.next_call;
-        self.next_call += 1;
-        let msg = RmiMessage::Request {
-            call,
-            context: *context,
-            method: method.to_string(),
-            args: args.to_vec(),
-        };
-        self.trace.emit(
-            self.clock.now(),
-            TraceEvent::AttemptStarted {
-                invocation: context.id,
-                attempt: context.attempt,
-                target: target.0,
-                deadline: context.deadline,
-            },
-        );
-        if self.net.send(self.endpoint, target, msg.encode()).is_err() {
-            // The transport knows the endpoint is gone — not a silent
-            // timeout, an immediate failover signal.
-            return AttemptOutcome::ConnectionClosed;
-        }
-        // The attempt waits until its reply timeout or the invocation's
-        // deadline, whichever comes first — on the injected clock.
-        let attempt_deadline = (self.clock.now() + self.reply_timeout).min(context.deadline);
-        let mut wait = ClockWait::new(attempt_deadline);
-        loop {
-            match wait.poll(self.clock.as_ref()) {
-                WaitState::Waiting => {}
-                WaitState::DeadlineReached => {
-                    return if context.is_expired(self.clock.now()) {
-                        AttemptOutcome::Expired
-                    } else {
-                        AttemptOutcome::Failed
-                    };
-                }
-            }
-            // A member that died *after* accepting the request never
-            // replies; detecting the closed endpoint here fails over
-            // immediately instead of burning the whole reply timeout.
-            if !self.net.endpoint_open(target) {
-                return AttemptOutcome::ConnectionClosed;
-            }
-            match self.mailbox.recv_timeout(POLL_TICK) {
-                Ok(datagram) => match RmiMessage::decode(&datagram.payload) {
-                    Ok(RmiMessage::Response { call: c, outcome }) if c == call => {
-                        return match outcome {
-                            Ok(bytes) => AttemptOutcome::Ok(bytes),
-                            Err(e) => AttemptOutcome::RemoteError(e),
-                        };
-                    }
-                    Ok(RmiMessage::Redirected {
-                        call: c,
-                        members,
-                        deadline,
-                    }) if c == call => {
-                        return AttemptOutcome::Redirected {
-                            suggested: members,
-                            deadline,
-                        };
-                    }
-                    Ok(RmiMessage::Overloaded {
-                        call: c,
-                        retry_after,
-                        ..
-                    }) if c == call => {
-                        return AttemptOutcome::Overloaded { retry_after };
-                    }
-                    // Stale replies to earlier timed-out calls, pool info
-                    // broadcasts, etc.: skip.
-                    _ => continue,
-                },
-                Err(RecvError::Timeout) => continue,
-                Err(RecvError::Closed) => return AttemptOutcome::Failed,
-            }
-        }
-    }
-
     /// Fetches the member list from the sentinel.
     ///
     /// # Errors
@@ -582,15 +902,15 @@ impl Stub {
             }
             match self.mailbox.recv_timeout(POLL_TICK) {
                 Ok(datagram) => {
-                    if let Ok(RmiMessage::PoolInfo {
-                        sentinel, members, ..
-                    }) = RmiMessage::decode(&datagram.payload)
-                    {
-                        self.sentinel = sentinel;
-                        if !members.is_empty() {
-                            self.members = members;
-                            self.rr_next = 0;
-                        }
+                    // Everything routes through the engine — a `Response`
+                    // arriving here belongs to some pending pipelined
+                    // invocation and must not be swallowed by the refresh.
+                    let got_info = matches!(
+                        RmiMessage::decode(&datagram.payload),
+                        Ok(RmiMessage::PoolInfo { .. })
+                    );
+                    self.process_datagram(datagram);
+                    if got_info {
                         return Ok(());
                     }
                 }
@@ -633,30 +953,60 @@ impl ClockWait {
     }
 }
 
-enum AttemptOutcome {
-    Ok(Vec<u8>),
-    RemoteError(RemoteError),
-    Redirected {
-        suggested: Vec<EndpointId>,
-        deadline: SimTime,
-    },
-    Overloaded {
-        retry_after: SimDuration,
-    },
-    /// Send failed or the endpoint closed mid-wait: the member is
-    /// definitively gone, retry immediately (with jittered backoff).
-    ConnectionClosed,
-    /// Silent timeout: the member may be slow, mute, or partitioned.
-    Failed,
-    Expired,
+/// One outstanding invocation: everything the old blocking retry loop kept
+/// on the call stack, parked in [`Stub`]'s pending map so hundreds of
+/// invocations can be in flight at once.
+struct Pending {
+    /// The context re-sent with every attempt — id, absolute deadline,
+    /// attempt counter, origin endpoint.
+    context: InvocationContext,
+    method: String,
+    args: Vec<u8>,
+    /// The walk order: LB-chosen member first, remaining members, sentinel
+    /// last; extended in place by redirects and membership refreshes.
+    targets: Vec<EndpointId>,
+    /// Index of the next target to try.
+    next_target: usize,
+    /// Attempts fired so far.
+    attempts: u32,
+    /// Soonest `retry_after` hint seen across `Overloaded` rejections.
+    overload_hint: Option<SimDuration>,
+    /// Whether this invocation already asked for a membership refresh
+    /// (at most one per invocation, as in the blocking loop).
+    refreshed: bool,
+    /// Whether this invocation is waiting for a `PoolInfo` to extend its
+    /// target walk.
+    awaiting_refresh: bool,
+    /// Whether this invocation holds an AIMD limiter slot to return.
+    holds_slot: bool,
+    state: PendingState,
 }
 
-// Keep RemoteError import used in non-test builds.
-const _: fn(&AttemptOutcome) = |_| {};
+/// Where one pending invocation is in its attempt cycle.
+#[derive(Debug, Clone, Copy)]
+enum PendingState {
+    /// No attempt outstanding; the next one may fire at `not_before`
+    /// (backoff after a connection-closed failover, or immediately).
+    Idle {
+        /// Earliest clock time the next attempt may be sent.
+        not_before: SimTime,
+    },
+    /// An attempt is on the wire awaiting its reply.
+    Waiting {
+        /// Wire call id the reply must carry.
+        call: u64,
+        /// The member the attempt went to.
+        target: EndpointId,
+        /// When to give up on this attempt (reply timeout, capped by the
+        /// invocation deadline).
+        attempt_deadline: SimTime,
+    },
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::RemoteError;
     use erm_sim::SystemClock;
     use erm_transport::{Host, InProcNetwork};
 
@@ -1079,5 +1429,163 @@ mod tests {
         b.rng = seeded_rng(42);
         let seq_b: Vec<EndpointId> = (0..8).map(|_| b.target_order()[0]).collect();
         assert_eq!(seq_a, seq_b);
+    }
+
+    /// Polls `stub.poll_complete(id)` until it yields, bounded so a broken
+    /// engine fails the test instead of hanging it.
+    fn poll_until(stub: &mut Stub, id: u64) -> Result<Vec<u8>, RmiError> {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(result) = stub.poll_complete(id) {
+                return result;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "invocation {id} never completed"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn pipelined_invocations_complete_out_of_order() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&sentinel]);
+
+        // Three invocations injected back to back, none awaited yet.
+        let i0 = stub.invoke_begin("m", &()).unwrap();
+        let i1 = stub.invoke_begin("m", &()).unwrap();
+        let i2 = stub.invoke_begin("m", &()).unwrap();
+        assert_eq!(stub.in_flight(), 3);
+
+        // All three requests are already on the wire — pipelined, not
+        // serialized behind each other's replies.
+        let mut reqs = Vec::new();
+        for _ in 0..3 {
+            let d = sentinel
+                .mailbox
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap();
+            match RmiMessage::decode(&d.payload).unwrap() {
+                RmiMessage::Request { call, .. } => reqs.push((call, d.from)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+
+        // Answer the *last* request first.
+        let reply = |(call, from): (u64, EndpointId), v: u32| {
+            let msg = RmiMessage::Response {
+                call,
+                outcome: Ok(erm_transport::to_bytes(&v).unwrap()),
+            };
+            net.send(sentinel.endpoint, from, msg.encode()).unwrap();
+        };
+        reply(reqs[2], 30);
+        let v2: u32 = erm_transport::from_bytes(&poll_until(&mut stub, i2).unwrap()).unwrap();
+        assert_eq!(v2, 30);
+        assert!(
+            stub.poll_complete(i0).is_none(),
+            "earlier invocation must still be pending"
+        );
+        assert_eq!(stub.in_flight(), 2);
+
+        reply(reqs[0], 10);
+        reply(reqs[1], 20);
+        let v0: u32 = erm_transport::from_bytes(&poll_until(&mut stub, i0).unwrap()).unwrap();
+        let v1: u32 = erm_transport::from_bytes(&poll_until(&mut stub, i1).unwrap()).unwrap();
+        assert_eq!((v0, v1), (10, 20));
+        assert_eq!(stub.in_flight(), 0);
+        assert_eq!(stub.stats().invocations, 3);
+    }
+
+    #[test]
+    fn hundreds_of_outstanding_invocations_complete_on_one_endpoint() {
+        const N: u32 = 300;
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&sentinel]);
+
+        // An echo member: replies to every request with its own argument.
+        let member_net = net.clone();
+        let member_ep = sentinel.endpoint;
+        let member_mb = sentinel.mailbox;
+        let member = std::thread::spawn(move || {
+            for _ in 0..N {
+                let d = member_mb.recv_timeout(Duration::from_secs(10)).unwrap();
+                match RmiMessage::decode(&d.payload).unwrap() {
+                    RmiMessage::Request { call, args, .. } => {
+                        let msg = RmiMessage::Response {
+                            call,
+                            outcome: Ok(args),
+                        };
+                        member_net.send(member_ep, d.from, msg.encode()).unwrap();
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        });
+
+        let mut ids = HashMap::new();
+        for k in 0..N {
+            let id = stub.invoke_begin("echo", &k).unwrap();
+            ids.insert(id, k);
+        }
+        assert!(stub.in_flight() > 0);
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut done = 0u32;
+        while done < N {
+            for (id, result) in stub.drain_completed() {
+                let expected = ids.remove(&id).expect("unknown invocation completed");
+                let got: u32 = erm_transport::from_bytes(&result.unwrap()).unwrap();
+                assert_eq!(got, expected, "reply correlated to wrong invocation");
+                done += 1;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "only {done}/{N} invocations completed"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        member.join().unwrap();
+        assert_eq!(stub.in_flight(), 0);
+        assert_eq!(stub.stats().invocations, u64::from(N));
+        assert_eq!(
+            stub.stats().retries,
+            0,
+            "no spurious retries under pipelining"
+        );
+    }
+
+    #[test]
+    fn blocking_invoke_coexists_with_pending_pipelined_invocation() {
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let m1 = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&m1, &sentinel]);
+
+        let h = std::thread::spawn(move || {
+            // Round-robin: the pipelined invocation goes to m1, the blocking
+            // one to the sentinel.
+            let a = stub.invoke_begin("m", &()).unwrap();
+            let b: u32 = stub.invoke("m", &()).unwrap();
+            let va: u32 = erm_transport::from_bytes(&poll_until(&mut stub, a).unwrap()).unwrap();
+            (va, b, stub.stats())
+        });
+        // Reply to the pipelined invocation *first*: the blocking wait must
+        // route it to its pending entry, not swallow it as stale.
+        m1.answer(|call| RmiMessage::Response {
+            call,
+            outcome: Ok(erm_transport::to_bytes(&7u32).unwrap()),
+        });
+        sentinel.answer(|call| RmiMessage::Response {
+            call,
+            outcome: Ok(erm_transport::to_bytes(&8u32).unwrap()),
+        });
+        let (va, b, stats) = h.join().unwrap();
+        assert_eq!((va, b), (7, 8));
+        assert_eq!(stats.invocations, 2);
+        assert_eq!(stats.retries, 0);
     }
 }

@@ -17,6 +17,7 @@ pub mod churn;
 pub mod deployment;
 pub mod experiment;
 pub mod figures;
+pub mod openloop;
 pub mod overload;
 pub mod scalability;
 pub mod sockets;
@@ -28,13 +29,17 @@ pub use churn::{run_churn, ChurnRun};
 pub use deployment::Deployment;
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 pub use figures::{agility_results, sparkline, FigureId};
+pub use openloop::{
+    format_open_loop, open_loop_json, run_open_loop, run_open_loop_grid, run_raw_socket_echo,
+    OpenLoopConfig, OpenLoopGrid, OpenLoopPoint, OPEN_LOOP_MEMBER_COUNTS, OPEN_LOOP_SERVICE,
+};
 pub use overload::{render_overload, run_overload, OverloadConfig, OverloadResult};
 pub use scalability::{
     render_scalability, scalability_curve, ScalabilityPoint, SharedStateProfile,
 };
 pub use sockets::{
     format_throughput, run_socket_overload, run_throughput, run_throughput_grid, throughput_json,
-    SocketOverloadRun, ThroughputPoint, TransportKind,
+    Outcomes, SocketOverloadRun, ThroughputPoint, TransportKind,
 };
 pub use summary::{format_summary, summary_table, SummaryRow};
 pub use telemetry::{render_why_scaled, run_elastic_overload, ElasticOverloadRun};

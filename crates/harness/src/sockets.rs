@@ -59,7 +59,7 @@ impl fmt::Display for TransportKind {
 /// hosts on loopback and the client bootstraps with one `register_host`
 /// call — every further route (members added by scale-out included) is
 /// learned from the advertised addresses on inbound frames.
-struct Fabric {
+pub(crate) struct Fabric {
     kind: TransportKind,
     inproc: Option<Arc<InProcNetwork>>,
     tcp_server: Option<Arc<TcpHost>>,
@@ -67,7 +67,7 @@ struct Fabric {
 }
 
 impl Fabric {
-    fn new(kind: TransportKind) -> Fabric {
+    pub(crate) fn new(kind: TransportKind) -> Fabric {
         match kind {
             TransportKind::Inproc => Fabric {
                 kind,
@@ -94,7 +94,7 @@ impl Fabric {
     }
 
     /// The host the pool (and registry) lives on.
-    fn server_host(&self) -> Arc<dyn Host> {
+    pub(crate) fn server_host(&self) -> Arc<dyn Host> {
         match self.kind {
             TransportKind::Inproc => self.inproc.clone().expect("inproc fabric"),
             TransportKind::Tcp => self.tcp_server.clone().expect("tcp fabric"),
@@ -102,21 +102,21 @@ impl Fabric {
     }
 
     /// The host client stubs live on.
-    fn client_host(&self) -> Arc<dyn Host> {
+    pub(crate) fn client_host(&self) -> Arc<dyn Host> {
         match self.kind {
             TransportKind::Inproc => self.inproc.clone().expect("inproc fabric"),
             TransportKind::Tcp => self.tcp_client.clone().expect("tcp fabric"),
         }
     }
 
-    fn client_net(&self) -> Arc<dyn Network> {
+    pub(crate) fn client_net(&self) -> Arc<dyn Network> {
         match self.kind {
             TransportKind::Inproc => self.inproc.clone().expect("inproc fabric"),
             TransportKind::Tcp => self.tcp_client.clone().expect("tcp fabric"),
         }
     }
 
-    fn shutdown(&self) {
+    pub(crate) fn shutdown(&self) {
         if let Some(s) = &self.tcp_server {
             s.shutdown();
         }
@@ -129,8 +129,8 @@ impl Fabric {
 /// The benched/overloaded service: `work` burns the configured service
 /// time (real work on the member's thread, not protocol time) and echoes,
 /// `echo` returns immediately.
-struct SpinService {
-    service: std::time::Duration,
+pub(crate) struct SpinService {
+    pub(crate) service: std::time::Duration,
 }
 
 impl ElasticService for SpinService {
@@ -179,7 +179,7 @@ pub struct Outcomes {
 }
 
 impl Outcomes {
-    fn add(&mut self, result: &Result<u64, RmiError>) {
+    pub(crate) fn add<T>(&mut self, result: &Result<T, RmiError>) {
         match result {
             Ok(_) => self.ok += 1,
             Err(RmiError::Remote(_)) => self.remote_error += 1,
@@ -193,7 +193,7 @@ impl Outcomes {
         }
     }
 
-    fn merge(&mut self, other: &Outcomes) {
+    pub(crate) fn merge(&mut self, other: &Outcomes) {
         self.ok += other.ok;
         self.remote_error += other.remote_error;
         self.overloaded += other.overloaded;
@@ -505,92 +505,8 @@ pub fn run_throughput(
 ) -> ThroughputPoint {
     let fabric = Fabric::new(kind);
     let clock: SharedClock = Arc::new(SystemClock::new());
-
-    // The serving side: a pinned pool, or a lone skeleton for members == 1
-    // (ElasticPool's paper-faithful minimum is 2 — a singleton *pool* does
-    // not exist; a singleton remote object is exactly plain RMI).
-    enum ServerSide {
-        Standalone {
-            join: std::thread::JoinHandle<()>,
-            ctl: EndpointId,
-            endpoint: EndpointId,
-            net: Arc<dyn Network>,
-        },
-        Pool(ElasticPool),
-    }
-    let server = if members == 1 {
-        let host = fabric.server_host();
-        let (endpoint, mailbox) = host.open();
-        let (ctl, _ctl_mailbox) = host.open();
-        let net: Arc<dyn Network> = match kind {
-            TransportKind::Inproc => fabric.inproc.clone().expect("inproc fabric"),
-            TransportKind::Tcp => fabric.tcp_server.clone().expect("tcp fabric"),
-        };
-        let ctx = ServiceContext::new(
-            Arc::new(Store::new(StoreConfig::default())),
-            "Bench",
-            0,
-            Arc::clone(&clock),
-            Arc::new(AtomicU32::new(1)),
-        );
-        let skeleton = Skeleton::new(
-            0,
-            endpoint,
-            ctl,
-            Arc::clone(&net),
-            Arc::clone(&clock),
-            Box::new(SpinService {
-                service: std::time::Duration::ZERO,
-            }),
-            ctx,
-            TraceHandle::disabled(),
-            None,
-        );
-        let join = std::thread::Builder::new()
-            .name("bench-skeleton".to_string())
-            .spawn(move || skeleton.run(mailbox))
-            .expect("spawn bench skeleton");
-        ServerSide::Standalone {
-            join,
-            ctl,
-            endpoint,
-            net,
-        }
-    } else {
-        let deps = PoolDeps {
-            cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
-                nodes: members,
-                provisioning: LatencyModel::instant(),
-                ..ClusterConfig::default()
-            })),
-            net: fabric.server_host(),
-            store: Arc::new(Store::new(StoreConfig::default())),
-            clock: Arc::clone(&clock),
-            trace: TraceHandle::disabled(),
-            metrics: MetricsHandle::disabled(),
-        };
-        ServerSide::Pool(
-            ElasticPool::instantiate(
-                PoolConfig::builder("Bench")
-                    .min_pool_size(members)
-                    .max_pool_size(members)
-                    .build()
-                    .expect("valid bench config"),
-                Arc::new(|| {
-                    Box::new(SpinService {
-                        service: std::time::Duration::ZERO,
-                    })
-                }),
-                deps,
-                None,
-            )
-            .expect("bench pool instantiates"),
-        )
-    };
-    let sentinel = match &server {
-        ServerSide::Standalone { endpoint, .. } => *endpoint,
-        ServerSide::Pool(pool) => pool.sentinel(),
-    };
+    let server = ServerSide::spawn(&fabric, kind, members, &clock, std::time::Duration::ZERO);
+    let sentinel = server.sentinel();
 
     let t0 = clock.now();
     let end = t0 + duration;
@@ -668,20 +584,124 @@ pub fn run_throughput(
         p99_us: pct(0.99),
     };
 
-    match server {
-        ServerSide::Standalone {
-            join,
-            ctl,
-            endpoint,
-            net,
-        } => {
-            let _ = net.send(ctl, endpoint, RmiMessage::Shutdown.encode());
-            let _ = join.join();
-        }
-        ServerSide::Pool(mut pool) => pool.shutdown(),
-    }
+    server.shutdown();
     fabric.shutdown();
     point
+}
+
+/// The serving side of a benchmark cell: a pinned pool, or a lone skeleton
+/// for `members == 1` (ElasticPool's paper-faithful minimum is 2 — a
+/// singleton *pool* does not exist; a singleton remote object is exactly
+/// plain RMI).
+pub(crate) enum ServerSide {
+    Standalone {
+        join: std::thread::JoinHandle<()>,
+        ctl: EndpointId,
+        endpoint: EndpointId,
+        net: Arc<dyn Network>,
+    },
+    Pool(ElasticPool),
+}
+
+impl ServerSide {
+    /// Spawns a serving side on `fabric`'s server host: a standalone
+    /// skeleton for one member, a pinned elastic pool otherwise. The
+    /// service body sleeps `service` per `work` invocation (`echo` is
+    /// always immediate).
+    pub(crate) fn spawn(
+        fabric: &Fabric,
+        kind: TransportKind,
+        members: u32,
+        clock: &SharedClock,
+        service: std::time::Duration,
+    ) -> ServerSide {
+        if members == 1 {
+            let host = fabric.server_host();
+            let (endpoint, mailbox) = host.open();
+            let (ctl, _ctl_mailbox) = host.open();
+            let net: Arc<dyn Network> = match kind {
+                TransportKind::Inproc => fabric.inproc.clone().expect("inproc fabric"),
+                TransportKind::Tcp => fabric.tcp_server.clone().expect("tcp fabric"),
+            };
+            let ctx = ServiceContext::new(
+                Arc::new(Store::new(StoreConfig::default())),
+                "Bench",
+                0,
+                Arc::clone(clock),
+                Arc::new(AtomicU32::new(1)),
+            );
+            let skeleton = Skeleton::new(
+                0,
+                endpoint,
+                ctl,
+                Arc::clone(&net),
+                Arc::clone(clock),
+                Box::new(SpinService { service }),
+                ctx,
+                TraceHandle::disabled(),
+                None,
+            );
+            let join = std::thread::Builder::new()
+                .name("bench-skeleton".to_string())
+                .spawn(move || skeleton.run(mailbox))
+                .expect("spawn bench skeleton");
+            ServerSide::Standalone {
+                join,
+                ctl,
+                endpoint,
+                net,
+            }
+        } else {
+            let deps = PoolDeps {
+                cluster: ClusterHandle::new(ResourceManager::new(ClusterConfig {
+                    nodes: members,
+                    provisioning: LatencyModel::instant(),
+                    ..ClusterConfig::default()
+                })),
+                net: fabric.server_host(),
+                store: Arc::new(Store::new(StoreConfig::default())),
+                clock: Arc::clone(clock),
+                trace: TraceHandle::disabled(),
+                metrics: MetricsHandle::disabled(),
+            };
+            ServerSide::Pool(
+                ElasticPool::instantiate(
+                    PoolConfig::builder("Bench")
+                        .min_pool_size(members)
+                        .max_pool_size(members)
+                        .build()
+                        .expect("valid bench config"),
+                    Arc::new(move || Box::new(SpinService { service })),
+                    deps,
+                    None,
+                )
+                .expect("bench pool instantiates"),
+            )
+        }
+    }
+
+    /// The endpoint a stub should connect to as its sentinel.
+    pub(crate) fn sentinel(&self) -> EndpointId {
+        match self {
+            ServerSide::Standalone { endpoint, .. } => *endpoint,
+            ServerSide::Pool(pool) => pool.sentinel(),
+        }
+    }
+
+    pub(crate) fn shutdown(self) {
+        match self {
+            ServerSide::Standalone {
+                join,
+                ctl,
+                endpoint,
+                net,
+            } => {
+                let _ = net.send(ctl, endpoint, RmiMessage::Shutdown.encode());
+                let _ = join.join();
+            }
+            ServerSide::Pool(mut pool) => pool.shutdown(),
+        }
+    }
 }
 
 /// Standard member counts of the baseline grid.

@@ -91,6 +91,17 @@ pub trait Network: Send + Sync {
         let _ = id;
         true
     }
+
+    /// Whether the path toward `id` is congested: the transport has more
+    /// outbound bytes queued for that destination than its high-water mark
+    /// and a pipelined caller should stop injecting until it clears. Like
+    /// [`Network::endpoint_open`] this is advisory — `false` is the safe
+    /// default for transports that cannot tell (sends still succeed either
+    /// way; the queue just grows).
+    fn backpressure(&self, to: EndpointId) -> bool {
+        let _ = to;
+        false
+    }
 }
 
 /// A [`Network`] that can also mint and retire endpoints locally — what a

@@ -17,13 +17,15 @@
 //! messages — is defined one layer up, in the `elasticrmi` crate; this crate
 //! only moves bytes.
 
+pub mod testutil;
 pub mod wire;
 
 mod endpoint;
 mod inproc;
+mod poller;
 mod tcp;
 
 pub use endpoint::{Datagram, EndpointId, Host, Mailbox, Network, RecvError, SendError};
 pub use inproc::InProcNetwork;
-pub use tcp::{TcpHost, TcpStats};
+pub use tcp::{TcpHost, TcpStats, LINK_HIGH_WATER_BYTES};
 pub use wire::{from_bytes, to_bytes, WireError};

@@ -1,0 +1,87 @@
+//! Readiness-polling helpers for socket tests.
+//!
+//! Socket tests used to sprinkle raw `recv_timeout(5s)` calls and
+//! hand-rolled accept loops; under CI load the fixed bounds flake and the
+//! failure messages say nothing about *what* never arrived. These helpers
+//! poll readiness with one generous shared deadline and panic with the
+//! caller's description of the thing being waited for.
+//!
+//! This module is test support shared between the crate's unit tests and
+//! its integration tests (and downstream crates' socket tests); it is not
+//! part of the stable transport API.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::endpoint::{Datagram, Mailbox, RecvError};
+
+/// Ceiling on any single wait. Generous on purpose: a correct system
+/// passes in milliseconds; the bound only decides how long a genuinely
+/// broken run takes to fail.
+pub const TEST_DEADLINE: Duration = Duration::from_secs(30);
+
+/// How often predicates are re-checked while waiting.
+const PROBE: Duration = Duration::from_millis(2);
+
+/// Receives the next datagram, waiting up to [`TEST_DEADLINE`].
+///
+/// # Panics
+///
+/// Panics with `what` if nothing arrives in time or the mailbox closes.
+pub fn recv_ready(mailbox: &Mailbox, what: &str) -> Datagram {
+    let deadline = Instant::now() + TEST_DEADLINE;
+    loop {
+        match mailbox.recv_timeout(Duration::from_millis(50)) {
+            Ok(datagram) => return datagram,
+            Err(RecvError::Timeout) => assert!(
+                Instant::now() < deadline,
+                "timed out after {TEST_DEADLINE:?} waiting for {what}"
+            ),
+            Err(RecvError::Closed) => panic!("mailbox closed while waiting for {what}"),
+        }
+    }
+}
+
+/// Polls `pred` until it returns true.
+///
+/// # Panics
+///
+/// Panics with `what` if the predicate is still false at [`TEST_DEADLINE`].
+pub fn eventually(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + TEST_DEADLINE;
+    while !pred() {
+        assert!(
+            Instant::now() < deadline,
+            "condition not reached within {TEST_DEADLINE:?}: {what}"
+        );
+        std::thread::sleep(PROBE);
+    }
+}
+
+/// Accepts one connection from a *nonblocking* listener, returned blocking
+/// with a read timeout of [`TEST_DEADLINE`] so a wedged test fails loudly
+/// instead of hanging.
+///
+/// # Panics
+///
+/// Panics with `what` if no connection arrives in time.
+pub fn accept_ready(listener: &TcpListener, what: &str) -> TcpStream {
+    let deadline = Instant::now() + TEST_DEADLINE;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).unwrap();
+                stream.set_read_timeout(Some(TEST_DEADLINE)).unwrap();
+                return stream;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                assert!(
+                    Instant::now() < deadline,
+                    "no connection within {TEST_DEADLINE:?}: {what}"
+                );
+                std::thread::sleep(PROBE);
+            }
+            Err(e) => panic!("accept failed while waiting for {what}: {e}"),
+        }
+    }
+}

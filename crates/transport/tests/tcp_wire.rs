@@ -1,11 +1,17 @@
 //! Wire-level tests for the TCP transport: golden frame bytes on a real
-//! socket, reassembly of split/partial frames, coalesced batches, and
-//! reconnect after the peer closes the connection.
+//! socket, reassembly of split/partial/interleaved frames under
+//! pipelining, coalesced batches, and reconnect after the peer closes the
+//! connection.
+//!
+//! All waiting goes through [`erm_transport::testutil`] — readiness
+//! polling with one generous shared deadline — instead of per-call sleeps
+//! and short fixed timeouts, which flaked under CI load.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
+use erm_transport::testutil::{accept_ready, eventually, recv_ready, TEST_DEADLINE};
 use erm_transport::{EndpointId, Network, TcpHost};
 
 /// Fixed frame part after the length word: from + to + addr_len.
@@ -40,31 +46,6 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u64, u64, String, Vec<
     Ok((from, to, addr, payload))
 }
 
-/// Accepts one connection within `timeout` (the listener is non-blocking so
-/// a hung test fails instead of wedging).
-fn accept_within(listener: &TcpListener, timeout: Duration) -> TcpStream {
-    let deadline = Instant::now() + timeout;
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                stream.set_nonblocking(false).unwrap();
-                stream
-                    .set_read_timeout(Some(Duration::from_secs(5)))
-                    .unwrap();
-                return stream;
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                assert!(
-                    Instant::now() < deadline,
-                    "no connection within {timeout:?}"
-                );
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(e) => panic!("accept failed: {e}"),
-        }
-    }
-}
-
 #[test]
 fn golden_frame_bytes_on_the_wire() {
     // A raw listener stands in for the peer so the exact bytes the host
@@ -80,7 +61,7 @@ fn golden_frame_bytes_on_the_wire() {
     host.register_peer(to, peer_addr);
     host.send(from, to, b"hello elastic".to_vec()).unwrap();
 
-    let mut conn = accept_within(&listener, Duration::from_secs(5));
+    let mut conn = accept_ready(&listener, "the host's outbound connection");
     let expected = golden_frame(
         3 << 32,
         (7 << 32) | 5,
@@ -103,6 +84,42 @@ fn golden_frame_bytes_on_the_wire() {
 }
 
 #[test]
+fn pipelined_batch_keeps_exact_golden_bytes() {
+    // A pipelining stub sends many frames back-to-back; the event-driven
+    // writer may coalesce them into fewer socket writes. Whatever the
+    // batching, the byte *stream* must equal the frames' concatenation —
+    // coalescing is a syscall optimisation, never a wire format change.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.set_nonblocking(true).unwrap();
+    let peer_addr: SocketAddr = listener.local_addr().unwrap();
+
+    let host = TcpHost::bind("127.0.0.1:0", 2).unwrap();
+    let (from, _mail) = host.open_endpoint();
+    let to = EndpointId(6 << 32);
+    host.register_peer(to, peer_addr);
+
+    let mut expected = Vec::new();
+    for call in 0..8u64 {
+        let payload = format!("call-{call}").into_bytes();
+        expected.extend_from_slice(&golden_frame(
+            from.0,
+            to.0,
+            &host.local_addr().to_string(),
+            &payload,
+        ));
+        host.send(from, to, payload).unwrap();
+    }
+
+    let mut conn = accept_ready(&listener, "the host's outbound connection");
+    let mut got = vec![0u8; expected.len()];
+    conn.read_exact(&mut got).unwrap();
+    assert_eq!(
+        got, expected,
+        "a coalesced batch must be byte-identical to the frames in order"
+    );
+}
+
+#[test]
 fn split_frames_reassemble_across_short_reads_and_writes() {
     // A raw client dribbles frames at the host byte by byte (worst-case
     // short writes); the framing layer must reassemble them exactly.
@@ -115,7 +132,7 @@ fn split_frames_reassemble_across_short_reads_and_writes() {
         conn.write_all(chunk).unwrap();
         conn.flush().unwrap();
     }
-    let got = mailbox.recv_timeout(Duration::from_secs(5)).unwrap();
+    let got = recv_ready(&mailbox, "the byte-by-byte frame");
     assert_eq!(got.from, EndpointId(9 << 32));
     assert_eq!(got.payload, b"split me");
 
@@ -125,17 +142,11 @@ fn split_frames_reassemble_across_short_reads_and_writes() {
     batch.extend_from_slice(&golden_frame(9 << 32, dest.0, "", b"second"));
     conn.write_all(&batch).unwrap();
     assert_eq!(
-        mailbox
-            .recv_timeout(Duration::from_secs(5))
-            .unwrap()
-            .payload,
+        recv_ready(&mailbox, "first frame of the batch").payload,
         b"first"
     );
     assert_eq!(
-        mailbox
-            .recv_timeout(Duration::from_secs(5))
-            .unwrap()
-            .payload,
+        recv_ready(&mailbox, "second frame of the batch").payload,
         b"second"
     );
 
@@ -143,15 +154,72 @@ fn split_frames_reassemble_across_short_reads_and_writes() {
     let frame = golden_frame(9 << 32, dest.0, "", b"mid-header split");
     conn.write_all(&frame[..10]).unwrap();
     conn.flush().unwrap();
-    std::thread::sleep(Duration::from_millis(20));
+    std::thread::sleep(std::time::Duration::from_millis(20));
     conn.write_all(&frame[10..]).unwrap();
     assert_eq!(
-        mailbox
-            .recv_timeout(Duration::from_secs(5))
-            .unwrap()
-            .payload,
+        recv_ready(&mailbox, "the mid-header-split frame").payload,
         b"mid-header split"
     );
+}
+
+#[test]
+fn pipelined_frames_for_many_endpoints_reassemble_from_irregular_chunks() {
+    // The pipelined-stub wire shape: one connection carrying a long run of
+    // frames for several destination endpoints (and from several logical
+    // senders), with chunk boundaries that never line up with frame
+    // boundaries. Every frame must reach its own mailbox, in stream order,
+    // with sender and payload intact — that correlation is what the
+    // stub's call-id map builds on.
+    let host = TcpHost::bind("127.0.0.1:0", 0).unwrap();
+    let (endpoints, mailboxes): (Vec<_>, Vec<_>) = (0..4).map(|_| host.open_endpoint()).unzip();
+
+    let total = 64usize;
+    let mut stream_bytes = Vec::new();
+    for i in 0..total {
+        let sender = (9u64 << 32) | (i as u64 % 3);
+        let dest = endpoints[i % endpoints.len()];
+        stream_bytes.extend_from_slice(&golden_frame(
+            sender,
+            dest.0,
+            "",
+            format!("call-{i}").as_bytes(),
+        ));
+    }
+
+    // Deterministically irregular chunk sizes: 1..=23 bytes, never aligned
+    // with the frame length, so every header and payload gets split.
+    let mut conn = TcpStream::connect(host.local_addr()).unwrap();
+    let mut off = 0usize;
+    let mut step = 1usize;
+    while off < stream_bytes.len() {
+        let n = step.min(stream_bytes.len() - off);
+        conn.write_all(&stream_bytes[off..off + n]).unwrap();
+        conn.flush().unwrap();
+        off += n;
+        step = (step * 3 + 1) % 23 + 1;
+    }
+
+    for (k, mailbox) in mailboxes.iter().enumerate() {
+        let mut i = k;
+        while i < total {
+            let got = recv_ready(mailbox, &format!("frame call-{i} for endpoint {k}"));
+            assert_eq!(
+                got.from,
+                EndpointId((9u64 << 32) | (i as u64 % 3)),
+                "sender survives reassembly for call-{i}"
+            );
+            assert_eq!(
+                got.payload,
+                format!("call-{i}").as_bytes(),
+                "payload survives reassembly for call-{i}"
+            );
+            i += endpoints.len();
+        }
+        assert!(
+            mailbox.try_recv().is_err(),
+            "no extra frames invented for endpoint {k}"
+        );
+    }
 }
 
 #[test]
@@ -165,15 +233,12 @@ fn inbound_frames_teach_the_reply_route() {
     client.register_host(0, server.local_addr());
 
     client.send(c, s, b"request".to_vec()).unwrap();
-    let req = server_mail.recv_timeout(Duration::from_secs(5)).unwrap();
+    let req = recv_ready(&server_mail, "the client's request");
     assert_eq!(req.payload, b"request");
     // The server never registered the client; the frame taught it.
     server.send(s, req.from, b"reply".to_vec()).unwrap();
     assert_eq!(
-        client_mail
-            .recv_timeout(Duration::from_secs(5))
-            .unwrap()
-            .payload,
+        recv_ready(&client_mail, "the reply over the learned route").payload,
         b"reply"
     );
 }
@@ -192,7 +257,7 @@ fn reconnect_after_peer_close_delivers_later_frames() {
     // First connection: receive one frame, then slam the door.
     host.send(from, to, 0u64.to_le_bytes().to_vec()).unwrap();
     {
-        let mut conn = accept_within(&listener, Duration::from_secs(5));
+        let mut conn = accept_ready(&listener, "the first connection");
         let (_, _, _, payload) = read_frame(&mut conn).unwrap();
         assert_eq!(payload, 0u64.to_le_bytes());
         // Dropping conn closes it; the host's cached connection is now dead.
@@ -202,7 +267,7 @@ fn reconnect_after_peer_close_delivers_later_frames() {
     // few sends may be swallowed by the dead socket's buffer (datagram
     // semantics permit loss); what matters is that the writer reconnects
     // and later frames flow again.
-    let deadline = Instant::now() + Duration::from_secs(10);
+    let deadline = Instant::now() + TEST_DEADLINE;
     let mut seq = 1u64;
     let received = loop {
         assert!(Instant::now() < deadline, "writer never reconnected");
@@ -211,12 +276,12 @@ fn reconnect_after_peer_close_delivers_later_frames() {
         match listener.accept() {
             Ok((mut conn, _)) => {
                 conn.set_nonblocking(false).unwrap();
-                conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                conn.set_read_timeout(Some(TEST_DEADLINE)).unwrap();
                 let (_, _, _, payload) = read_frame(&mut conn).unwrap();
                 break u64::from_le_bytes(payload.try_into().unwrap());
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+                std::thread::sleep(std::time::Duration::from_millis(5));
             }
             Err(e) => panic!("accept failed: {e}"),
         }
@@ -250,13 +315,8 @@ fn broken_peer_turns_endpoint_open_false_and_drops_frames() {
     );
 
     host.send(from, to, b"into the void".to_vec()).unwrap();
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while host.endpoint_open(to) {
-        assert!(
-            Instant::now() < deadline,
-            "writer never marked the unreachable peer broken"
-        );
-        std::thread::sleep(Duration::from_millis(5));
-    }
+    eventually("the unreachable peer is marked broken", || {
+        !host.endpoint_open(to)
+    });
     assert!(host.stats().frames_dropped >= 1);
 }
