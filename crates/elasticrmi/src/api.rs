@@ -355,6 +355,7 @@ mod tests {
             deadline: SimTime::from_secs(10),
             attempt: 1,
             origin: EndpointId(9),
+            semantics: erm_semantics::Semantics::AtLeastOnce,
         };
         ctx.set_invocation(Some(inv));
         assert_eq!(ctx.invocation(), Some(&inv));

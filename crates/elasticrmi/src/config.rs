@@ -9,6 +9,7 @@
 //! because the thresholds only exist inside the coarse-grained variants.
 
 use erm_admission::{AdmissionConfig, Discipline};
+use erm_semantics::{ReplyCacheConfig, SemanticsTable};
 use erm_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
@@ -169,6 +170,8 @@ pub struct PoolConfig {
     overload_capacity: Option<u32>,
     admission: Option<Discipline>,
     queue_delay_grow_above: Option<SimDuration>,
+    semantics: SemanticsTable,
+    reply_cache: Option<ReplyCacheConfig>,
 }
 
 impl PoolConfig {
@@ -183,6 +186,8 @@ impl PoolConfig {
             overload_capacity: None,
             admission: None,
             queue_delay_grow_above: None,
+            semantics: SemanticsTable::default(),
+            reply_cache: None,
         }
     }
 
@@ -242,6 +247,18 @@ impl PoolConfig {
         self.queue_delay_grow_above
     }
 
+    /// Per-method invocation semantics declared for this pool's methods
+    /// (wire v4). Defaults to all-`AtLeastOnce`, the pre-v4 behavior.
+    pub fn semantics(&self) -> &SemanticsTable {
+        &self.semantics
+    }
+
+    /// Skeleton reply-cache tuning (grace window, entry/byte caps), or
+    /// `None` for [`ReplyCacheConfig::default`].
+    pub fn reply_cache_config(&self) -> Option<ReplyCacheConfig> {
+        self.reply_cache
+    }
+
     /// Clamps a desired size into `[min, max]`.
     pub fn clamp_size(&self, desired: i64) -> u32 {
         desired
@@ -285,6 +302,8 @@ pub struct PoolConfigBuilder {
     overload_capacity: Option<u32>,
     admission: Option<Discipline>,
     queue_delay_grow_above: Option<SimDuration>,
+    semantics: SemanticsTable,
+    reply_cache: Option<ReplyCacheConfig>,
 }
 
 impl PoolConfigBuilder {
@@ -336,6 +355,22 @@ impl PoolConfigBuilder {
         self
     }
 
+    /// Declares the pool's per-method invocation semantics (wire v4):
+    /// `AtMostOnce` methods get skeleton-side duplicate suppression via the
+    /// reply cache; `AtLeastOnce` (default) keeps today's retry-anywhere
+    /// behavior; `Maybe` never retransmits.
+    pub fn semantics(mut self, table: SemanticsTable) -> Self {
+        self.semantics = table;
+        self
+    }
+
+    /// Tunes the skeletons' reply cache (grace window past each deadline,
+    /// entry cap, byte cap). Defaults to [`ReplyCacheConfig::default`].
+    pub fn reply_cache(mut self, config: ReplyCacheConfig) -> Self {
+        self.reply_cache = Some(config);
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -374,6 +409,8 @@ impl PoolConfigBuilder {
             overload_capacity: self.overload_capacity,
             admission: self.admission,
             queue_delay_grow_above: self.queue_delay_grow_above,
+            semantics: self.semantics,
+            reply_cache: self.reply_cache,
         })
     }
 }

@@ -10,6 +10,7 @@
 //!   membership broadcasts (the JGroups substitute), rebalance directives
 //!   and the two-phase shutdown handshake of §2.5.
 
+use erm_semantics::Semantics;
 use erm_sim::{SimDuration, SimTime};
 use erm_transport::EndpointId;
 use serde::{Deserialize, Serialize};
@@ -35,10 +36,16 @@ pub struct InvocationContext {
     /// Absolute deadline on the simulation clock. Skeletons refuse to
     /// dispatch past it; redirected attempts inherit (never extend) it.
     pub deadline: SimTime,
-    /// 1-based attempt counter, bumped per retry or followed redirect.
+    /// 1-based attempt counter, strictly increasing per resend (timeout
+    /// retry, fast-failover, followed redirect) so skeletons can tell
+    /// replays from new work.
     pub attempt: u32,
     /// The invoking stub's reply endpoint.
     pub origin: EndpointId,
+    /// The method's declared invocation semantics (wire v4). Carried in the
+    /// context so every hop — including members reached via redirect —
+    /// applies the same contract without a registry lookup.
+    pub semantics: Semantics,
 }
 
 impl InvocationContext {
@@ -126,6 +133,11 @@ pub enum RmiMessage {
         call: CallId,
         /// Encoded return value, or the propagated remote exception.
         outcome: Result<Vec<u8>, RemoteError>,
+        /// Whether this reply was served from the skeleton's reply cache
+        /// (an `AtMostOnce` duplicate suppressed instead of re-executed,
+        /// wire v4). Diagnostic only — the stub counts it but treats the
+        /// outcome identically.
+        replayed: bool,
     },
     /// Draining skeleton → stub: this member is leaving; retry one of
     /// `members` (paper §2.5: skeletons "redirect all further method
@@ -241,6 +253,7 @@ mod tests {
             deadline: SimTime::from_micros(1_500_000),
             attempt: 2,
             origin: EndpointId(11),
+            semantics: Semantics::AtLeastOnce,
         }
     }
 
@@ -252,13 +265,24 @@ mod tests {
             method: "put".into(),
             args: vec![1, 2, 3],
         });
+        roundtrip(RmiMessage::Request {
+            call: 7,
+            context: InvocationContext {
+                semantics: Semantics::AtMostOnce,
+                ..ctx()
+            },
+            method: "route".into(),
+            args: vec![1],
+        });
         roundtrip(RmiMessage::Response {
             call: 7,
             outcome: Ok(vec![4, 5]),
+            replayed: false,
         });
         roundtrip(RmiMessage::Response {
             call: 8,
             outcome: Err(RemoteError::no_such_method("frob")),
+            replayed: true,
         });
         roundtrip(RmiMessage::Redirected {
             call: 9,

@@ -122,6 +122,7 @@ pub struct ElasticPool {
     net: Arc<dyn Host>,
     clock: SharedClock,
     trace: TraceHandle,
+    semantics: crate::SemanticsTable,
     cmd_tx: Sender<Command>,
     runtime: Option<JoinHandle<()>>,
 }
@@ -180,6 +181,7 @@ impl ElasticPool {
         });
         let (cmd_tx, cmd_rx) = unbounded();
         let (ctl, ctl_mailbox) = deps.net.open();
+        let semantics = config.semantics().clone();
         let mut runtime = Runtime {
             config,
             deps: deps.clone(),
@@ -210,6 +212,7 @@ impl ElasticPool {
             net: deps.net,
             clock: deps.clock,
             trace: deps.trace,
+            semantics,
             cmd_tx,
             runtime: Some(handle),
         };
@@ -275,6 +278,10 @@ impl ElasticPool {
             Arc::clone(&self.clock),
         )?;
         stub.set_trace(self.trace.clone());
+        // Stubs stamp each request's `context.semantics` from the pool's
+        // declared per-method table (wire v4), so at-most-once methods are
+        // protected end-to-end without per-caller wiring.
+        stub.set_semantics(self.semantics.clone());
         Ok(stub)
     }
 
@@ -507,6 +514,9 @@ impl Runtime {
             self.deps.trace.clone(),
             self.config.admission_config(),
         );
+        if let Some(reply_cache) = self.config.reply_cache_config() {
+            skeleton.set_reply_cache(reply_cache);
+        }
         skeleton.set_metrics(&self.deps.metrics);
         let join = std::thread::Builder::new()
             .name(format!("erm-member-{uid}"))

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use erm_semantics::Semantics;
 use erm_sim::{SharedClock, SimDuration, SystemClock};
 use erm_transport::{EndpointId, Host, Mailbox, Network, RecvError};
 
@@ -138,7 +139,12 @@ fn serve(endpoint: EndpointId, mailbox: Mailbox, net: Arc<dyn Network>) {
         let _ = net.send(
             endpoint,
             datagram.from,
-            RmiMessage::Response { call, outcome }.encode(),
+            RmiMessage::Response {
+                call,
+                outcome,
+                replayed: false,
+            }
+            .encode(),
         );
     }
 }
@@ -195,11 +201,16 @@ impl RegistryClient {
         let call = self.next_call;
         self.next_call += 1;
         let args = erm_transport::to_bytes(args).map_err(|e| RmiError::Encode(e.to_string()))?;
+        // One wire attempt per call (this client never retransmits), so the
+        // 1-based attempt counter is literally 1 — the same convention the
+        // stub's resend paths continue from. Registry operations are
+        // idempotent lookups/bindings, so `AtLeastOnce` is honest.
         let context = InvocationContext {
             id: call,
             deadline: self.clock.now() + SimDuration::from_micros(self.timeout.as_micros() as u64),
             attempt: 1,
             origin: self.endpoint,
+            semantics: Semantics::AtLeastOnce,
         };
         self.net
             .send(
@@ -222,8 +233,9 @@ impl RegistryClient {
             }
             match self.mailbox.recv_timeout(remaining) {
                 Ok(d) => {
-                    if let Ok(RmiMessage::Response { call: c, outcome }) =
-                        RmiMessage::decode(&d.payload)
+                    if let Ok(RmiMessage::Response {
+                        call: c, outcome, ..
+                    }) = RmiMessage::decode(&d.payload)
                     {
                         if c != call {
                             continue;

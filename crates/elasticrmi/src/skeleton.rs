@@ -27,9 +27,10 @@ use std::time::Duration;
 
 use erm_admission::{suggest_retry_after, AdmissionConfig, AdmissionQueue, RejectReason};
 use erm_metrics::{
-    AdmissionCounters, AdmissionStats, Histogram, LatencyTracker, MetricsHandle, TraceEvent,
-    TraceHandle,
+    AdmissionCounters, AdmissionStats, Counter, Gauge, Histogram, LatencyTracker, MetricsHandle,
+    TraceEvent, TraceHandle,
 };
+use erm_semantics::{DedupStats, Lookup, ReplyCache, ReplyCacheConfig, Semantics};
 use erm_sim::{SharedClock, SimDuration, SimTime};
 use erm_transport::{Datagram, EndpointId, Mailbox, Network, RecvError};
 
@@ -110,9 +111,21 @@ pub struct Skeleton {
     trace: TraceHandle,
     queue: AdmissionQueue<QueuedRequest>,
     counters: Arc<AdmissionCounters>,
+    /// Duplicate-suppression cache for `AtMostOnce` methods (wire v4),
+    /// consulted *before* admission so suppressed attempts never occupy a
+    /// run-queue slot.
+    reply_cache: ReplyCache<Result<Vec<u8>, RemoteError>>,
+    /// Last cache stats published to the shared metrics instruments; the
+    /// diff is what gets added, so pool members aggregate correctly.
+    published_dedup: DedupStats,
+    published_cache_len: usize,
     // Registry instruments; disabled (no-op) unless `set_metrics` was called.
     queue_delay_hist: Histogram,
     service_time_hist: Histogram,
+    dedup_hits: Counter,
+    dedup_replayed: Counter,
+    dedup_evicted: Counter,
+    dedup_size: Gauge,
 }
 
 impl Skeleton {
@@ -151,9 +164,23 @@ impl Skeleton {
             served_since_start: 0,
             queue: admission.map_or_else(AdmissionQueue::unbounded_fifo, AdmissionQueue::new),
             counters: Arc::new(AdmissionCounters::new()),
+            reply_cache: ReplyCache::new(ReplyCacheConfig::default()),
+            published_dedup: DedupStats::default(),
+            published_cache_len: 0,
             queue_delay_hist: Histogram::disabled(),
             service_time_hist: Histogram::disabled(),
+            dedup_hits: Counter::disabled(),
+            dedup_replayed: Counter::disabled(),
+            dedup_evicted: Counter::disabled(),
+            dedup_size: Gauge::disabled(),
         }
+    }
+
+    /// Replaces the reply-cache tuning (grace window, entry/byte caps).
+    /// Call before the skeleton starts serving; swapping the cache mid-run
+    /// would forget in-flight suppression state.
+    pub fn set_reply_cache(&mut self, config: ReplyCacheConfig) {
+        self.reply_cache = ReplyCache::new(config);
     }
 
     /// Registers this skeleton's instruments (`skeleton.queue.delay`,
@@ -162,6 +189,13 @@ impl Skeleton {
     pub fn set_metrics(&mut self, metrics: &MetricsHandle) {
         self.queue_delay_hist = metrics.histogram("skeleton.queue.delay");
         self.service_time_hist = metrics.histogram("skeleton.service.time");
+        // Duplicate-suppression instruments (wire v4). Registered eagerly so
+        // they appear in CSV exports even before the first suppression; the
+        // gauge is updated by deltas so it sums across pool members.
+        self.dedup_hits = metrics.counter("rmi.dedup.hits");
+        self.dedup_replayed = metrics.counter("rmi.dedup.replayed");
+        self.dedup_evicted = metrics.counter("rmi.dedup.evicted");
+        self.dedup_size = metrics.gauge("rmi.dedup.cache.size");
     }
 
     /// This member's uid.
@@ -182,6 +216,42 @@ impl Skeleton {
     /// Admission decisions taken since start.
     pub fn admission_stats(&self) -> AdmissionStats {
         self.counters.snapshot()
+    }
+
+    /// Duplicate-suppression counters for this member's reply cache.
+    pub fn dedup_stats(&self) -> DedupStats {
+        self.reply_cache.stats()
+    }
+
+    /// Live reply-cache entries (in-progress + completed).
+    pub fn reply_cache_len(&self) -> usize {
+        self.reply_cache.len()
+    }
+
+    /// Runs a deterministic TTL sweep at the current sim time and returns
+    /// the live entries left. Harnesses call this at quiesce to prove the
+    /// cache drains to zero once every deadline (+ grace) has passed.
+    pub fn sweep_reply_cache(&mut self) -> usize {
+        let now = self.clock.now();
+        self.reply_cache.expire(now);
+        self.sync_dedup_metrics();
+        self.reply_cache.len()
+    }
+
+    /// Publishes the diff between the cache's internal counters and what was
+    /// last pushed to the shared metrics instruments.
+    fn sync_dedup_metrics(&mut self) {
+        let s = self.reply_cache.stats();
+        self.dedup_hits.add(s.hits - self.published_dedup.hits);
+        self.dedup_replayed
+            .add(s.replayed - self.published_dedup.replayed);
+        self.dedup_evicted
+            .add(s.evicted - self.published_dedup.evicted);
+        self.published_dedup = s;
+        let len = self.reply_cache.len();
+        self.dedup_size
+            .add(len as i64 - self.published_cache_len as i64);
+        self.published_cache_len = len;
     }
 
     /// Runs the event loop until shutdown completes or the mailbox closes.
@@ -288,6 +358,11 @@ impl Skeleton {
                     self.epoch = epoch;
                     self.sentinel_uid = sentinel_uid;
                     self.members = members;
+                    // Scope the reply cache to the membership epoch: entries
+                    // stay valid (the at-most-once contract is per
+                    // invocation), but carryover across re-elections is
+                    // counted so churn-era suppression stays observable.
+                    self.reply_cache.set_epoch(epoch);
                 }
                 false
             }
@@ -334,6 +409,37 @@ impl Skeleton {
         args: Vec<u8>,
     ) {
         let now = self.clock.now();
+        // TTL sweep first so a dead entry can never shadow live work, then
+        // the duplicate check — *before* any admission decision, so a
+        // suppressed attempt never occupies a run-queue slot and a draining
+        // member replays cached replies instead of redirecting duplicates.
+        self.reply_cache.expire(now);
+        if context.semantics == Semantics::AtMostOnce {
+            match self
+                .reply_cache
+                .lookup(context.origin, context.id, from, call, now)
+            {
+                Lookup::Miss => self.sync_dedup_metrics(),
+                Lookup::Parked => {
+                    // A duplicate of an in-flight invocation: merged into
+                    // the first execution, answered when it completes.
+                    self.sync_dedup_metrics();
+                    return;
+                }
+                Lookup::Replay(outcome) => {
+                    self.sync_dedup_metrics();
+                    self.send(
+                        from,
+                        RmiMessage::Response {
+                            call,
+                            outcome,
+                            replayed: true,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
         let request = QueuedRequest {
             from,
             call,
@@ -346,8 +452,9 @@ impl Skeleton {
                 // Pending at shutdown time: still executed (§2.5), so it
                 // bypasses the capacity check — but not the deadline.
                 self.drain_budget -= 1;
-                if let Err(rejected) = self.queue.force(now, context.deadline, request) {
-                    self.reject_expired(now, rejected.item, rejected.reason);
+                match self.queue.force(now, context.deadline, request) {
+                    Ok(_) => self.begin_dedup(&context),
+                    Err(rejected) => self.reject_expired(now, rejected.item, rejected.reason),
                 }
             } else {
                 self.counters.shed();
@@ -378,6 +485,7 @@ impl Skeleton {
         match self.queue.offer(now, context.deadline, request) {
             Ok(depth) => {
                 self.counters.admit();
+                self.begin_dedup(&context);
                 self.trace.emit(
                     now,
                     TraceEvent::RequestAdmitted {
@@ -440,11 +548,32 @@ impl Skeleton {
                     late_by,
                 },
             );
+            let outcome = Err(RemoteError::deadline_exceeded(&dead.item.method, late_by));
+            // The invocation died unexecuted: drop its in-progress cache
+            // entry (a fresh retry would be legal — it just can't beat the
+            // deadline) and give every parked duplicate the same failure.
+            if dead.item.context.semantics == Semantics::AtMostOnce {
+                let waiters = self
+                    .reply_cache
+                    .abort(dead.item.context.origin, dead.item.context.id);
+                for w in waiters {
+                    self.send(
+                        w.from,
+                        RmiMessage::Response {
+                            call: w.call,
+                            outcome: outcome.clone(),
+                            replayed: true,
+                        },
+                    );
+                }
+                self.sync_dedup_metrics();
+            }
             self.send(
                 dead.item.from,
                 RmiMessage::Response {
                     call: dead.item.call,
-                    outcome: Err(RemoteError::deadline_exceeded(&dead.item.method, late_by)),
+                    outcome,
+                    replayed: false,
                 },
             );
         }
@@ -479,15 +608,49 @@ impl Skeleton {
                 ran_for: latency,
             },
         );
+        if request.context.semantics == Semantics::AtMostOnce {
+            // Cache the reply for future duplicates (charged by payload
+            // size) and answer every attempt that parked while it ran.
+            let bytes = outcome.as_ref().map_or(0, Vec::len);
+            let waiters = self.reply_cache.complete(
+                request.context.origin,
+                request.context.id,
+                outcome.clone(),
+                bytes,
+            );
+            for w in waiters {
+                self.send(
+                    w.from,
+                    RmiMessage::Response {
+                        call: w.call,
+                        outcome: outcome.clone(),
+                        replayed: true,
+                    },
+                );
+            }
+            self.sync_dedup_metrics();
+        }
         self.send(
             request.from,
             RmiMessage::Response {
                 call: request.call,
                 outcome,
+                replayed: false,
             },
         );
         self.check_drain_done();
         true
+    }
+
+    /// Records an admitted `AtMostOnce` invocation as in flight. Called only
+    /// after admission accepted the request — an entry for a rejected
+    /// attempt would blackhole legitimate retries until its TTL.
+    fn begin_dedup(&mut self, context: &InvocationContext) {
+        if context.semantics == Semantics::AtMostOnce {
+            self.reply_cache
+                .begin(context.origin, context.id, context.deadline);
+            self.sync_dedup_metrics();
+        }
     }
 
     fn reject_expired(&mut self, now: SimTime, request: QueuedRequest, reason: RejectReason) {
@@ -509,6 +672,7 @@ impl Skeleton {
             RmiMessage::Response {
                 call: request.call,
                 outcome: Err(RemoteError::deadline_exceeded(&request.method, late_by)),
+                replayed: false,
             },
         );
         self.check_drain_done();
@@ -636,7 +800,7 @@ mod tests {
     use erm_kvstore::{Store, StoreConfig};
     use erm_sim::VirtualClock;
     use erm_transport::{Host, InProcNetwork};
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     /// Echo service: returns its argument; "fail" raises a remote error.
     struct Echo;
@@ -661,6 +825,24 @@ mod tests {
         }
     }
 
+    /// Non-idempotent service: every dispatch increments a shared counter
+    /// and returns the post-increment value, so a duplicate execution is
+    /// visible both in the counter and in the divergent reply payloads.
+    struct CountingService {
+        executions: Arc<AtomicU32>,
+    }
+    impl ElasticService for CountingService {
+        fn dispatch(
+            &mut self,
+            _method: &str,
+            _args: &[u8],
+            _ctx: &mut ServiceContext,
+        ) -> Result<Vec<u8>, RemoteError> {
+            let n = self.executions.fetch_add(1, Ordering::SeqCst) + 1;
+            crate::api::encode_result(&n)
+        }
+    }
+
     struct Rig {
         net: InProcNetwork,
         clock: Arc<VirtualClock>,
@@ -677,6 +859,13 @@ mod tests {
     }
 
     fn rig_with_admission(admission: Option<AdmissionConfig>) -> Rig {
+        rig_with_service(admission, Box::new(Echo))
+    }
+
+    fn rig_with_service(
+        admission: Option<AdmissionConfig>,
+        service: Box<dyn ElasticService>,
+    ) -> Rig {
         let net = InProcNetwork::new();
         let (skel_ep, skel_mb) = net.open();
         let (client, client_mb) = net.open();
@@ -696,7 +885,7 @@ mod tests {
             runtime,
             Arc::new(net.clone()),
             Arc::<VirtualClock>::clone(&clock) as SharedClock,
-            Box::new(Echo),
+            service,
             ctx,
             TraceHandle::disabled(),
             admission,
@@ -720,6 +909,7 @@ mod tests {
     /// A context with plenty of budget left on the rig's virtual clock.
     fn live_ctx(id: u64) -> InvocationContext {
         InvocationContext {
+            semantics: Semantics::AtLeastOnce,
             id,
             deadline: SimTime::from_secs(1_000),
             attempt: 1,
@@ -743,6 +933,7 @@ mod tests {
         );
         match recv(&r.client_mailbox) {
             RmiMessage::Response {
+                replayed: _,
                 call: 1,
                 outcome: Ok(bytes),
             } => {
@@ -769,6 +960,7 @@ mod tests {
         );
         match recv(&r.client_mailbox) {
             RmiMessage::Response {
+                replayed: _,
                 call: 2,
                 outcome: Err(e),
             } => assert_eq!(e.kind, "AppError"),
@@ -795,6 +987,183 @@ mod tests {
             } => assert_eq!(e.kind, "NoSuchMethod"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn dropped_reply_retry_executes_twice_without_protection() {
+        // The failing half of the duplicate-execution repro: a lost reply
+        // makes the stub retransmit, and under the default `AtLeastOnce`
+        // contract the skeleton happily runs the method again — one
+        // invocation, two executions, divergent replies.
+        let executions = Arc::new(AtomicU32::new(0));
+        let mut r = rig_with_service(
+            None,
+            Box::new(CountingService {
+                executions: Arc::clone(&executions),
+            }),
+        );
+        let mut ctx = live_ctx(1);
+        assert_eq!(ctx.semantics, Semantics::AtLeastOnce);
+        r.skeleton.handle(
+            r.client,
+            RmiMessage::Request {
+                call: 1,
+                context: ctx,
+                method: "incr".into(),
+                args: vec![],
+            },
+            &r.skeleton_mailbox,
+        );
+        // The network "drops" the first reply; the stub's retry arrives with
+        // the same invocation id and a bumped attempt counter.
+        let _lost = recv(&r.client_mailbox);
+        ctx.attempt = 2;
+        r.skeleton.handle(
+            r.client,
+            RmiMessage::Request {
+                call: 2,
+                context: ctx,
+                method: "incr".into(),
+                args: vec![],
+            },
+            &r.skeleton_mailbox,
+        );
+        match recv(&r.client_mailbox) {
+            RmiMessage::Response {
+                call: 2,
+                outcome: Ok(bytes),
+                replayed: false,
+            } => {
+                let n: u32 = erm_transport::from_bytes(&bytes).unwrap();
+                assert_eq!(n, 2, "retry observed the second execution");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            executions.load(Ordering::SeqCst),
+            2,
+            "unprotected retry re-executed the non-idempotent method"
+        );
+    }
+
+    #[test]
+    fn at_most_once_suppresses_duplicate_and_replays_cached_reply() {
+        // The fixed half: the same dropped-reply scenario under `AtMostOnce`
+        // executes once; the duplicate is answered from the reply cache with
+        // a byte-identical payload and the `replayed` flag set.
+        let executions = Arc::new(AtomicU32::new(0));
+        let mut r = rig_with_service(
+            None,
+            Box::new(CountingService {
+                executions: Arc::clone(&executions),
+            }),
+        );
+        let mut ctx = live_ctx(1);
+        ctx.semantics = Semantics::AtMostOnce;
+        r.skeleton.handle(
+            r.client,
+            RmiMessage::Request {
+                call: 1,
+                context: ctx,
+                method: "incr".into(),
+                args: vec![],
+            },
+            &r.skeleton_mailbox,
+        );
+        let first = match recv(&r.client_mailbox) {
+            RmiMessage::Response {
+                call: 1,
+                outcome: Ok(bytes),
+                replayed: false,
+            } => bytes,
+            other => panic!("unexpected {other:?}"),
+        };
+        ctx.attempt = 2;
+        r.skeleton.handle(
+            r.client,
+            RmiMessage::Request {
+                call: 2,
+                context: ctx,
+                method: "incr".into(),
+                args: vec![],
+            },
+            &r.skeleton_mailbox,
+        );
+        match recv(&r.client_mailbox) {
+            RmiMessage::Response {
+                call: 2,
+                outcome: Ok(bytes),
+                replayed: true,
+            } => assert_eq!(bytes, first, "replay must be byte-identical"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "executed once");
+        let stats = r.skeleton.dedup_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.replayed, 1);
+    }
+
+    #[test]
+    fn duplicate_of_in_flight_invocation_parks_and_merges() {
+        // A duplicate arriving while the first attempt is still queued must
+        // not enter the run queue; it parks on the in-progress entry and is
+        // answered when the single execution completes.
+        let executions = Arc::new(AtomicU32::new(0));
+        let mut r = rig_with_service(
+            None,
+            Box::new(CountingService {
+                executions: Arc::clone(&executions),
+            }),
+        );
+        let mut ctx = live_ctx(1);
+        ctx.semantics = Semantics::AtMostOnce;
+        // Ingest both attempts before stepping: the first is admitted, the
+        // second parks.
+        r.skeleton.ingest(
+            r.client,
+            RmiMessage::Request {
+                call: 1,
+                context: ctx,
+                method: "incr".into(),
+                args: vec![],
+            },
+            &r.skeleton_mailbox,
+        );
+        ctx.attempt = 2;
+        r.skeleton.ingest(
+            r.client,
+            RmiMessage::Request {
+                call: 2,
+                context: ctx,
+                method: "incr".into(),
+                args: vec![],
+            },
+            &r.skeleton_mailbox,
+        );
+        assert!(
+            r.client_mailbox.try_recv().is_err(),
+            "parked duplicate must not be answered before execution"
+        );
+        while r.skeleton.step() {}
+        let mut replies = std::collections::BTreeMap::new();
+        while let Ok(d) = r.client_mailbox.try_recv() {
+            match RmiMessage::decode(&d.payload).unwrap() {
+                RmiMessage::Response {
+                    call,
+                    outcome: Ok(bytes),
+                    replayed,
+                } => {
+                    replies.insert(call, (bytes, replayed));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "merged, not re-run");
+        assert_eq!(replies.len(), 2, "both attempts answered");
+        assert_eq!(replies[&1].0, replies[&2].0, "identical payloads");
+        assert!(!replies[&1].1, "original reply is not a replay");
+        assert!(replies[&2].1, "parked duplicate is flagged as replayed");
+        assert_eq!(r.skeleton.dedup_stats().parked, 1);
     }
 
     #[test]
@@ -1034,6 +1403,7 @@ mod tests {
             RmiMessage::Request {
                 call: 8,
                 context: InvocationContext {
+                    semantics: Semantics::AtLeastOnce,
                     id: 70,
                     deadline: SimTime::ZERO,
                     attempt: 1,
@@ -1046,6 +1416,7 @@ mod tests {
         );
         match recv(&r.client_mailbox) {
             RmiMessage::Response {
+                replayed: _,
                 call: 8,
                 outcome: Err(e),
             } => {
@@ -1122,6 +1493,7 @@ mod tests {
         RmiMessage::Request {
             call,
             context: InvocationContext {
+                semantics: Semantics::AtLeastOnce,
                 id: call,
                 deadline,
                 attempt: 1,
@@ -1215,6 +1587,7 @@ mod tests {
         let first = recv(&r.client_mailbox);
         match first {
             RmiMessage::Response {
+                replayed: _,
                 call: 0,
                 outcome: Err(e),
             } => assert!(e.is_deadline_exceeded()),
@@ -1223,6 +1596,7 @@ mod tests {
         assert!(matches!(
             recv(&r.client_mailbox),
             RmiMessage::Response {
+                replayed: _,
                 call: 1,
                 outcome: Ok(_),
             }

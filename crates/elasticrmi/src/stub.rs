@@ -28,6 +28,7 @@ use std::time::Duration;
 
 use erm_admission::AimdLimiter;
 use erm_metrics::{TraceEvent, TraceHandle};
+use erm_semantics::{Semantics, SemanticsTable};
 use erm_sim::{seeded_rng, SharedClock, SimDuration, SimTime};
 use erm_transport::{Datagram, EndpointId, Mailbox, Network, RecvError};
 use rand::rngs::StdRng;
@@ -76,6 +77,9 @@ pub struct StubStats {
     /// Attempts that failed fast because the target endpoint was closed
     /// (member crash), rather than waiting out the reply timeout.
     pub connections_closed: u64,
+    /// Replies served from a skeleton's reply cache — a duplicate attempt
+    /// suppressed instead of re-executed (wire v4).
+    pub replays: u64,
 }
 
 /// A stub bound to one elastic object pool.
@@ -99,6 +103,8 @@ pub struct Stub {
     trace: TraceHandle,
     stats: StubStats,
     limiter: Option<Arc<AimdLimiter>>,
+    /// Per-method invocation semantics; default all-`AtLeastOnce`.
+    semantics: SemanticsTable,
     /// Outstanding invocations by id — the call-stack state of the old
     /// blocking retry loop, one entry per in-flight invocation.
     pending: BTreeMap<u64, Pending>,
@@ -164,6 +170,7 @@ impl Stub {
             trace: TraceHandle::disabled(),
             stats: StubStats::default(),
             limiter: None,
+            semantics: SemanticsTable::default(),
             pending: BTreeMap::new(),
             calls: HashMap::new(),
             completed: BTreeMap::new(),
@@ -207,6 +214,22 @@ impl Stub {
     /// The installed AIMD limiter, if any.
     pub fn limiter(&self) -> Option<&Arc<AimdLimiter>> {
         self.limiter.as_ref()
+    }
+
+    /// Declares per-method invocation semantics (wire v4). The chosen
+    /// [`Semantics`] rides inside each invocation's context, and the stub's
+    /// retry policy changes accordingly:
+    ///
+    /// * `AtLeastOnce` (default) — today's behavior: retry anywhere.
+    /// * `AtMostOnce` — once an attempt is *delivered* to a member, the
+    ///   invocation commits to that member: silence (timeout, broken
+    ///   connection) re-asks the same member, whose reply cache suppresses
+    ///   the duplicate; only an explicit refusal (`Redirected`,
+    ///   `Overloaded`) — proof the request never executed — releases the
+    ///   commitment and resumes failover.
+    /// * `Maybe` — one wire attempt, no retransmission ever.
+    pub fn set_semantics(&mut self, table: SemanticsTable) {
+        self.semantics = table;
     }
 
     /// The member endpoints the stub currently knows.
@@ -308,11 +331,16 @@ impl Stub {
             holds_slot = true;
         }
         let now = self.clock.now();
+        // `attempt: 0` is the never-sent sentinel, not a wire value:
+        // `fire_attempt` stamps the 1-based, strictly-increasing attempt
+        // counter onto the context before every send (first attempt and
+        // every resend alike), so skeletons only ever see attempt >= 1.
         let context = InvocationContext {
             id: invocation,
             deadline: now + self.invocation_budget,
             attempt: 0,
             origin: self.endpoint,
+            semantics: self.semantics.semantics_for(method),
         };
         let targets = self.target_order();
         self.pending.insert(
@@ -328,6 +356,7 @@ impl Stub {
                 refreshed: false,
                 awaiting_refresh: false,
                 holds_slot,
+                committed: None,
                 state: PendingState::Idle { not_before: now },
             },
         );
@@ -429,10 +458,19 @@ impl Stub {
             return;
         };
         match msg {
-            RmiMessage::Response { call, outcome } => {
+            RmiMessage::Response {
+                call,
+                outcome,
+                replayed,
+            } => {
                 let Some(invocation) = self.calls.remove(&call) else {
                     return;
                 };
+                if replayed {
+                    // Served from the skeleton's reply cache: a duplicate of
+                    // ours was suppressed rather than re-executed.
+                    self.stats.replays += 1;
+                }
                 self.finish_completed(invocation, outcome.map_err(RmiError::Remote));
             }
             RmiMessage::Redirected {
@@ -497,7 +535,9 @@ impl Stub {
                 (
                     pending.state,
                     pending.context.is_expired(now),
-                    pending.next_target >= pending.targets.len(),
+                    // A committed at-most-once invocation never runs out of
+                    // targets: it re-asks its member until the deadline.
+                    pending.committed.is_none() && pending.next_target >= pending.targets.len(),
                     pending.awaiting_refresh,
                 )
             };
@@ -560,9 +600,22 @@ impl Stub {
             let Some(pending) = self.pending.get_mut(&invocation) else {
                 return;
             };
-            let target = pending.targets[pending.next_target];
-            pending.next_target += 1;
+            // A committed at-most-once invocation is pinned to the member
+            // that already took delivery — its reply cache is the only
+            // thing that can answer without a second execution. Everyone
+            // else walks the target order.
+            let target = match pending.committed {
+                Some(member) => member,
+                None => {
+                    let t = pending.targets[pending.next_target];
+                    pending.next_target += 1;
+                    t
+                }
+            };
             pending.attempts += 1;
+            // The wire attempt counter is 1-based and strictly increasing
+            // across every resend path (timeout retry, fast-failover,
+            // redirect splice) — the regression contract of wire v4.
             pending.context.attempt = pending.attempts;
             let msg = RmiMessage::Request {
                 call,
@@ -595,6 +648,13 @@ impl Stub {
             self.on_connection_closed(invocation, target);
             return;
         }
+        if let Some(pending) = self.pending.get_mut(&invocation) {
+            if pending.context.semantics == Semantics::AtMostOnce {
+                // Delivered: the member may execute it at any point from
+                // here on, so the invocation commits to this member.
+                pending.committed = Some(target);
+            }
+        }
         // The attempt waits until its reply timeout or the invocation's
         // deadline, whichever comes first — on the injected clock.
         let attempt_deadline = (now + self.reply_timeout).min(deadline);
@@ -625,12 +685,17 @@ impl Stub {
                 target: target.0,
             },
         );
+        // `Maybe`: strictly one wire attempt — any failure after it is
+        // terminal, never a retransmission.
+        if self.finish_if_maybe(invocation) {
+            return;
+        }
         self.maybe_refresh(invocation);
         let now = self.clock.now();
         let Some(pending) = self.pending.get_mut(&invocation) else {
             return;
         };
-        if pending.next_target < pending.targets.len() {
+        if pending.committed.is_some() || pending.next_target < pending.targets.len() {
             // Fast failover is a stampede risk: every client that was
             // waiting on the dead member retries at once. A seeded,
             // jittered, exponentially growing delay (1 ms base, 16 ms cap,
@@ -662,11 +727,27 @@ impl Stub {
                 target: target.0,
             },
         );
+        if self.finish_if_maybe(invocation) {
+            return;
+        }
         self.maybe_refresh(invocation);
         let now = self.clock.now();
         if let Some(pending) = self.pending.get_mut(&invocation) {
             pending.state = PendingState::Idle { not_before: now };
         }
+    }
+
+    /// Terminates a `Maybe` invocation after its single attempt failed.
+    /// Returns whether it did.
+    fn finish_if_maybe(&mut self, invocation: u64) -> bool {
+        let is_maybe = self
+            .pending
+            .get(&invocation)
+            .is_some_and(|pending| pending.context.semantics == Semantics::Maybe);
+        if is_maybe {
+            self.finish_unreachable(invocation);
+        }
+        is_maybe
     }
 
     /// A member redirected the call: try the suggested members next
@@ -677,12 +758,19 @@ impl Stub {
         mut suggested: Vec<EndpointId>,
         deadline: SimTime,
     ) {
+        if self.finish_if_maybe(invocation) {
+            return;
+        }
         self.stats.redirects_followed += 1;
         let now = self.clock.now();
         let (attempt, remaining) = {
             let Some(pending) = self.pending.get_mut(&invocation) else {
                 return;
             };
+            // An explicit refusal proves the request never executed there
+            // (the reply cache is consulted before the drain redirect), so
+            // an at-most-once commitment is released and failover resumes.
+            pending.committed = None;
             // A redirect never extends the budget: the follow-up attempt
             // inherits whichever deadline is tighter.
             pending.context.deadline = pending.context.deadline.min(deadline);
@@ -725,9 +813,15 @@ impl Stub {
                     .overload_hint
                     .map_or(retry_after, |h| h.min(retry_after)),
             );
+            // Refused before queueing — proof of non-execution, so an
+            // at-most-once commitment is released like on a redirect.
+            pending.committed = None;
             pending.state = PendingState::Idle { not_before: now };
             (pending.attempts, target)
         };
+        if self.finish_if_maybe(invocation) {
+            return;
+        }
         self.trace.emit(
             now,
             TraceEvent::AttemptOverloaded {
@@ -979,6 +1073,11 @@ struct Pending {
     awaiting_refresh: bool,
     /// Whether this invocation holds an AIMD limiter slot to return.
     holds_slot: bool,
+    /// `AtMostOnce` only: the member a request was *delivered* to. From
+    /// then on every resend goes back to that member (its reply cache
+    /// dedups); an explicit refusal (`Redirected`/`Overloaded`) proves the
+    /// request never executed and clears the commitment.
+    committed: Option<EndpointId>,
     state: PendingState,
 }
 
@@ -1109,6 +1208,7 @@ mod tests {
             (a, b, stub.stats())
         });
         let ok = |call: u64| RmiMessage::Response {
+            replayed: false,
             call,
             outcome: Ok(erm_transport::to_bytes(&1u32).unwrap()),
         };
@@ -1134,6 +1234,7 @@ mod tests {
             (v, stub.stats())
         });
         sentinel.answer(|call| RmiMessage::Response {
+            replayed: false,
             call,
             outcome: Ok(erm_transport::to_bytes(&9u32).unwrap()),
         });
@@ -1168,6 +1269,7 @@ mod tests {
         ));
         net.close_endpoint(m1.endpoint);
         sentinel.answer(|call| RmiMessage::Response {
+            replayed: false,
             call,
             outcome: Ok(erm_transport::to_bytes(&4u32).unwrap()),
         });
@@ -1219,6 +1321,7 @@ mod tests {
             deadline: SimTime::from_secs(1_000_000),
         });
         m2.answer(|call| RmiMessage::Response {
+            replayed: false,
             call,
             outcome: Ok(erm_transport::to_bytes(&5u32).unwrap()),
         });
@@ -1234,6 +1337,7 @@ mod tests {
         let mut stub = connect(&net, &sentinel, &[&sentinel]);
         let h = std::thread::spawn(move || stub.invoke::<(), u32>("m", &()));
         sentinel.answer(|call| RmiMessage::Response {
+            replayed: false,
             call,
             outcome: Err(RemoteError::new("AppError", "no")),
         });
@@ -1275,6 +1379,7 @@ mod tests {
             sentinel.endpoint,
             d.from,
             RmiMessage::Response {
+                replayed: false,
                 call: call + 999,
                 outcome: Ok(erm_transport::to_bytes(&0u32).unwrap()),
             }
@@ -1285,6 +1390,7 @@ mod tests {
             sentinel.endpoint,
             d.from,
             RmiMessage::Response {
+                replayed: false,
                 call,
                 outcome: Ok(erm_transport::to_bytes(&7u32).unwrap()),
             }
@@ -1311,6 +1417,7 @@ mod tests {
             retry_after: SimDuration::from_millis(20),
         });
         m2.answer(|call| RmiMessage::Response {
+            replayed: false,
             call,
             outcome: Ok(erm_transport::to_bytes(&3u32).unwrap()),
         });
@@ -1404,6 +1511,7 @@ mod tests {
         stub.set_limiter(Arc::clone(&limiter));
         let h = std::thread::spawn(move || stub.invoke::<(), u32>("m", &()));
         sentinel.answer(|call| RmiMessage::Response {
+            replayed: false,
             call,
             outcome: Ok(erm_transport::to_bytes(&1u32).unwrap()),
         });
@@ -1476,6 +1584,7 @@ mod tests {
         // Answer the *last* request first.
         let reply = |(call, from): (u64, EndpointId), v: u32| {
             let msg = RmiMessage::Response {
+                replayed: false,
                 call,
                 outcome: Ok(erm_transport::to_bytes(&v).unwrap()),
             };
@@ -1516,6 +1625,7 @@ mod tests {
                 match RmiMessage::decode(&d.payload).unwrap() {
                     RmiMessage::Request { call, args, .. } => {
                         let msg = RmiMessage::Response {
+                            replayed: false,
                             call,
                             outcome: Ok(args),
                         };
@@ -1559,6 +1669,80 @@ mod tests {
     }
 
     #[test]
+    fn attempt_counter_is_strictly_increasing_across_resend_paths() {
+        // Regression for the attempt-counter propagation bug: the stub used
+        // to seed `attempt` differently from the registry client and not
+        // every resend path bumped it. The invariant now: `attempt: 0` is a
+        // stub-internal never-sent sentinel, the first wire attempt is 1,
+        // and every resend — reply-timeout retry, crash fast-failover,
+        // followed redirect — carries a strictly larger value so skeletons
+        // can tell replays from new work.
+        let net = InProcNetwork::new();
+        let sentinel = FakeMember::new(&net);
+        let m1 = FakeMember::new(&net);
+        let m2 = FakeMember::new(&net);
+        let m3 = FakeMember::new(&net);
+        let m4 = FakeMember::new(&net);
+        let mut stub = connect(&net, &sentinel, &[&m1, &m2, &m3]);
+        stub.set_reply_timeout(SimDuration::from_millis(100));
+
+        let h = std::thread::spawn(move || {
+            let v: u32 = stub.invoke("m", &()).unwrap();
+            (v, stub.stats())
+        });
+
+        let recv_request = |m: &FakeMember| {
+            let d = m.mailbox.recv_timeout(Duration::from_secs(5)).unwrap();
+            match RmiMessage::decode(&d.payload).unwrap() {
+                RmiMessage::Request { call, context, .. } => (call, d.from, context.attempt),
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+
+        // Attempt 1: m1 swallows the request -> reply-timeout retry.
+        let (_c1, _f1, a1) = recv_request(&m1);
+        // Attempt 2: m2 receives it, then crashes mid-wait -> fast failover.
+        let (_c2, _f2, a2) = recv_request(&m2);
+        net.close_endpoint(m2.endpoint);
+        // Attempt 3: m3 refuses with a redirect splicing m4 into the walk.
+        let (c3, f3, a3) = recv_request(&m3);
+        net.send(
+            m3.endpoint,
+            f3,
+            RmiMessage::Redirected {
+                call: c3,
+                members: vec![m4.endpoint],
+                deadline: SimTime::from_secs(1_000_000),
+            }
+            .encode(),
+        )
+        .unwrap();
+        // Attempt 4: m4 finally answers.
+        let (c4, f4, a4) = recv_request(&m4);
+        net.send(
+            m4.endpoint,
+            f4,
+            RmiMessage::Response {
+                call: c4,
+                outcome: Ok(erm_transport::to_bytes(&6u32).unwrap()),
+                replayed: false,
+            }
+            .encode(),
+        )
+        .unwrap();
+
+        let (v, stats) = h.join().unwrap();
+        assert_eq!(v, 6);
+        let attempts = [a1, a2, a3, a4];
+        assert_eq!(a1, 1, "first wire attempt is 1, never the 0 sentinel");
+        assert!(
+            attempts.windows(2).all(|w| w[0] < w[1]),
+            "wire attempts must strictly increase: {attempts:?}"
+        );
+        assert!(stats.retries >= 3, "three resends happened: {stats:?}");
+    }
+
+    #[test]
     fn blocking_invoke_coexists_with_pending_pipelined_invocation() {
         let net = InProcNetwork::new();
         let sentinel = FakeMember::new(&net);
@@ -1576,10 +1760,12 @@ mod tests {
         // Reply to the pipelined invocation *first*: the blocking wait must
         // route it to its pending entry, not swallow it as stale.
         m1.answer(|call| RmiMessage::Response {
+            replayed: false,
             call,
             outcome: Ok(erm_transport::to_bytes(&7u32).unwrap()),
         });
         sentinel.answer(|call| RmiMessage::Response {
+            replayed: false,
             call,
             outcome: Ok(erm_transport::to_bytes(&8u32).unwrap()),
         });

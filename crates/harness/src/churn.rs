@@ -30,8 +30,8 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use elasticrmi::{
-    AdmissionConfig, ElasticService, InvocationContext, RemoteError, RmiMessage, ServiceContext,
-    Skeleton,
+    AdmissionConfig, ElasticService, InvocationContext, RemoteError, ReplyCacheConfig, RmiMessage,
+    Semantics, ServiceContext, Skeleton,
 };
 use erm_cluster::{ClusterConfig, LatencyModel, NodeId, ResourceManager, SliceGrant, SliceId};
 use erm_kvstore::{LockOwner, Store, StoreConfig};
@@ -69,6 +69,17 @@ const MAX_ATTEMPTS: u32 = 5;
 
 /// Every Nth invocation calls the `synchronized` method.
 const SYNC_EVERY: u64 = 5;
+
+/// Client-side per-attempt reply timeout: an unanswered attempt is
+/// retransmitted with a bumped attempt counter after this long. Together
+/// with the reply-drop fault this is the duplicate-generation engine the
+/// reply cache must absorb.
+const REPLY_TIMEOUT: SimDuration = SimDuration::from_millis(120);
+
+/// Percentage of in-flight replies the "network" silently drops. The
+/// execution happened; only the answer is lost — the classic scenario
+/// where a retry would re-execute a non-idempotent method.
+const DROP_REPLY_PCT: u64 = 12;
 
 /// Pad appended to each disruption window so requests overlapping its
 /// tail are excused from the availability bar.
@@ -115,6 +126,19 @@ pub struct ChurnRun {
     pub slices_free: usize,
     /// Trace records evicted from the ring (zero means complete).
     pub dropped: u64,
+    /// Duplicate attempts absorbed by skeleton reply caches (wire v4).
+    pub dedup_hits: u64,
+    /// Cached replies replayed to duplicates (immediate hits plus parked
+    /// attempts answered at completion).
+    pub dedup_replayed: u64,
+    /// Completed cache entries evicted under the entry/byte caps.
+    pub dedup_evicted: u64,
+    /// `AtMostOnce` invocations observed executing more than once — the
+    /// exactly-once property violation counter (must be zero).
+    pub duplicate_executions: usize,
+    /// Reply-cache entries still live after the quiesce TTL sweep (must be
+    /// zero).
+    pub leaked_cache_entries: usize,
 }
 
 /// The hosted service. `work` burns a jittered service time; `sync`
@@ -215,6 +239,8 @@ struct Pending {
     attempt: u32,
     deadline: SimTime,
     target: EndpointId,
+    /// When the attempt went out, for the reply-timeout retransmit sweep.
+    sent: SimTime,
 }
 
 /// One contiguous recovery window: from the first crash until the pool
@@ -262,6 +288,7 @@ pub fn run_churn(seed: u64) -> ChurnRun {
     let mut chaos_rng = seeded_rng(seed ^ 0x000c_4a05_u64);
     let mut client_rng = seeded_rng(seed ^ 0x11e7_u64);
     let mut arrival_rng = seeded_rng(seed);
+    let mut drop_rng = seeded_rng(seed ^ 0xd20b_u64);
 
     // Scripted chaos plus the seeded-random phase, sorted by due time.
     let mut chaos: Vec<(SimTime, Chaos)> = vec![
@@ -322,6 +349,14 @@ pub fn run_churn(seed: u64) -> ChurnRun {
             trace.clone(),
             Some(AdmissionConfig::edf(32)),
         );
+        // A cap comfortably above the per-member at-most-once volume:
+        // evicting a Completed entry whose duplicate is still in flight
+        // would re-execute it, which is exactly what this harness checks.
+        skeleton.set_reply_cache(ReplyCacheConfig {
+            grace: SimDuration::from_secs(1),
+            max_entries: 4096,
+            max_bytes: 1 << 20,
+        });
         skeleton.set_metrics(&metrics);
         trace.emit(now, TraceEvent::MemberJoined { uid });
         members.insert(
@@ -381,6 +416,10 @@ pub fn run_churn(seed: u64) -> ChurnRun {
     let mut view: Vec<(u64, EndpointId)> = members.iter().map(|(&u, m)| (u, m.ep)).collect();
     let mut pending: HashMap<u64, Pending> = HashMap::new();
     let mut retries: Vec<(SimTime, u64, u32, SimTime)> = Vec::new();
+    // At-most-once pinning, mirroring the stub's `committed` state: once a
+    // member accepted an attempt, every retransmit goes back to it — its
+    // reply cache is the only place the duplicate can be recognised.
+    let mut pins: HashMap<u64, u64> = HashMap::new();
     let mut recs: BTreeMap<u64, InvRec> = BTreeMap::new();
     let mut next_call: u64 = 0;
     let mut next_invocation: u64 = 0;
@@ -481,7 +520,18 @@ pub fn run_churn(seed: u64) -> ChurnRun {
         while let Ok(d) = client_mb.try_recv() {
             drained = true;
             match RmiMessage::decode(&d.payload) {
-                Ok(RmiMessage::Response { call, outcome }) => {
+                Ok(RmiMessage::Response {
+                    replayed: _,
+                    call,
+                    outcome,
+                }) => {
+                    // The reply-drop fault: the member executed and
+                    // answered, but the answer never reaches the client —
+                    // its retransmit is a true duplicate.
+                    if pending.contains_key(&call) && drop_rng.gen_range(0..100u64) < DROP_REPLY_PCT
+                    {
+                        continue;
+                    }
                     if let Some(p) = pending.remove(&call) {
                         let at = clock.now();
                         match outcome {
@@ -537,6 +587,10 @@ pub fn run_churn(seed: u64) -> ChurnRun {
                 }) => {
                     if let Some(p) = pending.remove(&call) {
                         let at = clock.now();
+                        // An explicit refusal proves the member never
+                        // admitted (so never executed) the attempt: the
+                        // at-most-once pin is safe to release.
+                        pins.remove(&p.invocation);
                         trace.emit(
                             at,
                             TraceEvent::AttemptOverloaded {
@@ -615,6 +669,40 @@ pub fn run_churn(seed: u64) -> ChurnRun {
                     },
                 );
                 finish(&mut recs, p.invocation, Outcome::Expired);
+            }
+            continue;
+        }
+
+        // 4b. Reply-timeout sweep: attempts whose answer was lost (the
+        //     drop fault, or a reply stuck behind a backlog) retransmit
+        //     with a bumped attempt counter — the duplicate-generation
+        //     path the reply cache must absorb.
+        let timed_out: Vec<u64> = {
+            let mut v: Vec<u64> = pending
+                .iter()
+                .filter(|(_, p)| p.sent + REPLY_TIMEOUT <= now)
+                .map(|(&call, _)| call)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        if !timed_out.is_empty() {
+            for call in timed_out {
+                let p = pending.remove(&call).expect("listed above");
+                trace.emit(
+                    now,
+                    TraceEvent::AttemptFailed {
+                        invocation: p.invocation,
+                        attempt: p.attempt,
+                        target: p.target.0,
+                    },
+                );
+                let due = now + jitter(&mut client_rng, p.attempt);
+                if p.attempt < MAX_ATTEMPTS && due + SimDuration::from_millis(5) < p.deadline {
+                    retries.push((due, p.invocation, p.attempt + 1, p.deadline));
+                } else {
+                    dead_end(&trace, &mut recs, &p, now);
+                }
             }
             continue;
         }
@@ -719,6 +807,7 @@ pub fn run_churn(seed: u64) -> ChurnRun {
                 &mut pending,
                 &mut retries,
                 &mut recs,
+                &mut pins,
                 &mut next_call,
                 client_ep,
                 now,
@@ -751,6 +840,7 @@ pub fn run_churn(seed: u64) -> ChurnRun {
                 &mut pending,
                 &mut retries,
                 &mut recs,
+                &mut pins,
                 &mut next_call,
                 client_ep,
                 now,
@@ -796,17 +886,26 @@ pub fn run_churn(seed: u64) -> ChurnRun {
         if let Some(&(at, _)) = repairs.iter().min_by_key(|&&(at, _)| at) {
             targets.push(at);
         }
+        if let Some(p) = pending.values().min_by_key(|p| p.sent) {
+            targets.push(p.sent + REPLY_TIMEOUT);
+        }
         let target = targets.into_iter().min().expect("next_tick always present");
         clock.advance_to(target.max(now + SimDuration::from_micros(1)));
     }
 
     // Quiesce: release every live member's slice (revoked slices were
     // already reabsorbed by fail_node — releasing them again is exactly
-    // the double-release bug this harness guards against).
+    // the double-release bug this harness guards against). First advance
+    // past the last possible reply-cache TTL (deadline + grace) so the
+    // sweep below can prove deterministic expiry: anything still cached
+    // after that horizon is a leak.
+    clock.advance(DEADLINE_BUDGET + SimDuration::from_secs(1));
     let quiesce_at = clock.now();
+    let mut leaked_cache_entries = 0usize;
     let live_uids: Vec<u64> = members.keys().copied().collect();
     for uid in live_uids {
-        let m = members.remove(&uid).expect("listed above");
+        let mut m = members.remove(&uid).expect("listed above");
+        leaked_cache_entries += m.skeleton.sweep_reply_cache();
         let _ = cluster.release(m.grant.slice, quiesce_at);
         net.close_endpoint(m.ep);
         trace.emit(quiesce_at, TraceEvent::MemberDrained { uid });
@@ -817,6 +916,32 @@ pub fn run_churn(seed: u64) -> ChurnRun {
     metrics
         .gauge("churn.slices.leaked")
         .set(leaked_slices as i64);
+
+    // Exactly-once accounting over the trace: executions per invocation.
+    // `work` (at-most-once) invocations must never execute twice; crashed
+    // members make zero executions legal.
+    let trace_records = sink.snapshot();
+    let mut exec_counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for r in &trace_records {
+        if let TraceEvent::RequestExecuted { invocation, .. } = r.event {
+            *exec_counts.entry(invocation).or_default() += 1;
+        }
+    }
+    let duplicate_executions = exec_counts
+        .iter()
+        .filter(|&(inv, &n)| !inv.is_multiple_of(SYNC_EVERY) && n > 1)
+        .count();
+    // Suppression totals come from the shared metrics registry, not the
+    // skeletons: published diffs survive member crashes and re-elections.
+    let dedup_hits = metrics.counter("rmi.dedup.hits").get();
+    let dedup_replayed = metrics.counter("rmi.dedup.replayed").get();
+    let dedup_evicted = metrics.counter("rmi.dedup.evicted").get();
+    metrics
+        .gauge("churn.dedup.leaked")
+        .set(leaked_cache_entries as i64);
+    metrics
+        .gauge("churn.dedup.duplicates")
+        .set(duplicate_executions as i64);
     snapshots.push(registry.snapshot(quiesce_at));
 
     // Availability over invocations untouched by any disruption window.
@@ -870,12 +995,19 @@ pub fn run_churn(seed: u64) -> ChurnRun {
         leaked_slices,
         &cluster,
         sink.dropped(),
+        DedupSummary {
+            hits: dedup_hits,
+            replayed: dedup_replayed,
+            evicted: dedup_evicted,
+            duplicate_executions,
+            leaked_cache_entries,
+        },
     );
 
     ChurnRun {
         report,
         metrics_csv: snapshots_to_csv(&snapshots),
-        trace: sink.snapshot(),
+        trace: trace_records,
         invocations: recs.len(),
         completed_ok,
         completed_err,
@@ -891,7 +1023,21 @@ pub fn run_churn(seed: u64) -> ChurnRun {
         slices_total: cluster.total_slices(),
         slices_free: cluster.free_slices(),
         dropped: sink.dropped(),
+        dedup_hits,
+        dedup_replayed,
+        dedup_evicted,
+        duplicate_executions,
+        leaked_cache_entries,
     }
+}
+
+/// Duplicate-suppression facts the report renders.
+struct DedupSummary {
+    hits: u64,
+    replayed: u64,
+    evicted: u64,
+    duplicate_executions: usize,
+    leaked_cache_entries: usize,
 }
 
 /// Seeded exponential backoff with jitter: `[step/2, step]` where the
@@ -936,7 +1082,9 @@ fn dead_end(trace: &TraceHandle, recs: &mut BTreeMap<u64, InvRec>, p: &Pending, 
 
 /// Emits the `AttemptStarted` anchor, then either ingests the request at
 /// the chosen member or fast-fails into the retry queue (closed endpoint
-/// or stale membership entry).
+/// or stale membership entry). `sync` runs `AtLeastOnce`; `work` is the
+/// non-idempotent `AtMostOnce` method, pinned to the member that first
+/// accepted it (mirroring the stub's `committed` state).
 #[allow(clippy::too_many_arguments)]
 fn send_attempt(
     net: &InProcNetwork,
@@ -947,6 +1095,7 @@ fn send_attempt(
     pending: &mut HashMap<u64, Pending>,
     retries: &mut Vec<(SimTime, u64, u32, SimTime)>,
     recs: &mut BTreeMap<u64, InvRec>,
+    pins: &mut HashMap<u64, u64>,
     next_call: &mut u64,
     client_ep: EndpointId,
     now: SimTime,
@@ -954,7 +1103,35 @@ fn send_attempt(
     attempt: u32,
     deadline: SimTime,
 ) {
-    if view.is_empty() {
+    let (method, semantics) = if invocation.is_multiple_of(SYNC_EVERY) {
+        ("sync", Semantics::AtLeastOnce)
+    } else {
+        ("work", Semantics::AtMostOnce)
+    };
+    let pinned = pins.get(&invocation).copied();
+    let target = match pinned {
+        // A pinned retransmit may only go back to the member that already
+        // accepted an earlier attempt — it may have executed and lost the
+        // reply, and only its cache can recognise the duplicate.
+        Some(uid) => members.get(&uid).map(|m| (uid, m.ep)),
+        None if view.is_empty() => None,
+        None => Some(view[rng.gen_range(0..view.len())]),
+    };
+    let Some((uid, ep)) = target else {
+        if pinned.is_some() {
+            // The pinned member crashed. Failing over could execute the
+            // invocation a second time, so it terminates here — the same
+            // dead end a stub's committed invocation reaches.
+            let p = Pending {
+                invocation,
+                attempt,
+                deadline,
+                target: EndpointId(0),
+                sent: now,
+            };
+            dead_end(trace, recs, &p, now);
+            return;
+        }
         // Total blackout: park the attempt for one backoff, or give up.
         let due = now + jitter(rng, attempt);
         if attempt < MAX_ATTEMPTS && due + SimDuration::from_millis(5) < deadline {
@@ -970,8 +1147,7 @@ fn send_attempt(
             finish(recs, invocation, Outcome::Expired);
         }
         return;
-    }
-    let (uid, ep) = view[rng.gen_range(0..view.len())];
+    };
     trace.emit(
         now,
         TraceEvent::AttemptStarted {
@@ -1002,6 +1178,7 @@ fn send_attempt(
                 attempt,
                 deadline,
                 target: ep,
+                sent: now,
             };
             dead_end(trace, recs, &p, now);
         }
@@ -1016,13 +1193,14 @@ fn send_attempt(
             attempt,
             deadline,
             target: ep,
+            sent: now,
         },
     );
-    let method = if invocation.is_multiple_of(SYNC_EVERY) {
-        "sync"
-    } else {
-        "work"
-    };
+    if semantics == Semantics::AtMostOnce {
+        // Delivery commits the attempt to this member (the skeleton's
+        // cache now tracks it); only an explicit refusal releases it.
+        pins.insert(invocation, uid);
+    }
     let m = members.get_mut(&uid).expect("checked above");
     m.skeleton.ingest(
         client_ep,
@@ -1033,6 +1211,7 @@ fn send_attempt(
                 deadline,
                 attempt,
                 origin: client_ep,
+                semantics,
             },
             method: method.into(),
             args: Vec::new(),
@@ -1065,6 +1244,7 @@ fn render_report(
     leaked_slices: usize,
     cluster: &ResourceManager,
     dropped: u64,
+    dedup: DedupSummary,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -1155,6 +1335,17 @@ fn render_report(
         }
     }
     out.push('\n');
+    let _ = writeln!(
+        out,
+        "duplicate suppression (at-most-once): {} duplicates absorbed, \
+         {} cached replies replayed, {} entries evicted; \
+         duplicate executions {} (must be 0), leaked cache entries {} (must be 0)",
+        dedup.hits,
+        dedup.replayed,
+        dedup.evicted,
+        dedup.duplicate_executions,
+        dedup.leaked_cache_entries,
+    );
     let _ = writeln!(
         out,
         "quiesce: leaked locks {leaked_locks}, leaked slices {leaked_slices} \
@@ -1296,6 +1487,92 @@ mod tests {
     }
 
     #[test]
+    fn at_most_once_invocations_execute_at_most_once_across_seeds() {
+        // The exactly-once property under churn, crashes, and the
+        // reply-drop fault: `work` invocations (at-most-once) never execute
+        // twice, even though lost replies force retransmits with attempt
+        // counters well past 1. Crashed members make zero executions legal;
+        // a client-observed Ok pins the count to exactly one.
+        for seed in [7u64, 99, 2026] {
+            let run = run_churn(seed);
+            assert_eq!(run.dropped, 0, "seed {seed}: ring must be lossless");
+            let mut execs: BTreeMap<u64, usize> = BTreeMap::new();
+            let mut max_attempt: BTreeMap<u64, u32> = BTreeMap::new();
+            let mut completed_ok: std::collections::BTreeSet<u64> =
+                std::collections::BTreeSet::new();
+            for r in &run.trace {
+                match r.event {
+                    TraceEvent::RequestExecuted { invocation, .. } => {
+                        *execs.entry(invocation).or_default() += 1;
+                    }
+                    TraceEvent::AttemptStarted {
+                        invocation,
+                        attempt,
+                        ..
+                    } => {
+                        let e = max_attempt.entry(invocation).or_default();
+                        *e = (*e).max(attempt);
+                    }
+                    TraceEvent::InvocationCompleted {
+                        invocation,
+                        ok: true,
+                        ..
+                    } => {
+                        completed_ok.insert(invocation);
+                    }
+                    _ => {}
+                }
+            }
+            let is_amo = |inv: u64| !inv.is_multiple_of(SYNC_EVERY);
+            for (&inv, &n) in &execs {
+                if is_amo(inv) {
+                    assert!(
+                        n <= 1,
+                        "seed {seed}: at-most-once invocation {inv} executed {n} times\n{}",
+                        run.report
+                    );
+                }
+            }
+            assert_eq!(run.duplicate_executions, 0, "seed {seed}");
+            for &inv in &completed_ok {
+                if is_amo(inv) {
+                    assert_eq!(
+                        execs.get(&inv).copied().unwrap_or(0),
+                        1,
+                        "seed {seed}: ok-completed at-most-once invocation {inv} \
+                         must execute exactly once"
+                    );
+                }
+            }
+            // The fault must actually bite: at-most-once invocations that
+            // needed more than one attempt yet executed exactly once, and
+            // cached replies replayed to absorb the duplicates.
+            let retried_exactly_once = execs
+                .iter()
+                .filter(|&(&inv, &n)| {
+                    is_amo(inv) && n == 1 && max_attempt.get(&inv).copied().unwrap_or(0) > 1
+                })
+                .count();
+            assert!(
+                retried_exactly_once > 10,
+                "seed {seed}: only {retried_exactly_once} retried-yet-once invocations — \
+                 the reply-drop fault is not generating duplicates"
+            );
+            assert!(
+                run.dedup_hits > 0 && run.dedup_replayed > 0,
+                "seed {seed}: reply caches absorbed no duplicates \
+                 (hits {}, replayed {})",
+                run.dedup_hits,
+                run.dedup_replayed
+            );
+            assert_eq!(
+                run.leaked_cache_entries, 0,
+                "seed {seed}: reply caches must be empty after the TTL sweep"
+            );
+        }
+    }
+
+    #[test]
     fn report_and_csv_carry_the_recovery_telemetry() {
         let run = run_churn(7);
         for needle in [
@@ -1304,6 +1581,8 @@ mod tests {
             "crash-to-capacity lag",
             "locks reclaimed",
             "quiesce: leaked locks 0, leaked slices 0",
+            "duplicate suppression (at-most-once):",
+            "duplicate executions 0 (must be 0), leaked cache entries 0 (must be 0)",
         ] {
             assert!(
                 run.report.contains(needle),
@@ -1317,6 +1596,12 @@ mod tests {
             "kv.lock.wait",
             "churn.locks.leaked",
             "churn.slices.leaked",
+            "rmi.dedup.hits",
+            "rmi.dedup.replayed",
+            "rmi.dedup.evicted",
+            "rmi.dedup.cache.size",
+            "churn.dedup.leaked",
+            "churn.dedup.duplicates",
         ] {
             assert!(
                 run.metrics_csv.contains(name),

@@ -206,7 +206,11 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadResult {
                  now: SimTime| {
         while let Ok(d) = client_mb.try_recv() {
             match RmiMessage::decode(&d.payload) {
-                Ok(RmiMessage::Response { call, outcome }) => {
+                Ok(RmiMessage::Response {
+                    replayed: _,
+                    call,
+                    outcome,
+                }) => {
                     if let Some(l) = &limiter {
                         l.release();
                     }
@@ -268,6 +272,7 @@ pub fn run_overload(config: &OverloadConfig) -> OverloadResult {
                 let deadline = now + config.deadline_budget;
                 deadlines.insert(call, deadline);
                 let context = InvocationContext {
+                    semantics: elasticrmi::Semantics::AtLeastOnce,
                     id: call,
                     deadline,
                     attempt: 1,

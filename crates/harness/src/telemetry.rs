@@ -153,6 +153,7 @@ fn send_attempt(
         RmiMessage::Request {
             call,
             context: InvocationContext {
+                semantics: elasticrmi::Semantics::AtLeastOnce,
                 id: invocation,
                 deadline,
                 attempt,
@@ -292,7 +293,11 @@ pub fn run_elastic_overload(seed: u64) -> ElasticOverloadRun {
         // 1. Drain replies: close invocation spans, schedule retries.
         while let Ok(d) = client_mb.try_recv() {
             match RmiMessage::decode(&d.payload) {
-                Ok(RmiMessage::Response { call, outcome }) => {
+                Ok(RmiMessage::Response {
+                    replayed: _,
+                    call,
+                    outcome,
+                }) => {
                     if let Some(p) = pending.remove(&call) {
                         let event = match outcome {
                             Ok(_) => TraceEvent::InvocationCompleted {
@@ -488,7 +493,12 @@ pub fn run_elastic_overload(seed: u64) -> ElasticOverloadRun {
     }
     snapshots.push(registry.snapshot(clock.now()));
 
-    let report = render_report(&invocation_spans, &decision_spans, sink.dropped());
+    let dedup = DedupLine {
+        hits: metrics.counter("rmi.dedup.hits").get(),
+        replayed: metrics.counter("rmi.dedup.replayed").get(),
+        evicted: metrics.counter("rmi.dedup.evicted").get(),
+    };
+    let report = render_report(&invocation_spans, &decision_spans, sink.dropped(), dedup);
     ElasticOverloadRun {
         report,
         trace_json: chrome_trace(&invocation_spans, &decision_spans),
@@ -565,12 +575,22 @@ pub fn render_why_scaled(decisions: &[DecisionSpan]) -> String {
     out
 }
 
+/// Duplicate-suppression tallies for the report (wire v4). All zero on an
+/// `AtLeastOnce`-only workload, but the line is always rendered so readers
+/// can tell "no suppression happened" from "suppression was not measured".
+struct DedupLine {
+    hits: u64,
+    replayed: u64,
+    evicted: u64,
+}
+
 /// The full run report: span accounting, outcome tallies, drop warning,
-/// and the why-scaled attribution.
+/// duplicate-suppression tallies, and the why-scaled attribution.
 fn render_report(
     invocations: &[InvocationSpan],
     decisions: &[DecisionSpan],
     dropped: u64,
+    dedup: DedupLine,
 ) -> String {
     let mut out = String::new();
     let count = |o: InvocationOutcome| invocations.iter().filter(|s| s.outcome == o).count();
@@ -594,6 +614,12 @@ fn render_report(
     } else {
         let _ = writeln!(out, "trace ring dropped 0 records (lossless)");
     }
+    let _ = writeln!(
+        out,
+        "duplicate suppression (at-most-once): {} duplicates absorbed, \
+         {} cached replies replayed, {} cache entries evicted",
+        dedup.hits, dedup.replayed, dedup.evicted,
+    );
     out.push('\n');
     out.push_str(&render_why_scaled(decisions));
     out
@@ -631,6 +657,11 @@ mod tests {
             "report must surface the lag:\n{}",
             run.report
         );
+        assert!(
+            run.report.contains("duplicate suppression (at-most-once):"),
+            "report must surface the dedup tallies:\n{}",
+            run.report
+        );
     }
 
     #[test]
@@ -644,6 +675,10 @@ mod tests {
             "kv.lock.hold",
             "cluster.provision.latency",
             "scaling.decision.lag",
+            "rmi.dedup.hits",
+            "rmi.dedup.replayed",
+            "rmi.dedup.evicted",
+            "rmi.dedup.cache.size",
         ] {
             assert!(
                 run.metrics_csv.contains(name),

@@ -6,7 +6,9 @@
 
 use std::sync::Arc;
 
-use elasticrmi::{ClientLb, ElasticPool, PoolConfig, PoolDeps, ScalingPolicy};
+use elasticrmi::{
+    ClientLb, ElasticPool, PoolConfig, PoolDeps, ScalingPolicy, Semantics, SemanticsTable,
+};
 use erm_apps::marketcetera::{Order, OrderRouter, RouteAck, Side};
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
@@ -29,10 +31,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         metrics: MetricsHandle::disabled(),
     };
 
+    // `route` persists the order and bumps the routed counter — executing a
+    // retried order twice would double-trade, so it is declared AtMostOnce:
+    // every skeleton absorbs duplicate attempts with its reply cache and
+    // replays the original acknowledgement. Status reads stay AtLeastOnce.
     let config = PoolConfig::builder(OrderRouter::CLASS)
         .min_pool_size(2)
         .max_pool_size(25)
         .policy(ScalingPolicy::FineGrained)
+        .semantics(SemanticsTable::new().method("route", Semantics::AtMostOnce))
         .build()?;
     let pool = Arc::new(Mutex::new(ElasticPool::instantiate(
         config,

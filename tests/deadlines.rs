@@ -175,6 +175,7 @@ fn redirect_preserves_remaining_budget_and_traces_the_lifecycle() {
     m2.reply(
         from2,
         RmiMessage::Response {
+            replayed: false,
             call: call2,
             outcome: Ok(erm_transport::to_bytes(&7u32).unwrap()),
         },

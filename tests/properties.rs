@@ -385,6 +385,7 @@ fn skeleton_conserves_invocations_under_overload() {
                         RmiMessage::Request {
                             call,
                             context: InvocationContext {
+                                semantics: elasticrmi::Semantics::AtLeastOnce,
                                 id: call,
                                 deadline,
                                 attempt: 1,

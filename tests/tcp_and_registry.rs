@@ -3,16 +3,19 @@
 
 mod common;
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use elasticrmi::{
-    decode_args, encode_result, ClientLb, ElasticPool, ElasticService, PoolConfig, PoolDeps,
-    RegistryClient, RegistryServer, RemoteError, ServiceContext, Stub,
+    decode_args, encode_result, ClientLb, ElasticPool, ElasticService, InvocationContext,
+    PoolConfig, PoolDeps, RegistryClient, RegistryServer, RemoteError, RmiMessage, Semantics,
+    ServiceContext, Skeleton, Stub,
 };
 use erm_cluster::{ClusterConfig, ClusterHandle, LatencyModel, ResourceManager};
 use erm_kvstore::{Store, StoreConfig};
 use erm_metrics::{MetricsHandle, TraceHandle};
-use erm_sim::SystemClock;
+use erm_sim::{SimDuration, SystemClock};
 use erm_transport::{Network, TcpHost};
 
 struct Adder;
@@ -134,4 +137,136 @@ fn registry_over_inproc_reaches_pool() {
     assert_eq!(sum, 42);
     pool.shutdown();
     registry.shutdown();
+}
+
+/// Counts how many times `count` actually executes, so a duplicate that
+/// slips past the reply cache shows up as a second increment.
+struct CountingService {
+    executions: Arc<AtomicU32>,
+}
+impl ElasticService for CountingService {
+    fn dispatch(
+        &mut self,
+        method: &str,
+        _args: &[u8],
+        _ctx: &mut ServiceContext,
+    ) -> Result<Vec<u8>, RemoteError> {
+        match method {
+            "count" => encode_result(&(self.executions.fetch_add(1, Ordering::SeqCst) + 1)),
+            other => Err(RemoteError::no_such_method(other)),
+        }
+    }
+}
+
+#[test]
+fn at_most_once_survives_tcp_reconnect() {
+    // A client loses its TCP connection after the server executed its
+    // at-most-once request but before the reply landed. The retry arrives
+    // over a *new* connection (fresh host, fresh endpoint) carrying the
+    // same (origin, invocation id) identity — the skeleton must replay the
+    // cached reply to the new transport address, not execute again.
+    let clock: erm_sim::SharedClock = Arc::new(SystemClock::new());
+    let executions = Arc::new(AtomicU32::new(0));
+
+    // Server machine: one standalone skeleton serving the counting method.
+    let server_host = Arc::new(TcpHost::bind("127.0.0.1:0", 0).unwrap());
+    let (server_ep, server_mailbox) = server_host.open_endpoint();
+    let (ctl_ep, _ctl_mailbox) = server_host.open_endpoint();
+    let ctx = ServiceContext::new(
+        Arc::new(Store::new(StoreConfig::default())),
+        "Count",
+        0,
+        Arc::clone(&clock),
+        Arc::new(AtomicU32::new(1)),
+    );
+    let skeleton = Skeleton::new(
+        0,
+        server_ep,
+        ctl_ep,
+        server_host.clone(),
+        Arc::clone(&clock),
+        Box::new(CountingService {
+            executions: executions.clone(),
+        }),
+        ctx,
+        TraceHandle::disabled(),
+        None,
+    );
+    let join = std::thread::spawn(move || skeleton.run(server_mailbox));
+
+    let deadline = clock.now() + SimDuration::from_secs(30);
+    let context = InvocationContext {
+        id: 42,
+        deadline,
+        attempt: 1,
+        origin: erm_transport::EndpointId(0), // patched per attempt below
+        semantics: Semantics::AtMostOnce,
+    };
+
+    // First connection: send the request, receive the reply... and "lose"
+    // it — from the stub's point of view the connection died before the
+    // response arrived, so the invocation is still unresolved.
+    let host_a = Arc::new(TcpHost::bind("127.0.0.1:0", 1).unwrap());
+    host_a.register_host(0, server_host.local_addr());
+    let (ep_a, mb_a) = host_a.open_endpoint();
+    let first = RmiMessage::Request {
+        call: 1,
+        context: InvocationContext {
+            origin: ep_a,
+            ..context
+        },
+        method: "count".to_string(),
+        args: Vec::new(),
+    };
+    host_a.send(ep_a, server_ep, first.encode()).unwrap();
+    let lost = mb_a.recv_timeout(Duration::from_secs(5)).unwrap();
+    let lost_payload = match RmiMessage::decode(&lost.payload).unwrap() {
+        RmiMessage::Response {
+            call: 1,
+            outcome: Ok(bytes),
+            replayed: false,
+        } => bytes,
+        other => panic!("expected fresh Ok response, got {other:?}"),
+    };
+    host_a.shutdown(); // connection gone
+
+    // Second connection: a new host (think: reconnected socket, new source
+    // port) retries the same invocation. The wire-level sender is the new
+    // endpoint, but `context.origin` still names the stub that issued the
+    // invocation — that is the dedup key.
+    let host_b = Arc::new(TcpHost::bind("127.0.0.1:0", 2).unwrap());
+    host_b.register_host(0, server_host.local_addr());
+    let (ep_b, mb_b) = host_b.open_endpoint();
+    let retry = RmiMessage::Request {
+        call: 2,
+        context: InvocationContext {
+            origin: ep_a,
+            attempt: 2,
+            ..context
+        },
+        method: "count".to_string(),
+        args: Vec::new(),
+    };
+    host_b.send(ep_b, server_ep, retry.encode()).unwrap();
+    let replay = mb_b.recv_timeout(Duration::from_secs(5)).unwrap();
+    match RmiMessage::decode(&replay.payload).unwrap() {
+        RmiMessage::Response {
+            call: 2,
+            outcome: Ok(bytes),
+            replayed: true,
+        } => assert_eq!(bytes, lost_payload, "replay must be byte-identical"),
+        other => panic!("expected replayed Ok response, got {other:?}"),
+    }
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        1,
+        "the method body must have run exactly once across the reconnect"
+    );
+
+    server_host
+        .send(ctl_ep, server_ep, RmiMessage::Shutdown.encode())
+        .unwrap();
+    join.join().unwrap();
+    server_host.shutdown();
+    host_b.shutdown();
 }

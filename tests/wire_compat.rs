@@ -60,7 +60,9 @@ fn enum_variants_are_u32_indices() {
 #[test]
 fn request_message_golden_bytes() {
     // Format v2: Request carries the InvocationContext (id, deadline,
-    // attempt, origin) between `call` and `method`.
+    // attempt, origin) between `call` and `method`. Format v4 appends the
+    // method's invocation semantics to the context — a u32 enum index
+    // (AtMostOnce = 0, AtLeastOnce = 1, Maybe = 2).
     let msg = RmiMessage::Request {
         call: 1,
         context: InvocationContext {
@@ -68,6 +70,7 @@ fn request_message_golden_bytes() {
             deadline: SimTime::from_micros(500_000),
             attempt: 1,
             origin: EndpointId(9),
+            semantics: elasticrmi::Semantics::AtLeastOnce,
         },
         method: "m".to_string(),
         args: vec![9],
@@ -79,11 +82,36 @@ fn request_message_golden_bytes() {
         vec![0x20, 0xa1, 0x07, 0, 0, 0, 0, 0], // context.deadline: 500_000 µs
         vec![1, 0, 0, 0],                      // context.attempt: u32 = 1
         vec![9, 0, 0, 0, 0, 0, 0, 0],          // context.origin: EndpointId(9)
+        vec![1, 0, 0, 0],                      // context.semantics: AtLeastOnce (v4)
         vec![1, 0, 0, 0, b'm'],                // method: len 1, "m"
         vec![1, 0, 0, 0, 9],                   // args: len 1, [9]
     ]
     .concat();
     assert_eq!(msg.encode(), expected);
+}
+
+#[test]
+fn request_at_most_once_golden_bytes() {
+    // The three semantics wire indices are frozen: AtMostOnce = 0,
+    // AtLeastOnce = 1, Maybe = 2. Reordering the enum breaks deployed peers.
+    let msg = RmiMessage::Request {
+        call: 1,
+        context: InvocationContext {
+            id: 7,
+            deadline: SimTime::from_micros(500_000),
+            attempt: 2,
+            origin: EndpointId(9),
+            semantics: elasticrmi::Semantics::AtMostOnce,
+        },
+        method: "m".to_string(),
+        args: vec![9],
+    };
+    let bytes = msg.encode();
+    // semantics sits right after origin, before the method string:
+    // 4 (variant) + 8 (call) + 8 (id) + 8 (deadline) + 4 (attempt) +
+    // 8 (origin) = offset 40.
+    assert_eq!(&bytes[40..44], &[0, 0, 0, 0]); // AtMostOnce = 0
+    assert_eq!(RmiMessage::decode(&bytes).unwrap(), msg);
 }
 
 #[test]
@@ -108,18 +136,34 @@ fn redirected_message_golden_bytes() {
 
 #[test]
 fn response_ok_golden_bytes() {
+    // Format v4 appends `replayed` — one byte, 1 when the reply was served
+    // from the skeleton's reply cache instead of a fresh execution.
     let msg = RmiMessage::Response {
         call: 2,
         outcome: Ok(vec![7, 8]),
+        replayed: false,
     };
     let expected: Vec<u8> = [
         vec![1, 0, 0, 0],             // variant 1: Response
         vec![2, 0, 0, 0, 0, 0, 0, 0], // call
         vec![0, 0, 0, 0],             // Result variant 0: Ok
         vec![2, 0, 0, 0, 7, 8],       // bytes
+        vec![0],                      // replayed: false (v4)
     ]
     .concat();
     assert_eq!(msg.encode(), expected);
+}
+
+#[test]
+fn response_replayed_golden_bytes() {
+    let msg = RmiMessage::Response {
+        call: 2,
+        outcome: Ok(vec![7, 8]),
+        replayed: true,
+    };
+    let bytes = msg.encode();
+    assert_eq!(bytes.last(), Some(&1)); // replayed: true (v4)
+    assert_eq!(RmiMessage::decode(&bytes).unwrap(), msg);
 }
 
 #[test]
@@ -127,6 +171,7 @@ fn response_err_golden_bytes() {
     let msg = RmiMessage::Response {
         call: 0,
         outcome: Err(RemoteError::new("E", "d")),
+        replayed: false,
     };
     let expected: Vec<u8> = [
         vec![1, 0, 0, 0],       // variant 1: Response
@@ -134,6 +179,7 @@ fn response_err_golden_bytes() {
         vec![1, 0, 0, 0],       // Result variant 1: Err
         vec![1, 0, 0, 0, b'E'], // kind
         vec![1, 0, 0, 0, b'd'], // detail
+        vec![0],                // replayed: false (v4)
     ]
     .concat();
     assert_eq!(msg.encode(), expected);
